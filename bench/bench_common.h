@@ -1,0 +1,46 @@
+// Shared helpers for the per-table/per-figure benchmark binaries.
+#ifndef PARIS_BENCH_BENCH_COMMON_H_
+#define PARIS_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+
+#include "core/aligner.h"
+#include "eval/metrics.h"
+#include "eval/report.h"
+#include "synth/profiles.h"
+#include "util/logging.h"
+
+namespace paris::bench {
+
+inline void PrintHeader(const std::string& title, const std::string& paper) {
+  std::printf("\n==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Reproduces: %s\n", paper.c_str());
+  std::printf("==============================================================\n");
+}
+
+// P/R/F cells in the paper's "Prec Rec F" style.
+inline void AppendPrf(std::vector<std::string>* row,
+                      const eval::PrecisionRecall& pr) {
+  row->push_back(eval::TablePrinter::Pct(pr.precision()));
+  row->push_back(eval::TablePrinter::Pct(pr.recall()));
+  row->push_back(eval::TablePrinter::Pct(pr.f1()));
+}
+
+// Runs the aligner with the paper's default configuration (up to
+// `iterations` rounds, forced — no early convergence exit — when
+// `force_all_iterations`).
+inline core::AlignmentResult RunParis(const synth::OntologyPair& pair,
+                                      int iterations,
+                                      bool force_all_iterations = false,
+                                      core::AlignmentConfig config = {}) {
+  config.max_iterations = iterations;
+  if (force_all_iterations) config.convergence_threshold = 0.0;
+  core::Aligner aligner(*pair.left, *pair.right, config);
+  return aligner.Run();
+}
+
+}  // namespace paris::bench
+
+#endif  // PARIS_BENCH_BENCH_COMMON_H_

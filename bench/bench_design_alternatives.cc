@@ -1,0 +1,124 @@
+// §6.3 "Design Alternatives" on the restaurant dataset:
+//   1. θ ∈ {0.001, 0.01, 0.05, 0.1, 0.2} — final scores must not depend
+//      on θ (the paper: "the final probability scores are the same").
+//   2. Full equality distribution vs maximal-assignment-only — changes
+//      results only marginally.
+//   3. Negative evidence (Eq. 14) with the identity literal measure makes
+//      PARIS give up matches on mismatching phone formats; plugging in the
+//      normalized string measure restores precision at some recall cost.
+#include <algorithm>
+#include <cmath>
+
+#include "bench/bench_common.h"
+
+namespace paris::bench {
+namespace {
+
+void Main() {
+  util::SetLogLevel(util::LogLevel::kWarning);
+  PrintHeader("§6.3 — design alternatives (restaurant dataset)",
+              "Suchanek et al., PVLDB 5(3), 2011, Section 6.3");
+
+  auto pair = synth::MakeOaeiRestaurantPair();
+  if (!pair.ok()) {
+    std::printf("profile failed: %s\n", pair.status().ToString().c_str());
+    return;
+  }
+
+  // --- Experiment 1: θ sweep -------------------------------------------
+  // The paper's claim is that the *sub-relationship scores* come out the
+  // same regardless of θ ("A larger θ causes larger probability scores in
+  // the first iteration. However, the sub-relationship scores turn out to
+  // be the same"). We report both the instance metrics and the maximum
+  // deviation of any converged sub-relation score from the θ=0.1 run.
+  std::printf("\n[1] theta sweep (paper: results independent of theta)\n");
+  const std::vector<double> thetas = {0.001, 0.01, 0.05, 0.1, 0.2};
+  std::vector<core::AlignmentResult> runs;
+  for (double theta : thetas) {
+    core::AlignmentConfig config;
+    config.theta = theta;
+    runs.push_back(RunParis(*pair, 8, false, config));
+  }
+  // Reference = the θ=0.1 run; report, per θ, the maximum absolute
+  // deviation of any strong (≥0.3) converged sub-relation score.
+  const core::RelationScores& reference = runs[3].relations;
+  eval::TablePrinter theta_table(
+      {"theta", "Prec", "Rec", "F", "Matches", "MaxRelScoreDelta"});
+  for (size_t i = 0; i < thetas.size(); ++i) {
+    const auto pr = eval::EvaluateInstances(runs[i].instances, pair->gold);
+    double max_delta = 0.0;
+    for (const auto& e : reference.Entries()) {
+      if (e.score < 0.3) continue;
+      const double other =
+          e.sub_is_left
+              ? runs[i].relations.SubLeftRight(e.sub, e.super)
+              : runs[i].relations.SubRightLeft(e.sub, e.super);
+      max_delta = std::max(max_delta, std::abs(other - e.score));
+    }
+    std::vector<std::string> row{eval::TablePrinter::Fixed(thetas[i], 3)};
+    AppendPrf(&row, pr);
+    row.push_back(std::to_string(pr.predicted));
+    row.push_back(eval::TablePrinter::Fixed(max_delta, 4));
+    theta_table.AddRow(std::move(row));
+  }
+  std::printf("%s", theta_table.ToString().c_str());
+
+  // --- Experiment 2: full distribution vs maximal assignment -----------
+  std::printf(
+      "\n[2] all previous-iteration equalities vs maximal assignment only "
+      "(paper: changes results only marginally)\n");
+  eval::TablePrinter full_table({"Mode", "Prec", "Rec", "F"});
+  for (bool full : {false, true}) {
+    core::AlignmentConfig config;
+    config.use_full_equalities = full;
+    const auto result = RunParis(*pair, 8, false, config);
+    const auto pr = eval::EvaluateInstances(result.instances, pair->gold);
+    std::vector<std::string> row{full ? "full distribution"
+                                      : "maximal assignment"};
+    AppendPrf(&row, pr);
+    full_table.AddRow(std::move(row));
+  }
+  std::printf("%s", full_table.ToString().c_str());
+
+  // --- Experiment 3: negative evidence ----------------------------------
+  std::printf(
+      "\n[3] negative evidence (Eq. 14) — with the identity measure the "
+      "phone-format noise kills matches; the normalized measure restores "
+      "precision (paper: 100%% precision / 70%% recall)\n");
+  eval::TablePrinter neg_table(
+      {"Evidence", "Literal measure", "Prec", "Rec", "F"});
+  struct Setting {
+    bool negative;
+    bool normalized;
+    const char* name;
+    const char* measure;
+  };
+  for (const Setting& s :
+       {Setting{false, false, "positive only", "identity"},
+        Setting{true, false, "with negative", "identity"},
+        Setting{true, true, "with negative", "normalized"}}) {
+    core::AlignmentConfig config;
+    config.use_negative_evidence = s.negative;
+    core::Aligner aligner(*pair->left, *pair->right, [&] {
+      config.max_iterations = 8;
+      return config;
+    }());
+    if (s.normalized) {
+      aligner.set_literal_matcher_factory(core::NormalizingMatcherFactory());
+    }
+    const auto result = aligner.Run();
+    const auto pr = eval::EvaluateInstances(result.instances, pair->gold);
+    std::vector<std::string> row{s.name, s.measure};
+    AppendPrf(&row, pr);
+    neg_table.AddRow(std::move(row));
+  }
+  std::printf("%s", neg_table.ToString().c_str());
+}
+
+}  // namespace
+}  // namespace paris::bench
+
+int main() {
+  paris::bench::Main();
+  return 0;
+}

@@ -1,0 +1,156 @@
+// Micro-benchmarks (google-benchmark) for the substrate operations the
+// alignment passes are built on: term interning, store construction and
+// lookup, functionality computation, literal matching, and one full
+// alignment iteration on the restaurant dataset.
+#include <benchmark/benchmark.h>
+
+#include "core/aligner.h"
+#include "core/literal_match.h"
+#include "ontology/functionality.h"
+#include "rdf/ntriples.h"
+#include "rdf/store.h"
+#include "synth/profiles.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace paris {
+namespace {
+
+void BM_TermInterning(benchmark::State& state) {
+  std::vector<std::string> names;
+  for (int i = 0; i < 10000; ++i) names.push_back("t" + std::to_string(i));
+  for (auto _ : state) {
+    rdf::TermPool pool;
+    for (const auto& n : names) benchmark::DoNotOptimize(pool.InternIri(n));
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_TermInterning);
+
+void BM_StoreAddFinalize(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  rdf::TermPool pool;
+  std::vector<rdf::TermId> terms;
+  for (int i = 0; i < n; ++i) {
+    terms.push_back(pool.InternIri("e" + std::to_string(i)));
+  }
+  for (auto _ : state) {
+    rdf::TripleStore store(&pool);
+    const rdf::RelId rel = store.InternRelation(pool.InternIri("r"));
+    for (int i = 0; i < n; ++i) {
+      store.Add(terms[static_cast<size_t>(i)], rel,
+                terms[static_cast<size_t>((i * 7 + 1) % n)]);
+    }
+    store.Finalize();
+    benchmark::DoNotOptimize(store.num_triples());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_StoreAddFinalize)->Arg(1000)->Arg(10000);
+
+void BM_FactsAboutLookup(benchmark::State& state) {
+  rdf::TermPool pool;
+  rdf::TripleStore store(&pool);
+  const rdf::RelId rel = store.InternRelation(pool.InternIri("r"));
+  const int n = 10000;
+  std::vector<rdf::TermId> terms;
+  for (int i = 0; i < n; ++i) {
+    terms.push_back(pool.InternIri("e" + std::to_string(i)));
+  }
+  for (int i = 0; i < n; ++i) {
+    store.Add(terms[static_cast<size_t>(i)], rel,
+              terms[static_cast<size_t>((i * 13 + 5) % n)]);
+  }
+  store.Finalize();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.FactsAbout(terms[i % n]).size());
+    ++i;
+  }
+}
+BENCHMARK(BM_FactsAboutLookup);
+
+void BM_FunctionalityTable(benchmark::State& state) {
+  auto pair = synth::MakeOaeiRestaurantPair();
+  if (!pair.ok()) {
+    state.SkipWithError("profile failed");
+    return;
+  }
+  for (auto _ : state) {
+    ontology::FunctionalityTable table(pair->left->store());
+    benchmark::DoNotOptimize(table.Global(1));
+  }
+}
+BENCHMARK(BM_FunctionalityTable);
+
+void BM_EditDistance(benchmark::State& state) {
+  const std::string a = "The Crimson Spoon of Stoneridge";
+  const std::string b = "The Crimsn Spoon of Stonerige";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::EditDistance(a, b));
+  }
+}
+BENCHMARK(BM_EditDistance);
+
+void BM_NTriplesParse(benchmark::State& state) {
+  std::string doc;
+  for (int i = 0; i < 1000; ++i) {
+    doc += "<ex:s" + std::to_string(i) + "> <ex:p> \"value " +
+           std::to_string(i) + "\" .\n";
+  }
+  for (auto _ : state) {
+    rdf::VectorTripleSink sink;
+    benchmark::DoNotOptimize(
+        rdf::NTriplesParser::ParseDocument(doc, &sink).ok());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_NTriplesParse);
+
+void BM_FullAlignmentRestaurant(benchmark::State& state) {
+  util::SetLogLevel(util::LogLevel::kWarning);
+  auto pair = synth::MakeOaeiRestaurantPair();
+  if (!pair.ok()) {
+    state.SkipWithError("profile failed");
+    return;
+  }
+  for (auto _ : state) {
+    core::AlignmentConfig config;
+    config.max_iterations = static_cast<int>(state.range(0));
+    config.convergence_threshold = 0.0;
+    core::Aligner aligner(*pair->left, *pair->right, config);
+    auto result = aligner.Run();
+    benchmark::DoNotOptimize(result.instances.num_left_aligned());
+  }
+}
+BENCHMARK(BM_FullAlignmentRestaurant)->Arg(1)->Arg(4);
+
+void BM_FuzzyLiteralMatch(benchmark::State& state) {
+  util::SetLogLevel(util::LogLevel::kWarning);
+  auto pair = synth::MakeOaeiRestaurantPair();
+  if (!pair.ok()) {
+    state.SkipWithError("profile failed");
+    return;
+  }
+  core::FuzzyLiteralMatcher matcher(0.8, 4);
+  matcher.IndexTarget(*pair->right);
+  // Query with every left literal.
+  std::vector<rdf::TermId> literals;
+  for (rdf::TermId t : pair->left->store().terms()) {
+    if (pair->left->pool().IsLiteral(t)) literals.push_back(t);
+  }
+  size_t i = 0;
+  std::vector<core::Candidate> out;
+  for (auto _ : state) {
+    out.clear();
+    matcher.Match(literals[i % literals.size()], &out);
+    benchmark::DoNotOptimize(out.size());
+    ++i;
+  }
+}
+BENCHMARK(BM_FuzzyLiteralMatch);
+
+}  // namespace
+}  // namespace paris
+
+BENCHMARK_MAIN();

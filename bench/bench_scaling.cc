@@ -1,0 +1,71 @@
+// Scalability: wall time and quality of the full PARIS run as the dataset
+// grows. §5.2 derives the per-iteration cost O(n·m²·e) (n instances, m
+// statements per instance, e equivalents per instance): time should grow
+// near-linearly in the number of statements. Also measures the effect of
+// the relation-name prior extension on convergence speed.
+#include "bench/bench_common.h"
+
+namespace paris::bench {
+namespace {
+
+void Main() {
+  util::SetLogLevel(util::LogLevel::kWarning);
+  PrintHeader("Scaling — runtime vs dataset size (yago-dbpedia profile)",
+              "Suchanek et al., PVLDB 5(3), 2011, §5.2 complexity analysis");
+
+  eval::TablePrinter table({"Scale", "#Triples(L+R)", "AlignSec",
+                            "Sec/MTriple", "Iters", "Prec", "Rec", "F"});
+  for (double scale : {0.25, 0.5, 1.0, 2.0}) {
+    synth::ProfileOptions options;
+    options.scale = scale;
+    auto pair = synth::MakeYagoDbpediaPair(options);
+    if (!pair.ok()) continue;
+    const size_t triples =
+        pair->left->num_triples() + pair->right->num_triples();
+    const core::AlignmentResult result = RunParis(*pair, 6);
+    const auto pr = eval::EvaluateInstances(result.instances, pair->gold);
+    table.AddRow({eval::TablePrinter::Fixed(scale, 2),
+                  std::to_string(triples),
+                  eval::TablePrinter::Fixed(result.seconds_total, 2),
+                  eval::TablePrinter::Fixed(
+                      result.seconds_total / (static_cast<double>(triples) /
+                                              1e6),
+                      2),
+                  std::to_string(result.iterations.size()),
+                  eval::TablePrinter::Pct(pr.precision()),
+                  eval::TablePrinter::Pct(pr.recall()),
+                  eval::TablePrinter::Pct(pr.f1())});
+  }
+  std::printf("%s", table.ToString().c_str());
+
+  // Relation-name prior (§7 extension): same converged quality, fewer or
+  // equal iterations to convergence.
+  std::printf(
+      "\nRelation-name prior (extension; §7 'name heuristics could be "
+      "factored into the model'):\n");
+  eval::TablePrinter prior_table(
+      {"Bootstrap", "ConvergedAt", "Prec", "Rec", "F"});
+  auto pair = synth::MakeOaeiPersonPair();
+  if (pair.ok()) {
+    for (bool prior : {false, true}) {
+      core::AlignmentConfig config;
+      config.use_relation_name_prior = prior;
+      const auto result = RunParis(*pair, 10, false, config);
+      const auto pr = eval::EvaluateInstances(result.instances, pair->gold);
+      prior_table.AddRow({prior ? "theta + name similarity" : "uniform theta",
+                          std::to_string(result.converged_at),
+                          eval::TablePrinter::Pct(pr.precision()),
+                          eval::TablePrinter::Pct(pr.recall()),
+                          eval::TablePrinter::Pct(pr.f1())});
+    }
+  }
+  std::printf("%s", prior_table.ToString().c_str());
+}
+
+}  // namespace
+}  // namespace paris::bench
+
+int main() {
+  paris::bench::Main();
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Table 2: sizes of the large ontologies (#instances, #classes,
+// #relations). The paper reports YAGO 2.8M/292k/67, DBpedia 2.4M/318/1109,
+// IMDb 4.8M/15/24; our synthetic stand-ins are laptop-scale but preserve
+// the *relative* shape (YAGO: many classes / few relations; DBpedia: few
+// classes / more relations; IMDb: tiny schema).
+#include "bench/bench_common.h"
+
+namespace paris::bench {
+namespace {
+
+void AddRow(eval::TablePrinter* table, const std::string& name,
+            const ontology::Ontology& onto) {
+  table->AddRow({name, std::to_string(onto.instances().size()),
+                 std::to_string(onto.classes().size()),
+                 std::to_string(onto.num_relations()),
+                 std::to_string(onto.num_triples())});
+}
+
+void Main() {
+  util::SetLogLevel(util::LogLevel::kWarning);
+  PrintHeader("Table 2 — dataset statistics",
+              "Suchanek et al., PVLDB 5(3), 2011, Table 2");
+  std::printf(
+      "Paper reference: yago 2,795,289/292,206/67; DBpedia 2,365,777/318/"
+      "1,109; IMDb 4,842,323/15/24\n");
+
+  eval::TablePrinter table(
+      {"Ontology", "#Instances", "#Classes", "#Relations", "#Triples"});
+
+  auto yd = synth::MakeYagoDbpediaPair();
+  if (yd.ok()) {
+    AddRow(&table, "yago (synthetic)", *yd->left);
+    AddRow(&table, "DBpedia (synthetic)", *yd->right);
+  }
+  auto yi = synth::MakeYagoImdbPair();
+  if (yi.ok()) {
+    AddRow(&table, "yago-movies (synthetic)", *yi->left);
+    AddRow(&table, "IMDb (synthetic)", *yi->right);
+  }
+  std::printf("%s", table.ToString().c_str());
+}
+
+}  // namespace
+}  // namespace paris::bench
+
+int main() {
+  paris::bench::Main();
+  return 0;
+}

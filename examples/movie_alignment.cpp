@@ -1,0 +1,64 @@
+// Align a general-purpose knowledge base with a movies-only database —
+// the YAGO ↔ IMDb scenario of the paper's §6.4 — and compare PARIS against
+// the rdfs:label exact-match baseline.
+//
+//   ./build/examples/movie_alignment [scale]
+//
+// `scale` (default 0.5) multiplies the dataset size.
+#include <cstdio>
+#include <cstdlib>
+
+#include "baseline/label_match.h"
+#include "eval/metrics.h"
+#include "paris/paris.h"
+#include "synth/profiles.h"
+
+int main(int argc, char** argv) {
+  paris::util::SetLogLevel(paris::util::LogLevel::kInfo);
+
+  paris::synth::ProfileOptions options;
+  options.scale = argc > 1 ? std::atof(argv[1]) : 0.5;
+  auto pair = paris::synth::MakeYagoImdbPair(options);
+  if (!pair.ok()) {
+    std::printf("dataset generation failed: %s\n",
+                pair.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("generated %zu + %zu instances, %zu gold pairs\n",
+              pair->left->instances().size(),
+              pair->right->instances().size(),
+              pair->gold.num_instance_pairs());
+
+  // PARIS, default configuration (θ = 0.1, identity literals).
+  paris::core::Aligner aligner(*pair->left, *pair->right);
+  paris::core::AlignmentResult result = aligner.Run();
+  const auto paris_pr =
+      paris::eval::EvaluateInstances(result.instances, pair->gold);
+
+  // Baseline: exact label match (IMDb labels live in name/title).
+  paris::baseline::LabelMatchConfig label_config;
+  label_config.right_label_relations = {"imdb:name", "imdb:title"};
+  const auto baseline_pr = paris::eval::EvaluateInstances(
+      paris::baseline::AlignByLabel(*pair->left, *pair->right, label_config),
+      pair->gold);
+
+  std::printf("\n                      prec    rec     F1\n");
+  std::printf("PARIS                %5.1f%%  %5.1f%%  %5.1f%%\n",
+              100 * paris_pr.precision(), 100 * paris_pr.recall(),
+              100 * paris_pr.f1());
+  std::printf("label baseline       %5.1f%%  %5.1f%%  %5.1f%%\n",
+              100 * baseline_pr.precision(), 100 * baseline_pr.recall(),
+              100 * baseline_pr.f1());
+
+  // Show a few discovered relation alignments.
+  std::printf("\nDiscovered relation alignments (≥ 0.3):\n");
+  for (const auto& e : result.relations.Entries()) {
+    if (e.score < 0.3 || e.sub < 0) continue;
+    const auto& sub_onto = e.sub_is_left ? *pair->left : *pair->right;
+    const auto& super_onto = e.sub_is_left ? *pair->right : *pair->left;
+    std::printf("  %-22s ⊆ %-22s  (%.2f)\n",
+                sub_onto.RelationName(e.sub).c_str(),
+                super_onto.RelationName(e.super).c_str(), e.score);
+  }
+  return 0;
+}

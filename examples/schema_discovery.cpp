@@ -1,0 +1,80 @@
+// Schema discovery: use PARIS's holistic alignment to discover the schema
+// mapping between two independently designed ontologies — sub-relations
+// (including inverted ones) and sub-classes across class hierarchies of
+// different granularity. This is the YAGO ↔ DBpedia scenario of §6.4.
+//
+//   ./build/examples/schema_discovery [scale]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "eval/metrics.h"
+#include "paris/paris.h"
+#include "synth/profiles.h"
+
+int main(int argc, char** argv) {
+  paris::util::SetLogLevel(paris::util::LogLevel::kWarning);
+
+  paris::synth::ProfileOptions options;
+  options.scale = argc > 1 ? std::atof(argv[1]) : 0.5;
+  auto pair = paris::synth::MakeYagoDbpediaPair(options);
+  if (!pair.ok()) {
+    std::printf("dataset generation failed: %s\n",
+                pair.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "left schema: %zu classes, %zu relations; right schema: %zu classes, "
+      "%zu relations\n",
+      pair->left->classes().size(), pair->left->num_relations(),
+      pair->right->classes().size(), pair->right->num_relations());
+
+  paris::core::Aligner aligner(*pair->left, *pair->right);
+  const paris::core::AlignmentResult result = aligner.Run();
+
+  // ---- Relations: maximal assignment per left relation ----------------
+  std::printf("\nDiscovered relation mapping (left → right):\n");
+  std::vector<paris::core::RelationAlignmentEntry> entries =
+      result.relations.Entries();
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.score > b.score; });
+  std::vector<bool> seen(pair->left->num_relations() + 1, false);
+  for (const auto& e : entries) {
+    if (!e.sub_is_left) continue;
+    const paris::rdf::RelId base = paris::rdf::BaseRel(e.sub);
+    if (seen[static_cast<size_t>(base)]) continue;
+    seen[static_cast<size_t>(base)] = true;
+    // Report with a positive sub id for readability.
+    const auto sub = base;
+    const auto super = paris::rdf::IsInverse(e.sub)
+                           ? paris::rdf::Inverse(e.super)
+                           : e.super;
+    std::printf("  %-22s ⊆ %-24s  (%.2f)\n",
+                pair->left->RelationName(sub).c_str(),
+                pair->right->RelationName(super).c_str(), e.score);
+  }
+
+  // ---- Classes: the most specific confident super-class ---------------
+  std::printf("\nSample class mapping (right → left, score ≥ 0.5):\n");
+  int shown = 0;
+  for (const auto& e : result.classes.AboveThreshold(0.5, false)) {
+    if (shown++ >= 12) break;
+    std::printf("  %-22s ⊆ %-28s  (%.2f)\n",
+                pair->right->TermName(e.sub).c_str(),
+                pair->left->TermName(e.super).c_str(), e.score);
+  }
+
+  // ---- Accuracy against the generator's hidden gold -------------------
+  const auto rel_eval = paris::eval::EvaluateRelations(
+      result.relations, pair->gold, /*sub_is_left=*/true, 0.3);
+  const auto cls_eval = paris::eval::EvaluateClassEntries(
+      result.classes, pair->gold, /*sub_is_left=*/true, 0.5);
+  std::printf(
+      "\nrelation mapping: %zu aligned, %.0f%% precision, %.0f%% recall\n",
+      rel_eval.assigned, 100 * rel_eval.precision(),
+      100 * rel_eval.recall());
+  std::printf("class assignments (≥0.5): %zu entries, %.0f%% precision\n",
+              cls_eval.entries, 100 * cls_eval.precision());
+  return 0;
+}

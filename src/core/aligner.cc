@@ -1,0 +1,158 @@
+#include "core/aligner.h"
+
+#include <string>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace paris::core {
+
+namespace {
+
+// Strips a namespace prefix ("y:wasBornIn" → "wasbornin") and normalizes.
+std::string RelationNameKey(const ontology::Ontology& onto, rdf::RelId rel) {
+  std::string name(onto.pool().lexical(onto.store().relation_name(rel)));
+  const size_t colon = name.rfind(':');
+  if (colon != std::string::npos) name = name.substr(colon + 1);
+  return util::NormalizeAlnum(name);
+}
+
+// The §7 extension: seed the bootstrap table with relation-name similarity
+// so that, e.g., "birthPlace" and "wasBornIn"... do not match, but "phone"
+// and "phoneNumber" start above θ. Only shapes iteration 1.
+RelationScores NamePriorBootstrap(const ontology::Ontology& left,
+                                  const ontology::Ontology& right,
+                                  const AlignmentConfig& config) {
+  RelationScores scores = RelationScores::Bootstrap(config.theta);
+  const rdf::RelId num_left = static_cast<rdf::RelId>(left.num_relations());
+  const rdf::RelId num_right = static_cast<rdf::RelId>(right.num_relations());
+  for (rdf::RelId l = 1; l <= num_left; ++l) {
+    const std::string left_key = RelationNameKey(left, l);
+    if (left_key.empty()) continue;
+    for (rdf::RelId r = 1; r <= num_right; ++r) {
+      const std::string right_key = RelationNameKey(right, r);
+      if (right_key.empty()) continue;
+      const double sim = util::EditSimilarity(left_key, right_key);
+      const double prior = sim * config.name_prior_cap;
+      if (prior > config.theta) scores.SetBootstrapPrior(l, r, prior);
+    }
+  }
+  return scores;
+}
+
+}  // namespace
+
+Aligner::Aligner(const ontology::Ontology& left,
+                 const ontology::Ontology& right, AlignmentConfig config)
+    : left_(left), right_(right), config_(config),
+      matcher_factory_(IdentityMatcherFactory()) {
+  if (config_.instance_threshold < 0.0) {
+    config_.instance_threshold = config_.theta;
+  }
+}
+
+AlignmentResult Aligner::Run() {
+  util::WallTimer total_timer;
+  AlignmentResult result;
+
+  // Literal matchers, one per direction (§5.3).
+  std::unique_ptr<LiteralMatcher> matcher_l2r = matcher_factory_();
+  std::unique_ptr<LiteralMatcher> matcher_r2l = matcher_factory_();
+  matcher_l2r->IndexTarget(right_);
+  matcher_r2l->IndexTarget(left_);
+
+  std::unique_ptr<util::ThreadPool> pool;
+  if (config_.num_threads > 0) {
+    pool = std::make_unique<util::ThreadPool>(config_.num_threads);
+  }
+
+  InstanceEquivalences previous;  // empty: first iteration has no equalities
+  previous.Finalize();
+  RelationScores rel_scores =
+      config_.use_relation_name_prior
+          ? NamePriorBootstrap(left_, right_, config_)
+          : RelationScores::Bootstrap(config_.theta);
+
+  auto make_context = [&](bool left_to_right,
+                          const InstanceEquivalences* equiv) {
+    DirectionalContext ctx;
+    ctx.source = left_to_right ? &left_ : &right_;
+    ctx.target = left_to_right ? &right_ : &left_;
+    ctx.matcher = left_to_right ? matcher_l2r.get() : matcher_r2l.get();
+    ctx.equiv = equiv;
+    ctx.source_is_left = left_to_right;
+    ctx.use_full = config_.use_full_equalities;
+    return ctx;
+  };
+
+  for (int iteration = 1; iteration <= config_.max_iterations; ++iteration) {
+    IterationRecord record;
+    record.index = iteration;
+
+    // Step 1: instance equivalences from the previous iteration's state.
+    util::WallTimer timer;
+    DirectionalContext l2r_prev = make_context(true, &previous);
+    InstanceEquivalences current = ComputeInstanceEquivalences(
+        left_, right_, rel_scores, l2r_prev, config_, pool.get());
+    if (config_.dampening > 0.0 && iteration > 1) {
+      // Progressively increasing dampening factor (§5.1's convergence
+      // device): λ grows toward `dampening` as iterations accumulate.
+      const double lambda =
+          config_.dampening * (1.0 - 1.0 / static_cast<double>(iteration));
+      current = BlendEquivalences(previous, current, lambda,
+                                  config_.instance_threshold,
+                                  config_.max_candidates_per_instance);
+    }
+    record.seconds_instances = timer.ElapsedSeconds();
+    record.num_left_aligned = current.num_left_aligned();
+    record.change_fraction = current.MaxAssignmentChangeFraction(previous);
+
+    // Step 2: sub-relation scores from the fresh equivalences.
+    timer.Restart();
+    DirectionalContext l2r_cur = make_context(true, &current);
+    DirectionalContext r2l_cur = make_context(false, &current);
+    rel_scores =
+        ComputeRelationScores(left_, right_, l2r_cur, r2l_cur, config_);
+    record.seconds_relations = timer.ElapsedSeconds();
+
+    if (config_.record_history) {
+      record.max_left = current.max_left();
+      record.max_right = current.max_right();
+      record.relations = rel_scores;
+    }
+    PARIS_LOG(kInfo) << "iteration " << iteration << ": aligned "
+                     << record.num_left_aligned << " instances, change "
+                     << record.change_fraction << ", "
+                     << record.seconds_instances + record.seconds_relations
+                     << "s";
+    result.iterations.push_back(std::move(record));
+
+    const bool converged =
+        iteration > 1 &&
+        result.iterations.back().change_fraction <
+            config_.convergence_threshold;
+    previous = std::move(current);
+    if (converged) {
+      result.converged_at = iteration;
+      break;
+    }
+  }
+
+  // Final step: class alignment from the converged assignment (§4.3 —
+  // computed only after the instance equivalences).
+  util::WallTimer class_timer;
+  DirectionalContext l2r_final = make_context(true, &previous);
+  DirectionalContext r2l_final = make_context(false, &previous);
+  result.classes =
+      ComputeClassScores(left_, right_, l2r_final, r2l_final, config_);
+  result.seconds_classes = class_timer.ElapsedSeconds();
+
+  result.instances = std::move(previous);
+  result.relations = std::move(rel_scores);
+  result.seconds_total = total_timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace paris::core

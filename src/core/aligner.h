@@ -1,0 +1,84 @@
+#ifndef PARIS_CORE_ALIGNER_H_
+#define PARIS_CORE_ALIGNER_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/class_align.h"
+#include "core/config.h"
+#include "core/equiv.h"
+#include "core/instance_align.h"
+#include "core/literal_match.h"
+#include "core/relation_align.h"
+#include "core/relation_scores.h"
+#include "ontology/ontology.h"
+#include "util/thread_pool.h"
+
+namespace paris::core {
+
+// What happened in one fixpoint iteration; the per-iteration experiment
+// tables (Tables 3 and 5 of the paper) are printed from these records.
+struct IterationRecord {
+  int index = 0;  // 1-based
+  double seconds_instances = 0.0;
+  double seconds_relations = 0.0;
+  // Fraction of entities whose maximal assignment changed vs the previous
+  // iteration (the "Change to prev." column).
+  double change_fraction = 1.0;
+  size_t num_left_aligned = 0;
+  // Snapshots (populated when config.record_history).
+  std::unordered_map<rdf::TermId, Candidate> max_left;
+  std::unordered_map<rdf::TermId, Candidate> max_right;
+  RelationScores relations;
+};
+
+// The complete output of a PARIS run.
+struct AlignmentResult {
+  InstanceEquivalences instances;  // final equivalence store
+  RelationScores relations;        // final sub-relation scores
+  ClassScores classes;             // final sub-class scores (Eq. 17)
+  std::vector<IterationRecord> iterations;
+  // 1-based iteration at which the convergence criterion fired, or -1 if
+  // max_iterations was exhausted first.
+  int converged_at = -1;
+  double seconds_classes = 0.0;
+  double seconds_total = 0.0;
+};
+
+// The PARIS fixpoint driver (§5.1):
+//   1. functionalities are precomputed per ontology (done at build),
+//   2. each iteration computes instance equivalences (Eq. 13/14, seeded
+//      with Pr(r ⊆ r') = θ the first time) and then sub-relation scores
+//      (Eq. 12) from the fresh equivalences,
+//   3. iteration stops when maximal assignments change less than the
+//      convergence threshold (default 1 %),
+//   4. a final pass computes class alignments (Eq. 17).
+//
+// The two ontologies must share one `rdf::TermPool`. The aligner never
+// mutates them; `Run()` may be called repeatedly (e.g. with different
+// configs) on the same pair.
+class Aligner {
+ public:
+  Aligner(const ontology::Ontology& left, const ontology::Ontology& right,
+          AlignmentConfig config = {});
+
+  // Replaces the default identity literal matcher (§5.3). Must be called
+  // before Run().
+  void set_literal_matcher_factory(LiteralMatcherFactory factory) {
+    matcher_factory_ = std::move(factory);
+  }
+
+  const AlignmentConfig& config() const { return config_; }
+
+  AlignmentResult Run();
+
+ private:
+  const ontology::Ontology& left_;
+  const ontology::Ontology& right_;
+  AlignmentConfig config_;
+  LiteralMatcherFactory matcher_factory_;
+};
+
+}  // namespace paris::core
+
+#endif  // PARIS_CORE_ALIGNER_H_

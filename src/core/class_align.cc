@@ -1,0 +1,93 @@
+#include "core/class_align.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace paris::core {
+
+namespace {
+
+void ScoreOneDirection(const DirectionalContext& ctx,
+                       const AlignmentConfig& config, bool sub_is_left,
+                       std::vector<ClassAlignmentEntry>* out) {
+  const ontology::Ontology& source = *ctx.source;
+  const ontology::Ontology& target = *ctx.target;
+  std::vector<Candidate> x_eq;
+  std::unordered_map<rdf::TermId, double> per_class_miss;
+
+  for (rdf::TermId c : source.classes()) {
+    const auto members = source.InstancesOf(c);
+    if (members.empty()) continue;
+    const size_t sample =
+        std::min(members.size(), config.class_instance_sample);
+    std::unordered_map<rdf::TermId, double> expected_overlap;
+    for (size_t i = 0; i < sample; ++i) {
+      x_eq.clear();
+      ctx.AppendEquivalents(members[i], &x_eq);
+      if (x_eq.empty()) continue;
+      // Per instance x: for each target class d,
+      //   1 - ∏_{y ∈ eq(x), type(y, d)} (1 - Pr(x ≡ y)).
+      per_class_miss.clear();
+      for (const Candidate& cx : x_eq) {
+        for (rdf::TermId d : target.ClassesOf(cx.other)) {
+          auto [it, inserted] = per_class_miss.emplace(d, 1.0);
+          it->second *= (1.0 - cx.prob);
+        }
+      }
+      for (const auto& [d, miss] : per_class_miss) {
+        expected_overlap[d] += 1.0 - miss;
+      }
+    }
+    for (const auto& [d, overlap] : expected_overlap) {
+      const double score = overlap / static_cast<double>(sample);
+      if (score >= config.class_min_score) {
+        out->push_back(ClassAlignmentEntry{c, d, score > 1.0 ? 1.0 : score,
+                                           sub_is_left});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<ClassAlignmentEntry> ClassScores::AboveThreshold(
+    double threshold, bool sub_is_left) const {
+  std::vector<ClassAlignmentEntry> out;
+  for (const auto& e : entries_) {
+    if (e.sub_is_left == sub_is_left && e.score >= threshold) {
+      out.push_back(e);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ClassAlignmentEntry& a, const ClassAlignmentEntry& b) {
+              if (a.score != b.score) return a.score > b.score;
+              if (a.sub != b.sub) return a.sub < b.sub;
+              return a.super < b.super;
+            });
+  return out;
+}
+
+size_t ClassScores::NumAlignedSubClasses(double threshold,
+                                         bool sub_is_left) const {
+  std::unordered_set<rdf::TermId> seen;
+  for (const auto& e : entries_) {
+    if (e.sub_is_left == sub_is_left && e.score >= threshold) {
+      seen.insert(e.sub);
+    }
+  }
+  return seen.size();
+}
+
+ClassScores ComputeClassScores(const ontology::Ontology& /*left*/,
+                               const ontology::Ontology& /*right*/,
+                               const DirectionalContext& l2r,
+                               const DirectionalContext& r2l,
+                               const AlignmentConfig& config) {
+  std::vector<ClassAlignmentEntry> entries;
+  ScoreOneDirection(l2r, config, /*sub_is_left=*/true, &entries);
+  ScoreOneDirection(r2l, config, /*sub_is_left=*/false, &entries);
+  return ClassScores(std::move(entries));
+}
+
+}  // namespace paris::core

@@ -1,0 +1,62 @@
+#ifndef PARIS_CORE_CLASS_ALIGN_H_
+#define PARIS_CORE_CLASS_ALIGN_H_
+
+#include <vector>
+
+#include "core/config.h"
+#include "core/direction.h"
+#include "ontology/ontology.h"
+#include "rdf/term.h"
+
+namespace paris::core {
+
+// One reportable sub-class alignment Pr(sub ⊆ super).
+struct ClassAlignmentEntry {
+  rdf::TermId sub = rdf::kNullTerm;
+  rdf::TermId super = rdf::kNullTerm;
+  double score = 0.0;
+  // True if `sub` is a class of the left ontology.
+  bool sub_is_left = true;
+};
+
+// All sub-class scores, both directions, with query helpers for the
+// experiment harness.
+class ClassScores {
+ public:
+  explicit ClassScores(std::vector<ClassAlignmentEntry> entries)
+      : entries_(std::move(entries)) {}
+  ClassScores() = default;
+
+  const std::vector<ClassAlignmentEntry>& entries() const { return entries_; }
+
+  // Entries with score ≥ threshold, one direction, sorted by descending
+  // score.
+  std::vector<ClassAlignmentEntry> AboveThreshold(double threshold,
+                                                  bool sub_is_left) const;
+
+  // Number of distinct sub-classes (one direction) with ≥1 assignment of
+  // score ≥ threshold. This is the quantity of the paper's Figure 2.
+  size_t NumAlignedSubClasses(double threshold, bool sub_is_left) const;
+
+ private:
+  std::vector<ClassAlignmentEntry> entries_;
+};
+
+// The final class-alignment step (§4.3, Eq. (17)), run once after the
+// instance fixpoint converged:
+//
+//   Pr(c ⊆ d) = Σ_{x : type(x,c)} [1 - ∏_{y : type(y,d)} (1 - Pr(x ≡ y))]
+//               ----------------------------------------------------------
+//                                   #x : type(x, c)
+//
+// evaluated over at most `config.class_instance_sample` instances per class,
+// against the final maximal assignment. Computed in both directions.
+ClassScores ComputeClassScores(const ontology::Ontology& left,
+                               const ontology::Ontology& right,
+                               const DirectionalContext& l2r,
+                               const DirectionalContext& r2l,
+                               const AlignmentConfig& config);
+
+}  // namespace paris::core
+
+#endif  // PARIS_CORE_CLASS_ALIGN_H_

@@ -1,0 +1,222 @@
+#include "core/instance_align.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+namespace paris::core {
+
+namespace {
+
+// Per-fact expansion of the second argument to its right-ontology
+// equivalents, computed once per instance and shared between the positive-
+// and negative-evidence passes.
+struct ExpandedFact {
+  rdf::RelId rel = rdf::kNullRel;  // r with r(x, y), signed
+  std::vector<Candidate> equivalents;  // y' with Pr(y ≡ y') > 0
+};
+
+// Computes the positive-evidence score of Eq. (13) for every candidate x',
+// returning candidate → ∏ (1 - Pr(r'⊆r)·fun⁻¹(r)·Pr(y≡y'))
+//                        (1 - Pr(r⊆r')·fun⁻¹(r')·Pr(y≡y')).
+void AccumulatePositiveEvidence(
+    const std::vector<ExpandedFact>& facts, const ontology::Ontology& left,
+    const ontology::Ontology& right, const RelationScores& rel_scores,
+    const AlignmentConfig& config,
+    std::unordered_map<rdf::TermId, double>* product) {
+  const auto variant = config.functionality_variant;
+  for (const ExpandedFact& ef : facts) {
+    const double fun_inv_r =
+        left.functionality().GlobalInverse(ef.rel, variant);
+    for (const Candidate& y_eq : ef.equivalents) {
+      const auto neighbor_facts = right.FactsAbout(y_eq.other);
+      if (neighbor_facts.size() > config.max_neighbor_fanout) continue;
+      for (const rdf::Fact& nf : neighbor_facts) {
+        // Adjacency entry nf = (rt, x') of y' encodes statement rt(y', x'),
+        // i.e. r'(x', y') with r' = rt⁻¹.
+        const rdf::RelId r_prime = rdf::Inverse(nf.rel);
+        const rdf::TermId x_prime = nf.other;
+        if (!right.IsInstanceTerm(x_prime)) continue;
+        const double p_sub_rl = rel_scores.SubRightLeft(r_prime, ef.rel);
+        const double p_sub_lr = rel_scores.SubLeftRight(ef.rel, r_prime);
+        if (p_sub_rl <= 0.0 && p_sub_lr <= 0.0) continue;
+        const double fun_inv_rp =
+            right.functionality().GlobalInverse(r_prime, variant);
+        const double factor =
+            (1.0 - p_sub_rl * fun_inv_r * y_eq.prob) *
+            (1.0 - p_sub_lr * fun_inv_rp * y_eq.prob);
+        if (factor >= 1.0) continue;
+        auto [it, inserted] = product->emplace(x_prime, 1.0);
+        it->second *= factor;
+      }
+    }
+  }
+}
+
+// For the negative-evidence pass: each left relation's maximally contained
+// counterpart on the right, in both containment directions. Built once per
+// pass. Only scores strictly above θ qualify (§5.2 thresholding) — in
+// particular the θ-uniform bootstrap table of iteration 1 contributes no
+// negative evidence, which is what lets the fixpoint start at all: under a
+// literal reading of Eq. (14), the product over *every* relation pair at
+// score θ multiplies hundreds of small penalties and extinguishes every
+// match before any real containment is known.
+struct BestCounterparts {
+  // Keyed by signed left relation id: (right relation r', score) with
+  // score = max_{r'} Pr(r' ⊆ r) resp. max_{r'} Pr(r ⊆ r').
+  std::unordered_map<rdf::RelId, std::pair<rdf::RelId, double>> right_sub_left;
+  std::unordered_map<rdf::RelId, std::pair<rdf::RelId, double>> left_sub_right;
+
+  static BestCounterparts Build(const RelationScores& scores, double theta) {
+    BestCounterparts best;
+    auto update = [](auto& map, rdf::RelId key, rdf::RelId value,
+                     double score) {
+      auto [it, inserted] = map.emplace(key, std::make_pair(value, score));
+      if (!inserted && score > it->second.second) {
+        it->second = {value, score};
+      }
+    };
+    for (const RelationAlignmentEntry& e : scores.Entries()) {
+      if (e.score <= theta) continue;
+      if (e.sub_is_left) {
+        // Pr(left e.sub ⊆ right e.super); also its inverted twin.
+        update(best.left_sub_right, e.sub, e.super, e.score);
+        update(best.left_sub_right, rdf::Inverse(e.sub),
+               rdf::Inverse(e.super), e.score);
+      } else {
+        // Pr(right e.sub ⊆ left e.super).
+        update(best.right_sub_left, e.super, e.sub, e.score);
+        update(best.right_sub_left, rdf::Inverse(e.super),
+               rdf::Inverse(e.sub), e.score);
+      }
+    }
+    return best;
+  }
+};
+
+// The negative-evidence multiplier of Eq. (14) for one candidate x'.
+//
+// Per the maximal-assignment principle of §5.2, each statement r(x, y) is
+// checked against the *maximally contained* counterpart relation r' of r
+// (one per containment direction) instead of every relation pair: the
+// factor uses inner = ∏_{y' : r'(x', y')} (1 - Pr(y ≡ y')), which is 1 when
+// x' has no r'-statements — decreasing Pr(x ≡ x') when x has relations that
+// x' lacks, as §4.2 prescribes. Note the paper's Eq. (14) prints
+// Pr(x ≡ x') inside the inner product; following its derivation from
+// Eq. (6) it must be Pr(y ≡ y'), which is what we implement.
+double NegativeEvidenceFactor(const std::vector<ExpandedFact>& facts,
+                              const ontology::Ontology& left,
+                              const ontology::Ontology& right,
+                              const BestCounterparts& best,
+                              const AlignmentConfig& config,
+                              rdf::TermId x_prime) {
+  const auto variant = config.functionality_variant;
+  const auto candidate_facts = right.FactsAbout(x_prime);
+
+  auto inner_product = [&](const ExpandedFact& ef, rdf::RelId r_prime) {
+    double inner = 1.0;
+    for (const rdf::Fact& cf : FactsWithRelation(candidate_facts, r_prime)) {
+      double p = 0.0;
+      for (const Candidate& y_eq : ef.equivalents) {
+        if (y_eq.other == cf.other) {
+          p = y_eq.prob;
+          break;
+        }
+      }
+      inner *= (1.0 - p);
+    }
+    return inner;
+  };
+
+  double result = 1.0;
+  for (const ExpandedFact& ef : facts) {
+    auto rl = best.right_sub_left.find(ef.rel);
+    if (rl != best.right_sub_left.end()) {
+      const auto [r_prime, score] = rl->second;
+      const double fun_r = left.functionality().Global(ef.rel, variant);
+      result *= (1.0 - fun_r * score * inner_product(ef, r_prime));
+    }
+    auto lr = best.left_sub_right.find(ef.rel);
+    if (lr != best.left_sub_right.end()) {
+      const auto [r_prime, score] = lr->second;
+      const double fun_rp = right.functionality().Global(r_prime, variant);
+      result *= (1.0 - fun_rp * score * inner_product(ef, r_prime));
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+InstanceEquivalences ComputeInstanceEquivalences(
+    const ontology::Ontology& left, const ontology::Ontology& right,
+    const RelationScores& rel_scores, const DirectionalContext& l2r,
+    const AlignmentConfig& config, util::ThreadPool* pool) {
+  const std::vector<rdf::TermId>& instances = left.instances();
+  std::vector<std::vector<Candidate>> results(instances.size());
+
+  BestCounterparts best_counterparts;
+  if (config.use_negative_evidence) {
+    best_counterparts = BestCounterparts::Build(rel_scores, config.theta);
+  }
+
+  auto process_range = [&](size_t begin, size_t end) {
+    std::vector<ExpandedFact> expanded;
+    std::unordered_map<rdf::TermId, double> product;
+    for (size_t i = begin; i < end; ++i) {
+      const rdf::TermId x = instances[i];
+      expanded.clear();
+      product.clear();
+      for (const rdf::Fact& f : left.FactsAbout(x)) {
+        ExpandedFact ef;
+        ef.rel = f.rel;
+        l2r.AppendEquivalents(f.other, &ef.equivalents);
+        if (!ef.equivalents.empty() || config.use_negative_evidence) {
+          expanded.push_back(std::move(ef));
+        }
+      }
+      if (expanded.empty()) continue;
+
+      AccumulatePositiveEvidence(expanded, left, right, rel_scores, config,
+                                 &product);
+      if (product.empty()) continue;
+
+      std::vector<Candidate> candidates;
+      candidates.reserve(product.size());
+      for (const auto& [x_prime, prod] : product) {
+        double score = 1.0 - prod;
+        if (config.use_negative_evidence) {
+          score *= NegativeEvidenceFactor(expanded, left, right,
+                                          best_counterparts, config, x_prime);
+        }
+        if (score >= config.instance_threshold) {
+          candidates.push_back(Candidate{x_prime, score});
+        }
+      }
+      if (candidates.empty()) continue;
+      auto better = [](const Candidate& a, const Candidate& b) {
+        return a.prob != b.prob ? a.prob > b.prob : a.other < b.other;
+      };
+      std::sort(candidates.begin(), candidates.end(), better);
+      if (candidates.size() > config.max_candidates_per_instance) {
+        candidates.resize(config.max_candidates_per_instance);
+      }
+      results[i] = std::move(candidates);
+    }
+  };
+
+  if (pool != nullptr && pool->num_threads() > 0) {
+    pool->ParallelFor(instances.size(), process_range);
+  } else {
+    process_range(0, instances.size());
+  }
+
+  InstanceEquivalences equiv;
+  for (size_t i = 0; i < instances.size(); ++i) {
+    if (!results[i].empty()) equiv.Set(instances[i], std::move(results[i]));
+  }
+  equiv.Finalize();
+  return equiv;
+}
+
+}  // namespace paris::core

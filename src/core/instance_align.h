@@ -1,0 +1,33 @@
+#ifndef PARIS_CORE_INSTANCE_ALIGN_H_
+#define PARIS_CORE_INSTANCE_ALIGN_H_
+
+#include "core/config.h"
+#include "core/direction.h"
+#include "core/equiv.h"
+#include "core/relation_scores.h"
+#include "ontology/ontology.h"
+#include "util/thread_pool.h"
+
+namespace paris::core {
+
+// One instance-equivalence pass (§4.1/§4.2 of the paper).
+//
+// For every instance x of the left ontology, computes Pr(x ≡ x') for the
+// right-ontology candidates x' reachable through shared evidence, using the
+// neighborhood-walk optimization of §5.2: traverse the statements r(x, y),
+// expand y to its known equivalents y', and visit the statements r'(x', y')
+// of the right ontology. Probabilities follow Eq. (13) (positive evidence),
+// optionally multiplied by the negative-evidence factor of Eq. (14).
+//
+// `l2r` must expand left terms to right equivalents using the *previous*
+// iteration's store; `rel_scores` provides Pr(r ⊆ r') (θ-bootstrap table in
+// the first iteration). The result is finalized (transpose + maximal
+// assignments built).
+InstanceEquivalences ComputeInstanceEquivalences(
+    const ontology::Ontology& left, const ontology::Ontology& right,
+    const RelationScores& rel_scores, const DirectionalContext& l2r,
+    const AlignmentConfig& config, util::ThreadPool* pool);
+
+}  // namespace paris::core
+
+#endif  // PARIS_CORE_INSTANCE_ALIGN_H_

@@ -1,0 +1,99 @@
+#include "core/relation_align.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace paris::core {
+
+namespace {
+
+// Computes Pr(r ⊆ r') for one source relation r (positive id) against every
+// relation r' of the target ontology, and stores entries above threshold via
+// `store_score(r, r_prime, score)`.
+template <typename StoreFn>
+void ScoreOneRelation(rdf::RelId rel, const DirectionalContext& ctx,
+                      const AlignmentConfig& config,
+                      const StoreFn& store_score) {
+  const ontology::Ontology& source = *ctx.source;
+  const ontology::Ontology& target = *ctx.target;
+
+  double denominator = 0.0;
+  std::unordered_map<rdf::RelId, double> numerator;
+  std::vector<Candidate> x_eq;
+  std::vector<Candidate> y_eq;
+  std::unordered_map<rdf::TermId, double> y_eq_probs;
+  std::unordered_map<rdf::RelId, double> pair_products;
+
+  source.store().ForEachPair(
+      rel, config.relation_pair_sample, [&](rdf::TermId x, rdf::TermId y) {
+        x_eq.clear();
+        y_eq.clear();
+        ctx.AppendEquivalents(x, &x_eq);
+        if (x_eq.empty()) return;
+        ctx.AppendEquivalents(y, &y_eq);
+        if (y_eq.empty()) return;
+
+        // Denominator term (Eq. 11): the probability that the pair (x, y)
+        // has *some* counterpart pair.
+        double miss_all = 1.0;
+        for (const Candidate& cx : x_eq) {
+          for (const Candidate& cy : y_eq) {
+            miss_all *= (1.0 - cx.prob * cy.prob);
+          }
+        }
+        denominator += 1.0 - miss_all;
+
+        // Numerator terms (Eq. 10), one per target relation r' that links
+        // some x' ≈ x to some y' ≈ y.
+        y_eq_probs.clear();
+        for (const Candidate& cy : y_eq) y_eq_probs[cy.other] = cy.prob;
+        pair_products.clear();
+        for (const Candidate& cx : x_eq) {
+          for (const rdf::Fact& f : target.FactsAbout(cx.other)) {
+            // f = (r', y') encodes the statement r'(x', y').
+            auto it = y_eq_probs.find(f.other);
+            if (it == y_eq_probs.end()) continue;
+            auto [pit, inserted] = pair_products.emplace(f.rel, 1.0);
+            pit->second *= (1.0 - cx.prob * it->second);
+          }
+        }
+        for (const auto& [r_prime, product] : pair_products) {
+          numerator[r_prime] += 1.0 - product;
+        }
+      });
+
+  if (denominator <= 0.0) return;
+  for (const auto& [r_prime, num] : numerator) {
+    const double score = num / denominator;
+    if (score >= config.relation_min_score) {
+      store_score(rel, r_prime, score > 1.0 ? 1.0 : score);
+    }
+  }
+}
+
+}  // namespace
+
+RelationScores ComputeRelationScores(const ontology::Ontology& left,
+                                     const ontology::Ontology& right,
+                                     const DirectionalContext& l2r,
+                                     const DirectionalContext& r2l,
+                                     const AlignmentConfig& config) {
+  RelationScores scores;
+  const rdf::RelId num_left = static_cast<rdf::RelId>(left.num_relations());
+  for (rdf::RelId r = 1; r <= num_left; ++r) {
+    ScoreOneRelation(r, l2r, config,
+                     [&](rdf::RelId sub, rdf::RelId super, double score) {
+                       scores.SetSubLeftRight(sub, super, score);
+                     });
+  }
+  const rdf::RelId num_right = static_cast<rdf::RelId>(right.num_relations());
+  for (rdf::RelId r = 1; r <= num_right; ++r) {
+    ScoreOneRelation(r, r2l, config,
+                     [&](rdf::RelId sub, rdf::RelId super, double score) {
+                       scores.SetSubRightLeft(sub, super, score);
+                     });
+  }
+  return scores;
+}
+
+}  // namespace paris::core

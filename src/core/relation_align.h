@@ -1,0 +1,31 @@
+#ifndef PARIS_CORE_RELATION_ALIGN_H_
+#define PARIS_CORE_RELATION_ALIGN_H_
+
+#include "core/config.h"
+#include "core/direction.h"
+#include "core/relation_scores.h"
+#include "ontology/ontology.h"
+
+namespace paris::core {
+
+// One sub-relation pass (§4.2, Eq. (12)): for every relation r of each
+// ontology, estimates Pr(r ⊆ r') against every relation r' of the other
+// ontology as
+//
+//     Σ_{r(x,y)} [1 - ∏_{r'(x',y'), x≈x', y≈y'} (1 - Pr(x≡x')·Pr(y≡y'))]
+//     ------------------------------------------------------------------
+//     Σ_{r(x,y)} [1 - ∏_{x', y'} (1 - Pr(x≡x')·Pr(y≡y'))]
+//
+// Only the pairs of the previous maximal assignment feed the estimate
+// (§5.2), at most `config.relation_pair_sample` pairs per relation.
+// Inverse relations are covered by the Pr(r ⊆ r') = Pr(r⁻¹ ⊆ r'⁻¹)
+// canonicalization in `RelationScores`.
+RelationScores ComputeRelationScores(const ontology::Ontology& left,
+                                     const ontology::Ontology& right,
+                                     const DirectionalContext& l2r,
+                                     const DirectionalContext& r2l,
+                                     const AlignmentConfig& config);
+
+}  // namespace paris::core
+
+#endif  // PARIS_CORE_RELATION_ALIGN_H_

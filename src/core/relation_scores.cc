@@ -1,0 +1,59 @@
+#include "core/relation_scores.h"
+
+#include <cassert>
+
+namespace paris::core {
+
+void RelationScores::SetSubLeftRight(rdf::RelId left, rdf::RelId right,
+                                     double score) {
+  assert(left > 0 && "store canonical positive sub id");
+  assert(!bootstrap_);
+  left_sub_right_[util::PackPair(Encode(left), Encode(right))] = score;
+}
+
+void RelationScores::SetSubRightLeft(rdf::RelId right, rdf::RelId left,
+                                     double score) {
+  assert(right > 0 && "store canonical positive sub id");
+  assert(!bootstrap_);
+  right_sub_left_[util::PackPair(Encode(right), Encode(left))] = score;
+}
+
+std::vector<RelationAlignmentEntry> RelationScores::Entries() const {
+  std::vector<RelationAlignmentEntry> out;
+  out.reserve(size());
+  for (const auto& [key, score] : left_sub_right_) {
+    out.push_back(RelationAlignmentEntry{
+        Decode(util::UnpackFirst(key)), Decode(util::UnpackSecond(key)), score,
+        /*sub_is_left=*/true});
+  }
+  for (const auto& [key, score] : right_sub_left_) {
+    out.push_back(RelationAlignmentEntry{
+        Decode(util::UnpackFirst(key)), Decode(util::UnpackSecond(key)), score,
+        /*sub_is_left=*/false});
+  }
+  return out;
+}
+
+}  // namespace paris::core
+
+namespace paris::core {
+
+void RelationScores::SetBootstrapPrior(rdf::RelId left, rdf::RelId right,
+                                       double prior) {
+  assert(bootstrap_);
+  // Canonicalize to a positive sub id on each side.
+  if (left < 0) {
+    left = -left;
+    right = -right;
+  }
+  left_sub_right_[util::PackPair(Encode(left), Encode(right))] = prior;
+  rdf::RelId r = right;
+  rdf::RelId l = left;
+  if (r < 0) {
+    r = -r;
+    l = -l;
+  }
+  right_sub_left_[util::PackPair(Encode(r), Encode(l))] = prior;
+}
+
+}  // namespace paris::core

@@ -1,0 +1,34 @@
+#ifndef PARIS_EVAL_REPORT_H_
+#define PARIS_EVAL_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace paris::eval {
+
+// Minimal column-aligned ASCII table, used by the benchmark binaries to
+// print the paper's tables.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  std::string ToString() const;
+
+  // Formatting helpers: "90%", "90.1%", "3.14".
+  static std::string Pct(double fraction);
+  static std::string Pct1(double fraction);
+  static std::string Fixed(double value, int digits);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace paris::eval
+
+#endif  // PARIS_EVAL_REPORT_H_

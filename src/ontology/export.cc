@@ -1,0 +1,57 @@
+#include "ontology/export.h"
+
+#include <fstream>
+#include <ostream>
+
+#include "ontology/vocab.h"
+#include "rdf/ntriples.h"
+
+namespace paris::ontology {
+
+void ExportToNTriples(const Ontology& onto, std::ostream& out) {
+  const rdf::TermPool& pool = onto.pool();
+  out << "# ontology \"" << onto.name() << "\": " << onto.instances().size()
+      << " instances, " << onto.classes().size() << " classes, "
+      << onto.num_relations() << " relations, " << onto.num_triples()
+      << " triples\n";
+
+  // Schema: subclass closure.
+  for (rdf::TermId cls : onto.classes()) {
+    for (rdf::TermId super : onto.SuperClassesOf(cls)) {
+      out << "<" << pool.lexical(cls) << "> <" << kRdfsSubClassOf << "> <"
+          << pool.lexical(super) << "> .\n";
+    }
+  }
+  // Types (closed).
+  for (rdf::TermId instance : onto.instances()) {
+    for (rdf::TermId cls : onto.ClassesOf(instance)) {
+      out << "<" << pool.lexical(instance) << "> <" << kRdfType << "> <"
+          << pool.lexical(cls) << "> .\n";
+    }
+  }
+  // Regular facts (base direction only).
+  for (rdf::TermId term : onto.store().terms()) {
+    for (const rdf::Fact& f : onto.FactsAbout(term)) {
+      if (f.rel < 0) continue;  // emit each statement once
+      out << "<" << pool.lexical(term) << "> <"
+          << pool.lexical(onto.store().relation_name(f.rel)) << "> ";
+      if (pool.IsLiteral(f.other)) {
+        out << "\"" << rdf::EscapeLiteral(pool.lexical(f.other)) << "\"";
+      } else {
+        out << "<" << pool.lexical(f.other) << ">";
+      }
+      out << " .\n";
+    }
+  }
+}
+
+util::Status ExportToNTriplesFile(const Ontology& onto,
+                                  const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return util::InternalError("cannot open " + path);
+  ExportToNTriples(onto, out);
+  if (!out.good()) return util::InternalError("write failed: " + path);
+  return util::OkStatus();
+}
+
+}  // namespace paris::ontology

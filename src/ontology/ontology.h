@@ -1,0 +1,170 @@
+#ifndef PARIS_ONTOLOGY_ONTOLOGY_H_
+#define PARIS_ONTOLOGY_ONTOLOGY_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "ontology/functionality.h"
+#include "rdf/ntriples.h"
+#include "rdf/store.h"
+#include "rdf/term.h"
+#include "rdf/triple.h"
+#include "util/status.h"
+
+namespace paris::ontology {
+
+// An RDFS ontology in the paper's sense (§3): a finalized set of statements
+// over a shared term pool, with
+//   * resources partitioned into classes and instances,
+//   * the rdf:type / rdfs:subClassOf / rdfs:subPropertyOf statements
+//     materialized to their deductive closure,
+//   * all inverse statements materialized (via signed relation ids), and
+//   * global functionalities precomputed for every signed relation.
+//
+// Built exclusively through `OntologyBuilder`; immutable afterwards, so the
+// alignment passes may read it from many threads.
+class Ontology {
+ public:
+  Ontology(const Ontology&) = delete;
+  Ontology& operator=(const Ontology&) = delete;
+  Ontology(Ontology&&) = default;
+  Ontology& operator=(Ontology&&) = default;
+
+  const std::string& name() const { return name_; }
+  rdf::TermPool& pool() const { return store_.pool(); }
+  const rdf::TripleStore& store() const { return store_; }
+
+  // ---- Partition (§3) ----
+
+  // Instances in first-seen order. Every id is an IRI term.
+  const std::vector<rdf::TermId>& instances() const { return instances_; }
+  // Classes in first-seen order.
+  const std::vector<rdf::TermId>& classes() const { return classes_; }
+
+  bool IsClassTerm(rdf::TermId t) const { return class_set_.contains(t); }
+  bool IsInstanceTerm(rdf::TermId t) const {
+    return instance_set_.contains(t);
+  }
+
+  // ---- Types (deductively closed) ----
+
+  // All classes `instance` belongs to (direct types plus superclasses).
+  std::span<const rdf::TermId> ClassesOf(rdf::TermId instance) const;
+  // All instances of `cls` (including instances of subclasses). Sorted.
+  std::span<const rdf::TermId> InstancesOf(rdf::TermId cls) const;
+
+  // ---- Class hierarchy ----
+
+  // Direct rdfs:subClassOf edges out of `cls` (transitively closed at build).
+  std::span<const rdf::TermId> SuperClassesOf(rdf::TermId cls) const;
+  bool IsSubClassOf(rdf::TermId sub, rdf::TermId super) const;
+
+  // ---- Facts & functionality ----
+
+  // Statements `t` participates in (regular relations only; schema
+  // statements live in the indexes above).
+  std::span<const rdf::Fact> FactsAbout(rdf::TermId t) const {
+    return store_.FactsAbout(t);
+  }
+
+  const FunctionalityTable& functionality() const { return *functionality_; }
+  double Fun(rdf::RelId rel) const { return functionality_->Global(rel); }
+  double FunInverse(rdf::RelId rel) const {
+    return functionality_->GlobalInverse(rel);
+  }
+
+  size_t num_relations() const { return store_.num_relations(); }
+  size_t num_triples() const { return store_.num_triples(); }
+
+  std::string TermName(rdf::TermId t) const {
+    return std::string(pool().lexical(t));
+  }
+  std::string RelationName(rdf::RelId rel) const {
+    return store_.RelationDebugName(rel);
+  }
+
+ private:
+  friend class OntologyBuilder;
+  explicit Ontology(rdf::TermPool* pool) : store_(pool) {}
+
+  std::string name_;
+  rdf::TripleStore store_;
+
+  std::vector<rdf::TermId> instances_;
+  std::vector<rdf::TermId> classes_;
+  std::unordered_set<rdf::TermId> instance_set_;
+  std::unordered_set<rdf::TermId> class_set_;
+
+  // Closed type indexes.
+  std::unordered_map<rdf::TermId, std::vector<rdf::TermId>> classes_of_;
+  std::unordered_map<rdf::TermId, std::vector<rdf::TermId>> instances_of_;
+  // Transitively closed subclass edges (excluding self).
+  std::unordered_map<rdf::TermId, std::vector<rdf::TermId>> superclasses_;
+
+  std::unique_ptr<FunctionalityTable> functionality_;
+};
+
+// Accumulates statements (programmatically or as an N-Triples sink), then
+// `Build()`s an immutable `Ontology`:
+//   1. computes the rdfs:subPropertyOf closure and copies implied facts,
+//   2. computes the rdfs:subClassOf closure and closes rdf:type under it,
+//   3. partitions resources into classes and instances,
+//   4. finalizes the triple store and precomputes functionalities.
+class OntologyBuilder : public rdf::TripleSink {
+ public:
+  OntologyBuilder(rdf::TermPool* pool, std::string name)
+      : pool_(pool), name_(std::move(name)) {}
+
+  // Regular statement relation(subject, object-IRI).
+  void AddFact(std::string_view subject, std::string_view relation,
+               std::string_view object_iri);
+  // Regular statement relation(subject, "literal").
+  void AddLiteralFact(std::string_view subject, std::string_view relation,
+                      std::string_view literal);
+  // rdf:type(instance, cls).
+  void AddType(std::string_view instance, std::string_view cls);
+  // rdfs:subClassOf(sub, super).
+  void AddSubClassOf(std::string_view sub, std::string_view super);
+  // rdfs:subPropertyOf(sub, super).
+  void AddSubPropertyOf(std::string_view sub, std::string_view super);
+
+  // rdf::TripleSink: dispatches on well-known predicates (vocab.h). A
+  // literal in a schema position (e.g. as the object of rdf:type) is
+  // recorded as an error and reported by Build().
+  void OnTriple(const rdf::ParsedTriple& triple) override;
+
+  size_t num_pending_facts() const { return facts_.size(); }
+
+  // Consumes the builder. Returns an error if the accumulated statements
+  // violate the model (e.g., a literal used as a class).
+  util::StatusOr<Ontology> Build();
+
+ private:
+  struct RawFact {
+    rdf::TermId subject;
+    rdf::TermId relation_name;
+    rdf::TermId object;
+  };
+
+  rdf::TermPool* pool_;
+  std::string name_;
+  util::Status first_error_;
+  std::vector<RawFact> facts_;
+  std::vector<rdf::TermPair> type_edges_;      // (instance, class)
+  std::vector<rdf::TermPair> subclass_edges_;  // (sub, super)
+  std::vector<rdf::TermPair> subprop_edges_;   // (sub, super)
+};
+
+// Convenience: parse an N-Triples document into an ontology.
+util::StatusOr<Ontology> LoadOntologyFromNTriples(rdf::TermPool* pool,
+                                                  std::string name,
+                                                  std::string_view document);
+
+}  // namespace paris::ontology
+
+#endif  // PARIS_ONTOLOGY_ONTOLOGY_H_

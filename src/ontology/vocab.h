@@ -1,0 +1,40 @@
+#ifndef PARIS_ONTOLOGY_VOCAB_H_
+#define PARIS_ONTOLOGY_VOCAB_H_
+
+#include <string_view>
+
+namespace paris::ontology {
+
+// Well-known vocabulary. The ontology builder recognizes both the compact
+// forms below and the full W3C IRIs and routes those statements to the
+// schema indexes instead of the regular fact store.
+inline constexpr std::string_view kRdfType = "rdf:type";
+inline constexpr std::string_view kRdfsSubClassOf = "rdfs:subClassOf";
+inline constexpr std::string_view kRdfsSubPropertyOf = "rdfs:subPropertyOf";
+inline constexpr std::string_view kRdfsLabel = "rdfs:label";
+
+inline constexpr std::string_view kRdfTypeFull =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+inline constexpr std::string_view kRdfsSubClassOfFull =
+    "http://www.w3.org/2000/01/rdf-schema#subClassOf";
+inline constexpr std::string_view kRdfsSubPropertyOfFull =
+    "http://www.w3.org/2000/01/rdf-schema#subPropertyOf";
+inline constexpr std::string_view kRdfsLabelFull =
+    "http://www.w3.org/2000/01/rdf-schema#label";
+
+inline bool IsTypePredicate(std::string_view iri) {
+  return iri == kRdfType || iri == kRdfTypeFull;
+}
+inline bool IsSubClassOfPredicate(std::string_view iri) {
+  return iri == kRdfsSubClassOf || iri == kRdfsSubClassOfFull;
+}
+inline bool IsSubPropertyOfPredicate(std::string_view iri) {
+  return iri == kRdfsSubPropertyOf || iri == kRdfsSubPropertyOfFull;
+}
+inline bool IsLabelPredicate(std::string_view iri) {
+  return iri == kRdfsLabel || iri == kRdfsLabelFull;
+}
+
+}  // namespace paris::ontology
+
+#endif  // PARIS_ONTOLOGY_VOCAB_H_

@@ -1,0 +1,39 @@
+// Umbrella header: the full public API of the PARIS ontology-alignment
+// library. Typical usage:
+//
+//   paris::rdf::TermPool pool;
+//   paris::ontology::OntologyBuilder b1(&pool, "left"), b2(&pool, "right");
+//   ... AddFact / AddType / parse N-Triples ...
+//   auto left = b1.Build(), right = b2.Build();
+//   paris::core::Aligner aligner(*left, *right);
+//   paris::core::AlignmentResult result = aligner.Run();
+//
+#ifndef PARIS_PARIS_PARIS_H_
+#define PARIS_PARIS_PARIS_H_
+
+#include "baseline/label_match.h"
+#include "baseline/self_training.h"
+#include "core/aligner.h"
+#include "core/class_align.h"
+#include "core/config.h"
+#include "core/equiv.h"
+#include "core/explain.h"
+#include "core/instance_align.h"
+#include "core/literal_match.h"
+#include "core/multi_align.h"
+#include "core/relation_align.h"
+#include "core/relation_scores.h"
+#include "core/result_io.h"
+#include "ontology/export.h"
+#include "ontology/functionality.h"
+#include "ontology/ontology.h"
+#include "ontology/vocab.h"
+#include "rdf/ntriples.h"
+#include "rdf/store.h"
+#include "rdf/term.h"
+#include "rdf/turtle.h"
+#include "rdf/triple.h"
+#include "util/logging.h"
+#include "util/status.h"
+
+#endif  // PARIS_PARIS_PARIS_H_

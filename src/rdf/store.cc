@@ -1,0 +1,117 @@
+#include "rdf/store.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace paris::rdf {
+
+RelId TripleStore::InternRelation(TermId name) {
+  auto it = rel_index_.find(name);
+  if (it != rel_index_.end()) return it->second;
+  rel_names_.push_back(name);
+  const RelId id = static_cast<RelId>(rel_names_.size());
+  rel_index_.emplace(name, id);
+  return id;
+}
+
+std::optional<RelId> TripleStore::FindRelation(TermId name) const {
+  auto it = rel_index_.find(name);
+  if (it == rel_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+uint32_t TripleStore::LocalIndex(TermId t) {
+  auto [it, inserted] =
+      local_index_.emplace(t, static_cast<uint32_t>(terms_.size()));
+  if (inserted) {
+    terms_.push_back(t);
+    adjacency_.emplace_back();
+  }
+  return it->second;
+}
+
+void TripleStore::Add(TermId subject, RelId rel, TermId object) {
+  assert(!finalized_ && "Add() after Finalize()");
+  assert(rel != kNullRel);
+  if (rel < 0) {
+    Add(object, -rel, subject);
+    return;
+  }
+  assert(static_cast<size_t>(rel) <= rel_names_.size() &&
+         "relation not registered");
+  adjacency_[LocalIndex(subject)].push_back(Fact{rel, object});
+  adjacency_[LocalIndex(object)].push_back(Fact{Inverse(rel), subject});
+}
+
+void TripleStore::Finalize() {
+  assert(!finalized_);
+  auto fact_less = [](const Fact& a, const Fact& b) {
+    return a.rel != b.rel ? a.rel < b.rel : a.other < b.other;
+  };
+  num_triples_ = 0;
+  for (auto& facts : adjacency_) {
+    std::sort(facts.begin(), facts.end(), fact_less);
+    facts.erase(std::unique(facts.begin(), facts.end()), facts.end());
+    facts.shrink_to_fit();
+  }
+  // Build per-relation pair lists from the deduplicated base-direction facts.
+  pairs_.assign(rel_names_.size(), {});
+  for (size_t i = 0; i < adjacency_.size(); ++i) {
+    const TermId subject = terms_[i];
+    for (const Fact& f : adjacency_[i]) {
+      if (f.rel > 0) {
+        pairs_[static_cast<size_t>(f.rel) - 1].push_back(
+            TermPair{subject, f.other});
+        ++num_triples_;
+      }
+    }
+  }
+  finalized_ = true;
+}
+
+std::span<const Fact> TripleStore::FactsAbout(TermId t) const {
+  assert(finalized_);
+  auto it = local_index_.find(t);
+  if (it == local_index_.end()) return {};
+  const auto& facts = adjacency_[it->second];
+  return {facts.data(), facts.size()};
+}
+
+std::vector<TermId> TripleStore::ObjectsOf(TermId t, RelId rel) const {
+  std::vector<TermId> out;
+  for (const Fact& f : FactsAbout(t)) {
+    if (f.rel == rel) out.push_back(f.other);
+  }
+  return out;
+}
+
+bool TripleStore::Contains(TermId s, RelId rel, TermId o) const {
+  for (const Fact& f : FactsAbout(s)) {
+    if (f.rel == rel && f.other == o) return true;
+  }
+  return false;
+}
+
+std::string TripleStore::RelationDebugName(RelId rel) const {
+  std::string name(pool_->lexical(relation_name(rel)));
+  if (IsInverse(rel)) name += "^-1";
+  return name;
+}
+
+void TripleStore::ForEachPair(
+    RelId rel, size_t limit,
+    const std::function<void(TermId, TermId)>& fn) const {
+  const auto& pairs = PairsOf(rel);
+  const size_t n =
+      limit == 0 ? pairs.size() : std::min(limit, pairs.size());
+  const bool inverted = IsInverse(rel);
+  for (size_t i = 0; i < n; ++i) {
+    if (inverted) {
+      fn(pairs[i].second, pairs[i].first);
+    } else {
+      fn(pairs[i].first, pairs[i].second);
+    }
+  }
+}
+
+}  // namespace paris::rdf

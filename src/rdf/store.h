@@ -1,0 +1,116 @@
+#ifndef PARIS_RDF_STORE_H_
+#define PARIS_RDF_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/term.h"
+#include "rdf/triple.h"
+
+namespace paris::rdf {
+
+// Per-ontology fact storage, optimized for the access pattern of the PARIS
+// alignment passes (§5.2 of the paper): given an entity, iterate every
+// statement it participates in (in either argument position), and given a
+// relation, iterate its (first, second) pairs.
+//
+// Usage: `Add()` triples, then `Finalize()` exactly once; all read accessors
+// require a finalized store. `Finalize()` sorts adjacency lists and removes
+// duplicate statements (an RDFS ontology is a *set* of triples).
+class TripleStore {
+ public:
+  explicit TripleStore(TermPool* pool) : pool_(pool) {}
+  TripleStore(const TripleStore&) = delete;
+  TripleStore& operator=(const TripleStore&) = delete;
+  TripleStore(TripleStore&&) = default;
+  TripleStore& operator=(TripleStore&&) = default;
+
+  TermPool& pool() const { return *pool_; }
+
+  // Registers (or finds) a relation by its name term. Returns its positive id.
+  RelId InternRelation(TermId name);
+  std::optional<RelId> FindRelation(TermId name) const;
+
+  // Adds statement rel(subject, object). `rel` may be negative (inverse), in
+  // which case the statement BaseRel(rel)(object, subject) is recorded.
+  void Add(TermId subject, RelId rel, TermId object);
+
+  // Deduplicates, sorts adjacency, and builds per-relation pair lists.
+  void Finalize();
+  bool finalized() const { return finalized_; }
+
+  // ---- Read API (requires Finalize()) ----
+
+  // Every statement `t` participates in, as (rel, other) with rel(t, other).
+  // Sorted by (rel, other). Empty span if `t` is unknown to this ontology.
+  std::span<const Fact> FactsAbout(TermId t) const;
+
+  // The objects y with rel(t, y); `rel` may be inverse. Sorted.
+  std::vector<TermId> ObjectsOf(TermId t, RelId rel) const;
+
+  // True if rel(s, o) is a statement of this store (rel may be inverse).
+  bool Contains(TermId s, RelId rel, TermId o) const;
+
+  // Number of registered relations; valid positive ids are [1, count].
+  size_t num_relations() const { return rel_names_.size(); }
+  TermId relation_name(RelId rel) const {
+    return rel_names_[static_cast<size_t>(BaseRel(rel)) - 1];
+  }
+
+  // Human-readable relation name; inverse relations get a "^-1" suffix.
+  std::string RelationDebugName(RelId rel) const;
+
+  // (first, second) pairs of `rel`, base direction only. For an inverse id
+  // the caller should swap the pair components; `ForEachPair` does this.
+  const std::vector<TermPair>& PairsOf(RelId rel) const {
+    return pairs_[static_cast<size_t>(BaseRel(rel)) - 1];
+  }
+
+  // Invokes fn(x, y) for every pair of `rel` (handling inversion), stopping
+  // after `limit` pairs (0 = no limit).
+  void ForEachPair(RelId rel, size_t limit,
+                   const std::function<void(TermId, TermId)>& fn) const;
+
+  // Number of statements of `rel` (same for the inverse).
+  size_t PairCount(RelId rel) const { return PairsOf(rel).size(); }
+
+  // Every term that appears in some statement of this store, in first-seen
+  // order.
+  const std::vector<TermId>& terms() const { return terms_; }
+
+  bool ContainsTerm(TermId t) const {
+    return local_index_.find(t) != local_index_.end();
+  }
+
+  // Total number of distinct statements (not counting inverses twice).
+  size_t num_triples() const { return num_triples_; }
+
+ private:
+  uint32_t LocalIndex(TermId t);
+
+  TermPool* pool_;
+  bool finalized_ = false;
+  size_t num_triples_ = 0;
+
+  // Relation registry.
+  std::vector<TermId> rel_names_;
+  std::unordered_map<TermId, RelId> rel_index_;
+
+  // Adjacency, keyed by dense local term index.
+  std::unordered_map<TermId, uint32_t> local_index_;
+  std::vector<TermId> terms_;
+  std::vector<std::vector<Fact>> adjacency_;
+
+  // Per positive relation: its (first, second) pairs. Built by Finalize().
+  std::vector<std::vector<TermPair>> pairs_;
+};
+
+}  // namespace paris::rdf
+
+#endif  // PARIS_RDF_STORE_H_

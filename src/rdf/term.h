@@ -1,0 +1,80 @@
+#ifndef PARIS_RDF_TERM_H_
+#define PARIS_RDF_TERM_H_
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace paris::rdf {
+
+// Dense identifier of an interned RDF term (resource IRI or literal).
+// Term ids are indexes into a `TermPool`. The pool is *shared across the two
+// ontologies being aligned* so that a literal has a single id regardless of
+// which ontology mentions it; literal identity then reduces to id equality
+// (the paper's default literal equality function, §5.3).
+using TermId = uint32_t;
+
+inline constexpr TermId kNullTerm = std::numeric_limits<TermId>::max();
+
+enum class TermKind : uint8_t {
+  kIri = 0,      // a resource (instance, class, or relation name)
+  kLiteral = 1,  // a string/number/date literal (lexical form, datatype-free)
+};
+
+// Interning pool for RDF terms. An IRI and a literal with the same lexical
+// form are distinct terms. Lookup is by (lexical form, kind); ids are dense
+// and stable for the lifetime of the pool.
+//
+// Thread-compatibility: interning mutates the pool and must be externally
+// synchronized; read accessors are safe to call concurrently once loading is
+// done (the alignment passes are read-only on the pool).
+class TermPool {
+ public:
+  TermPool() = default;
+  TermPool(const TermPool&) = delete;
+  TermPool& operator=(const TermPool&) = delete;
+
+  // Interns an IRI / literal, returning the existing id if already present.
+  TermId InternIri(std::string_view lexical);
+  TermId InternLiteral(std::string_view lexical);
+  TermId Intern(std::string_view lexical, TermKind kind) {
+    return kind == TermKind::kIri ? InternIri(lexical)
+                                  : InternLiteral(lexical);
+  }
+
+  // Lookup without interning.
+  std::optional<TermId> Find(std::string_view lexical, TermKind kind) const;
+
+  std::string_view lexical(TermId id) const { return lexical_[id]; }
+  TermKind kind(TermId id) const { return kind_[id]; }
+  bool IsLiteral(TermId id) const { return kind_[id] == TermKind::kLiteral; }
+
+  // Number of interned terms; valid ids are [0, size()).
+  size_t size() const { return lexical_.size(); }
+
+ private:
+  // Heterogeneous (string_view) lookup support.
+  struct StringHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  using Index =
+      std::unordered_map<std::string, TermId, StringHash, std::equal_to<>>;
+
+  TermId InternInternal(std::string_view lexical, TermKind kind, Index& index);
+
+  std::vector<std::string> lexical_;
+  std::vector<TermKind> kind_;
+  Index iri_index_;
+  Index literal_index_;
+};
+
+}  // namespace paris::rdf
+
+#endif  // PARIS_RDF_TERM_H_

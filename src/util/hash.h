@@ -1,0 +1,40 @@
+#ifndef PARIS_UTIL_HASH_H_
+#define PARIS_UTIL_HASH_H_
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+namespace paris::util {
+
+// Packs two 32-bit keys into one 64-bit map key (used for relation-pair and
+// term-pair score tables).
+constexpr uint64_t PackPair(uint32_t a, uint32_t b) {
+  return (static_cast<uint64_t>(a) << 32) | static_cast<uint64_t>(b);
+}
+
+constexpr uint32_t UnpackFirst(uint64_t key) {
+  return static_cast<uint32_t>(key >> 32);
+}
+
+constexpr uint32_t UnpackSecond(uint64_t key) {
+  return static_cast<uint32_t>(key & 0xffffffffULL);
+}
+
+// 64-bit mix (splitmix64 finalizer); good enough as a hash for packed pairs.
+constexpr uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+struct PackedPairHash {
+  size_t operator()(uint64_t key) const {
+    return static_cast<size_t>(Mix64(key));
+  }
+};
+
+}  // namespace paris::util
+
+#endif  // PARIS_UTIL_HASH_H_

@@ -1,0 +1,50 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <mutex>
+
+namespace paris::util {
+namespace {
+
+std::atomic<LogLevel> g_min_level{LogLevel::kInfo};
+std::mutex g_log_mutex;
+
+char LevelChar(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return 'D';
+    case LogLevel::kInfo:
+      return 'I';
+    case LogLevel::kWarning:
+      return 'W';
+    case LogLevel::kError:
+      return 'E';
+    case LogLevel::kNone:
+      return '?';
+  }
+  return '?';
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_min_level.store(level); }
+
+LogLevel GetLogLevel() { return g_min_level.load(); }
+
+void LogMessage(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(g_min_level.load())) return;
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t tt = std::chrono::system_clock::to_time_t(now);
+  std::tm tm_buf;
+  localtime_r(&tt, &tm_buf);
+  char time_str[16];
+  std::strftime(time_str, sizeof(time_str), "%H:%M:%S", &tm_buf);
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  std::fprintf(stderr, "[%c %s] %s\n", LevelChar(level), time_str,
+               message.c_str());
+}
+
+}  // namespace paris::util

@@ -1,0 +1,49 @@
+#ifndef PARIS_UTIL_LOGGING_H_
+#define PARIS_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace paris::util {
+
+enum class LogLevel {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kNone = 4,
+};
+
+// Sets the minimum level that is actually emitted (default: kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Internal: emits one formatted line to stderr if `level` is enabled.
+void LogMessage(LogLevel level, const std::string& message);
+
+// Stream-style log sink: `PARIS_LOG(kInfo) << "loaded " << n << " triples";`
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { LogMessage(level_, stream_.str()); }
+
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace paris::util
+
+#define PARIS_LOG(severity) \
+  ::paris::util::LogStream(::paris::util::LogLevel::severity)
+
+#endif  // PARIS_UTIL_LOGGING_H_

@@ -1,0 +1,106 @@
+#ifndef PARIS_UTIL_STATUS_H_
+#define PARIS_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace paris::util {
+
+// Error codes for the subset of failure modes this library can produce.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kInternal = 6,
+  kUnimplemented = 7,
+};
+
+// Returns a stable human-readable name for `code` ("OK", "INVALID_ARGUMENT",
+// ...).
+std::string_view StatusCodeName(StatusCode code);
+
+// A lightweight absl::Status-style error carrier. The library does not use
+// exceptions (per the style guide); fallible operations return `Status` or
+// `StatusOr<T>`.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "INVALID_ARGUMENT: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+Status OkStatus();
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status OutOfRangeError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status InternalError(std::string message);
+Status UnimplementedError(std::string message);
+
+// Value-or-error, in the spirit of absl::StatusOr. `value()` must only be
+// called when `ok()`.
+template <typename T>
+class StatusOr {
+ public:
+  // Intentionally implicit, so functions can `return value;` / `return status;`.
+  StatusOr(const T& value) : value_(value) {}          // NOLINT
+  StatusOr(T&& value) : value_(std::move(value)) {}    // NOLINT
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "StatusOr constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace paris::util
+
+#endif  // PARIS_UTIL_STATUS_H_

@@ -1,0 +1,51 @@
+#ifndef PARIS_UTIL_STRING_UTIL_H_
+#define PARIS_UTIL_STRING_UTIL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace paris::util {
+
+// ASCII lowercase copy of `s`.
+std::string ToLowerAscii(std::string_view s);
+
+// Removes every non-alphanumeric ASCII character and lowercases the rest.
+// This is the string normalization of §6.3 of the paper (used to make
+// "213/467-1108" equal to "213-467-1108").
+std::string NormalizeAlnum(std::string_view s);
+
+// Strips ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+// Splits on a single character; keeps empty fields.
+std::vector<std::string_view> Split(std::string_view s, char sep);
+
+// Joins with a separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+// Levenshtein edit distance with unit costs. O(|a|*|b|) time, O(min) space.
+size_t EditDistance(std::string_view a, std::string_view b);
+
+// Edit distance with an early-exit bound: returns `bound + 1` as soon as the
+// distance provably exceeds `bound` (banded computation).
+size_t BoundedEditDistance(std::string_view a, std::string_view b,
+                           size_t bound);
+
+// 1 - EditDistance / max(len): in [0,1], 1 iff equal, 0 iff disjoint length
+// budget exhausted. Returns 1.0 for two empty strings.
+double EditSimilarity(std::string_view a, std::string_view b);
+
+// The character trigrams of `s` packed into 32-bit keys (for the fuzzy
+// literal matcher's inverted index). Strings shorter than 3 characters get a
+// single padded trigram.
+std::vector<uint32_t> TrigramKeys(std::string_view s);
+
+}  // namespace paris::util
+
+#endif  // PARIS_UTIL_STRING_UTIL_H_

@@ -1,0 +1,55 @@
+#ifndef PARIS_UTIL_THREAD_POOL_H_
+#define PARIS_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace paris::util {
+
+// A fixed-size worker pool. Used to parallelize the per-instance alignment
+// pass; determinism is preserved because workers write to disjoint output
+// slots and never mutate shared state.
+class ThreadPool {
+ public:
+  // Creates `num_threads` workers. `num_threads == 0` is allowed and means
+  // "run everything inline on the calling thread".
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return threads_.size(); }
+
+  // Enqueues a task. Must not be called after the destructor has begun.
+  void Schedule(std::function<void()> task);
+
+  // Blocks until every scheduled task has finished.
+  void Wait();
+
+  // Splits [0, total) into contiguous chunks and runs
+  // `fn(begin, end)` for each chunk across the pool, blocking until done.
+  // With 0 workers, runs a single chunk inline.
+  void ParallelFor(size_t total, const std::function<void(size_t, size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace paris::util
+
+#endif  // PARIS_UTIL_THREAD_POOL_H_

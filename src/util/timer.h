@@ -1,0 +1,28 @@
+#ifndef PARIS_UTIL_TIMER_H_
+#define PARIS_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace paris::util {
+
+// Simple wall-clock stopwatch for per-iteration timing reports.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace paris::util
+
+#endif  // PARIS_UTIL_TIMER_H_

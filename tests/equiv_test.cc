@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "core/equiv.h"
+
+namespace paris::core {
+namespace {
+
+TEST(EquivTest, EmptyStoreFinalizes) {
+  InstanceEquivalences eq;
+  eq.Finalize();
+  EXPECT_TRUE(eq.finalized());
+  EXPECT_EQ(eq.num_left_aligned(), 0u);
+  EXPECT_TRUE(eq.LeftToRight(1).empty());
+  EXPECT_TRUE(eq.RightToLeft(1).empty());
+  EXPECT_EQ(eq.MaxOfLeft(1), nullptr);
+  EXPECT_EQ(eq.MaxOfRight(1), nullptr);
+}
+
+TEST(EquivTest, SetAndLookup) {
+  InstanceEquivalences eq;
+  eq.Set(1, {{10, 0.9}, {11, 0.5}});
+  eq.Finalize();
+  auto span = eq.LeftToRight(1);
+  ASSERT_EQ(span.size(), 2u);
+  EXPECT_EQ(span[0].other, 10u);
+  EXPECT_DOUBLE_EQ(span[0].prob, 0.9);
+  ASSERT_NE(eq.MaxOfLeft(1), nullptr);
+  EXPECT_EQ(eq.MaxOfLeft(1)->other, 10u);
+}
+
+TEST(EquivTest, EmptyCandidateListIgnored) {
+  InstanceEquivalences eq;
+  eq.Set(1, {});
+  eq.Finalize();
+  EXPECT_EQ(eq.num_left_aligned(), 0u);
+}
+
+TEST(EquivTest, TransposeBuilt) {
+  InstanceEquivalences eq;
+  eq.Set(1, {{10, 0.9}});
+  eq.Set(2, {{10, 0.95}, {11, 0.2}});
+  eq.Finalize();
+  auto back = eq.RightToLeft(10);
+  ASSERT_EQ(back.size(), 2u);
+  // Sorted by descending probability.
+  EXPECT_EQ(back[0].other, 2u);
+  EXPECT_DOUBLE_EQ(back[0].prob, 0.95);
+  EXPECT_EQ(back[1].other, 1u);
+  // Maximal assignment of right entity 10 is left entity 2.
+  ASSERT_NE(eq.MaxOfRight(10), nullptr);
+  EXPECT_EQ(eq.MaxOfRight(10)->other, 2u);
+  ASSERT_NE(eq.MaxOfRight(11), nullptr);
+  EXPECT_EQ(eq.MaxOfRight(11)->other, 2u);
+}
+
+TEST(EquivTest, TieBreakDeterministic) {
+  InstanceEquivalences eq;
+  // Equal probabilities: smallest id wins (ties broken "arbitrarily" but
+  // deterministically, §4.2).
+  eq.Set(1, {{10, 0.7}, {12, 0.7}});
+  eq.Finalize();
+  EXPECT_EQ(eq.MaxOfLeft(1)->other, 10u);
+}
+
+TEST(EquivTest, ChangeFractionEmptyToEmpty) {
+  InstanceEquivalences a, b;
+  a.Finalize();
+  b.Finalize();
+  EXPECT_DOUBLE_EQ(b.MaxAssignmentChangeFraction(a), 0.0);
+}
+
+TEST(EquivTest, ChangeFractionFirstIterationIsOne) {
+  InstanceEquivalences prev;
+  prev.Finalize();
+  InstanceEquivalences cur;
+  cur.Set(1, {{10, 0.9}});
+  cur.Set(2, {{11, 0.9}});
+  cur.Finalize();
+  EXPECT_DOUBLE_EQ(cur.MaxAssignmentChangeFraction(prev), 1.0);
+}
+
+TEST(EquivTest, ChangeFractionStable) {
+  InstanceEquivalences prev;
+  prev.Set(1, {{10, 0.5}});
+  prev.Finalize();
+  InstanceEquivalences cur;
+  cur.Set(1, {{10, 0.99}});  // same target, different prob → unchanged
+  cur.Finalize();
+  EXPECT_DOUBLE_EQ(cur.MaxAssignmentChangeFraction(prev), 0.0);
+}
+
+TEST(EquivTest, ChangeFractionPartial) {
+  InstanceEquivalences prev;
+  prev.Set(1, {{10, 0.5}});
+  prev.Set(2, {{11, 0.5}});
+  prev.Finalize();
+  InstanceEquivalences cur;
+  cur.Set(1, {{10, 0.5}});  // unchanged
+  cur.Set(2, {{12, 0.5}});  // changed target
+  cur.Set(3, {{13, 0.5}});  // new
+  cur.Finalize();
+  // Universe = {1,2,3}; changed = {2,3} → 2/3.
+  EXPECT_NEAR(cur.MaxAssignmentChangeFraction(prev), 2.0 / 3.0, 1e-12);
+}
+
+TEST(EquivTest, ChangeFractionCountsDisappeared) {
+  InstanceEquivalences prev;
+  prev.Set(1, {{10, 0.5}});
+  prev.Set(2, {{11, 0.5}});
+  prev.Finalize();
+  InstanceEquivalences cur;
+  cur.Set(1, {{10, 0.5}});
+  cur.Finalize();
+  // Universe = {1, 2}; entity 2 lost its assignment → 1/2.
+  EXPECT_DOUBLE_EQ(cur.MaxAssignmentChangeFraction(prev), 0.5);
+}
+
+}  // namespace
+}  // namespace paris::core

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "core/aligner.h"
+#include "core/explain.h"
+#include "ontology/ontology.h"
+#include "util/logging.h"
+
+namespace paris::core {
+namespace {
+
+using ontology::Ontology;
+using ontology::OntologyBuilder;
+
+class ExplainTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    util::SetLogLevel(util::LogLevel::kWarning);
+  }
+
+  void Build() {
+    OntologyBuilder bl(&pool_, "left");
+    bl.AddLiteralFact("l:a", "l:email", "x@example.org");
+    bl.AddLiteralFact("l:a", "l:city", "Springfield");
+    bl.AddLiteralFact("l:b", "l:email", "other@example.org");
+    bl.AddLiteralFact("l:b", "l:city", "Springfield");
+    auto l = bl.Build();
+    ASSERT_TRUE(l.ok());
+    left_ = std::make_unique<Ontology>(std::move(l).value());
+    OntologyBuilder br(&pool_, "right");
+    br.AddLiteralFact("r:a", "r:mail", "x@example.org");
+    br.AddLiteralFact("r:a", "r:town", "Springfield");
+    br.AddLiteralFact("r:b", "r:mail", "unrelated@example.org");
+    br.AddLiteralFact("r:b", "r:town", "Springfield");
+    auto r = br.Build();
+    ASSERT_TRUE(r.ok());
+    right_ = std::make_unique<Ontology>(std::move(r).value());
+  }
+
+  rdf::TermId Iri(const std::string& s) {
+    return *pool_.Find(s, rdf::TermKind::kIri);
+  }
+
+  rdf::TermPool pool_;
+  std::unique_ptr<Ontology> left_;
+  std::unique_ptr<Ontology> right_;
+};
+
+TEST_F(ExplainTest, ExplanationMatchesAlignerScore) {
+  Build();
+  AlignmentConfig config;
+  config.max_iterations = 5;
+  AlignmentResult result = Aligner(*left_, *right_, config).Run();
+
+  IdentityLiteralMatcher matcher;
+  matcher.IndexTarget(*right_);
+  const MatchExplanation explanation = ExplainMatch(
+      *left_, *right_, result, matcher, config, Iri("l:a"), Iri("r:a"));
+
+  const auto* stored = result.instances.MaxOfLeft(Iri("l:a"));
+  ASSERT_NE(stored, nullptr);
+  EXPECT_EQ(stored->other, Iri("r:a"));
+  // At convergence the stored score and the recomputed explanation agree.
+  EXPECT_NEAR(explanation.probability, stored->prob, 1e-9);
+
+  // Two pieces of evidence: shared e-mail (strong) and shared city (weak).
+  ASSERT_EQ(explanation.evidence.size(), 2u);
+  const EvidenceItem& strongest = explanation.evidence.front();
+  EXPECT_LT(strongest.factor, explanation.evidence.back().factor);
+  // The strongest evidence is the e-mail (inverse-functional).
+  EXPECT_EQ(left_->RelationName(strongest.left_rel), "l:email");
+  EXPECT_EQ(right_->RelationName(strongest.right_rel), "r:mail");
+  EXPECT_DOUBLE_EQ(strongest.value_prob, 1.0);
+  EXPECT_DOUBLE_EQ(strongest.fun_inv_left, 1.0);
+
+  // The weak city evidence has fun⁻¹ = 1/2 on both sides.
+  const EvidenceItem& weak = explanation.evidence.back();
+  EXPECT_EQ(left_->RelationName(weak.left_rel), "l:city");
+  EXPECT_DOUBLE_EQ(weak.fun_inv_left, 0.5);
+
+  // The rendering mentions the relations and the probability.
+  const std::string text = explanation.ToString(*left_, *right_);
+  EXPECT_NE(text.find("l:email"), std::string::npos);
+  EXPECT_NE(text.find("r:mail"), std::string::npos);
+}
+
+TEST_F(ExplainTest, NoSharedEvidenceGivesZero) {
+  Build();
+  AlignmentConfig config;
+  config.max_iterations = 3;
+  AlignmentResult result = Aligner(*left_, *right_, config).Run();
+  IdentityLiteralMatcher matcher;
+  matcher.IndexTarget(*right_);
+  // l:a and r:b share only the city... actually l:a has Springfield and
+  // r:b has Springfield: weak evidence remains. Use a fresh entity pair
+  // with nothing in common: l:b vs r:a share city only too — so check the
+  // e-mail mismatch pair keeps a strictly weaker score than the true pair.
+  const MatchExplanation wrong = ExplainMatch(
+      *left_, *right_, result, matcher, config, Iri("l:a"), Iri("r:b"));
+  const MatchExplanation good = ExplainMatch(
+      *left_, *right_, result, matcher, config, Iri("l:a"), Iri("r:a"));
+  EXPECT_LT(wrong.probability, good.probability);
+  // Only the city statement supports the wrong pair.
+  ASSERT_EQ(wrong.evidence.size(), 1u);
+  EXPECT_EQ(left_->RelationName(wrong.evidence[0].left_rel), "l:city");
+}
+
+TEST_F(ExplainTest, UnrelatedEntitiesExplainAsZero) {
+  rdf::TermPool pool;
+  OntologyBuilder bl(&pool, "left");
+  bl.AddLiteralFact("l:x", "l:k", "v1");
+  auto l = bl.Build();
+  ASSERT_TRUE(l.ok());
+  OntologyBuilder br(&pool, "right");
+  br.AddLiteralFact("r:y", "r:k", "v2");
+  auto r = br.Build();
+  ASSERT_TRUE(r.ok());
+  AlignmentConfig config;
+  config.max_iterations = 2;
+  AlignmentResult result = Aligner(*l, *r, config).Run();
+  IdentityLiteralMatcher matcher;
+  matcher.IndexTarget(*r);
+  const MatchExplanation explanation =
+      ExplainMatch(*l, *r, result, matcher, config,
+                   *pool.Find("l:x", rdf::TermKind::kIri),
+                   *pool.Find("r:y", rdf::TermKind::kIri));
+  EXPECT_TRUE(explanation.evidence.empty());
+  EXPECT_DOUBLE_EQ(explanation.probability, 0.0);
+}
+
+}  // namespace
+}  // namespace paris::core

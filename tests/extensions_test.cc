@@ -1,0 +1,300 @@
+// Tests for the future-work extensions the paper sketches: the dampening
+// factor (§5.1), the relation-name prior (§7), multi-ontology alignment
+// (§7), and alignment-result serialization.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/aligner.h"
+#include "core/multi_align.h"
+#include "core/result_io.h"
+#include "ontology/ontology.h"
+#include "synth/profiles.h"
+#include "util/logging.h"
+
+namespace paris::core {
+namespace {
+
+using ontology::Ontology;
+using ontology::OntologyBuilder;
+using rdf::TermKind;
+
+class ExtensionsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    util::SetLogLevel(util::LogLevel::kWarning);
+  }
+
+  Ontology BuildSmall(const std::string& ns, const std::string& name_rel,
+                      const std::string& link_rel, int count) {
+    OntologyBuilder b(&pool_, ns);
+    for (int i = 0; i < count; ++i) {
+      const std::string e = ns + ":e" + std::to_string(i);
+      b.AddLiteralFact(e, ns + ":" + name_rel, "Entity " + std::to_string(i));
+      b.AddFact(e, ns + ":" + link_rel,
+                ns + ":e" + std::to_string((i + 1) % count));
+    }
+    auto onto = b.Build();
+    EXPECT_TRUE(onto.ok());
+    return std::move(onto).value();
+  }
+
+  rdf::TermId Iri(const std::string& s) {
+    return *pool_.Find(s, TermKind::kIri);
+  }
+
+  rdf::TermPool pool_;
+};
+
+// ---------------------------------------------------------------------------
+// Dampening
+// ---------------------------------------------------------------------------
+
+TEST_F(ExtensionsTest, DampeningPreservesConvergedMatches) {
+  Ontology a = BuildSmall("a", "name", "next", 12);
+  Ontology b = BuildSmall("b", "label", "succ", 12);
+  AlignmentConfig plain;
+  plain.max_iterations = 6;
+  AlignmentConfig damped = plain;
+  damped.dampening = 0.5;
+  AlignmentResult r1 = Aligner(a, b, plain).Run();
+  AlignmentResult r2 = Aligner(a, b, damped).Run();
+  ASSERT_EQ(r1.instances.max_left().size(), r2.instances.max_left().size());
+  for (const auto& [l, c] : r1.instances.max_left()) {
+    const auto* other = r2.instances.MaxOfLeft(l);
+    ASSERT_NE(other, nullptr);
+    EXPECT_EQ(other->other, c.other);  // same assignment, possibly damped p
+  }
+}
+
+TEST(BlendEquivalencesTest, BlendsProbabilities) {
+  InstanceEquivalences old_store;
+  old_store.Set(1, {{10, 0.8}});
+  old_store.Set(2, {{11, 0.6}});
+  old_store.Finalize();
+  InstanceEquivalences fresh;
+  fresh.Set(1, {{10, 0.4}});   // overlapping candidate
+  fresh.Set(3, {{12, 0.9}});   // new instance
+  fresh.Finalize();
+  InstanceEquivalences blended =
+      BlendEquivalences(old_store, fresh, /*lambda=*/0.5, /*threshold=*/0.1,
+                        /*max_candidates=*/8);
+  // 0.5·0.8 + 0.5·0.4 = 0.6.
+  ASSERT_NE(blended.MaxOfLeft(1), nullptr);
+  EXPECT_NEAR(blended.MaxOfLeft(1)->prob, 0.6, 1e-12);
+  // Instance 2 only in the old store: 0.5·0.6 = 0.3 survives.
+  ASSERT_NE(blended.MaxOfLeft(2), nullptr);
+  EXPECT_NEAR(blended.MaxOfLeft(2)->prob, 0.3, 1e-12);
+  // Instance 3 only fresh: 0.5·0.9 = 0.45.
+  ASSERT_NE(blended.MaxOfLeft(3), nullptr);
+  EXPECT_NEAR(blended.MaxOfLeft(3)->prob, 0.45, 1e-12);
+}
+
+TEST(BlendEquivalencesTest, ThresholdDropsWeakBlends) {
+  InstanceEquivalences old_store;
+  old_store.Set(1, {{10, 0.15}});
+  old_store.Finalize();
+  InstanceEquivalences fresh;
+  fresh.Finalize();
+  InstanceEquivalences blended =
+      BlendEquivalences(old_store, fresh, 0.5, 0.1, 8);
+  EXPECT_EQ(blended.MaxOfLeft(1), nullptr);  // 0.075 < 0.1
+}
+
+// ---------------------------------------------------------------------------
+// Relation-name prior
+// ---------------------------------------------------------------------------
+
+TEST_F(ExtensionsTest, NamePriorBoostsBootstrapButNotConvergence) {
+  // Similar relation names across the two ontologies.
+  Ontology a = BuildSmall("a", "phoneNumber", "knows", 10);
+  Ontology b = BuildSmall("b", "phone_number", "friendOf", 10);
+
+  AlignmentConfig plain;
+  plain.max_iterations = 6;
+  AlignmentConfig prior = plain;
+  prior.use_relation_name_prior = true;
+
+  AlignmentResult r_plain = Aligner(a, b, plain).Run();
+  AlignmentResult r_prior = Aligner(a, b, prior).Run();
+
+  // Iteration-1 probabilities are higher with the prior (the bootstrap
+  // score exceeds θ for the similarly-named relation pair)...
+  const rdf::TermId e0 = Iri("a:e0");
+  ASSERT_TRUE(r_plain.iterations.front().max_left.contains(e0));
+  ASSERT_TRUE(r_prior.iterations.front().max_left.contains(e0));
+  EXPECT_GT(r_prior.iterations.front().max_left.at(e0).prob,
+            r_plain.iterations.front().max_left.at(e0).prob);
+
+  // ... but the converged assignments coincide.
+  ASSERT_EQ(r_plain.instances.max_left().size(),
+            r_prior.instances.max_left().size());
+  for (const auto& [l, c] : r_plain.instances.max_left()) {
+    const auto* other = r_prior.instances.MaxOfLeft(l);
+    ASSERT_NE(other, nullptr);
+    EXPECT_EQ(other->other, c.other);
+    EXPECT_NEAR(other->prob, c.prob, 1e-9);
+  }
+}
+
+TEST(RelationScoresTest, BootstrapPriorLookup) {
+  RelationScores scores = RelationScores::Bootstrap(0.1);
+  EXPECT_DOUBLE_EQ(scores.SubLeftRight(1, 2), 0.1);
+  scores.SetBootstrapPrior(1, 2, 0.4);
+  EXPECT_DOUBLE_EQ(scores.SubLeftRight(1, 2), 0.4);
+  EXPECT_DOUBLE_EQ(scores.SubRightLeft(2, 1), 0.4);
+  // The inverted twin inherits the prior via canonicalization.
+  EXPECT_DOUBLE_EQ(scores.SubLeftRight(-1, -2), 0.4);
+  // Unrelated pairs keep θ.
+  EXPECT_DOUBLE_EQ(scores.SubLeftRight(1, 3), 0.1);
+  // An inverse pairing gets no name prior.
+  EXPECT_DOUBLE_EQ(scores.SubLeftRight(1, -2), 0.1);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-ontology alignment
+// ---------------------------------------------------------------------------
+
+TEST_F(ExtensionsTest, MultiAlignerClustersThreeOntologies) {
+  Ontology a = BuildSmall("a", "name", "next", 8);
+  Ontology b = BuildSmall("b", "label", "succ", 8);
+  Ontology c = BuildSmall("c", "title", "after", 8);
+
+  AlignmentConfig config;
+  config.max_iterations = 4;
+  MultiAligner aligner({&a, &b, &c}, config);
+  MultiAlignmentResult result = aligner.Run();
+
+  ASSERT_EQ(result.pairs.size(), 3u);  // (0,1), (0,2), (1,2)
+  ASSERT_EQ(result.pairwise.size(), 3u);
+  // Every entity i forms one cluster of size 3.
+  ASSERT_EQ(result.clusters.size(), 8u);
+  for (const EntityCluster& cluster : result.clusters) {
+    EXPECT_EQ(cluster.members.size(), 3u);
+    EXPECT_GT(cluster.min_edge_prob, 0.5);
+    // One member per ontology, and all three share the entity index.
+    EXPECT_EQ(cluster.members[0].ontology, 0u);
+    EXPECT_EQ(cluster.members[1].ontology, 1u);
+    EXPECT_EQ(cluster.members[2].ontology, 2u);
+    const std::string a_name(pool_.lexical(cluster.members[0].term));
+    const std::string b_name(pool_.lexical(cluster.members[1].term));
+    EXPECT_EQ(a_name.substr(1), b_name.substr(1));  // ":eN" suffix matches
+  }
+}
+
+TEST_F(ExtensionsTest, MultiAlignerRequiresReciprocalMatches) {
+  // Two ontologies with an ambiguity: two left entities share one label, so
+  // neither is reciprocal-best for the right entity... actually the right
+  // entity's best is deterministic; only that one pair clusters.
+  OntologyBuilder ba(&pool_, "a");
+  ba.AddLiteralFact("a:x1", "a:name", "Twin");
+  ba.AddLiteralFact("a:x2", "a:name", "Twin");
+  auto a = ba.Build();
+  ASSERT_TRUE(a.ok());
+  OntologyBuilder bb(&pool_, "b");
+  bb.AddLiteralFact("b:y", "b:label", "Twin");
+  auto b = bb.Build();
+  ASSERT_TRUE(b.ok());
+
+  AlignmentConfig config;
+  config.max_iterations = 3;
+  MultiAligner aligner({&*a, &*b}, config);
+  MultiAlignmentResult result = aligner.Run();
+  // At most one cluster: b:y can be reciprocal with only one of the twins.
+  ASSERT_LE(result.clusters.size(), 1u);
+  if (!result.clusters.empty()) {
+    EXPECT_EQ(result.clusters[0].members.size(), 2u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Result serialization
+// ---------------------------------------------------------------------------
+
+TEST_F(ExtensionsTest, InstanceAlignmentRoundTrip) {
+  Ontology a = BuildSmall("a", "name", "next", 6);
+  Ontology b = BuildSmall("b", "label", "succ", 6);
+  AlignmentConfig config;
+  config.max_iterations = 4;
+  AlignmentResult result = Aligner(a, b, config).Run();
+  ASSERT_GT(result.instances.num_left_aligned(), 0u);
+
+  std::ostringstream out;
+  WriteInstanceAlignment(result.instances, a, b, out);
+
+  std::istringstream in(out.str());
+  auto restored = ReadInstanceAlignment(in, pool_);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->max_left().size(), result.instances.max_left().size());
+  for (const auto& [l, c] : result.instances.max_left()) {
+    const auto* other = restored->MaxOfLeft(l);
+    ASSERT_NE(other, nullptr);
+    EXPECT_EQ(other->other, c.other);
+    EXPECT_NEAR(other->prob, c.prob, 1e-9);
+  }
+}
+
+TEST_F(ExtensionsTest, ReadRejectsMalformedLines) {
+  std::istringstream bad1("a\tb\n");  // two fields
+  EXPECT_FALSE(ReadInstanceAlignment(bad1, pool_).ok());
+  std::istringstream bad2("a:unknown\tb:unknown\t0.5\n");
+  EXPECT_FALSE(ReadInstanceAlignment(bad2, pool_).ok());
+  pool_.InternIri("k:a");
+  pool_.InternIri("k:b");
+  std::istringstream bad3("k:a\tk:b\t1.5\n");  // probability out of range
+  EXPECT_FALSE(ReadInstanceAlignment(bad3, pool_).ok());
+  std::istringstream good("# comment\n\nk:a\tk:b\t0.75\n");
+  auto restored = ReadInstanceAlignment(good, pool_);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->num_left_aligned(), 1u);
+}
+
+TEST_F(ExtensionsTest, OaeiAlignmentFormatWellFormed) {
+  Ontology a = BuildSmall("oa", "name", "next", 4);
+  Ontology b = BuildSmall("ob", "label", "succ", 4);
+  AlignmentConfig config;
+  config.max_iterations = 3;
+  AlignmentResult result = Aligner(a, b, config).Run();
+  std::ostringstream out;
+  WriteOaeiAlignment(result.instances, a, b, out);
+  const std::string xml = out.str();
+  EXPECT_NE(xml.find("<Alignment>"), std::string::npos);
+  EXPECT_NE(xml.find("</Alignment>"), std::string::npos);
+  EXPECT_NE(xml.find("<Cell>"), std::string::npos);
+  EXPECT_NE(xml.find("entity1 rdf:resource=\"oa:e0\""), std::string::npos);
+  EXPECT_NE(xml.find("<relation>=</relation>"), std::string::npos);
+  // One cell per aligned instance.
+  size_t cells = 0;
+  for (size_t pos = xml.find("<Cell>"); pos != std::string::npos;
+       pos = xml.find("<Cell>", pos + 1)) {
+    ++cells;
+  }
+  EXPECT_EQ(cells, result.instances.max_left().size());
+}
+
+TEST_F(ExtensionsTest, RelationAndClassSectionsWritten) {
+  OntologyBuilder ba(&pool_, "a");
+  ba.AddType("a:e", "a:C");
+  ba.AddLiteralFact("a:e", "a:name", "E");
+  auto a = ba.Build();
+  ASSERT_TRUE(a.ok());
+  OntologyBuilder bb(&pool_, "b");
+  bb.AddType("b:f", "b:D");
+  bb.AddLiteralFact("b:f", "b:label", "E");
+  auto b = bb.Build();
+  ASSERT_TRUE(b.ok());
+  AlignmentConfig config;
+  config.max_iterations = 3;
+  AlignmentResult result = Aligner(*a, *b, config).Run();
+
+  std::ostringstream rel_out;
+  WriteRelationAlignment(result.relations, *a, *b, rel_out);
+  EXPECT_NE(rel_out.str().find("a:name\tb:label"), std::string::npos);
+
+  std::ostringstream cls_out;
+  WriteClassAlignment(result.classes, *a, *b, cls_out);
+  EXPECT_NE(cls_out.str().find("a:C\tb:D"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace paris::core

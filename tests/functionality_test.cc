@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "ontology/functionality.h"
+#include "ontology/ontology.h"
+#include "rdf/term.h"
+
+namespace paris::ontology {
+namespace {
+
+using rdf::RelId;
+using rdf::TermId;
+
+// Builds a store with statements r(si, oi) given as index pairs.
+class FunctionalityTest : public ::testing::Test {
+ protected:
+  FunctionalityTest() : store_(&pool_) {
+    rel_ = store_.InternRelation(pool_.InternIri("ex:r"));
+  }
+
+  void AddPairs(const std::vector<std::pair<int, int>>& pairs) {
+    for (auto [s, o] : pairs) {
+      store_.Add(pool_.InternIri("s" + std::to_string(s)), rel_,
+                 pool_.InternIri("o" + std::to_string(o)));
+    }
+    store_.Finalize();
+  }
+
+  rdf::TermPool pool_;
+  rdf::TripleStore store_;
+  RelId rel_;
+};
+
+TEST_F(FunctionalityTest, PerfectFunctionIsOne) {
+  // Three subjects, one object each: fun = 3/3 = 1.
+  AddPairs({{1, 1}, {2, 2}, {3, 3}});
+  FunctionalityTable table(store_);
+  EXPECT_DOUBLE_EQ(table.Global(rel_), 1.0);
+  EXPECT_DOUBLE_EQ(table.GlobalInverse(rel_), 1.0);
+}
+
+TEST_F(FunctionalityTest, HarmonicMeanDefinition) {
+  // s1 → {o1, o2}, s2 → {o3}: fun = #subjects / #pairs = 2/3 (Eq. 2).
+  AddPairs({{1, 1}, {1, 2}, {2, 3}});
+  FunctionalityTable table(store_);
+  EXPECT_DOUBLE_EQ(table.Global(rel_), 2.0 / 3.0);
+  // Inverse: every object has exactly one subject → 1.
+  EXPECT_DOUBLE_EQ(table.GlobalInverse(rel_), 1.0);
+}
+
+TEST_F(FunctionalityTest, InverseFunctionality) {
+  // Two subjects point at the same object: fun⁻¹ = 1/2, fun = 1.
+  AddPairs({{1, 1}, {2, 1}});
+  FunctionalityTable table(store_);
+  EXPECT_DOUBLE_EQ(table.Global(rel_), 1.0);
+  EXPECT_DOUBLE_EQ(table.GlobalInverse(rel_), 0.5);
+  // fun⁻¹(r) == fun(r⁻¹).
+  EXPECT_DOUBLE_EQ(table.Global(rdf::Inverse(rel_)),
+                   table.GlobalInverse(rel_));
+}
+
+TEST_F(FunctionalityTest, EmptyRelationIsZero) {
+  store_.Finalize();
+  FunctionalityTable table(store_);
+  EXPECT_DOUBLE_EQ(table.Global(rel_), 0.0);
+}
+
+TEST_F(FunctionalityTest, LocalFunctionality) {
+  AddPairs({{1, 1}, {1, 2}, {2, 3}});
+  const TermId s1 = *pool_.Find("s1", rdf::TermKind::kIri);
+  const TermId s2 = *pool_.Find("s2", rdf::TermKind::kIri);
+  EXPECT_DOUBLE_EQ(FunctionalityTable::Local(store_, rel_, s1), 0.5);
+  EXPECT_DOUBLE_EQ(FunctionalityTable::Local(store_, rel_, s2), 1.0);
+  // No facts → 0 by convention.
+  EXPECT_DOUBLE_EQ(
+      FunctionalityTable::Local(store_, rel_, pool_.InternIri("sX")), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Appendix A variants
+// ---------------------------------------------------------------------------
+
+TEST(FunctionalityVariantsTest, LikesDishCounterexample) {
+  // Appendix A alternative 2's flaw: n people all like the same n dishes.
+  // The argument-ratio definition reports 1 (treacherous); the harmonic
+  // mean reports 1/n.
+  const int n = 5;
+  rdf::TermPool pool;
+  rdf::TripleStore store(&pool);
+  const RelId likes = store.InternRelation(pool.InternIri("likesDish"));
+  for (int p = 0; p < n; ++p) {
+    for (int d = 0; d < n; ++d) {
+      store.Add(pool.InternIri("person" + std::to_string(p)), likes,
+                pool.InternIri("dish" + std::to_string(d)));
+    }
+  }
+  store.Finalize();
+  FunctionalityTable table(store);
+  EXPECT_DOUBLE_EQ(table.Global(likes, FunctionalityVariant::kArgumentRatio),
+                   1.0);
+  EXPECT_DOUBLE_EQ(table.Global(likes, FunctionalityVariant::kHarmonicMean),
+                   1.0 / n);
+}
+
+TEST(FunctionalityVariantsTest, StatementPairRatioVolatileToHubs) {
+  // One source with many targets dominates alternative 1.
+  rdf::TermPool pool;
+  rdf::TripleStore store(&pool);
+  const RelId r = store.InternRelation(pool.InternIri("r"));
+  // 9 perfect sources and 1 hub with 10 targets.
+  for (int i = 0; i < 9; ++i) {
+    store.Add(pool.InternIri("s" + std::to_string(i)), r,
+              pool.InternIri("o" + std::to_string(i)));
+  }
+  for (int j = 0; j < 10; ++j) {
+    store.Add(pool.InternIri("hub"), r,
+              pool.InternIri("h" + std::to_string(j)));
+  }
+  store.Finalize();
+  FunctionalityTable table(store);
+  const double v1 =
+      table.Global(r, FunctionalityVariant::kStatementPairRatio);
+  const double harmonic =
+      table.Global(r, FunctionalityVariant::kHarmonicMean);
+  // pairs = 19, Σ deg² = 9 + 100 = 109 → v1 ≈ 0.17; harmonic = 10/19 ≈ 0.53.
+  EXPECT_NEAR(v1, 19.0 / 109.0, 1e-12);
+  EXPECT_NEAR(harmonic, 10.0 / 19.0, 1e-12);
+  EXPECT_LT(v1, harmonic);
+}
+
+TEST(FunctionalityVariantsTest, ArithmeticVsHarmonicMean) {
+  // s1 has 1 object (local fun 1), s2 has 4 (local fun 1/4).
+  rdf::TermPool pool;
+  rdf::TripleStore store(&pool);
+  const RelId r = store.InternRelation(pool.InternIri("r"));
+  store.Add(pool.InternIri("s1"), r, pool.InternIri("o0"));
+  for (int j = 1; j <= 4; ++j) {
+    store.Add(pool.InternIri("s2"), r,
+              pool.InternIri("o" + std::to_string(j)));
+  }
+  store.Finalize();
+  FunctionalityTable table(store);
+  // Arithmetic mean: (1 + 1/4) / 2 = 0.625.
+  EXPECT_NEAR(table.Global(r, FunctionalityVariant::kArithmeticMean), 0.625,
+              1e-12);
+  // Harmonic mean: 2 / 5 = 0.4 — always ≤ arithmetic.
+  EXPECT_NEAR(table.Global(r, FunctionalityVariant::kHarmonicMean), 0.4,
+              1e-12);
+}
+
+TEST(FunctionalityVariantsTest, AllVariantsInUnitInterval) {
+  rdf::TermPool pool;
+  rdf::TripleStore store(&pool);
+  const RelId r = store.InternRelation(pool.InternIri("r"));
+  // Mixed degrees, more subjects than objects (argument ratio would be > 1
+  // without clamping).
+  store.Add(pool.InternIri("a"), r, pool.InternIri("x"));
+  store.Add(pool.InternIri("b"), r, pool.InternIri("x"));
+  store.Add(pool.InternIri("c"), r, pool.InternIri("y"));
+  store.Finalize();
+  FunctionalityTable table(store);
+  for (auto variant :
+       {FunctionalityVariant::kHarmonicMean,
+        FunctionalityVariant::kStatementPairRatio,
+        FunctionalityVariant::kArgumentRatio,
+        FunctionalityVariant::kArithmeticMean}) {
+    for (RelId rel : {r, rdf::Inverse(r)}) {
+      const double f = table.Global(rel, variant);
+      EXPECT_GE(f, 0.0);
+      EXPECT_LE(f, 1.0);
+    }
+  }
+}
+
+TEST(FunctionalityVariantsTest, StatsExposed) {
+  rdf::TermPool pool;
+  rdf::TripleStore store(&pool);
+  const RelId r = store.InternRelation(pool.InternIri("r"));
+  store.Add(pool.InternIri("a"), r, pool.InternIri("x"));
+  store.Add(pool.InternIri("a"), r, pool.InternIri("y"));
+  store.Finalize();
+  FunctionalityTable table(store);
+  const DirectionStats& fwd = table.Stats(r);
+  EXPECT_EQ(fwd.num_pairs, 2u);
+  EXPECT_EQ(fwd.num_distinct_firsts, 1u);
+  EXPECT_EQ(fwd.num_distinct_seconds, 2u);
+  EXPECT_DOUBLE_EQ(fwd.sum_squared_degree, 4.0);
+  const DirectionStats& inv = table.Stats(rdf::Inverse(r));
+  EXPECT_EQ(inv.num_distinct_firsts, 2u);
+}
+
+}  // namespace
+}  // namespace paris::ontology

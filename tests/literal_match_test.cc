@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "core/literal_match.h"
+#include "ontology/ontology.h"
+#include "rdf/term.h"
+
+namespace paris::core {
+namespace {
+
+using rdf::TermKind;
+
+class LiteralMatchTest : public ::testing::Test {
+ protected:
+  // Builds a target ontology carrying the given literals as object values.
+  void BuildTarget(const std::vector<std::string>& literals) {
+    ontology::OntologyBuilder b(&pool_, "target");
+    int i = 0;
+    for (const auto& lit : literals) {
+      b.AddLiteralFact("t:e" + std::to_string(i++), "t:value", lit);
+    }
+    auto onto = b.Build();
+    ASSERT_TRUE(onto.ok());
+    target_ = std::make_unique<ontology::Ontology>(std::move(onto).value());
+  }
+
+  rdf::TermId Lit(const std::string& s) { return pool_.InternLiteral(s); }
+
+  rdf::TermPool pool_;
+  std::unique_ptr<ontology::Ontology> target_;
+};
+
+TEST_F(LiteralMatchTest, IdentityMatchesExactOnly) {
+  BuildTarget({"alpha", "beta"});
+  IdentityLiteralMatcher matcher;
+  matcher.IndexTarget(*target_);
+
+  std::vector<Candidate> out;
+  matcher.Match(Lit("alpha"), &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].prob, 1.0);
+  EXPECT_EQ(out[0].other, *pool_.Find("alpha", TermKind::kLiteral));
+
+  out.clear();
+  matcher.Match(Lit("Alpha"), &out);  // case differs → no match
+  EXPECT_TRUE(out.empty());
+  out.clear();
+  matcher.Match(Lit("gamma"), &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_F(LiteralMatchTest, NormalizingMatcherIgnoresPunctuation) {
+  BuildTarget({"213/467-1108", "The Golden Lantern"});
+  NormalizingLiteralMatcher matcher;
+  matcher.IndexTarget(*target_);
+
+  std::vector<Candidate> out;
+  matcher.Match(Lit("213-467-1108"), &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].prob, 1.0);
+
+  out.clear();
+  matcher.Match(Lit("the golden lantern."), &out);
+  ASSERT_EQ(out.size(), 1u);
+
+  out.clear();
+  matcher.Match(Lit("golden lantern"), &out);  // missing token → no match
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_F(LiteralMatchTest, NormalizingMatcherReturnsAllBucketMembers) {
+  BuildTarget({"A-B", "a b", "ab"});
+  NormalizingLiteralMatcher matcher;
+  matcher.IndexTarget(*target_);
+  std::vector<Candidate> out;
+  matcher.Match(Lit("AB"), &out);
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST_F(LiteralMatchTest, FuzzyMatcherFindsTypos) {
+  BuildTarget({"Sanshiro Sugata", "Completely Different Title"});
+  FuzzyLiteralMatcher matcher(/*min_similarity=*/0.8, /*max_candidates=*/4);
+  matcher.IndexTarget(*target_);
+
+  std::vector<Candidate> out;
+  matcher.Match(Lit("Sanshiro Sugataa"), &out);  // one typo
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_GT(out[0].prob, 0.8);
+  EXPECT_LT(out[0].prob, 1.0);
+}
+
+TEST_F(LiteralMatchTest, FuzzyMatcherExactIsOne) {
+  BuildTarget({"Sanshiro Sugata"});
+  FuzzyLiteralMatcher matcher(0.8, 4);
+  matcher.IndexTarget(*target_);
+  std::vector<Candidate> out;
+  matcher.Match(Lit("Sanshiro Sugata"), &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].prob, 1.0);
+}
+
+TEST_F(LiteralMatchTest, FuzzyMatcherRespectsThreshold) {
+  BuildTarget({"abcdefghij"});
+  FuzzyLiteralMatcher matcher(0.9, 4);
+  matcher.IndexTarget(*target_);
+  std::vector<Candidate> out;
+  matcher.Match(Lit("abcdeXghiY"), &out);  // 2 edits on 10 chars: sim 0.8
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_F(LiteralMatchTest, FuzzyMatcherCapsCandidates) {
+  std::vector<std::string> lits;
+  for (int i = 0; i < 10; ++i) {
+    lits.push_back("prefix value " + std::to_string(i));
+  }
+  BuildTarget(lits);
+  FuzzyLiteralMatcher matcher(0.5, 3);
+  matcher.IndexTarget(*target_);
+  std::vector<Candidate> out;
+  matcher.Match(Lit("prefix value X"), &out);
+  EXPECT_LE(out.size(), 3u);
+  // Best-first ordering.
+  for (size_t i = 1; i < out.size(); ++i) {
+    EXPECT_GE(out[i - 1].prob, out[i].prob);
+  }
+}
+
+TEST_F(LiteralMatchTest, FactoriesProduceWorkingMatchers) {
+  BuildTarget({"x"});
+  for (const auto& factory :
+       {IdentityMatcherFactory(), NormalizingMatcherFactory(),
+        FuzzyMatcherFactory()}) {
+    auto matcher = factory();
+    matcher->IndexTarget(*target_);
+    std::vector<Candidate> out;
+    matcher->Match(Lit("x"), &out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_DOUBLE_EQ(out[0].prob, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace paris::core

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ontology/ontology.h"
+#include "ontology/vocab.h"
+#include "rdf/ntriples.h"
+#include "rdf/term.h"
+
+namespace paris::ontology {
+namespace {
+
+using rdf::TermId;
+using rdf::TermKind;
+
+class OntologyTest : public ::testing::Test {
+ protected:
+  rdf::TermPool pool_;
+};
+
+TEST_F(OntologyTest, BuildsPartition) {
+  OntologyBuilder b(&pool_, "test");
+  b.AddType("ex:elvis", "ex:singer");
+  b.AddLiteralFact("ex:elvis", "ex:name", "Elvis");
+  b.AddFact("ex:elvis", "ex:bornIn", "ex:tupelo");
+  auto onto = b.Build();
+  ASSERT_TRUE(onto.ok()) << onto.status().ToString();
+
+  const TermId elvis = *pool_.Find("ex:elvis", TermKind::kIri);
+  const TermId singer = *pool_.Find("ex:singer", TermKind::kIri);
+  const TermId tupelo = *pool_.Find("ex:tupelo", TermKind::kIri);
+  EXPECT_TRUE(onto->IsInstanceTerm(elvis));
+  EXPECT_TRUE(onto->IsClassTerm(singer));
+  EXPECT_FALSE(onto->IsInstanceTerm(singer));
+  EXPECT_TRUE(onto->IsInstanceTerm(tupelo));  // fact argument, not a class
+  EXPECT_EQ(onto->instances().size(), 2u);
+  EXPECT_EQ(onto->classes().size(), 1u);
+}
+
+TEST_F(OntologyTest, SubClassClosureIsTransitive) {
+  OntologyBuilder b(&pool_, "test");
+  b.AddSubClassOf("ex:singer", "ex:artist");
+  b.AddSubClassOf("ex:artist", "ex:person");
+  b.AddSubClassOf("ex:person", "ex:thing");
+  b.AddType("ex:elvis", "ex:singer");
+  auto onto = b.Build();
+  ASSERT_TRUE(onto.ok());
+
+  const TermId elvis = *pool_.Find("ex:elvis", TermKind::kIri);
+  const TermId singer = *pool_.Find("ex:singer", TermKind::kIri);
+  const TermId thing = *pool_.Find("ex:thing", TermKind::kIri);
+
+  // Type closure: elvis is an instance of every ancestor.
+  auto classes = onto->ClassesOf(elvis);
+  EXPECT_EQ(classes.size(), 4u);
+  EXPECT_TRUE(onto->IsSubClassOf(singer, thing));
+  EXPECT_FALSE(onto->IsSubClassOf(thing, singer));
+  EXPECT_TRUE(onto->IsSubClassOf(singer, singer));  // reflexive
+
+  // Instance index closed too.
+  auto members = onto->InstancesOf(thing);
+  ASSERT_EQ(members.size(), 1u);
+  EXPECT_EQ(members[0], elvis);
+}
+
+TEST_F(OntologyTest, SubPropertyClosureCopiesFacts) {
+  OntologyBuilder b(&pool_, "test");
+  b.AddSubPropertyOf("ex:hasCapital", "ex:hasCity");
+  b.AddFact("ex:uk", "ex:hasCapital", "ex:london");
+  auto onto = b.Build();
+  ASSERT_TRUE(onto.ok());
+
+  const TermId uk = *pool_.Find("ex:uk", TermKind::kIri);
+  // Both the direct and the implied statement exist.
+  EXPECT_EQ(onto->FactsAbout(uk).size(), 2u);
+  EXPECT_EQ(onto->num_relations(), 2u);
+}
+
+TEST_F(OntologyTest, SubPropertyClosureTransitive) {
+  OntologyBuilder b(&pool_, "test");
+  b.AddSubPropertyOf("ex:a", "ex:b");
+  b.AddSubPropertyOf("ex:b", "ex:c");
+  b.AddFact("ex:x", "ex:a", "ex:y");
+  auto onto = b.Build();
+  ASSERT_TRUE(onto.ok());
+  const TermId x = *pool_.Find("ex:x", TermKind::kIri);
+  EXPECT_EQ(onto->FactsAbout(x).size(), 3u);  // a, b, c
+}
+
+TEST_F(OntologyTest, ToleratesSubClassCycle) {
+  OntologyBuilder b(&pool_, "test");
+  b.AddSubClassOf("ex:a", "ex:b");
+  b.AddSubClassOf("ex:b", "ex:a");
+  b.AddType("ex:x", "ex:a");
+  auto onto = b.Build();
+  ASSERT_TRUE(onto.ok());
+  const TermId a = *pool_.Find("ex:a", TermKind::kIri);
+  const TermId b_cls = *pool_.Find("ex:b", TermKind::kIri);
+  EXPECT_TRUE(onto->IsSubClassOf(a, b_cls));
+  EXPECT_TRUE(onto->IsSubClassOf(b_cls, a));
+}
+
+TEST_F(OntologyTest, RejectsLiteralClass) {
+  OntologyBuilder b(&pool_, "test");
+  rdf::ParsedTriple t;
+  t.subject = "ex:x";
+  t.predicate = std::string(kRdfType);
+  t.object = "notaclass";
+  t.object_is_literal = true;
+  b.OnTriple(t);
+  auto onto = b.Build();
+  EXPECT_FALSE(onto.ok());
+}
+
+TEST_F(OntologyTest, OnTripleDispatchesVocabulary) {
+  OntologyBuilder b(&pool_, "test");
+  rdf::ParsedTriple t1{"ex:elvis", std::string(kRdfTypeFull), "ex:singer",
+                       false, "", ""};
+  rdf::ParsedTriple t2{"ex:singer", std::string(kRdfsSubClassOfFull),
+                       "ex:person", false, "", ""};
+  rdf::ParsedTriple t3{"ex:elvis", "ex:name", "Elvis", true, "", ""};
+  b.OnTriple(t1);
+  b.OnTriple(t2);
+  b.OnTriple(t3);
+  auto onto = b.Build();
+  ASSERT_TRUE(onto.ok());
+  EXPECT_EQ(onto->classes().size(), 2u);
+  EXPECT_EQ(onto->num_triples(), 1u);
+  const TermId elvis = *pool_.Find("ex:elvis", TermKind::kIri);
+  EXPECT_EQ(onto->ClassesOf(elvis).size(), 2u);
+}
+
+TEST_F(OntologyTest, LoadFromNTriples) {
+  const std::string doc =
+      "<ex:elvis> <rdf:type> <ex:singer> .\n"
+      "<ex:singer> <rdfs:subClassOf> <ex:person> .\n"
+      "<ex:elvis> <ex:bornIn> <ex:tupelo> .\n"
+      "<ex:elvis> <rdfs:label> \"Elvis Presley\" .\n";
+  auto onto = LoadOntologyFromNTriples(&pool_, "test", doc);
+  ASSERT_TRUE(onto.ok()) << onto.status().ToString();
+  EXPECT_EQ(onto->name(), "test");
+  EXPECT_EQ(onto->num_triples(), 2u);  // bornIn + label
+  EXPECT_EQ(onto->classes().size(), 2u);
+}
+
+TEST_F(OntologyTest, LoadPropagatesParserError) {
+  auto onto = LoadOntologyFromNTriples(&pool_, "bad", "not a triple\n");
+  EXPECT_FALSE(onto.ok());
+}
+
+TEST_F(OntologyTest, ClassWithFactsStaysClass) {
+  OntologyBuilder b(&pool_, "test");
+  b.AddType("ex:elvis", "ex:singer");
+  b.AddLiteralFact("ex:singer", "ex:label", "Singer");  // fact about a class
+  auto onto = b.Build();
+  ASSERT_TRUE(onto.ok());
+  const TermId singer = *pool_.Find("ex:singer", TermKind::kIri);
+  EXPECT_TRUE(onto->IsClassTerm(singer));
+  EXPECT_FALSE(onto->IsInstanceTerm(singer));
+}
+
+TEST_F(OntologyTest, DeduplicatesFacts) {
+  OntologyBuilder b(&pool_, "test");
+  b.AddFact("ex:a", "ex:p", "ex:b");
+  b.AddFact("ex:a", "ex:p", "ex:b");
+  auto onto = b.Build();
+  ASSERT_TRUE(onto.ok());
+  EXPECT_EQ(onto->num_triples(), 1u);
+}
+
+}  // namespace
+}  // namespace paris::ontology

@@ -1,0 +1,324 @@
+// Property-based test suites (parameterized gtest): invariants that must
+// hold for every input — probability ranges, symmetry of the equivalence
+// computation, edit-distance metric properties, parser round-trips, and
+// world-generation consistency, swept over seeds and dataset profiles.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/aligner.h"
+#include "rdf/ntriples.h"
+#include "synth/profiles.h"
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace paris {
+namespace {
+
+// ---------------------------------------------------------------------------
+// String metric properties, swept over random strings.
+// ---------------------------------------------------------------------------
+
+class EditDistanceProperty : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  static std::string RandomString(util::Rng& rng, size_t max_len) {
+    const size_t len = static_cast<size_t>(rng.UniformInt(
+        0, static_cast<int64_t>(max_len)));
+    std::string s;
+    for (size_t i = 0; i < len; ++i) {
+      s.push_back(static_cast<char>('a' + rng.UniformInt(0, 5)));
+    }
+    return s;
+  }
+};
+
+TEST_P(EditDistanceProperty, MetricAxioms) {
+  util::Rng rng(GetParam());
+  for (int i = 0; i < 50; ++i) {
+    const std::string a = RandomString(rng, 20);
+    const std::string b = RandomString(rng, 20);
+    const std::string c = RandomString(rng, 20);
+    const size_t ab = util::EditDistance(a, b);
+    const size_t ba = util::EditDistance(b, a);
+    EXPECT_EQ(ab, ba);                                // symmetry
+    EXPECT_EQ(util::EditDistance(a, a), 0u);          // identity
+    const size_t diff =
+        a.size() > b.size() ? a.size() - b.size() : b.size() - a.size();
+    EXPECT_GE(ab, diff);                              // length lower bound
+    EXPECT_LE(ab, std::max(a.size(), b.size()));      // upper bound
+    const size_t ac = util::EditDistance(a, c);
+    const size_t cb = util::EditDistance(c, b);
+    EXPECT_LE(ab, ac + cb);                           // triangle inequality
+  }
+}
+
+TEST_P(EditDistanceProperty, BoundedAgreesWithExact) {
+  util::Rng rng(GetParam() ^ 0x1234);
+  for (int i = 0; i < 50; ++i) {
+    const std::string a = RandomString(rng, 16);
+    const std::string b = RandomString(rng, 16);
+    const size_t exact = util::EditDistance(a, b);
+    for (size_t bound : {size_t{0}, size_t{2}, size_t{5}, size_t{100}}) {
+      const size_t bounded = util::BoundedEditDistance(a, b, bound);
+      if (exact <= bound) {
+        EXPECT_EQ(bounded, exact) << a << " / " << b;
+      } else {
+        EXPECT_EQ(bounded, bound + 1) << a << " / " << b;
+      }
+    }
+  }
+}
+
+TEST_P(EditDistanceProperty, SimilarityInUnitRange) {
+  util::Rng rng(GetParam() ^ 0x9999);
+  for (int i = 0; i < 50; ++i) {
+    const std::string a = RandomString(rng, 20);
+    const std::string b = RandomString(rng, 20);
+    const double sim = util::EditSimilarity(a, b);
+    EXPECT_GE(sim, 0.0);
+    EXPECT_LE(sim, 1.0);
+    EXPECT_DOUBLE_EQ(util::EditSimilarity(a, a), 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EditDistanceProperty,
+                         ::testing::Values(1, 7, 42, 1234, 99999));
+
+// ---------------------------------------------------------------------------
+// N-Triples round trip over escaped content.
+// ---------------------------------------------------------------------------
+
+class NTriplesRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(NTriplesRoundTrip, FormatParseIdentity) {
+  util::Rng rng(GetParam());
+  const std::string special = "\"\\\n\r\t aé#<>.";
+  for (int i = 0; i < 40; ++i) {
+    rdf::ParsedTriple t;
+    t.subject = "ex:s" + std::to_string(rng.UniformInt(0, 100));
+    t.predicate = "ex:p" + std::to_string(rng.UniformInt(0, 10));
+    t.object_is_literal = rng.Bernoulli(0.7);
+    if (t.object_is_literal) {
+      std::string lit;
+      const int len = static_cast<int>(rng.UniformInt(0, 12));
+      for (int k = 0; k < len; ++k) {
+        lit.push_back(special[static_cast<size_t>(rng.UniformInt(
+            0, static_cast<int64_t>(special.size()) - 1))]);
+      }
+      t.object = lit;
+      if (rng.Bernoulli(0.3)) t.datatype = "xsd:string";
+    } else {
+      t.object = "ex:o" + std::to_string(rng.UniformInt(0, 100));
+    }
+    const std::string line = rdf::NTriplesWriter::FormatTriple(t);
+    rdf::ParsedTriple back;
+    bool is_triple = false;
+    const auto status = rdf::NTriplesParser::ParseLine(line, &back,
+                                                       &is_triple);
+    ASSERT_TRUE(status.ok()) << line << " -> " << status.ToString();
+    ASSERT_TRUE(is_triple);
+    EXPECT_EQ(back.subject, t.subject);
+    EXPECT_EQ(back.predicate, t.predicate);
+    EXPECT_EQ(back.object, t.object);
+    EXPECT_EQ(back.object_is_literal, t.object_is_literal);
+    EXPECT_EQ(back.datatype, t.datatype);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NTriplesRoundTrip,
+                         ::testing::Values(3, 17, 256));
+
+// ---------------------------------------------------------------------------
+// Alignment invariants over dataset profiles.
+// ---------------------------------------------------------------------------
+
+struct ProfileCase {
+  const char* name;
+  util::StatusOr<synth::OntologyPair> (*make)(const synth::ProfileOptions&);
+  double scale;
+};
+
+class AlignmentInvariants : public ::testing::TestWithParam<ProfileCase> {
+ protected:
+  static void SetUpTestSuite() {
+    util::SetLogLevel(util::LogLevel::kWarning);
+  }
+};
+
+TEST_P(AlignmentInvariants, ProbabilitiesWellFormed) {
+  const ProfileCase& param = GetParam();
+  synth::ProfileOptions options;
+  options.scale = param.scale;
+  auto pair = param.make(options);
+  ASSERT_TRUE(pair.ok());
+  core::AlignmentConfig config;
+  config.max_iterations = 3;
+  core::AlignmentResult result =
+      core::Aligner(*pair->left, *pair->right, config).Run();
+
+  // Every stored instance probability lies in [threshold, 1]; candidate
+  // lists are sorted best-first; every candidate is an instance of the
+  // right ontology.
+  for (rdf::TermId left : pair->left->instances()) {
+    const auto span = result.instances.LeftToRight(left);
+    double previous = 2.0;
+    for (const core::Candidate& c : span) {
+      EXPECT_GE(c.prob, config.theta);
+      EXPECT_LE(c.prob, 1.0);
+      EXPECT_LE(c.prob, previous);
+      previous = c.prob;
+      EXPECT_TRUE(pair->right->IsInstanceTerm(c.other));
+    }
+  }
+  // Relation and class scores in (0, 1].
+  for (const auto& e : result.relations.Entries()) {
+    EXPECT_GT(e.score, 0.0);
+    EXPECT_LE(e.score, 1.0);
+    EXPECT_NE(e.sub, rdf::kNullRel);
+    EXPECT_NE(e.super, rdf::kNullRel);
+  }
+  for (const auto& e : result.classes.entries()) {
+    EXPECT_GT(e.score, 0.0);
+    EXPECT_LE(e.score, 1.0);
+    const auto& sub_onto = e.sub_is_left ? *pair->left : *pair->right;
+    const auto& super_onto = e.sub_is_left ? *pair->right : *pair->left;
+    EXPECT_TRUE(sub_onto.IsClassTerm(e.sub));
+    EXPECT_TRUE(super_onto.IsClassTerm(e.super));
+  }
+}
+
+TEST_P(AlignmentInvariants, TransposeConsistent) {
+  const ProfileCase& param = GetParam();
+  synth::ProfileOptions options;
+  options.scale = param.scale;
+  auto pair = param.make(options);
+  ASSERT_TRUE(pair.ok());
+  core::AlignmentConfig config;
+  config.max_iterations = 2;
+  core::AlignmentResult result =
+      core::Aligner(*pair->left, *pair->right, config).Run();
+  // Every (left → right, p) appears as (right → left, p) in the transpose.
+  for (rdf::TermId left : pair->left->instances()) {
+    for (const core::Candidate& c : result.instances.LeftToRight(left)) {
+      const auto back = result.instances.RightToLeft(c.other);
+      const bool found =
+          std::any_of(back.begin(), back.end(), [&](const core::Candidate& b) {
+            return b.other == left && b.prob == c.prob;
+          });
+      EXPECT_TRUE(found);
+    }
+  }
+}
+
+TEST_P(AlignmentInvariants, SwappingOntologiesTransposesScores) {
+  const ProfileCase& param = GetParam();
+  synth::ProfileOptions options;
+  options.scale = param.scale;
+  auto pair = param.make(options);
+  ASSERT_TRUE(pair.ok());
+  // One iteration: Eq. (13) is symmetric in the two ontologies, so the
+  // first pass must produce the exact transposed probability table. (From
+  // iteration 2 on, the §5.2 maximal-assignment gating is direction-
+  // dependent, so exact symmetry is no longer guaranteed.)
+  core::AlignmentConfig config;
+  config.max_iterations = 1;
+  core::AlignmentResult forward =
+      core::Aligner(*pair->left, *pair->right, config).Run();
+  core::AlignmentResult backward =
+      core::Aligner(*pair->right, *pair->left, config).Run();
+  size_t checked = 0;
+  for (rdf::TermId left : pair->left->instances()) {
+    for (const core::Candidate& c : forward.instances.LeftToRight(left)) {
+      const auto mirrored = backward.instances.LeftToRight(c.other);
+      const bool found = std::any_of(
+          mirrored.begin(), mirrored.end(), [&](const core::Candidate& b) {
+            return b.other == left && std::abs(b.prob - c.prob) < 1e-9;
+          });
+      EXPECT_TRUE(found) << pair->left->TermName(left) << " vs "
+                         << pair->right->TermName(c.other);
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Profiles, AlignmentInvariants,
+    ::testing::Values(
+        ProfileCase{"person", &synth::MakeOaeiPersonPair, 0.5},
+        ProfileCase{"restaurant", &synth::MakeOaeiRestaurantPair, 1.0},
+        ProfileCase{"yago_dbpedia", &synth::MakeYagoDbpediaPair, 0.08},
+        ProfileCase{"yago_imdb", &synth::MakeYagoImdbPair, 0.08}),
+    [](const ::testing::TestParamInfo<ProfileCase>& info) {
+      return info.param.name;
+    });
+
+// ---------------------------------------------------------------------------
+// World-generation invariants over seeds.
+// ---------------------------------------------------------------------------
+
+class WorldInvariants : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WorldInvariants, EdgesRespectDomainAndRange) {
+  synth::WorldSpec spec;
+  spec.seed = GetParam();
+  spec.classes = {{"root", -1}, {"a", 0}, {"b", 0}, {"a1", 1}};
+  spec.groups = {{3, 40, "x"}, {2, 25, "y"}};
+  spec.attributes = {
+      {"name", 1, synth::ValueKind::kPersonName, 0.8, 0.2, 2, false}};
+  spec.relations = {{"r", 1, 2, 0.7, 0.3, 3, 0.9}};
+  const synth::World world = synth::World::Generate(spec);
+  for (const synth::WorldEdge& e : world.edges()) {
+    EXPECT_TRUE(world.ClassInSubtree(
+        world.entities()[static_cast<size_t>(e.source)].cls, 1));
+    EXPECT_TRUE(world.ClassInSubtree(
+        world.entities()[static_cast<size_t>(e.target)].cls, 2));
+    EXPECT_NE(e.source, e.target);
+  }
+  // Attribute values only on the domain subtree; multiplicity respected.
+  for (const auto& entity : world.entities()) {
+    int values = 0;
+    for (const auto& [attr, value] : entity.attributes) {
+      EXPECT_EQ(attr, 0);
+      EXPECT_FALSE(value.empty());
+      ++values;
+    }
+    if (!world.ClassInSubtree(entity.cls, 1)) {
+      EXPECT_EQ(values, 0);
+    } else {
+      EXPECT_LE(values, 2);
+    }
+    EXPECT_GE(entity.prominence, 0.0);
+    EXPECT_LE(entity.prominence, 1.0);
+  }
+}
+
+TEST_P(WorldInvariants, InclusionRateTracksCoverage) {
+  synth::WorldSpec spec;
+  spec.seed = GetParam();
+  spec.classes = {{"root", -1}};
+  spec.groups = {{0, 4000, "e"}};
+  const synth::World world = synth::World::Generate(spec);
+  for (double coverage : {0.2, 0.5, 0.8}) {
+    for (double correlation : {0.0, 0.5, 0.9}) {
+      synth::DeriveSpec s;
+      s.seed = GetParam() + 17;
+      s.entity_coverage = coverage;
+      s.prominence_correlation = correlation;
+      size_t included = 0;
+      for (int e = 0; e < 4000; ++e) {
+        if (synth::PairDeriver::Includes(s, world, e)) ++included;
+      }
+      const double rate = static_cast<double>(included) / 4000.0;
+      EXPECT_NEAR(rate, coverage, 0.05)
+          << "coverage=" << coverage << " corr=" << correlation;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WorldInvariants,
+                         ::testing::Values(5, 11, 2024));
+
+}  // namespace
+}  // namespace paris

@@ -1,0 +1,338 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "rdf/ntriples.h"
+#include "rdf/store.h"
+#include "rdf/term.h"
+#include "rdf/triple.h"
+
+namespace paris::rdf {
+namespace {
+
+// ---------------------------------------------------------------------------
+// TermPool
+// ---------------------------------------------------------------------------
+
+TEST(TermPoolTest, InternReturnsStableIds) {
+  TermPool pool;
+  const TermId a = pool.InternIri("ex:a");
+  const TermId b = pool.InternIri("ex:b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(pool.InternIri("ex:a"), a);
+  EXPECT_EQ(pool.size(), 2u);
+}
+
+TEST(TermPoolTest, IriAndLiteralAreDistinct) {
+  TermPool pool;
+  const TermId iri = pool.InternIri("London");
+  const TermId lit = pool.InternLiteral("London");
+  EXPECT_NE(iri, lit);
+  EXPECT_FALSE(pool.IsLiteral(iri));
+  EXPECT_TRUE(pool.IsLiteral(lit));
+  EXPECT_EQ(pool.lexical(iri), "London");
+  EXPECT_EQ(pool.lexical(lit), "London");
+}
+
+TEST(TermPoolTest, FindWithoutInterning) {
+  TermPool pool;
+  EXPECT_FALSE(pool.Find("ex:a", TermKind::kIri).has_value());
+  const TermId a = pool.InternIri("ex:a");
+  auto found = pool.Find("ex:a", TermKind::kIri);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(*found, a);
+  EXPECT_FALSE(pool.Find("ex:a", TermKind::kLiteral).has_value());
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(TermPoolTest, ManyTermsKeepLexicalStable) {
+  TermPool pool;
+  std::vector<TermId> ids;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(pool.InternIri("term" + std::to_string(i)));
+  }
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(pool.lexical(ids[static_cast<size_t>(i)]),
+              "term" + std::to_string(i));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Signed relations
+// ---------------------------------------------------------------------------
+
+TEST(RelIdTest, InverseEncoding) {
+  EXPECT_EQ(Inverse(3), -3);
+  EXPECT_EQ(Inverse(-3), 3);
+  EXPECT_TRUE(IsInverse(-1));
+  EXPECT_FALSE(IsInverse(1));
+  EXPECT_EQ(BaseRel(-7), 7);
+  EXPECT_EQ(BaseRel(7), 7);
+}
+
+// ---------------------------------------------------------------------------
+// TripleStore
+// ---------------------------------------------------------------------------
+
+class TripleStoreTest : public ::testing::Test {
+ protected:
+  TripleStoreTest() : store_(&pool_) {
+    alice_ = pool_.InternIri("ex:alice");
+    bob_ = pool_.InternIri("ex:bob");
+    carol_ = pool_.InternIri("ex:carol");
+    knows_ = store_.InternRelation(pool_.InternIri("ex:knows"));
+    likes_ = store_.InternRelation(pool_.InternIri("ex:likes"));
+  }
+
+  TermPool pool_;
+  TripleStore store_;
+  TermId alice_, bob_, carol_;
+  RelId knows_, likes_;
+};
+
+TEST_F(TripleStoreTest, AddAndFactsAbout) {
+  store_.Add(alice_, knows_, bob_);
+  store_.Finalize();
+  auto facts = store_.FactsAbout(alice_);
+  ASSERT_EQ(facts.size(), 1u);
+  EXPECT_EQ(facts[0].rel, knows_);
+  EXPECT_EQ(facts[0].other, bob_);
+  // The inverse statement is materialized on bob.
+  auto bob_facts = store_.FactsAbout(bob_);
+  ASSERT_EQ(bob_facts.size(), 1u);
+  EXPECT_EQ(bob_facts[0].rel, Inverse(knows_));
+  EXPECT_EQ(bob_facts[0].other, alice_);
+}
+
+TEST_F(TripleStoreTest, AddWithInverseRelNormalizes) {
+  // Add(bob, knows⁻¹, alice) must equal Add(alice, knows, bob).
+  store_.Add(bob_, Inverse(knows_), alice_);
+  store_.Finalize();
+  EXPECT_TRUE(store_.Contains(alice_, knows_, bob_));
+  EXPECT_TRUE(store_.Contains(bob_, Inverse(knows_), alice_));
+  EXPECT_EQ(store_.num_triples(), 1u);
+}
+
+TEST_F(TripleStoreTest, FinalizeDeduplicates) {
+  store_.Add(alice_, knows_, bob_);
+  store_.Add(alice_, knows_, bob_);
+  store_.Add(alice_, knows_, bob_);
+  store_.Finalize();
+  EXPECT_EQ(store_.num_triples(), 1u);
+  EXPECT_EQ(store_.FactsAbout(alice_).size(), 1u);
+}
+
+TEST_F(TripleStoreTest, FactsSortedByRelationThenOther) {
+  store_.Add(alice_, likes_, carol_);
+  store_.Add(alice_, knows_, carol_);
+  store_.Add(alice_, knows_, bob_);
+  store_.Finalize();
+  auto facts = store_.FactsAbout(alice_);
+  ASSERT_EQ(facts.size(), 3u);
+  EXPECT_TRUE(facts[0].rel <= facts[1].rel && facts[1].rel <= facts[2].rel);
+  EXPECT_EQ(facts[0].rel, knows_);
+  EXPECT_EQ(facts[0].other, bob_);
+}
+
+TEST_F(TripleStoreTest, PairsOfAndForEachPair) {
+  store_.Add(alice_, knows_, bob_);
+  store_.Add(alice_, knows_, carol_);
+  store_.Finalize();
+  EXPECT_EQ(store_.PairCount(knows_), 2u);
+  EXPECT_EQ(store_.PairCount(Inverse(knows_)), 2u);
+
+  // Inverse iteration swaps the pair.
+  std::vector<std::pair<TermId, TermId>> inv_pairs;
+  store_.ForEachPair(Inverse(knows_), 0, [&](TermId x, TermId y) {
+    inv_pairs.emplace_back(x, y);
+  });
+  ASSERT_EQ(inv_pairs.size(), 2u);
+  for (const auto& [x, y] : inv_pairs) {
+    EXPECT_EQ(y, alice_);
+  }
+}
+
+TEST_F(TripleStoreTest, ForEachPairHonorsLimit) {
+  for (int i = 0; i < 10; ++i) {
+    store_.Add(alice_, knows_, pool_.InternIri("ex:p" + std::to_string(i)));
+  }
+  store_.Finalize();
+  size_t count = 0;
+  store_.ForEachPair(knows_, 3, [&](TermId, TermId) { ++count; });
+  EXPECT_EQ(count, 3u);
+}
+
+TEST_F(TripleStoreTest, ObjectsOfFiltersByRelation) {
+  store_.Add(alice_, knows_, bob_);
+  store_.Add(alice_, likes_, carol_);
+  store_.Finalize();
+  auto objs = store_.ObjectsOf(alice_, knows_);
+  ASSERT_EQ(objs.size(), 1u);
+  EXPECT_EQ(objs[0], bob_);
+}
+
+TEST_F(TripleStoreTest, UnknownTermHasNoFacts) {
+  store_.Finalize();
+  const TermId stranger = pool_.InternIri("ex:stranger");
+  EXPECT_TRUE(store_.FactsAbout(stranger).empty());
+  EXPECT_FALSE(store_.ContainsTerm(stranger));
+}
+
+TEST_F(TripleStoreTest, RelationDebugName) {
+  store_.Finalize();
+  EXPECT_EQ(store_.RelationDebugName(knows_), "ex:knows");
+  EXPECT_EQ(store_.RelationDebugName(Inverse(knows_)), "ex:knows^-1");
+}
+
+TEST_F(TripleStoreTest, LiteralObjects) {
+  const TermId name = pool_.InternLiteral("Alice");
+  store_.Add(alice_, likes_, name);
+  store_.Finalize();
+  // The literal's adjacency points back at the subject.
+  auto facts = store_.FactsAbout(name);
+  ASSERT_EQ(facts.size(), 1u);
+  EXPECT_EQ(facts[0].rel, Inverse(likes_));
+  EXPECT_EQ(facts[0].other, alice_);
+}
+
+// ---------------------------------------------------------------------------
+// N-Triples parser
+// ---------------------------------------------------------------------------
+
+TEST(NTriplesTest, ParsesResourceTriple) {
+  ParsedTriple t;
+  bool is_triple = false;
+  auto s = NTriplesParser::ParseLine("<ex:a> <ex:knows> <ex:b> .", &t,
+                                     &is_triple);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  ASSERT_TRUE(is_triple);
+  EXPECT_EQ(t.subject, "ex:a");
+  EXPECT_EQ(t.predicate, "ex:knows");
+  EXPECT_EQ(t.object, "ex:b");
+  EXPECT_FALSE(t.object_is_literal);
+}
+
+TEST(NTriplesTest, ParsesLiteralWithEscapes) {
+  ParsedTriple t;
+  bool is_triple = false;
+  auto s = NTriplesParser::ParseLine(
+      R"(<ex:a> <ex:label> "say \"hi\"\n" .)", &t, &is_triple);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  ASSERT_TRUE(is_triple);
+  EXPECT_TRUE(t.object_is_literal);
+  EXPECT_EQ(t.object, "say \"hi\"\n");
+}
+
+TEST(NTriplesTest, ParsesTypedLiteral) {
+  ParsedTriple t;
+  bool is_triple = false;
+  auto s = NTriplesParser::ParseLine(
+      "<ex:a> <ex:age> \"42\"^^<http://www.w3.org/2001/XMLSchema#int> .", &t,
+      &is_triple);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(t.object, "42");
+  EXPECT_EQ(t.datatype, "http://www.w3.org/2001/XMLSchema#int");
+}
+
+TEST(NTriplesTest, ParsesLanguageTag) {
+  ParsedTriple t;
+  bool is_triple = false;
+  auto s = NTriplesParser::ParseLine("<ex:a> <ex:label> \"Londres\"@fr .",
+                                     &t, &is_triple);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(t.language, "fr");
+  EXPECT_EQ(t.object, "Londres");
+}
+
+TEST(NTriplesTest, ParsesUnicodeEscape) {
+  ParsedTriple t;
+  bool is_triple = false;
+  auto s = NTriplesParser::ParseLine(
+      R"(<ex:a> <ex:label> "café" .)", &t, &is_triple);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(t.object, "caf\xc3\xa9");
+}
+
+TEST(NTriplesTest, SkipsCommentsAndBlankLines) {
+  ParsedTriple t;
+  bool is_triple = true;
+  ASSERT_TRUE(NTriplesParser::ParseLine("", &t, &is_triple).ok());
+  EXPECT_FALSE(is_triple);
+  ASSERT_TRUE(NTriplesParser::ParseLine("# comment", &t, &is_triple).ok());
+  EXPECT_FALSE(is_triple);
+  ASSERT_TRUE(NTriplesParser::ParseLine("   ", &t, &is_triple).ok());
+  EXPECT_FALSE(is_triple);
+}
+
+TEST(NTriplesTest, RejectsBlankNodes) {
+  ParsedTriple t;
+  bool is_triple = false;
+  EXPECT_FALSE(
+      NTriplesParser::ParseLine("_:b1 <ex:p> <ex:o> .", &t, &is_triple).ok());
+  EXPECT_FALSE(
+      NTriplesParser::ParseLine("<ex:s> <ex:p> _:b1 .", &t, &is_triple).ok());
+}
+
+TEST(NTriplesTest, RejectsMalformedLines) {
+  ParsedTriple t;
+  bool is_triple = false;
+  EXPECT_FALSE(NTriplesParser::ParseLine("<ex:a> <ex:b>", &t, &is_triple).ok());
+  EXPECT_FALSE(
+      NTriplesParser::ParseLine("<ex:a> <ex:b> <ex:c>", &t, &is_triple).ok());
+  EXPECT_FALSE(NTriplesParser::ParseLine("<ex:a> <ex:b> \"unterminated .",
+                                         &t, &is_triple)
+                   .ok());
+  EXPECT_FALSE(NTriplesParser::ParseLine(
+                   "<ex:a> <ex:b> <ex:c> . trailing", &t, &is_triple)
+                   .ok());
+}
+
+TEST(NTriplesTest, DocumentReportsLineNumber) {
+  VectorTripleSink sink;
+  const std::string doc =
+      "<ex:a> <ex:p> <ex:b> .\n"
+      "garbage line\n";
+  auto s = NTriplesParser::ParseDocument(doc, &sink);
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("line 2"), std::string::npos) << s.ToString();
+  EXPECT_EQ(sink.triples().size(), 1u);
+}
+
+TEST(NTriplesTest, DocumentParsesAll) {
+  VectorTripleSink sink;
+  const std::string doc =
+      "# header\n"
+      "<ex:a> <ex:p> <ex:b> .\n"
+      "\n"
+      "<ex:b> <ex:label> \"B\" .\n";
+  auto s = NTriplesParser::ParseDocument(doc, &sink);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(sink.triples().size(), 2u);
+}
+
+TEST(NTriplesTest, WriterRoundTrip) {
+  const std::string doc =
+      "<ex:a> <ex:p> <ex:b> .\n"
+      "<ex:a> <ex:label> \"line\\nbreak \\\"q\\\"\" .\n"
+      "<ex:a> <ex:age> \"42\"^^<xsd:int> .\n"
+      "<ex:a> <ex:name> \"Bob\"@en .\n";
+  VectorTripleSink sink;
+  ASSERT_TRUE(NTriplesParser::ParseDocument(doc, &sink).ok());
+  std::ostringstream out;
+  NTriplesWriter::WriteTriples(sink.triples(), out);
+  VectorTripleSink sink2;
+  ASSERT_TRUE(NTriplesParser::ParseDocument(out.str(), &sink2).ok());
+  ASSERT_EQ(sink.triples().size(), sink2.triples().size());
+  for (size_t i = 0; i < sink.triples().size(); ++i) {
+    EXPECT_EQ(sink.triples()[i].subject, sink2.triples()[i].subject);
+    EXPECT_EQ(sink.triples()[i].predicate, sink2.triples()[i].predicate);
+    EXPECT_EQ(sink.triples()[i].object, sink2.triples()[i].object);
+    EXPECT_EQ(sink.triples()[i].object_is_literal,
+              sink2.triples()[i].object_is_literal);
+    EXPECT_EQ(sink.triples()[i].datatype, sink2.triples()[i].datatype);
+    EXPECT_EQ(sink.triples()[i].language, sink2.triples()[i].language);
+  }
+}
+
+}  // namespace
+}  // namespace paris::rdf

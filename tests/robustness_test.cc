@@ -1,0 +1,257 @@
+// Robustness / failure-injection tests: malformed inputs must produce
+// errors (never crashes or silent corruption), degenerate ontologies must
+// align to sane empty-ish results, and resource guards must hold.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/aligner.h"
+#include "core/literal_match.h"
+#include "ontology/export.h"
+#include "ontology/ontology.h"
+#include "rdf/ntriples.h"
+#include "rdf/turtle.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace paris {
+namespace {
+
+using core::Aligner;
+using core::AlignmentConfig;
+using core::AlignmentResult;
+using ontology::Ontology;
+using ontology::OntologyBuilder;
+
+class RobustnessTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    util::SetLogLevel(util::LogLevel::kNone);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Parser fuzzing: random garbage never crashes, always errors or parses.
+// ---------------------------------------------------------------------------
+
+TEST_F(RobustnessTest, NTriplesParserSurvivesGarbage) {
+  util::Rng rng(314);
+  const std::string alphabet = "<>\"\\.@^#_:abc \t\n";
+  for (int i = 0; i < 500; ++i) {
+    std::string doc;
+    const int len = static_cast<int>(rng.UniformInt(0, 60));
+    for (int k = 0; k < len; ++k) {
+      doc.push_back(alphabet[static_cast<size_t>(rng.UniformInt(
+          0, static_cast<int64_t>(alphabet.size()) - 1))]);
+    }
+    rdf::VectorTripleSink sink;
+    // Must not crash; status may be anything.
+    (void)rdf::NTriplesParser::ParseDocument(doc, &sink);
+  }
+}
+
+TEST_F(RobustnessTest, TurtleParserSurvivesGarbage) {
+  util::Rng rng(2718);
+  const std::string alphabet = "<>\"'\\.;,@^#_:()[]abc 123\t\n";
+  for (int i = 0; i < 500; ++i) {
+    std::string doc = "@prefix ex: <http://e/> .\n";
+    const int len = static_cast<int>(rng.UniformInt(0, 80));
+    for (int k = 0; k < len; ++k) {
+      doc.push_back(alphabet[static_cast<size_t>(rng.UniformInt(
+          0, static_cast<int64_t>(alphabet.size()) - 1))]);
+    }
+    rdf::VectorTripleSink sink;
+    (void)rdf::TurtleParser::ParseDocument(doc, &sink);
+  }
+}
+
+TEST_F(RobustnessTest, ParserRejectsMissingFile) {
+  rdf::VectorTripleSink sink;
+  EXPECT_EQ(rdf::NTriplesParser::ParseFile("/nonexistent/x.nt", &sink).code(),
+            util::StatusCode::kNotFound);
+  EXPECT_EQ(rdf::TurtleParser::ParseFile("/nonexistent/x.ttl", &sink).code(),
+            util::StatusCode::kNotFound);
+}
+
+// ---------------------------------------------------------------------------
+// Degenerate ontologies.
+// ---------------------------------------------------------------------------
+
+TEST_F(RobustnessTest, EmptyOntologiesAlign) {
+  rdf::TermPool pool;
+  auto left = OntologyBuilder(&pool, "l").Build();
+  auto right = OntologyBuilder(&pool, "r").Build();
+  ASSERT_TRUE(left.ok() && right.ok());
+  AlignmentResult result = Aligner(*left, *right).Run();
+  EXPECT_EQ(result.instances.num_left_aligned(), 0u);
+  EXPECT_EQ(result.relations.size(), 0u);
+  EXPECT_TRUE(result.classes.entries().empty());
+  EXPECT_FALSE(result.iterations.empty());
+}
+
+TEST_F(RobustnessTest, OneEmptySideAligns) {
+  rdf::TermPool pool;
+  OntologyBuilder bl(&pool, "l");
+  bl.AddLiteralFact("l:a", "l:k", "v");
+  bl.AddType("l:a", "l:C");
+  auto left = bl.Build();
+  auto right = OntologyBuilder(&pool, "r").Build();
+  ASSERT_TRUE(left.ok() && right.ok());
+  AlignmentResult result = Aligner(*left, *right).Run();
+  EXPECT_EQ(result.instances.num_left_aligned(), 0u);
+}
+
+TEST_F(RobustnessTest, NoLiteralsNoBootstrapEvidence) {
+  // Pure graph structure without literals: iteration 1 has no anchor, so
+  // nothing can ever align — and nothing crashes.
+  rdf::TermPool pool;
+  OntologyBuilder bl(&pool, "l");
+  for (int i = 0; i < 10; ++i) {
+    bl.AddFact("l:n" + std::to_string(i), "l:edge",
+               "l:n" + std::to_string((i + 1) % 10));
+  }
+  auto left = bl.Build();
+  OntologyBuilder br(&pool, "r");
+  for (int i = 0; i < 10; ++i) {
+    br.AddFact("r:n" + std::to_string(i), "r:edge",
+               "r:n" + std::to_string((i + 1) % 10));
+  }
+  auto right = br.Build();
+  ASSERT_TRUE(left.ok() && right.ok());
+  AlignmentResult result = Aligner(*left, *right).Run();
+  EXPECT_EQ(result.instances.num_left_aligned(), 0u);
+}
+
+TEST_F(RobustnessTest, SelfLoopsAndReflexiveRelations) {
+  rdf::TermPool pool;
+  OntologyBuilder bl(&pool, "l");
+  bl.AddFact("l:a", "l:rel", "l:a");  // self-loop
+  bl.AddLiteralFact("l:a", "l:k", "key");
+  auto left = bl.Build();
+  OntologyBuilder br(&pool, "r");
+  br.AddFact("r:x", "r:rel", "r:x");
+  br.AddLiteralFact("r:x", "r:k", "key");
+  auto right = br.Build();
+  ASSERT_TRUE(left.ok() && right.ok());
+  AlignmentResult result = Aligner(*left, *right).Run();
+  const auto l_a = *pool.Find("l:a", rdf::TermKind::kIri);
+  const auto* m = result.instances.MaxOfLeft(l_a);
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->other, *pool.Find("r:x", rdf::TermKind::kIri));
+}
+
+TEST_F(RobustnessTest, HubFanoutGuard) {
+  // A literal shared by everyone: with max_neighbor_fanout smaller than the
+  // hub degree, the hub is skipped and nothing aligns through it.
+  rdf::TermPool pool;
+  OntologyBuilder bl(&pool, "l");
+  for (int i = 0; i < 50; ++i) {
+    bl.AddLiteralFact("l:e" + std::to_string(i), "l:tag", "ubiquitous");
+  }
+  auto left = bl.Build();
+  OntologyBuilder br(&pool, "r");
+  for (int i = 0; i < 50; ++i) {
+    br.AddLiteralFact("r:f" + std::to_string(i), "r:tag", "ubiquitous");
+  }
+  auto right = br.Build();
+  ASSERT_TRUE(left.ok() && right.ok());
+
+  AlignmentConfig guarded;
+  guarded.max_neighbor_fanout = 10;
+  AlignmentResult result = Aligner(*left, *right, guarded).Run();
+  EXPECT_EQ(result.instances.num_left_aligned(), 0u);
+
+  // Without the guard the hub is expanded (and the low inverse
+  // functionality keeps the probabilities below θ anyway).
+  AlignmentConfig unguarded;
+  AlignmentResult result2 = Aligner(*left, *right, unguarded).Run();
+  EXPECT_EQ(result2.instances.num_left_aligned(), 0u);
+}
+
+TEST_F(RobustnessTest, MaxIterationsZeroProducesEmptyResult) {
+  rdf::TermPool pool;
+  OntologyBuilder bl(&pool, "l");
+  bl.AddLiteralFact("l:a", "l:k", "v");
+  auto left = bl.Build();
+  OntologyBuilder br(&pool, "r");
+  br.AddLiteralFact("r:b", "r:k", "v");
+  auto right = br.Build();
+  ASSERT_TRUE(left.ok() && right.ok());
+  AlignmentConfig config;
+  config.max_iterations = 0;
+  AlignmentResult result = Aligner(*left, *right, config).Run();
+  EXPECT_TRUE(result.iterations.empty());
+  EXPECT_EQ(result.instances.num_left_aligned(), 0u);
+}
+
+TEST_F(RobustnessTest, MatchersHandleEmptyAndUnicodeLiterals) {
+  rdf::TermPool pool;
+  OntologyBuilder br(&pool, "r");
+  br.AddLiteralFact("r:a", "r:k", "");
+  br.AddLiteralFact("r:b", "r:k", "日本語のテキスト");
+  br.AddLiteralFact("r:c", "r:k", "   ");
+  auto right = br.Build();
+  ASSERT_TRUE(right.ok());
+  const rdf::TermId empty = pool.InternLiteral("");
+  const rdf::TermId unicode = pool.InternLiteral("日本語のテキスト");
+  for (const auto& factory :
+       {core::IdentityMatcherFactory(), core::NormalizingMatcherFactory(),
+        core::FuzzyMatcherFactory()}) {
+    auto matcher = factory();
+    matcher->IndexTarget(*right);
+    std::vector<core::Candidate> out;
+    matcher->Match(empty, &out);    // must not crash
+    matcher->Match(unicode, &out);  // must not crash
+  }
+  core::TokenJaccardMatcher token_matcher;
+  token_matcher.IndexTarget(*right);
+  std::vector<core::Candidate> out;
+  token_matcher.Match(empty, &out);
+  token_matcher.Match(unicode, &out);
+}
+
+TEST_F(RobustnessTest, TokenJaccardHandlesReorderedWords) {
+  rdf::TermPool pool;
+  OntologyBuilder br(&pool, "r");
+  br.AddLiteralFact("r:m", "r:title", "Sanshiro Sugata");
+  auto right = br.Build();
+  ASSERT_TRUE(right.ok());
+  core::TokenJaccardMatcher matcher(0.9, 4);
+  matcher.IndexTarget(*right);
+  std::vector<core::Candidate> out;
+  matcher.Match(pool.InternLiteral("Sugata  Sanshiro"), &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].prob, 1.0);  // same token set
+}
+
+// ---------------------------------------------------------------------------
+// Export round trip.
+// ---------------------------------------------------------------------------
+
+TEST_F(RobustnessTest, ExportReloadRoundTrip) {
+  rdf::TermPool pool;
+  OntologyBuilder builder(&pool, "orig");
+  builder.AddType("o:elvis", "o:Singer");
+  builder.AddSubClassOf("o:Singer", "o:Person");
+  builder.AddLiteralFact("o:elvis", "o:name", "Elvis \"The King\"\n");
+  builder.AddFact("o:elvis", "o:bornIn", "o:tupelo");
+  auto onto = builder.Build();
+  ASSERT_TRUE(onto.ok());
+
+  std::ostringstream out;
+  ontology::ExportToNTriples(*onto, out);
+
+  rdf::TermPool pool2;
+  auto reloaded =
+      ontology::LoadOntologyFromNTriples(&pool2, "reloaded", out.str());
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  EXPECT_EQ(reloaded->num_triples(), onto->num_triples());
+  EXPECT_EQ(reloaded->classes().size(), onto->classes().size());
+  EXPECT_EQ(reloaded->instances().size(), onto->instances().size());
+  const auto elvis = pool2.Find("o:elvis", rdf::TermKind::kIri);
+  ASSERT_TRUE(elvis.has_value());
+  EXPECT_EQ(reloaded->ClassesOf(*elvis).size(), 2u);
+}
+
+}  // namespace
+}  // namespace paris

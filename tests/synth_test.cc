@@ -1,0 +1,389 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "synth/derive.h"
+#include "synth/names.h"
+#include "synth/noise.h"
+#include "synth/profiles.h"
+#include "synth/world.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace paris::synth {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Names & noise
+// ---------------------------------------------------------------------------
+
+TEST(NamesTest, Deterministic) {
+  util::Rng a(5), b(5);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(PersonName(a), PersonName(b));
+  }
+}
+
+TEST(NamesTest, PhoneFormat) {
+  util::Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const std::string phone = PhoneNumber(rng);
+    ASSERT_EQ(phone.size(), 12u) << phone;
+    EXPECT_EQ(phone[3], '-');
+    EXPECT_EQ(phone[7], '-');
+  }
+}
+
+TEST(NamesTest, DateFormat) {
+  util::Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const std::string date = DateString(rng);
+    ASSERT_EQ(date.size(), 10u) << date;
+    EXPECT_EQ(date[4], '-');
+    EXPECT_EQ(date[7], '-');
+  }
+}
+
+TEST(NamesTest, SsnNineDigits) {
+  util::Rng rng(1);
+  const std::string ssn = SsnLike(rng);
+  EXPECT_EQ(ssn.size(), 9u);
+}
+
+TEST(NoiseTest, TypoChangesString) {
+  util::Rng rng(1);
+  int changed = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (ApplyTypo(rng, "hello world") != "hello world") ++changed;
+  }
+  // A transpose of identical characters can be a no-op, but most edits
+  // change the string.
+  EXPECT_GT(changed, 40);
+}
+
+TEST(NoiseTest, TypoIsSingleEdit) {
+  util::Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    const std::string out = ApplyTypo(rng, "restaurant");
+    EXPECT_LE(util::EditDistance("restaurant", out), 2u);  // transpose = 2
+  }
+}
+
+TEST(NoiseTest, PhoneReformatPreservesDigits) {
+  util::Rng rng(3);
+  const std::string original = "213-467-1108";
+  for (int i = 0; i < 20; ++i) {
+    const std::string out = ReformatPhone(rng, original);
+    EXPECT_EQ(util::NormalizeAlnum(out), util::NormalizeAlnum(original));
+  }
+}
+
+TEST(NoiseTest, PhoneReformatLeavesNonPhonesAlone) {
+  util::Rng rng(3);
+  EXPECT_EQ(ReformatPhone(rng, "not a phone"), "not a phone");
+}
+
+TEST(NoiseTest, SwapFirstTokens) {
+  EXPECT_EQ(SwapFirstTokens("Sugata Sanshiro"), "Sanshiro Sugata");
+  EXPECT_EQ(SwapFirstTokens("One Two Three"), "Two One Three");
+  EXPECT_EQ(SwapFirstTokens("Single"), "Single");
+}
+
+// ---------------------------------------------------------------------------
+// World generation
+// ---------------------------------------------------------------------------
+
+WorldSpec SmallWorldSpec() {
+  WorldSpec spec;
+  spec.seed = 7;
+  spec.classes = {{"thing", -1}, {"person", 0}, {"city", 0}};
+  spec.groups = {{1, 100, "person"}, {2, 10, "city"}};
+  spec.attributes = {
+      {"name", 1, ValueKind::kPersonName, 1.0, 0.0, 1, false},
+      {"ssn", 1, ValueKind::kSsn, 0.9, 0.0, 1, true},
+  };
+  spec.relations = {
+      {"born_in", 1, 2, 0.95, 0.0, 1, 0.8},
+      {"lives_in", 1, 2, 0.6, 0.3, 3, 0.8},
+  };
+  return spec;
+}
+
+TEST(WorldTest, GeneratesEntitiesAndIds) {
+  World world = World::Generate(SmallWorldSpec());
+  ASSERT_EQ(world.entities().size(), 110u);
+  EXPECT_EQ(world.entities()[0].id, "person_0");
+  EXPECT_EQ(world.entities()[100].id, "city_0");
+  EXPECT_EQ(world.entities()[0].cls, 1);
+}
+
+TEST(WorldTest, DeterministicForSeed) {
+  World a = World::Generate(SmallWorldSpec());
+  World b = World::Generate(SmallWorldSpec());
+  ASSERT_EQ(a.edges().size(), b.edges().size());
+  for (size_t i = 0; i < a.edges().size(); ++i) {
+    EXPECT_EQ(a.edges()[i].source, b.edges()[i].source);
+    EXPECT_EQ(a.edges()[i].target, b.edges()[i].target);
+  }
+  for (size_t i = 0; i < a.entities().size(); ++i) {
+    EXPECT_EQ(a.entities()[i].attributes, b.entities()[i].attributes);
+  }
+}
+
+TEST(WorldTest, SubtreeMembership) {
+  World world = World::Generate(SmallWorldSpec());
+  EXPECT_EQ(world.EntitiesInSubtree(0).size(), 110u);  // root
+  EXPECT_EQ(world.EntitiesInSubtree(1).size(), 100u);  // persons
+  EXPECT_TRUE(world.ClassInSubtree(1, 0));
+  EXPECT_FALSE(world.ClassInSubtree(0, 1));
+  EXPECT_TRUE(world.ClassInSubtree(2, 2));
+}
+
+TEST(WorldTest, AttributeCoverageRespected) {
+  World world = World::Generate(SmallWorldSpec());
+  size_t with_name = 0;
+  for (int ei : world.EntitiesInSubtree(1)) {
+    for (const auto& [attr, value] : world.entities()[ei].attributes) {
+      if (attr == 0) {
+        ++with_name;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(with_name, 100u);  // coverage 1.0
+}
+
+TEST(WorldTest, UniqueAttributeValuesUnique) {
+  World world = World::Generate(SmallWorldSpec());
+  std::unordered_set<std::string> ssns;
+  size_t total = 0;
+  for (const auto& e : world.entities()) {
+    for (const auto& [attr, value] : e.attributes) {
+      if (attr == 1) {
+        ssns.insert(value);
+        ++total;
+      }
+    }
+  }
+  EXPECT_EQ(ssns.size(), total);
+}
+
+TEST(WorldTest, RelationDegreesWithinBounds) {
+  World world = World::Generate(SmallWorldSpec());
+  std::unordered_map<int, int> degree;  // source → lives_in degree
+  for (const auto& e : world.edges()) {
+    if (e.relation == 1) ++degree[e.source];
+    // Range targets are cities.
+    EXPECT_EQ(world.entities()[static_cast<size_t>(e.target)].cls, 2);
+  }
+  for (const auto& [src, deg] : degree) {
+    EXPECT_LE(deg, 3);
+  }
+}
+
+TEST(WorldTest, NoSelfLoops) {
+  World world = World::Generate(SmallWorldSpec());
+  for (const auto& e : world.edges()) {
+    EXPECT_NE(e.source, e.target);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Derivation + gold
+// ---------------------------------------------------------------------------
+
+class DeriveTest : public ::testing::Test {
+ protected:
+  DeriveTest() : world_(World::Generate(SmallWorldSpec())) {}
+
+  DeriveSpec LeftSpec() const {
+    DeriveSpec s;
+    s.onto_name = "a";
+    s.seed = 11;
+    s.relations = {
+        {-1, 0, "a:name", false},
+        {-1, 1, "a:ssn", false},
+        {0, -1, "a:bornIn", false},
+        {1, -1, "a:livesIn", false},
+    };
+    s.classes = {{0, "a:Thing"}, {1, "a:Person"}, {2, "a:City"}};
+    return s;
+  }
+
+  DeriveSpec RightSpec() const {
+    DeriveSpec s;
+    s.onto_name = "b";
+    s.seed = 22;
+    s.relations = {
+        {-1, 0, "b:label", false},
+        {-1, 1, "b:socialId", false},
+        {0, -1, "b:birthPlaceOf", true},  // inverted!
+        {1, -1, "b:residentOf", false},
+    };
+    s.classes = {{0, "b:Entity"}, {1, "b:Human"}};
+    return s;
+  }
+
+  World world_;
+};
+
+TEST_F(DeriveTest, FullCoverageGoldIsComplete) {
+  auto pair = PairDeriver(&world_, LeftSpec(), RightSpec()).Derive("t");
+  ASSERT_TRUE(pair.ok()) << pair.status().ToString();
+  // Every entity is on both sides.
+  EXPECT_EQ(pair->gold.num_instance_pairs(), world_.entities().size());
+  EXPECT_EQ(pair->left->instances().size(), world_.entities().size());
+}
+
+TEST_F(DeriveTest, PartialCoverageShrinksGold) {
+  DeriveSpec l = LeftSpec();
+  l.entity_coverage = 0.6;
+  DeriveSpec r = RightSpec();
+  r.entity_coverage = 0.6;
+  auto pair = PairDeriver(&world_, l, r).Derive("t");
+  ASSERT_TRUE(pair.ok());
+  EXPECT_LT(pair->gold.num_instance_pairs(), world_.entities().size());
+  EXPECT_GT(pair->gold.num_instance_pairs(), 0u);
+  // Gold ⊆ both sides.
+  for (const auto& [lt, rt] : pair->gold.left_to_right()) {
+    EXPECT_TRUE(pair->left->IsInstanceTerm(lt));
+    EXPECT_TRUE(pair->right->IsInstanceTerm(rt));
+  }
+}
+
+TEST_F(DeriveTest, InclusionIsDeterministicHash) {
+  DeriveSpec s = LeftSpec();
+  s.entity_coverage = 0.5;
+  for (int e = 0; e < 50; ++e) {
+    EXPECT_EQ(PairDeriver::Includes(s, world_, e),
+              PairDeriver::Includes(s, world_, e));
+    EXPECT_EQ(PairDeriver::IncludedAt(s.seed, e, 0.5),
+              PairDeriver::IncludedAt(s.seed, e, 0.5));
+  }
+  // Coverage 1 always includes; coverage 0 never does.
+  EXPECT_TRUE(PairDeriver::IncludedAt(1, 3, 1.0));
+  EXPECT_FALSE(PairDeriver::IncludedAt(1, 3, 0.0));
+}
+
+TEST_F(DeriveTest, ClassCoverageOverride) {
+  DeriveSpec l = LeftSpec();
+  l.entity_coverage = 0.0;
+  l.class_coverage = {{2, 1.0}};  // cities always included
+  DeriveSpec r = RightSpec();
+  auto pair = PairDeriver(&world_, l, r).Derive("t");
+  ASSERT_TRUE(pair.ok());
+  // Only the 10 cities materialize on the left.
+  EXPECT_EQ(pair->left->instances().size(), 10u);
+}
+
+TEST_F(DeriveTest, RelationGoldHandlesInversion) {
+  auto pair = PairDeriver(&world_, LeftSpec(), RightSpec()).Derive("t");
+  ASSERT_TRUE(pair.ok());
+  const auto& pool = *pair->pool;
+  auto rel_of = [&](const ontology::Ontology& o, const std::string& name) {
+    return *o.store().FindRelation(*pool.Find(name, rdf::TermKind::kIri));
+  };
+  const rdf::RelId born = rel_of(*pair->left, "a:bornIn");
+  const rdf::RelId birth_of = rel_of(*pair->right, "b:birthPlaceOf");
+  // a:bornIn ⊆ b:birthPlaceOf⁻¹ (the right side stores it inverted).
+  EXPECT_TRUE(pair->gold.RelationContained(true, born,
+                                           rdf::Inverse(birth_of)));
+  EXPECT_FALSE(pair->gold.RelationContained(true, born, birth_of));
+  // Inverting both preserves containment.
+  EXPECT_TRUE(
+      pair->gold.RelationContained(true, rdf::Inverse(born), birth_of));
+  // Attribute relations align too.
+  const rdf::RelId name = rel_of(*pair->left, "a:name");
+  const rdf::RelId label = rel_of(*pair->right, "b:label");
+  EXPECT_TRUE(pair->gold.RelationContained(true, name, label));
+  EXPECT_FALSE(pair->gold.RelationContained(true, name, label + 100));
+}
+
+TEST_F(DeriveTest, AlignableRelationsCountsBothSides) {
+  auto pair = PairDeriver(&world_, LeftSpec(), RightSpec()).Derive("t");
+  ASSERT_TRUE(pair.ok());
+  // All 4 left relations have counterparts; all 4 right ones too.
+  EXPECT_EQ(pair->gold.AlignableRelations(true).size(), 4u);
+  EXPECT_EQ(pair->gold.AlignableRelations(false).size(), 4u);
+}
+
+TEST_F(DeriveTest, ClassGoldUsesTaxonomy) {
+  auto pair = PairDeriver(&world_, LeftSpec(), RightSpec()).Derive("t");
+  ASSERT_TRUE(pair.ok());
+  const auto& pool = *pair->pool;
+  const rdf::TermId a_person = *pool.Find("a:Person", rdf::TermKind::kIri);
+  const rdf::TermId a_thing = *pool.Find("a:Thing", rdf::TermKind::kIri);
+  const rdf::TermId b_human = *pool.Find("b:Human", rdf::TermKind::kIri);
+  const rdf::TermId b_entity = *pool.Find("b:Entity", rdf::TermKind::kIri);
+  EXPECT_TRUE(pair->gold.ClassContained(true, a_person, b_human));
+  EXPECT_TRUE(pair->gold.ClassContained(true, a_person, b_entity));
+  EXPECT_FALSE(pair->gold.ClassContained(true, a_thing, b_human));
+  EXPECT_TRUE(pair->gold.ClassContained(false, b_human, a_person));
+  // Right has no City counterpart: a:City only maps into b:Entity.
+  const rdf::TermId a_city = *pool.Find("a:City", rdf::TermKind::kIri);
+  EXPECT_TRUE(pair->gold.ClassContained(true, a_city, b_entity));
+  EXPECT_FALSE(pair->gold.ClassContained(true, a_city, b_human));
+}
+
+TEST_F(DeriveTest, DropoutReducesFacts) {
+  DeriveSpec l = LeftSpec();
+  auto full = PairDeriver(&world_, l, RightSpec()).Derive("t");
+  ASSERT_TRUE(full.ok());
+  l.fact_dropout = 0.5;
+  auto dropped = PairDeriver(&world_, l, RightSpec()).Derive("t");
+  ASSERT_TRUE(dropped.ok());
+  EXPECT_LT(dropped->left->num_triples(), full->left->num_triples());
+}
+
+// ---------------------------------------------------------------------------
+// Profiles
+// ---------------------------------------------------------------------------
+
+TEST(ProfilesTest, OaeiPersonShape) {
+  auto pair = MakeOaeiPersonPair();
+  ASSERT_TRUE(pair.ok()) << pair.status().ToString();
+  // 500 persons + 500 addresses + 50 suburbs on each side.
+  EXPECT_EQ(pair->gold.num_instance_pairs(), 1050u);
+  EXPECT_EQ(pair->left->classes().size(), 4u);
+  EXPECT_EQ(pair->right->classes().size(), 4u);
+}
+
+TEST(ProfilesTest, OaeiRestaurantShape) {
+  auto pair = MakeOaeiRestaurantPair();
+  ASSERT_TRUE(pair.ok()) << pair.status().ToString();
+  // Partial overlap: strictly between 0 and the world size.
+  EXPECT_GT(pair->gold.num_instance_pairs(), 100u);
+  EXPECT_LT(pair->gold.num_instance_pairs(), 584u);
+}
+
+TEST(ProfilesTest, YagoDbpediaShape) {
+  ProfileOptions opts;
+  opts.scale = 0.05;  // keep the unit test fast
+  auto pair = MakeYagoDbpediaPair(opts);
+  ASSERT_TRUE(pair.ok()) << pair.status().ToString();
+  // The YAGO side has a much richer class structure.
+  EXPECT_GT(pair->left->classes().size(),
+            3 * pair->right->classes().size());
+  EXPECT_GT(pair->gold.num_instance_pairs(), 100u);
+}
+
+TEST(ProfilesTest, YagoImdbShape) {
+  ProfileOptions opts;
+  opts.scale = 0.05;
+  auto pair = MakeYagoImdbPair(opts);
+  ASSERT_TRUE(pair.ok()) << pair.status().ToString();
+  // The IMDb side is movies-only: fewer classes, fewer relations.
+  EXPECT_LT(pair->right->classes().size(), pair->left->classes().size());
+  EXPECT_LT(pair->right->num_relations(), pair->left->num_relations());
+}
+
+TEST(ProfilesTest, ProfilesAreDeterministic) {
+  auto a = MakeOaeiRestaurantPair();
+  auto b = MakeOaeiRestaurantPair();
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->left->num_triples(), b->left->num_triples());
+  EXPECT_EQ(a->gold.num_instance_pairs(), b->gold.num_instance_pairs());
+}
+
+}  // namespace
+}  // namespace paris::synth

@@ -1,0 +1,279 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+
+#include "util/hash.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "util/string_util.h"
+#include "util/thread_pool.h"
+
+namespace paris::util {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Status
+// ---------------------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = InvalidArgumentError("bad thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad thing");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad thing");
+}
+
+TEST(StatusTest, AllErrorFactoriesSetCodes) {
+  EXPECT_EQ(NotFoundError("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(AlreadyExistsError("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(OutOfRangeError("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(FailedPreconditionError("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(UnimplementedError("x").code(), StatusCode::kUnimplemented);
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = NotFoundError("missing");
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> v = std::make_unique<int>(7);
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> out = std::move(v).value();
+  EXPECT_EQ(*out, 7);
+}
+
+// ---------------------------------------------------------------------------
+// String utilities
+// ---------------------------------------------------------------------------
+
+TEST(StringUtilTest, ToLowerAscii) {
+  EXPECT_EQ(ToLowerAscii("AbC-12"), "abc-12");
+  EXPECT_EQ(ToLowerAscii(""), "");
+}
+
+TEST(StringUtilTest, NormalizeAlnumStripsPunctuation) {
+  // The §6.3 phone example: both formats normalize identically.
+  EXPECT_EQ(NormalizeAlnum("213/467-1108"), NormalizeAlnum("213-467-1108"));
+  EXPECT_EQ(NormalizeAlnum("The Golden Lantern."),
+            NormalizeAlnum("the golden LANTERN"));
+  EXPECT_EQ(NormalizeAlnum("!!!"), "");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  a b  "), "a b");
+  EXPECT_EQ(Trim("\t\n"), "");
+  EXPECT_EQ(Trim("x"), "x");
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  auto parts = Split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("http://x", "http://"));
+  EXPECT_FALSE(StartsWith("x", "http://"));
+  EXPECT_TRUE(EndsWith("file.nt", ".nt"));
+  EXPECT_FALSE(EndsWith("nt", ".nt"));
+}
+
+TEST(EditDistanceTest, KnownValues) {
+  EXPECT_EQ(EditDistance("", ""), 0u);
+  EXPECT_EQ(EditDistance("abc", "abc"), 0u);
+  EXPECT_EQ(EditDistance("abc", ""), 3u);
+  EXPECT_EQ(EditDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(EditDistance("flaw", "lawn"), 2u);
+}
+
+TEST(EditDistanceTest, Symmetric) {
+  EXPECT_EQ(EditDistance("sunday", "saturday"),
+            EditDistance("saturday", "sunday"));
+}
+
+TEST(EditDistanceTest, BoundedEarlyExit) {
+  EXPECT_EQ(BoundedEditDistance("kitten", "sitting", 3), 3u);
+  EXPECT_EQ(BoundedEditDistance("kitten", "sitting", 2), 3u);  // bound + 1
+  EXPECT_EQ(BoundedEditDistance("aaaaaaaaaa", "b", 2), 3u);
+}
+
+TEST(EditSimilarityTest, Range) {
+  EXPECT_DOUBLE_EQ(EditSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(EditSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(EditSimilarity("abc", "xyz"), 0.0);
+  const double sim = EditSimilarity("kitten", "sitting");
+  EXPECT_GT(sim, 0.0);
+  EXPECT_LT(sim, 1.0);
+}
+
+TEST(TrigramTest, ShortStringsGetOnePaddedKey) {
+  EXPECT_EQ(TrigramKeys("").size(), 1u);
+  EXPECT_EQ(TrigramKeys("a").size(), 1u);
+  EXPECT_EQ(TrigramKeys("ab").size(), 1u);
+}
+
+TEST(TrigramTest, DedupedAndSorted) {
+  auto keys = TrigramKeys("aaaa");  // "aaa" twice → one key
+  EXPECT_EQ(keys.size(), 1u);
+  auto keys2 = TrigramKeys("abcabc");
+  EXPECT_TRUE(std::is_sorted(keys2.begin(), keys2.end()));
+}
+
+// ---------------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000), b.UniformInt(0, 1000));
+  }
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(1);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+}
+
+TEST(RngTest, CountWithTailBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const int c = rng.CountWithTail(0.5, 4);
+    EXPECT_GE(c, 1);
+    EXPECT_LE(c, 4);
+  }
+  EXPECT_EQ(rng.CountWithTail(0.0, 10), 1);
+}
+
+TEST(RngTest, ZipfIndexInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.ZipfIndex(17, 1.0), 17u);
+  }
+  EXPECT_EQ(rng.ZipfIndex(1, 1.0), 0u);
+}
+
+TEST(RngTest, ZipfSkewsTowardSmallIndexes) {
+  Rng rng(3);
+  size_t low = 0;
+  const int kTrials = 5000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (rng.ZipfIndex(100, 1.0) < 10) ++low;
+  }
+  // Uniform would give ~10%; the skewed sampler should clearly exceed that.
+  EXPECT_GT(low, static_cast<size_t>(kTrials / 5));
+}
+
+TEST(RngTest, ForkDecorrelates) {
+  Rng a(7);
+  Rng child = a.Fork();
+  // Different streams (overwhelmingly likely to differ somewhere).
+  bool differ = false;
+  Rng b(7);
+  Rng child_b = b.Fork();
+  for (int i = 0; i < 10; ++i) {
+    // Forks of identical parents are identical (determinism)...
+    EXPECT_EQ(child.UniformInt(0, 1 << 30), child_b.UniformInt(0, 1 << 30));
+  }
+  Rng c(8);
+  Rng child_c = c.Fork();
+  Rng child2 = Rng(7).Fork();
+  for (int i = 0; i < 10; ++i) {
+    if (child2.UniformInt(0, 1 << 30) != child_c.UniformInt(0, 1 << 30)) {
+      differ = true;
+    }
+  }
+  EXPECT_TRUE(differ);
+}
+
+// ---------------------------------------------------------------------------
+// Hash
+// ---------------------------------------------------------------------------
+
+TEST(HashTest, PackUnpackRoundTrip) {
+  const uint64_t key = PackPair(0xdeadbeef, 0x12345678);
+  EXPECT_EQ(UnpackFirst(key), 0xdeadbeefu);
+  EXPECT_EQ(UnpackSecond(key), 0x12345678u);
+}
+
+TEST(HashTest, Mix64Scrambles) {
+  EXPECT_NE(Mix64(1), Mix64(2));
+  EXPECT_NE(Mix64(0), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolTest, ZeroThreadsRunsInline) {
+  ThreadPool pool(0);
+  int counter = 0;
+  pool.Schedule([&] { ++counter; });
+  pool.Wait();
+  EXPECT_EQ(counter, 1);
+}
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Schedule([&] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(hits.size(), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(0, [&](size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+}  // namespace
+}  // namespace paris::util
