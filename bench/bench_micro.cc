@@ -70,6 +70,28 @@ void BM_FactsAboutLookup(benchmark::State& state) {
 }
 BENCHMARK(BM_FactsAboutLookup);
 
+void BM_ObjectsOfLookup(benchmark::State& state) {
+  rdf::TermPool pool;
+  rdf::TripleStore store(&pool);
+  const rdf::RelId rel = store.InternRelation(pool.InternIri("r"));
+  const int n = 10000;
+  std::vector<rdf::TermId> terms;
+  for (int i = 0; i < n; ++i) {
+    terms.push_back(pool.InternIri("e" + std::to_string(i)));
+  }
+  for (int i = 0; i < n; ++i) {
+    store.Add(terms[static_cast<size_t>(i)], rel,
+              terms[static_cast<size_t>((i * 13 + 5) % n)]);
+  }
+  store.Finalize();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.ObjectsOf(terms[i % n], rel).size());
+    ++i;
+  }
+}
+BENCHMARK(BM_ObjectsOfLookup);
+
 void BM_FunctionalityTable(benchmark::State& state) {
   auto pair = synth::MakeOaeiRestaurantPair();
   if (!pair.ok()) {

@@ -1,0 +1,211 @@
+// Benchmarks for the columnar storage engine (src/storage/): store
+// construction, FactsAbout / ObjectsOf / Contains lookup throughput, and
+// snapshot load vs. RDF parse+build, all on a synthetic world from
+// src/synth/. A global operator-new override counts heap allocations so the
+// lookup benchmarks can report allocs_per_op — expected to be exactly 0 on
+// the packed engine (the seed layout allocated a vector per ObjectsOf call).
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ontology/export.h"
+#include "ontology/ontology.h"
+#include "ontology/snapshot.h"
+#include "rdf/store.h"
+#include "synth/profiles.h"
+
+static std::atomic<uint64_t> g_heap_allocations{0};
+
+void* operator new(std::size_t size) {
+  g_heap_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_heap_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace paris {
+namespace {
+
+struct RawTriple {
+  rdf::TermId subject;
+  rdf::RelId rel;
+  rdf::TermId object;
+};
+
+// One shared synthetic dataset (built once; profile generation dominates
+// otherwise). The YAGO↔DBpedia profile has the most realistic degree skew.
+const synth::OntologyPair& Dataset() {
+  static synth::OntologyPair* pair = [] {
+    synth::ProfileOptions options;
+    options.scale = 1.0;
+    auto built = synth::MakeYagoDbpediaPair(options);
+    if (!built.ok()) std::abort();
+    return new synth::OntologyPair(std::move(built).value());
+  }();
+  return *pair;
+}
+
+std::vector<RawTriple> ExtractTriples(const rdf::TripleStore& store) {
+  std::vector<RawTriple> out;
+  const auto num_relations = static_cast<rdf::RelId>(store.num_relations());
+  for (rdf::RelId r = 1; r <= num_relations; ++r) {
+    store.ForEachPair(r, 0, [&](rdf::TermId x, rdf::TermId y) {
+      out.push_back(RawTriple{x, r, y});
+    });
+  }
+  return out;
+}
+
+// (term, rel) probes that actually hit data: one per adjacency slice.
+std::vector<std::pair<rdf::TermId, rdf::RelId>> LookupProbes(
+    const rdf::TripleStore& store) {
+  std::vector<std::pair<rdf::TermId, rdf::RelId>> probes;
+  for (rdf::TermId t : store.terms()) {
+    const auto facts = store.FactsAbout(t);
+    if (!facts.empty()) {
+      probes.emplace_back(t, facts[facts.size() / 2].rel);
+    }
+  }
+  return probes;
+}
+
+void ReportAllocs(benchmark::State& state, uint64_t allocs) {
+  state.counters["allocs_per_op"] = benchmark::Counter(
+      static_cast<double>(allocs) / static_cast<double>(state.iterations()));
+}
+
+void BM_StoreBuild(benchmark::State& state) {
+  const synth::OntologyPair& pair = Dataset();
+  const rdf::TripleStore& source = pair.left->store();
+  const std::vector<RawTriple> triples = ExtractTriples(source);
+  for (auto _ : state) {
+    rdf::TripleStore store(&pair.left->pool());
+    const auto num_relations =
+        static_cast<rdf::RelId>(source.num_relations());
+    for (rdf::RelId r = 1; r <= num_relations; ++r) {
+      store.InternRelation(source.relation_name(r));
+    }
+    for (const RawTriple& t : triples) {
+      store.Add(t.subject, t.rel, t.object);
+    }
+    store.Finalize();
+    benchmark::DoNotOptimize(store.num_triples());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(triples.size()));
+}
+BENCHMARK(BM_StoreBuild)->Unit(benchmark::kMillisecond);
+
+void BM_StoreFactsAbout(benchmark::State& state) {
+  const rdf::TripleStore& store = Dataset().left->store();
+  const std::vector<rdf::TermId>& terms = store.terms();
+  size_t i = 0;
+  const uint64_t before = g_heap_allocations.load();
+  for (auto _ : state) {
+    const auto facts = store.FactsAbout(terms[i % terms.size()]);
+    benchmark::DoNotOptimize(facts.data());
+    benchmark::DoNotOptimize(facts.size());
+    ++i;
+  }
+  ReportAllocs(state, g_heap_allocations.load() - before);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StoreFactsAbout);
+
+void BM_StoreObjectsOf(benchmark::State& state) {
+  const rdf::TripleStore& store = Dataset().left->store();
+  const auto probes = LookupProbes(store);
+  size_t i = 0;
+  const uint64_t before = g_heap_allocations.load();
+  for (auto _ : state) {
+    const auto& [term, rel] = probes[i % probes.size()];
+    const auto objects = store.ObjectsOf(term, rel);
+    benchmark::DoNotOptimize(objects.data());
+    benchmark::DoNotOptimize(objects.size());
+    ++i;
+  }
+  ReportAllocs(state, g_heap_allocations.load() - before);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StoreObjectsOf);
+
+void BM_StoreContains(benchmark::State& state) {
+  const rdf::TripleStore& store = Dataset().left->store();
+  const auto probes = LookupProbes(store);
+  size_t i = 0;
+  const uint64_t before = g_heap_allocations.load();
+  for (auto _ : state) {
+    const auto& [term, rel] = probes[i % probes.size()];
+    const auto objects = store.ObjectsOf(term, rel);
+    benchmark::DoNotOptimize(
+        store.Contains(term, rel, objects.empty() ? term : objects[0]));
+    ++i;
+  }
+  ReportAllocs(state, g_heap_allocations.load() - before);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StoreContains);
+
+// Loading both ontologies from RDF text (the seed's only option) ...
+void BM_PairParseBuild(benchmark::State& state) {
+  const synth::OntologyPair& pair = Dataset();
+  std::ostringstream left_nt, right_nt;
+  ontology::ExportToNTriples(*pair.left, left_nt);
+  ontology::ExportToNTriples(*pair.right, right_nt);
+  const std::string left_doc = left_nt.str();
+  const std::string right_doc = right_nt.str();
+  for (auto _ : state) {
+    rdf::TermPool pool;
+    auto left = ontology::LoadOntologyFromNTriples(&pool, "left", left_doc);
+    auto right = ontology::LoadOntologyFromNTriples(&pool, "right", right_doc);
+    if (!left.ok() || !right.ok()) {
+      state.SkipWithError("parse failed");
+      return;
+    }
+    benchmark::DoNotOptimize(left->num_triples());
+    benchmark::DoNotOptimize(right->num_triples());
+  }
+}
+BENCHMARK(BM_PairParseBuild)->Unit(benchmark::kMillisecond);
+
+// ... versus restoring the packed indexes from a binary snapshot.
+void BM_PairSnapshotLoad(benchmark::State& state) {
+  const synth::OntologyPair& pair = Dataset();
+  const std::string path = "/tmp/paris_bench_store.snap";
+  auto status =
+      ontology::SaveAlignmentSnapshot(path, *pair.left, *pair.right);
+  if (!status.ok()) {
+    state.SkipWithError("snapshot save failed");
+    return;
+  }
+  for (auto _ : state) {
+    rdf::TermPool pool;
+    auto loaded = ontology::LoadAlignmentSnapshot(path, &pool);
+    if (!loaded.ok()) {
+      state.SkipWithError("snapshot load failed");
+      return;
+    }
+    benchmark::DoNotOptimize(loaded->left.num_triples());
+  }
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_PairSnapshotLoad)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace paris

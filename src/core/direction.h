@@ -1,6 +1,7 @@
 #ifndef PARIS_CORE_DIRECTION_H_
 #define PARIS_CORE_DIRECTION_H_
 
+#include <algorithm>
 #include <span>
 #include <vector>
 
@@ -44,15 +45,16 @@ struct DirectionalContext {
   }
 };
 
-// The facts of `facts` whose relation is exactly `rel` (facts are sorted by
-// relation, so this is a binary search).
+// The facts of `facts` whose relation is exactly `rel`. Adjacency spans are
+// sorted by (rel, other), so this is one binary search per bound; prefer
+// `TripleStore::FactsAbout(t, rel)` unless the span is already in hand.
 inline std::span<const rdf::Fact> FactsWithRelation(
     std::span<const rdf::Fact> facts, rdf::RelId rel) {
   auto lo = std::lower_bound(
       facts.begin(), facts.end(), rel,
       [](const rdf::Fact& f, rdf::RelId r) { return f.rel < r; });
   auto hi = std::upper_bound(
-      facts.begin(), facts.end(), rel,
+      lo, facts.end(), rel,
       [](rdf::RelId r, const rdf::Fact& f) { return r < f.rel; });
   return facts.subspan(static_cast<size_t>(lo - facts.begin()),
                        static_cast<size_t>(hi - lo));

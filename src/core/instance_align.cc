@@ -111,6 +111,8 @@ double NegativeEvidenceFactor(const std::vector<ExpandedFact>& facts,
                               const AlignmentConfig& config,
                               rdf::TermId x_prime) {
   const auto variant = config.functionality_variant;
+  // One dictionary lookup for x'; each r' range below is a binary search
+  // within this cached slice.
   const auto candidate_facts = right.FactsAbout(x_prime);
 
   auto inner_product = [&](const ExpandedFact& ef, rdf::RelId r_prime) {

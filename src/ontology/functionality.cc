@@ -8,7 +8,7 @@ namespace paris::ontology {
 
 namespace {
 
-DirectionStats ComputeDirection(const std::vector<rdf::TermPair>& pairs,
+DirectionStats ComputeDirection(std::span<const rdf::TermPair> pairs,
                                 bool inverted) {
   DirectionStats stats;
   stats.num_pairs = pairs.size();
@@ -62,7 +62,7 @@ FunctionalityTable::FunctionalityTable(const rdf::TripleStore& store) {
   const size_t num_relations = store.num_relations();
   stats_.resize(2 * num_relations);
   for (size_t base = 1; base <= num_relations; ++base) {
-    const auto& pairs = store.PairsOf(static_cast<rdf::RelId>(base));
+    const auto pairs = store.PairsOf(static_cast<rdf::RelId>(base));
     stats_[2 * (base - 1)] = ComputeDirection(pairs, /*inverted=*/false);
     stats_[2 * (base - 1) + 1] = ComputeDirection(pairs, /*inverted=*/true);
   }
@@ -81,10 +81,7 @@ double FunctionalityTable::Global(rdf::RelId rel,
 
 double FunctionalityTable::Local(const rdf::TripleStore& store, rdf::RelId rel,
                                  rdf::TermId x) {
-  size_t degree = 0;
-  for (const rdf::Fact& f : store.FactsAbout(x)) {
-    if (f.rel == rel) ++degree;
-  }
+  const size_t degree = store.ObjectsOf(x, rel).size();
   if (degree == 0) return 0.0;
   return 1.0 / static_cast<double>(degree);
 }

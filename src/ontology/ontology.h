@@ -16,7 +16,20 @@
 #include "rdf/triple.h"
 #include "util/status.h"
 
+namespace paris::storage {
+class SnapshotReader;
+class SnapshotWriter;
+}  // namespace paris::storage
+
 namespace paris::ontology {
+
+class Ontology;
+
+// Snapshot section I/O (src/ontology/snapshot.h); friends of Ontology.
+void SaveOntologySection(const Ontology& onto,
+                         storage::SnapshotWriter& writer);
+util::StatusOr<Ontology> LoadOntologySection(storage::SnapshotReader& reader,
+                                             rdf::TermPool* pool);
 
 // An RDFS ontology in the paper's sense (§3): a finalized set of statements
 // over a shared term pool, with
@@ -72,6 +85,18 @@ class Ontology {
     return store_.FactsAbout(t);
   }
 
+  // The statements of `t` with relation exactly `rel` (may be inverse):
+  // a binary search within `t`'s packed adjacency slice.
+  std::span<const rdf::Fact> FactsAbout(rdf::TermId t, rdf::RelId rel) const {
+    return store_.FactsAbout(t, rel);
+  }
+
+  // The objects y with rel(t, y), as a sorted span into the store's object
+  // column (no allocation).
+  std::span<const rdf::TermId> ObjectsOf(rdf::TermId t, rdf::RelId rel) const {
+    return store_.ObjectsOf(t, rel);
+  }
+
   const FunctionalityTable& functionality() const { return *functionality_; }
   double Fun(rdf::RelId rel) const { return functionality_->Global(rel); }
   double FunInverse(rdf::RelId rel) const {
@@ -90,6 +115,10 @@ class Ontology {
 
  private:
   friend class OntologyBuilder;
+  friend void SaveOntologySection(const Ontology& onto,
+                                  storage::SnapshotWriter& writer);
+  friend util::StatusOr<Ontology> LoadOntologySection(
+      storage::SnapshotReader& reader, rdf::TermPool* pool);
   explicit Ontology(rdf::TermPool* pool) : store_(pool) {}
 
   std::string name_;

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <utility>
+
+#include "storage/snapshot.h"
 
 namespace paris::rdf {
 
@@ -23,10 +26,7 @@ std::optional<RelId> TripleStore::FindRelation(TermId name) const {
 uint32_t TripleStore::LocalIndex(TermId t) {
   auto [it, inserted] =
       local_index_.emplace(t, static_cast<uint32_t>(terms_.size()));
-  if (inserted) {
-    terms_.push_back(t);
-    adjacency_.emplace_back();
-  }
+  if (inserted) terms_.push_back(t);
   return it->second;
 }
 
@@ -39,33 +39,15 @@ void TripleStore::Add(TermId subject, RelId rel, TermId object) {
   }
   assert(static_cast<size_t>(rel) <= rel_names_.size() &&
          "relation not registered");
-  adjacency_[LocalIndex(subject)].push_back(Fact{rel, object});
-  adjacency_[LocalIndex(object)].push_back(Fact{Inverse(rel), subject});
+  pending_.push_back({LocalIndex(subject), rel, object});
+  pending_.push_back({LocalIndex(object), Inverse(rel), subject});
 }
 
 void TripleStore::Finalize() {
   assert(!finalized_);
-  auto fact_less = [](const Fact& a, const Fact& b) {
-    return a.rel != b.rel ? a.rel < b.rel : a.other < b.other;
-  };
-  num_triples_ = 0;
-  for (auto& facts : adjacency_) {
-    std::sort(facts.begin(), facts.end(), fact_less);
-    facts.erase(std::unique(facts.begin(), facts.end()), facts.end());
-    facts.shrink_to_fit();
-  }
-  // Build per-relation pair lists from the deduplicated base-direction facts.
-  pairs_.assign(rel_names_.size(), {});
-  for (size_t i = 0; i < adjacency_.size(); ++i) {
-    const TermId subject = terms_[i];
-    for (const Fact& f : adjacency_[i]) {
-      if (f.rel > 0) {
-        pairs_[static_cast<size_t>(f.rel) - 1].push_back(
-            TermPair{subject, f.other});
-        ++num_triples_;
-      }
-    }
-  }
+  index_ = storage::ColumnarIndex::Build(terms_, rel_names_.size(),
+                                         std::move(pending_));
+  pending_ = {};
   finalized_ = true;
 }
 
@@ -73,23 +55,28 @@ std::span<const Fact> TripleStore::FactsAbout(TermId t) const {
   assert(finalized_);
   auto it = local_index_.find(t);
   if (it == local_index_.end()) return {};
-  const auto& facts = adjacency_[it->second];
-  return {facts.data(), facts.size()};
+  return index_.FactsAbout(it->second);
 }
 
-std::vector<TermId> TripleStore::ObjectsOf(TermId t, RelId rel) const {
-  std::vector<TermId> out;
-  for (const Fact& f : FactsAbout(t)) {
-    if (f.rel == rel) out.push_back(f.other);
-  }
-  return out;
+std::span<const Fact> TripleStore::FactsAbout(TermId t, RelId rel) const {
+  assert(finalized_);
+  auto it = local_index_.find(t);
+  if (it == local_index_.end()) return {};
+  return index_.FactsWith(it->second, rel);
+}
+
+std::span<const TermId> TripleStore::ObjectsOf(TermId t, RelId rel) const {
+  assert(finalized_);
+  auto it = local_index_.find(t);
+  if (it == local_index_.end()) return {};
+  return index_.ObjectsOf(it->second, rel);
 }
 
 bool TripleStore::Contains(TermId s, RelId rel, TermId o) const {
-  for (const Fact& f : FactsAbout(s)) {
-    if (f.rel == rel && f.other == o) return true;
-  }
-  return false;
+  assert(finalized_);
+  auto it = local_index_.find(s);
+  if (it == local_index_.end()) return false;
+  return index_.Contains(it->second, rel, o);
 }
 
 std::string TripleStore::RelationDebugName(RelId rel) const {
@@ -101,7 +88,7 @@ std::string TripleStore::RelationDebugName(RelId rel) const {
 void TripleStore::ForEachPair(
     RelId rel, size_t limit,
     const std::function<void(TermId, TermId)>& fn) const {
-  const auto& pairs = PairsOf(rel);
+  const auto pairs = PairsOf(rel);
   const size_t n =
       limit == 0 ? pairs.size() : std::min(limit, pairs.size());
   const bool inverted = IsInverse(rel);
@@ -112,6 +99,89 @@ void TripleStore::ForEachPair(
       fn(pairs[i].first, pairs[i].second);
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot I/O
+// ---------------------------------------------------------------------------
+
+void TripleStore::SaveTo(storage::SnapshotWriter& writer) const {
+  assert(finalized_);
+  writer.WritePodVector(rel_names_);
+  writer.WritePodVector(terms_);
+  writer.WritePodSpan(index_.offsets());
+  writer.WritePodSpan(index_.facts());
+  writer.WritePodSpan(index_.pair_offsets());
+  writer.WritePodSpan(index_.pairs());
+}
+
+util::StatusOr<TripleStore> TripleStore::LoadFrom(
+    storage::SnapshotReader& reader, TermPool* pool) {
+  TripleStore store(pool);
+  std::vector<uint64_t> offsets;
+  std::vector<Fact> facts;
+  std::vector<uint64_t> pair_offsets;
+  std::vector<TermPair> pairs;
+  reader.ReadPodVector(&store.rel_names_);
+  reader.ReadPodVector(&store.terms_);
+  reader.ReadPodVector(&offsets);
+  reader.ReadPodVector(&facts);
+  reader.ReadPodVector(&pair_offsets);
+  reader.ReadPodVector(&pairs);
+  if (!reader.ok()) {
+    return util::InvalidArgumentError("truncated triple store section");
+  }
+
+  const size_t pool_size = pool->size();
+  auto valid_term = [pool_size](TermId t) {
+    return static_cast<size_t>(t) < pool_size;
+  };
+  for (TermId name : store.rel_names_) {
+    if (!valid_term(name)) {
+      return util::InvalidArgumentError("relation name out of pool range");
+    }
+  }
+  for (TermId t : store.terms_) {
+    if (!valid_term(t)) {
+      return util::InvalidArgumentError("term id out of pool range");
+    }
+  }
+  for (const Fact& f : facts) {
+    if (!valid_term(f.other)) {
+      return util::InvalidArgumentError("fact object out of pool range");
+    }
+  }
+  for (const TermPair& p : pairs) {
+    if (!valid_term(p.first) || !valid_term(p.second)) {
+      return util::InvalidArgumentError("pair term out of pool range");
+    }
+  }
+  if (offsets.size() != store.terms_.size() + 1 ||
+      pair_offsets.size() != store.rel_names_.size() + 1 ||
+      !storage::ColumnarIndex::FromColumns(
+          std::move(offsets), std::move(facts), std::move(pair_offsets),
+          std::move(pairs), &store.index_)) {
+    return util::InvalidArgumentError("inconsistent triple store columns");
+  }
+
+  store.rel_index_.reserve(store.rel_names_.size());
+  for (size_t i = 0; i < store.rel_names_.size(); ++i) {
+    if (!store.rel_index_
+             .emplace(store.rel_names_[i], static_cast<RelId>(i + 1))
+             .second) {
+      return util::InvalidArgumentError("duplicate relation name");
+    }
+  }
+  store.local_index_.reserve(store.terms_.size());
+  for (size_t i = 0; i < store.terms_.size(); ++i) {
+    if (!store.local_index_
+             .emplace(store.terms_[i], static_cast<uint32_t>(i))
+             .second) {
+      return util::InvalidArgumentError("duplicate term in dictionary");
+    }
+  }
+  store.finalized_ = true;
+  return store;
 }
 
 }  // namespace paris::rdf

@@ -1,6 +1,7 @@
 #ifndef PARIS_RDF_STORE_H_
 #define PARIS_RDF_STORE_H_
 
+#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -12,6 +13,13 @@
 
 #include "rdf/term.h"
 #include "rdf/triple.h"
+#include "storage/columnar_index.h"
+#include "util/status.h"
+
+namespace paris::storage {
+class SnapshotReader;
+class SnapshotWriter;
+}  // namespace paris::storage
 
 namespace paris::rdf {
 
@@ -21,8 +29,11 @@ namespace paris::rdf {
 // relation, iterate its (first, second) pairs.
 //
 // Usage: `Add()` triples, then `Finalize()` exactly once; all read accessors
-// require a finalized store. `Finalize()` sorts adjacency lists and removes
-// duplicate statements (an RDFS ontology is a *set* of triples).
+// require a finalized store. Finalization packs the statements into a
+// `storage::ColumnarIndex` — CSR adjacency plus sorted SPO/POS permutations
+// — so every read accessor returns a span into the packed columns and never
+// allocates. `Finalize()` also removes duplicate statements (an RDFS
+// ontology is a *set* of triples).
 class TripleStore {
  public:
   explicit TripleStore(TermPool* pool) : pool_(pool) {}
@@ -41,18 +52,24 @@ class TripleStore {
   // which case the statement BaseRel(rel)(object, subject) is recorded.
   void Add(TermId subject, RelId rel, TermId object);
 
-  // Deduplicates, sorts adjacency, and builds per-relation pair lists.
+  // Packs the accumulated statements into the columnar index.
   void Finalize();
   bool finalized() const { return finalized_; }
 
-  // ---- Read API (requires Finalize()) ----
+  // ---- Read API (requires Finalize(); allocation-free) ----
 
   // Every statement `t` participates in, as (rel, other) with rel(t, other).
   // Sorted by (rel, other). Empty span if `t` is unknown to this ontology.
   std::span<const Fact> FactsAbout(TermId t) const;
 
-  // The objects y with rel(t, y); `rel` may be inverse. Sorted.
-  std::vector<TermId> ObjectsOf(TermId t, RelId rel) const;
+  // The statements of `t` whose relation is exactly `rel` (`rel` may be
+  // inverse): a binary search within `t`'s packed adjacency slice.
+  std::span<const Fact> FactsAbout(TermId t, RelId rel) const;
+
+  // The objects y with rel(t, y); `rel` may be inverse. Sorted. The span
+  // points into the index's object column and stays valid for the store's
+  // lifetime.
+  std::span<const TermId> ObjectsOf(TermId t, RelId rel) const;
 
   // True if rel(s, o) is a statement of this store (rel may be inverse).
   bool Contains(TermId s, RelId rel, TermId o) const;
@@ -66,10 +83,12 @@ class TripleStore {
   // Human-readable relation name; inverse relations get a "^-1" suffix.
   std::string RelationDebugName(RelId rel) const;
 
-  // (first, second) pairs of `rel`, base direction only. For an inverse id
-  // the caller should swap the pair components; `ForEachPair` does this.
-  const std::vector<TermPair>& PairsOf(RelId rel) const {
-    return pairs_[static_cast<size_t>(BaseRel(rel)) - 1];
+  // (first, second) pairs of `rel`, base direction only, sorted by
+  // (first, second). For an inverse id the caller should swap the pair
+  // components; `ForEachPair` does this.
+  std::span<const TermPair> PairsOf(RelId rel) const {
+    assert(finalized_);
+    return index_.PairsOf(BaseRel(rel));
   }
 
   // Invokes fn(x, y) for every pair of `rel` (handling inversion), stopping
@@ -89,26 +108,42 @@ class TripleStore {
   }
 
   // Total number of distinct statements (not counting inverses twice).
-  size_t num_triples() const { return num_triples_; }
+  size_t num_triples() const { return index_.num_triples(); }
+
+  // The packed storage engine (benchmarks, snapshot deep-equality).
+  const storage::ColumnarIndex& index() const { return index_; }
+
+  // ---- Snapshot I/O (see src/storage/README.md) ----
+
+  // Serializes the relation registry, term dictionary, and packed index as
+  // one section. Requires a finalized store; term ids reference the pool,
+  // which must be saved alongside (storage::SaveTermPool).
+  void SaveTo(storage::SnapshotWriter& writer) const;
+
+  // Restores a finalized store whose term ids reference `pool` (already
+  // loaded). Fails on structurally invalid or out-of-range data.
+  static util::StatusOr<TripleStore> LoadFrom(storage::SnapshotReader& reader,
+                                              TermPool* pool);
 
  private:
   uint32_t LocalIndex(TermId t);
 
   TermPool* pool_;
   bool finalized_ = false;
-  size_t num_triples_ = 0;
 
   // Relation registry.
   std::vector<TermId> rel_names_;
   std::unordered_map<TermId, RelId> rel_index_;
 
-  // Adjacency, keyed by dense local term index.
+  // Term dictionary: global term id ↔ dense local index, first-seen order.
   std::unordered_map<TermId, uint32_t> local_index_;
   std::vector<TermId> terms_;
-  std::vector<std::vector<Fact>> adjacency_;
 
-  // Per positive relation: its (first, second) pairs. Built by Finalize().
-  std::vector<std::vector<TermPair>> pairs_;
+  // Ingest buffer; moved into the index by Finalize().
+  std::vector<storage::ColumnarIndex::Entry> pending_;
+
+  // The packed engine (empty until Finalize()).
+  storage::ColumnarIndex index_;
 };
 
 }  // namespace paris::rdf

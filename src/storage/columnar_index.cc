@@ -1,0 +1,154 @@
+#include "storage/columnar_index.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <limits>
+
+namespace paris::storage {
+
+namespace {
+
+constexpr bool FactLess(const rdf::Fact& a, const rdf::Fact& b) {
+  return a.rel != b.rel ? a.rel < b.rel : a.other < b.other;
+}
+
+constexpr bool PairLess(const rdf::TermPair& a, const rdf::TermPair& b) {
+  return a.first != b.first ? a.first < b.first : a.second < b.second;
+}
+
+}  // namespace
+
+ColumnarIndex ColumnarIndex::Build(std::span<const rdf::TermId> terms,
+                                   size_t num_relations,
+                                   std::vector<Entry>&& entries) {
+  ColumnarIndex index;
+  const size_t num_terms = terms.size();
+
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) {
+              if (a.owner != b.owner) return a.owner < b.owner;
+              if (a.rel != b.rel) return a.rel < b.rel;
+              return a.other < b.other;
+            });
+  entries.erase(std::unique(entries.begin(), entries.end()), entries.end());
+
+  // SPO: counting pass + prefix sum, then fill both columns in one sweep
+  // (the entries are already in CSR order).
+  index.offsets_.assign(num_terms + 1, 0);
+  index.facts_.reserve(entries.size());
+  index.objects_.reserve(entries.size());
+  for (const Entry& e : entries) {
+    assert(e.owner < num_terms);
+    ++index.offsets_[e.owner + 1];
+    index.facts_.push_back(rdf::Fact{e.rel, e.other});
+    index.objects_.push_back(e.other);
+  }
+  for (size_t i = 1; i <= num_terms; ++i) {
+    index.offsets_[i] += index.offsets_[i - 1];
+  }
+
+  // POS: bucket the base-direction statements by relation, then sort each
+  // relation's range by (first, second).
+  index.pair_offsets_.assign(num_relations + 1, 0);
+  for (const Entry& e : entries) {
+    if (e.rel > 0) {
+      assert(static_cast<size_t>(e.rel) <= num_relations);
+      ++index.pair_offsets_[static_cast<size_t>(e.rel)];
+    }
+  }
+  for (size_t r = 1; r <= num_relations; ++r) {
+    index.pair_offsets_[r] += index.pair_offsets_[r - 1];
+  }
+  index.pairs_.resize(index.pair_offsets_[num_relations]);
+  std::vector<uint64_t> cursor(index.pair_offsets_.begin(),
+                               index.pair_offsets_.end() - 1);
+  for (const Entry& e : entries) {
+    if (e.rel > 0) {
+      index.pairs_[cursor[static_cast<size_t>(e.rel) - 1]++] =
+          rdf::TermPair{terms[e.owner], e.other};
+    }
+  }
+  for (size_t r = 1; r <= num_relations; ++r) {
+    std::sort(index.pairs_.begin() +
+                  static_cast<ptrdiff_t>(index.pair_offsets_[r - 1]),
+              index.pairs_.begin() +
+                  static_cast<ptrdiff_t>(index.pair_offsets_[r]),
+              PairLess);
+  }
+  return index;
+}
+
+bool ColumnarIndex::FromColumns(std::vector<uint64_t> offsets,
+                                std::vector<rdf::Fact> facts,
+                                std::vector<uint64_t> pair_offsets,
+                                std::vector<rdf::TermPair> pairs,
+                                ColumnarIndex* out) {
+  if (offsets.empty() || pair_offsets.empty()) return false;
+  if (offsets.front() != 0 || offsets.back() != facts.size()) return false;
+  if (pair_offsets.front() != 0 || pair_offsets.back() != pairs.size()) {
+    return false;
+  }
+  if (!std::is_sorted(offsets.begin(), offsets.end())) return false;
+  if (!std::is_sorted(pair_offsets.begin(), pair_offsets.end())) return false;
+  // Each term's adjacency slice must be strictly increasing by (rel, other);
+  // a violation means the bytes don't describe a valid index.
+  for (size_t t = 0; t + 1 < offsets.size(); ++t) {
+    for (uint64_t i = offsets[t] + 1; i < offsets[t + 1]; ++i) {
+      if (!FactLess(facts[i - 1], facts[i])) return false;
+    }
+  }
+  for (const rdf::Fact& f : facts) {
+    // Reject INT32_MIN before BaseRel: negating it is signed overflow.
+    if (f.rel == rdf::kNullRel ||
+        f.rel == std::numeric_limits<rdf::RelId>::min() ||
+        static_cast<size_t>(rdf::BaseRel(f.rel)) >= pair_offsets.size()) {
+      return false;
+    }
+  }
+  for (size_t r = 1; r < pair_offsets.size(); ++r) {
+    for (uint64_t i = pair_offsets[r - 1] + 1; i < pair_offsets[r]; ++i) {
+      if (!PairLess(pairs[i - 1], pairs[i])) return false;
+    }
+  }
+
+  out->offsets_ = std::move(offsets);
+  out->facts_ = std::move(facts);
+  out->pair_offsets_ = std::move(pair_offsets);
+  out->pairs_ = std::move(pairs);
+  out->objects_.resize(out->facts_.size());
+  for (size_t i = 0; i < out->facts_.size(); ++i) {
+    out->objects_[i] = out->facts_[i].other;
+  }
+  return true;
+}
+
+std::span<const rdf::Fact> ColumnarIndex::FactsWith(uint32_t local,
+                                                    rdf::RelId rel) const {
+  const auto facts = FactsAbout(local);
+  auto lo = std::lower_bound(
+      facts.begin(), facts.end(), rel,
+      [](const rdf::Fact& f, rdf::RelId r) { return f.rel < r; });
+  auto hi = std::upper_bound(
+      lo, facts.end(), rel,
+      [](rdf::RelId r, const rdf::Fact& f) { return r < f.rel; });
+  return facts.subspan(static_cast<size_t>(lo - facts.begin()),
+                       static_cast<size_t>(hi - lo));
+}
+
+std::span<const rdf::TermId> ColumnarIndex::ObjectsOf(uint32_t local,
+                                                      rdf::RelId rel) const {
+  const auto with_rel = FactsWith(local, rel);
+  if (with_rel.empty()) return {};
+  // Map the fact slice onto the parallel object column.
+  const size_t begin = static_cast<size_t>(with_rel.data() - facts_.data());
+  return {objects_.data() + begin, with_rel.size()};
+}
+
+bool ColumnarIndex::Contains(uint32_t local, rdf::RelId rel,
+                             rdf::TermId other) const {
+  const auto objects = ObjectsOf(local, rel);
+  return std::binary_search(objects.begin(), objects.end(), other);
+}
+
+}  // namespace paris::storage

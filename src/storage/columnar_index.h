@@ -1,0 +1,120 @@
+#ifndef PARIS_STORAGE_COLUMNAR_INDEX_H_
+#define PARIS_STORAGE_COLUMNAR_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rdf/term.h"
+#include "rdf/triple.h"
+
+namespace paris::storage {
+
+// Immutable columnar index over the dictionary-encoded statements of one
+// ontology — the storage engine behind `rdf::TripleStore`.
+//
+// Two permutations are packed:
+//
+//  * SPO (adjacency): a CSR layout keyed by dense local term index. One flat
+//    `Fact` array sorted by (rel, other) within each term, plus an offset
+//    array, so `FactsAbout` is a pure span lookup and `FactsWith`/`ObjectsOf`
+//    are binary searches within one term's contiguous slice. Inverse
+//    statements are materialized with negated relation ids, so the SPO
+//    family subsumes OPS. A parallel object column (the `other` field of
+//    each fact, stored contiguously) lets `ObjectsOf` return a
+//    `std::span<const TermId>` without allocating.
+//
+//  * POS (pairs): per positive relation, its (first, second) pairs in one
+//    flat array sorted by (first, second), with an offset per relation.
+//
+// All spans point into the index and stay valid for its lifetime; every read
+// accessor is allocation-free and safe to call from many threads.
+class ColumnarIndex {
+ public:
+  // One half-statement during ingest: rel(owner, other) where `owner` is a
+  // dense local term index and `rel` may be an inverse id.
+  struct Entry {
+    uint32_t owner;
+    rdf::RelId rel;
+    rdf::TermId other;
+
+    friend bool operator==(const Entry& a, const Entry& b) = default;
+  };
+
+  ColumnarIndex() = default;
+  ColumnarIndex(ColumnarIndex&&) = default;
+  ColumnarIndex& operator=(ColumnarIndex&&) = default;
+  ColumnarIndex(const ColumnarIndex&) = delete;
+  ColumnarIndex& operator=(const ColumnarIndex&) = delete;
+
+  // Packs the index. `terms` maps local index → global term id (used to emit
+  // POS pairs); every entry's `owner` must be < terms.size() and every
+  // positive |rel| must be ≤ num_relations. Duplicate entries are removed (a
+  // store is a *set* of statements).
+  static ColumnarIndex Build(std::span<const rdf::TermId> terms,
+                             size_t num_relations,
+                             std::vector<Entry>&& entries);
+
+  // Reassembles an index from raw columns (snapshot load). Returns false —
+  // leaving `out` untouched — if the columns are structurally inconsistent
+  // (non-monotone offsets, unsorted or duplicate rows, out-of-range ids).
+  static bool FromColumns(std::vector<uint64_t> offsets,
+                          std::vector<rdf::Fact> facts,
+                          std::vector<uint64_t> pair_offsets,
+                          std::vector<rdf::TermPair> pairs, ColumnarIndex* out);
+
+  // ---- Read API (all O(1) or O(log degree), zero allocation) ----
+
+  // Every statement the term participates in, sorted by (rel, other).
+  std::span<const rdf::Fact> FactsAbout(uint32_t local) const {
+    return {facts_.data() + offsets_[local],
+            facts_.data() + offsets_[local + 1]};
+  }
+
+  // The facts of `local` whose relation is exactly `rel`.
+  std::span<const rdf::Fact> FactsWith(uint32_t local, rdf::RelId rel) const;
+
+  // The objects y with rel(term, y), as a contiguous sorted id column.
+  std::span<const rdf::TermId> ObjectsOf(uint32_t local, rdf::RelId rel) const;
+
+  // True if rel(term, other) is a statement.
+  bool Contains(uint32_t local, rdf::RelId rel, rdf::TermId other) const;
+
+  // (first, second) pairs of positive relation `base` in [1, num_relations],
+  // sorted by (first, second).
+  std::span<const rdf::TermPair> PairsOf(rdf::RelId base) const {
+    const auto b = static_cast<size_t>(base);
+    return {pairs_.data() + pair_offsets_[b - 1],
+            pairs_.data() + pair_offsets_[b]};
+  }
+
+  size_t num_terms() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+  size_t num_relations() const {
+    return pair_offsets_.empty() ? 0 : pair_offsets_.size() - 1;
+  }
+  // Adjacency rows (each statement appears twice: forward and inverse).
+  size_t num_facts() const { return facts_.size(); }
+  // Distinct statements (inverses not double-counted).
+  size_t num_triples() const { return pairs_.size(); }
+
+  // ---- Raw columns (snapshot save, deep-equality in tests) ----
+
+  std::span<const uint64_t> offsets() const { return offsets_; }
+  std::span<const rdf::Fact> facts() const { return facts_; }
+  std::span<const rdf::TermId> objects() const { return objects_; }
+  std::span<const uint64_t> pair_offsets() const { return pair_offsets_; }
+  std::span<const rdf::TermPair> pairs() const { return pairs_; }
+
+ private:
+  std::vector<uint64_t> offsets_;        // num_terms + 1
+  std::vector<rdf::Fact> facts_;         // CSR adjacency rows
+  std::vector<rdf::TermId> objects_;     // objects_[i] == facts_[i].other
+  std::vector<uint64_t> pair_offsets_;   // num_relations + 1
+  std::vector<rdf::TermPair> pairs_;     // POS rows
+};
+
+}  // namespace paris::storage
+
+#endif  // PARIS_STORAGE_COLUMNAR_INDEX_H_

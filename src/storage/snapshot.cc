@@ -1,0 +1,194 @@
+#include "storage/snapshot.h"
+
+#include <algorithm>
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+namespace paris::storage {
+
+namespace {
+
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+uint64_t HashBytes(uint64_t h, const void* data, size_t size) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SnapshotWriter
+// ---------------------------------------------------------------------------
+
+void SnapshotWriter::WriteBytes(const void* data, size_t size) {
+  out_.write(static_cast<const char*>(data),
+             static_cast<std::streamsize>(size));
+  checksum_ = HashBytes(checksum_, data, size);
+}
+
+void SnapshotWriter::WriteU8(uint8_t v) { WriteBytes(&v, 1); }
+
+void SnapshotWriter::WriteU32(uint32_t v) {
+  unsigned char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<unsigned char>(v >> (8 * i));
+  WriteBytes(b, 4);
+}
+
+void SnapshotWriter::WriteU64(uint64_t v) {
+  unsigned char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<unsigned char>(v >> (8 * i));
+  WriteBytes(b, 8);
+}
+
+void SnapshotWriter::WriteString(std::string_view s) {
+  WriteU64(s.size());
+  WriteBytes(s.data(), s.size());
+}
+
+bool SnapshotWriter::ok() const { return static_cast<bool>(out_); }
+
+// ---------------------------------------------------------------------------
+// SnapshotReader
+// ---------------------------------------------------------------------------
+
+bool SnapshotReader::ReadBytes(void* data, size_t size) {
+  if (failed_) return false;
+  in_.read(static_cast<char*>(data), static_cast<std::streamsize>(size));
+  if (static_cast<size_t>(in_.gcount()) != size) {
+    failed_ = true;
+    std::memset(data, 0, size);
+    return false;
+  }
+  checksum_ = HashBytes(checksum_, data, size);
+  return true;
+}
+
+uint8_t SnapshotReader::ReadU8() {
+  uint8_t v = 0;
+  ReadBytes(&v, 1);
+  return v;
+}
+
+uint32_t SnapshotReader::ReadU32() {
+  unsigned char b[4] = {};
+  ReadBytes(b, 4);
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(b[i]) << (8 * i);
+  return v;
+}
+
+uint64_t SnapshotReader::ReadU64() {
+  unsigned char b[8] = {};
+  ReadBytes(b, 8);
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(b[i]) << (8 * i);
+  return v;
+}
+
+std::string SnapshotReader::ReadString(uint64_t max_size) {
+  const uint64_t n = ReadU64();
+  if (n > max_size) {
+    failed_ = true;
+    return {};
+  }
+  std::string s;
+  constexpr uint64_t kChunk = 1 << 16;
+  for (uint64_t done = 0; done < n;) {
+    const uint64_t take = std::min(kChunk, n - done);
+    const size_t old_size = s.size();
+    s.resize(old_size + take);
+    if (!ReadBytes(s.data() + old_size, take)) return {};
+    done += take;
+  }
+  return s;
+}
+
+uint64_t SnapshotReader::ReadChecksumTrailer() {
+  if (failed_) return 0;
+  unsigned char b[8] = {};
+  in_.read(reinterpret_cast<char*>(b), 8);
+  if (in_.gcount() != 8) {
+    failed_ = true;
+    return 0;
+  }
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(b[i]) << (8 * i);
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+void WriteSnapshotHeader(SnapshotWriter& writer, std::ostream& raw) {
+  raw.write(kSnapshotMagic, sizeof(kSnapshotMagic));  // excluded from hash
+  writer.WriteU32(kSnapshotVersion);
+}
+
+util::Status CheckSnapshotHeader(SnapshotReader& reader, std::istream& raw) {
+  char magic[sizeof(kSnapshotMagic)] = {};
+  raw.read(magic, sizeof(magic));
+  if (raw.gcount() != sizeof(magic) ||
+      std::memcmp(magic, kSnapshotMagic, sizeof(magic)) != 0) {
+    reader.MarkFailed();
+    return util::InvalidArgumentError("not a PARIS snapshot (bad magic)");
+  }
+  const uint32_t version = reader.ReadU32();
+  if (!reader.ok()) {
+    return util::InvalidArgumentError("truncated snapshot header");
+  }
+  if (version != kSnapshotVersion) {
+    reader.MarkFailed();
+    return util::InvalidArgumentError("unsupported snapshot version " +
+                                      std::to_string(version));
+  }
+  return util::OkStatus();
+}
+
+// ---------------------------------------------------------------------------
+// Term pool
+// ---------------------------------------------------------------------------
+
+void SaveTermPool(const rdf::TermPool& pool, SnapshotWriter& writer) {
+  writer.WriteU64(pool.size());
+  for (rdf::TermId id = 0; id < pool.size(); ++id) {
+    writer.WriteU8(static_cast<uint8_t>(pool.kind(id)));
+    writer.WriteString(pool.lexical(id));
+  }
+}
+
+util::Status LoadTermPool(SnapshotReader& reader, rdf::TermPool* pool) {
+  if (pool->size() != 0) {
+    return util::FailedPreconditionError(
+        "snapshot must be loaded into an empty term pool");
+  }
+  const uint64_t count = reader.ReadU64();
+  for (uint64_t i = 0; i < count && reader.ok(); ++i) {
+    const uint8_t kind = reader.ReadU8();
+    if (kind > static_cast<uint8_t>(rdf::TermKind::kLiteral)) {
+      reader.MarkFailed();
+      break;
+    }
+    const std::string lexical = reader.ReadString();
+    if (!reader.ok()) break;
+    const rdf::TermId id =
+        pool->Intern(lexical, static_cast<rdf::TermKind>(kind));
+    if (id != i) {
+      // A duplicate (lexical, kind) row — the bytes are corrupt.
+      reader.MarkFailed();
+      break;
+    }
+  }
+  if (!reader.ok()) {
+    return util::InvalidArgumentError("corrupt term pool section");
+  }
+  return util::OkStatus();
+}
+
+}  // namespace paris::storage

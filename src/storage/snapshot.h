@@ -1,0 +1,134 @@
+#ifndef PARIS_STORAGE_SNAPSHOT_H_
+#define PARIS_STORAGE_SNAPSHOT_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "rdf/term.h"
+#include "util/status.h"
+
+namespace paris::storage {
+
+// Versioned binary snapshot format (see src/storage/README.md):
+//
+//   [8-byte magic "PARISNP\n"] [u32 format version]
+//   ... sections written by the layers above ...
+//   [u64 FNV-1a checksum of every byte after the magic]
+//
+// Scalars are little-endian; POD rows (facts, pairs, offsets) are written
+// raw, matching the in-memory layout of this library's fixed-width structs.
+// The checksum trailer detects both corruption and truncation: a reader
+// hashes as it consumes and compares against the stored trailer.
+
+inline constexpr char kSnapshotMagic[8] = {'P', 'A', 'R', 'I',
+                                           'S', 'N', 'P', '\n'};
+inline constexpr uint32_t kSnapshotVersion = 1;
+
+// Streams sections to `out`, maintaining a running FNV-1a 64 hash of every
+// byte written (the magic is excluded by writing it before construction —
+// `WriteSnapshotHeader` handles this).
+class SnapshotWriter {
+ public:
+  explicit SnapshotWriter(std::ostream& out) : out_(out) {}
+
+  void WriteBytes(const void* data, size_t size);
+  void WriteU8(uint8_t v);
+  void WriteU32(uint32_t v);
+  void WriteU64(uint64_t v);
+  void WriteString(std::string_view s);  // u64 length + bytes
+
+  template <typename T>
+  void WritePodSpan(std::span<const T> v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    WriteU64(v.size());
+    WriteBytes(v.data(), v.size() * sizeof(T));
+  }
+
+  template <typename T>
+  void WritePodVector(const std::vector<T>& v) {
+    WritePodSpan(std::span<const T>(v));
+  }
+
+  uint64_t checksum() const { return checksum_; }
+  bool ok() const;
+
+ private:
+  std::ostream& out_;
+  uint64_t checksum_ = 14695981039346656037ull;  // FNV-1a offset basis
+};
+
+// Mirrors SnapshotWriter. Read failures (EOF, oversized counts) latch a
+// fail state instead of returning per-call statuses; callers check `ok()`
+// after a batch of reads. Values read after a failure are zero.
+class SnapshotReader {
+ public:
+  explicit SnapshotReader(std::istream& in) : in_(in) {}
+
+  bool ReadBytes(void* data, size_t size);
+  uint8_t ReadU8();
+  uint32_t ReadU32();
+  uint64_t ReadU64();
+  std::string ReadString(uint64_t max_size = kMaxString);
+
+  // Reads a length-prefixed POD array. Grows the vector in bounded chunks so
+  // a corrupt length field on a truncated file fails fast at the first short
+  // read instead of attempting one giant allocation up front.
+  template <typename T>
+  bool ReadPodVector(std::vector<T>* v, uint64_t max_elements = kMaxElements) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const uint64_t n = ReadU64();
+    if (n > max_elements) {
+      failed_ = true;
+      return false;
+    }
+    v->clear();
+    constexpr uint64_t kChunk = 1 << 16;
+    for (uint64_t done = 0; done < n;) {
+      const uint64_t take = std::min(kChunk, n - done);
+      const size_t old_size = v->size();
+      v->resize(old_size + take);
+      if (!ReadBytes(v->data() + old_size, take * sizeof(T))) return false;
+      done += take;
+    }
+    return ok();
+  }
+
+  // Reads the trailing checksum *without* hashing it, for comparison against
+  // `checksum()` of everything consumed so far.
+  uint64_t ReadChecksumTrailer();
+
+  uint64_t checksum() const { return checksum_; }
+  bool ok() const { return !failed_; }
+  void MarkFailed() { failed_ = true; }
+
+ private:
+  static constexpr uint64_t kMaxString = 1ull << 32;
+  static constexpr uint64_t kMaxElements = 1ull << 40;
+
+  std::istream& in_;
+  uint64_t checksum_ = 14695981039346656037ull;
+  bool failed_ = false;
+};
+
+// Writes / verifies the magic + format version framing.
+void WriteSnapshotHeader(SnapshotWriter& writer, std::ostream& raw);
+util::Status CheckSnapshotHeader(SnapshotReader& reader, std::istream& raw);
+
+// ---- Term pool section ----
+
+// count, then per term: kind byte + lexical form.
+void SaveTermPool(const rdf::TermPool& pool, SnapshotWriter& writer);
+
+// Re-interns every term in id order; `pool` must be empty so the dense ids
+// reproduce exactly.
+util::Status LoadTermPool(SnapshotReader& reader, rdf::TermPool* pool);
+
+}  // namespace paris::storage
+
+#endif  // PARIS_STORAGE_SNAPSHOT_H_

@@ -14,15 +14,21 @@
 //   --negative-evidence    use Eq. (14) instead of Eq. (13)
 //   --name-prior           seed iteration 1 with relation-name similarity
 //   --stats                print ontology statistics and exit
+//   --save-snapshot PATH   after loading, write a binary snapshot of both
+//                          ontologies (term pool + packed indexes)
+//   --load-snapshot PATH   load ontologies from a snapshot instead of
+//                          parsing RDF files (positional args not needed)
 //
 // Exit status 0 on success, 1 on usage/load errors.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <optional>
 #include <vector>
 #include <string>
 
+#include "ontology/snapshot.h"
 #include "paris/paris.h"
 
 namespace {
@@ -31,6 +37,8 @@ struct CliOptions {
   std::string left_path;
   std::string right_path;
   std::string output_prefix;
+  std::string save_snapshot;
+  std::string load_snapshot;
   paris::core::AlignmentConfig config;
   std::string matcher = "identity";
   bool stats_only = false;
@@ -41,7 +49,8 @@ void PrintUsage() {
                "usage: paris_align LEFT.nt RIGHT.nt [--output PREFIX] "
                "[--max-iterations N] [--theta X] [--matcher identity|"
                "normalized|fuzzy] [--threads N] [--negative-evidence] "
-               "[--name-prior] [--stats]\n");
+               "[--name-prior] [--stats] [--save-snapshot PATH] "
+               "[--load-snapshot PATH]\n");
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* options) {
@@ -75,6 +84,14 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       const char* v = next_value("--threads");
       if (v == nullptr) return false;
       options->config.num_threads = static_cast<size_t>(std::atoi(v));
+    } else if (arg == "--save-snapshot") {
+      const char* v = next_value("--save-snapshot");
+      if (v == nullptr) return false;
+      options->save_snapshot = v;
+    } else if (arg == "--load-snapshot") {
+      const char* v = next_value("--load-snapshot");
+      if (v == nullptr) return false;
+      options->load_snapshot = v;
     } else if (arg == "--negative-evidence") {
       options->config.use_negative_evidence = true;
     } else if (arg == "--name-prior") {
@@ -87,6 +104,10 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
     } else {
       positional.push_back(arg);
     }
+  }
+  if (!options->load_snapshot.empty()) {
+    // The snapshot replaces the RDF inputs entirely.
+    return positional.empty();
   }
   if (positional.size() != 2) return false;
   options->left_path = positional[0];
@@ -128,31 +149,59 @@ int main(int argc, char** argv) {
   };
 
   paris::rdf::TermPool pool;
-  paris::ontology::OntologyBuilder left_builder(&pool, "left");
-  auto status = parse_file(options.left_path, &left_builder);
-  if (!status.ok()) {
-    std::fprintf(stderr, "%s: %s\n", options.left_path.c_str(),
-                 status.ToString().c_str());
-    return 1;
+  std::optional<paris::ontology::Ontology> left;
+  std::optional<paris::ontology::Ontology> right;
+
+  if (!options.load_snapshot.empty()) {
+    auto snapshot = paris::ontology::LoadAlignmentSnapshot(
+        options.load_snapshot, &pool);
+    if (!snapshot.ok()) {
+      std::fprintf(stderr, "%s: %s\n", options.load_snapshot.c_str(),
+                   snapshot.status().ToString().c_str());
+      return 1;
+    }
+    left.emplace(std::move(snapshot->left));
+    right.emplace(std::move(snapshot->right));
+  } else {
+    paris::ontology::OntologyBuilder left_builder(&pool, "left");
+    auto status = parse_file(options.left_path, &left_builder);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s: %s\n", options.left_path.c_str(),
+                   status.ToString().c_str());
+      return 1;
+    }
+    auto built_left = left_builder.Build();
+    if (!built_left.ok()) {
+      std::fprintf(stderr, "left ontology: %s\n",
+                   built_left.status().ToString().c_str());
+      return 1;
+    }
+    left.emplace(std::move(built_left).value());
+    paris::ontology::OntologyBuilder right_builder(&pool, "right");
+    status = parse_file(options.right_path, &right_builder);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s: %s\n", options.right_path.c_str(),
+                   status.ToString().c_str());
+      return 1;
+    }
+    auto built_right = right_builder.Build();
+    if (!built_right.ok()) {
+      std::fprintf(stderr, "right ontology: %s\n",
+                   built_right.status().ToString().c_str());
+      return 1;
+    }
+    right.emplace(std::move(built_right).value());
   }
-  auto left = left_builder.Build();
-  if (!left.ok()) {
-    std::fprintf(stderr, "left ontology: %s\n",
-                 left.status().ToString().c_str());
-    return 1;
-  }
-  paris::ontology::OntologyBuilder right_builder(&pool, "right");
-  status = parse_file(options.right_path, &right_builder);
-  if (!status.ok()) {
-    std::fprintf(stderr, "%s: %s\n", options.right_path.c_str(),
-                 status.ToString().c_str());
-    return 1;
-  }
-  auto right = right_builder.Build();
-  if (!right.ok()) {
-    std::fprintf(stderr, "right ontology: %s\n",
-                 right.status().ToString().c_str());
-    return 1;
+
+  if (!options.save_snapshot.empty()) {
+    auto status = paris::ontology::SaveAlignmentSnapshot(
+        options.save_snapshot, *left, *right);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s: %s\n", options.save_snapshot.c_str(),
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote snapshot %s\n", options.save_snapshot.c_str());
   }
 
   if (options.stats_only) {
@@ -181,8 +230,8 @@ int main(int argc, char** argv) {
               result.converged_at > 0 ? ", converged" : "");
 
   if (!options.output_prefix.empty()) {
-    status = paris::core::WriteAlignmentFiles(result, *left, *right,
-                                              options.output_prefix);
+    auto status = paris::core::WriteAlignmentFiles(result, *left, *right,
+                                                   options.output_prefix);
     if (!status.ok()) {
       std::fprintf(stderr, "writing results: %s\n",
                    status.ToString().c_str());

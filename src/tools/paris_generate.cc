@@ -8,27 +8,46 @@
 //
 // Profiles: person | restaurant | yago-dbpedia | yago-imdb
 // Optional third argument: scale factor (default 1.0).
+// Options:
+//   --save-snapshot PATH   also write a binary snapshot of the generated
+//                          pair, loadable via `paris_align --load-snapshot`
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "ontology/export.h"
+#include "ontology/snapshot.h"
 #include "paris/paris.h"
 #include "synth/profiles.h"
 
 int main(int argc, char** argv) {
-  if (argc < 3) {
+  std::vector<std::string> positional;
+  std::string snapshot_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--save-snapshot") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for --save-snapshot\n");
+        return 1;
+      }
+      snapshot_path = argv[++i];
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() < 2) {
     std::fprintf(stderr,
                  "usage: paris_generate person|restaurant|yago-dbpedia|"
-                 "yago-imdb OUTPUT_PREFIX [scale]\n");
+                 "yago-imdb OUTPUT_PREFIX [scale] [--save-snapshot PATH]\n");
     return 1;
   }
-  const std::string profile = argv[1];
-  const std::string prefix = argv[2];
+  const std::string profile = positional[0];
+  const std::string prefix = positional[1];
   paris::synth::ProfileOptions options;
-  if (argc > 3) options.scale = std::atof(argv[3]);
+  if (positional.size() > 2) options.scale = std::atof(positional[2].c_str());
 
   paris::util::StatusOr<paris::synth::OntologyPair> pair =
       paris::util::InvalidArgumentError("unknown profile: " + profile);
@@ -57,6 +76,16 @@ int main(int argc, char** argv) {
   if (!status.ok()) {
     std::fprintf(stderr, "%s\n", status.ToString().c_str());
     return 1;
+  }
+
+  if (!snapshot_path.empty()) {
+    status = paris::ontology::SaveAlignmentSnapshot(snapshot_path, *pair->left,
+                                                    *pair->right);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote snapshot %s\n", snapshot_path.c_str());
   }
 
   const std::string gold_path = prefix + "_gold.tsv";
