@@ -1,0 +1,190 @@
+// Parallel-phase benchmark: machine-readable JSON wall-times for every phase
+// of a paris_align run — parse (store ingest), index finalize, the
+// relation-score pass, the instance pass, and snapshot loading (streamed vs
+// mmap) — at 1, 2, and 8 worker threads. Gives future PRs a perf
+// trajectory; the committed baseline lives in BENCH_parallel.json.
+//
+//   bench_parallel [OUTPUT.json]    (default: stdout)
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/aligner.h"
+#include "ontology/snapshot.h"
+#include "rdf/store.h"
+#include "rdf/term.h"
+#include "synth/profiles.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace paris::bench {
+namespace {
+
+struct PhaseTime {
+  std::string phase;
+  size_t threads;
+  double seconds;
+};
+
+// Deterministic 64-bit LCG so the synthetic store is identical across runs.
+uint64_t Next(uint64_t* state) {
+  *state = *state * 6364136223846793005ull + 1442695040888963407ull;
+  return *state >> 17;
+}
+
+// A store-ingest + finalize workload with skewed relation sizes and skewed
+// term degrees (a few hub terms), the shape that punishes static chunking.
+struct StoreWorkload {
+  rdf::TermPool pool;
+  std::unique_ptr<rdf::TripleStore> store;
+  size_t num_triples = 0;
+  double parse_seconds = 0;
+
+  void Ingest(size_t triples, size_t terms, size_t relations) {
+    util::WallTimer timer;
+    store = std::make_unique<rdf::TripleStore>(&pool);
+    std::vector<rdf::TermId> term_ids;
+    term_ids.reserve(terms);
+    for (size_t i = 0; i < terms; ++i) {
+      term_ids.push_back(pool.InternIri("e:" + std::to_string(i)));
+    }
+    std::vector<rdf::RelId> rel_ids;
+    for (size_t r = 0; r < relations; ++r) {
+      rel_ids.push_back(
+          store->InternRelation(pool.InternIri("r:" + std::to_string(r))));
+    }
+    uint64_t rng = 0x9e3779b97f4a7c15ull;
+    for (size_t i = 0; i < triples; ++i) {
+      // Squaring the draw skews both the subject and the relation choice,
+      // concentrating facts on hub terms / hub relations.
+      const uint64_t s = Next(&rng) % (terms * terms);
+      const uint64_t r = Next(&rng) % (relations * relations);
+      const uint64_t o = Next(&rng) % terms;
+      store->Add(term_ids[(s * s / (terms * terms)) % terms],
+                 rel_ids[(r * r / (relations * relations)) % relations],
+                 term_ids[o]);
+    }
+    num_triples = triples;
+    parse_seconds = timer.ElapsedSeconds();
+  }
+};
+
+void Emit(std::FILE* out, const std::vector<PhaseTime>& phases,
+          size_t triples_store, size_t triples_pair, size_t hardware) {
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"bench\": \"bench_parallel\",\n");
+  std::fprintf(out, "  \"hardware_threads\": %zu,\n", hardware);
+  std::fprintf(out,
+               "  \"workload\": {\"store_triples\": %zu, "
+               "\"alignment_pair_triples\": %zu},\n",
+               triples_store, triples_pair);
+  std::fprintf(out, "  \"phases\": [\n");
+  for (size_t i = 0; i < phases.size(); ++i) {
+    std::fprintf(out,
+                 "    {\"phase\": \"%s\", \"threads\": %zu, "
+                 "\"seconds\": %.6f}%s\n",
+                 phases[i].phase.c_str(), phases[i].threads,
+                 phases[i].seconds, i + 1 < phases.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+}
+
+int Main(int argc, char** argv) {
+  util::SetLogLevel(util::LogLevel::kWarning);
+  const std::vector<size_t> thread_counts = {1, 2, 8};
+  std::vector<PhaseTime> phases;
+
+  // --- Store ingest + finalize ---------------------------------------------
+  constexpr size_t kTriples = 400000;
+  constexpr size_t kTerms = 60000;
+  constexpr size_t kRelations = 24;
+  size_t store_triples = 0;
+  for (size_t threads : thread_counts) {
+    StoreWorkload workload;
+    workload.Ingest(kTriples, kTerms, kRelations);
+    if (threads == thread_counts.front()) {
+      phases.push_back({"parse", 1, workload.parse_seconds});
+    }
+    util::ThreadPool pool(threads);
+    util::WallTimer timer;
+    workload.store->Finalize(&pool);
+    phases.push_back({"finalize", threads, timer.ElapsedSeconds()});
+    store_triples = workload.store->num_triples();
+  }
+
+  // --- Alignment passes ----------------------------------------------------
+  synth::ProfileOptions options;
+  options.scale = 2.0;
+  auto pair = synth::MakeYagoDbpediaPair(options);
+  if (!pair.ok()) {
+    std::fprintf(stderr, "workload generation failed: %s\n",
+                 pair.status().ToString().c_str());
+    return 1;
+  }
+  const size_t pair_triples =
+      pair->left->num_triples() + pair->right->num_triples();
+  for (size_t threads : thread_counts) {
+    core::AlignmentConfig config;
+    config.num_threads = threads;
+    config.max_iterations = 3;
+    config.convergence_threshold = 0.0;  // fixed work across thread counts
+    config.record_history = false;
+    core::Aligner aligner(*pair->left, *pair->right, config);
+    const core::AlignmentResult result = aligner.Run();
+    double instance_seconds = 0;
+    double relation_seconds = 0;
+    for (const auto& record : result.iterations) {
+      instance_seconds += record.seconds_instances;
+      relation_seconds += record.seconds_relations;
+    }
+    phases.push_back({"instance_pass", threads, instance_seconds});
+    phases.push_back({"relation_pass", threads, relation_seconds});
+  }
+
+  // --- Snapshot load (not threaded: stream copies, mmap maps) --------------
+  const std::string snap_path = "/tmp/bench_parallel.snap";
+  auto saved =
+      ontology::SaveAlignmentSnapshot(snap_path, *pair->left, *pair->right);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "snapshot save failed: %s\n",
+                 saved.ToString().c_str());
+    return 1;
+  }
+  for (const auto& [name, mode] :
+       {std::pair{"snapshot_load_stream", ontology::SnapshotLoadMode::kStream},
+        std::pair{"snapshot_load_mmap", ontology::SnapshotLoadMode::kMmap}}) {
+    util::WallTimer timer;
+    rdf::TermPool fresh;
+    auto loaded = ontology::LoadAlignmentSnapshot(snap_path, &fresh, mode);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", name,
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    phases.push_back({name, 1, timer.ElapsedSeconds()});
+  }
+  std::remove(snap_path.c_str());
+
+  std::FILE* out = stdout;
+  if (argc > 1) {
+    out = std::fopen(argv[1], "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+  }
+  Emit(out, phases, store_triples, pair_triples,
+       std::thread::hardware_concurrency());
+  if (out != stdout) std::fclose(out);
+  return 0;
+}
+
+}  // namespace
+}  // namespace paris::bench
+
+int main(int argc, char** argv) { return paris::bench::Main(argc, argv); }

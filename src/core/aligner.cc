@@ -113,8 +113,8 @@ AlignmentResult Aligner::Run() {
     timer.Restart();
     DirectionalContext l2r_cur = make_context(true, &current);
     DirectionalContext r2l_cur = make_context(false, &current);
-    rel_scores =
-        ComputeRelationScores(left_, right_, l2r_cur, r2l_cur, config_);
+    rel_scores = ComputeRelationScores(left_, right_, l2r_cur, r2l_cur,
+                                       config_, pool.get());
     record.seconds_relations = timer.ElapsedSeconds();
 
     if (config_.record_history) {

@@ -10,7 +10,9 @@ namespace {
 
 // Per-fact expansion of the second argument to its right-ontology
 // equivalents, computed once per instance and shared between the positive-
-// and negative-evidence passes.
+// and negative-evidence passes. In negative-evidence mode `equivalents` is
+// sorted by term id so the per-candidate-fact lookup in
+// NegativeEvidenceFactor is a binary search instead of a linear scan.
 struct ExpandedFact {
   rdf::RelId rel = rdf::kNullRel;  // r with r(x, y), signed
   std::vector<Candidate> equivalents;  // y' with Pr(y ≡ y') > 0
@@ -118,13 +120,12 @@ double NegativeEvidenceFactor(const std::vector<ExpandedFact>& facts,
   auto inner_product = [&](const ExpandedFact& ef, rdf::RelId r_prime) {
     double inner = 1.0;
     for (const rdf::Fact& cf : FactsWithRelation(candidate_facts, r_prime)) {
-      double p = 0.0;
-      for (const Candidate& y_eq : ef.equivalents) {
-        if (y_eq.other == cf.other) {
-          p = y_eq.prob;
-          break;
-        }
-      }
+      // `equivalents` is sorted by term id (see ComputeInstanceEquivalences).
+      auto it = std::lower_bound(
+          ef.equivalents.begin(), ef.equivalents.end(), cf.other,
+          [](const Candidate& c, rdf::TermId t) { return c.other < t; });
+      const double p =
+          it != ef.equivalents.end() && it->other == cf.other ? it->prob : 0.0;
       inner *= (1.0 - p);
     }
     return inner;
@@ -174,6 +175,14 @@ InstanceEquivalences ComputeInstanceEquivalences(
         ef.rel = f.rel;
         l2r.AppendEquivalents(f.other, &ef.equivalents);
         if (!ef.equivalents.empty() || config.use_negative_evidence) {
+          if (config.use_negative_evidence) {
+            // The sort only feeds NegativeEvidenceFactor's binary search;
+            // don't pay for it in the positive-only default mode.
+            std::sort(ef.equivalents.begin(), ef.equivalents.end(),
+                      [](const Candidate& a, const Candidate& b) {
+                        return a.other < b.other;
+                      });
+          }
           expanded.push_back(std::move(ef));
         }
       }
@@ -207,11 +216,7 @@ InstanceEquivalences ComputeInstanceEquivalences(
     }
   };
 
-  if (pool != nullptr && pool->num_threads() > 0) {
-    pool->ParallelFor(instances.size(), process_range);
-  } else {
-    process_range(0, instances.size());
-  }
+  util::ForRange(pool, instances.size(), process_range);
 
   InstanceEquivalences equiv;
   for (size_t i = 0; i < instances.size(); ++i) {

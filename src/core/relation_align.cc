@@ -77,21 +77,46 @@ RelationScores ComputeRelationScores(const ontology::Ontology& left,
                                      const ontology::Ontology& right,
                                      const DirectionalContext& l2r,
                                      const DirectionalContext& r2l,
-                                     const AlignmentConfig& config) {
+                                     const AlignmentConfig& config,
+                                     util::ThreadPool* pool) {
+  // One task per (direction, relation); task i scores left relation i+1 for
+  // i < num_left, right relation i-num_left+1 otherwise. Every task writes
+  // only its own shard, so the pass parallelizes without locks.
+  const size_t num_left = left.num_relations();
+  const size_t num_right = right.num_relations();
+  const size_t total = num_left + num_right;
+  struct Scored {
+    rdf::RelId sub;
+    rdf::RelId super;
+    double score;
+  };
+  std::vector<std::vector<Scored>> shards(total);
+
+  auto score_range = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const bool is_left = i < num_left;
+      const rdf::RelId rel =
+          static_cast<rdf::RelId>(is_left ? i + 1 : i - num_left + 1);
+      ScoreOneRelation(rel, is_left ? l2r : r2l, config,
+                       [&](rdf::RelId sub, rdf::RelId super, double score) {
+                         shards[i].push_back(Scored{sub, super, score});
+                       });
+    }
+  };
+  util::ForRange(pool, total, score_range);
+
+  // Deterministic merge: shard order reproduces the exact insertion sequence
+  // of a serial run, so the tables (and their iteration order) are
+  // byte-identical across thread counts.
   RelationScores scores;
-  const rdf::RelId num_left = static_cast<rdf::RelId>(left.num_relations());
-  for (rdf::RelId r = 1; r <= num_left; ++r) {
-    ScoreOneRelation(r, l2r, config,
-                     [&](rdf::RelId sub, rdf::RelId super, double score) {
-                       scores.SetSubLeftRight(sub, super, score);
-                     });
-  }
-  const rdf::RelId num_right = static_cast<rdf::RelId>(right.num_relations());
-  for (rdf::RelId r = 1; r <= num_right; ++r) {
-    ScoreOneRelation(r, r2l, config,
-                     [&](rdf::RelId sub, rdf::RelId super, double score) {
-                       scores.SetSubRightLeft(sub, super, score);
-                     });
+  for (size_t i = 0; i < total; ++i) {
+    for (const Scored& s : shards[i]) {
+      if (i < num_left) {
+        scores.SetSubLeftRight(s.sub, s.super, s.score);
+      } else {
+        scores.SetSubRightLeft(s.sub, s.super, s.score);
+      }
+    }
   }
   return scores;
 }

@@ -5,6 +5,7 @@
 #include "core/direction.h"
 #include "core/relation_scores.h"
 #include "ontology/ontology.h"
+#include "util/thread_pool.h"
 
 namespace paris::core {
 
@@ -20,11 +21,18 @@ namespace paris::core {
 // (§5.2), at most `config.relation_pair_sample` pairs per relation.
 // Inverse relations are covered by the Pr(r ⊆ r') = Pr(r⁻¹ ⊆ r'⁻¹)
 // canonicalization in `RelationScores`.
+//
+// With a non-null `pool` the per-relation estimates run across the workers
+// (each relation's accumulators are independent); the per-relation score
+// lists are merged into the table serially in relation-id order, so the
+// result — including hash-table iteration order — is identical to a serial
+// run.
 RelationScores ComputeRelationScores(const ontology::Ontology& left,
                                      const ontology::Ontology& right,
                                      const DirectionalContext& l2r,
                                      const DirectionalContext& r2l,
-                                     const AlignmentConfig& config);
+                                     const AlignmentConfig& config,
+                                     util::ThreadPool* pool = nullptr);
 
 }  // namespace paris::core
 

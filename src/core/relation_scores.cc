@@ -9,6 +9,7 @@ void RelationScores::SetSubLeftRight(rdf::RelId left, rdf::RelId right,
   assert(left > 0 && "store canonical positive sub id");
   assert(!bootstrap_);
   left_sub_right_[util::PackPair(Encode(left), Encode(right))] = score;
+  entries_cache_valid_ = false;
 }
 
 void RelationScores::SetSubRightLeft(rdf::RelId right, rdf::RelId left,
@@ -16,22 +17,25 @@ void RelationScores::SetSubRightLeft(rdf::RelId right, rdf::RelId left,
   assert(right > 0 && "store canonical positive sub id");
   assert(!bootstrap_);
   right_sub_left_[util::PackPair(Encode(right), Encode(left))] = score;
+  entries_cache_valid_ = false;
 }
 
-std::vector<RelationAlignmentEntry> RelationScores::Entries() const {
-  std::vector<RelationAlignmentEntry> out;
-  out.reserve(size());
+const std::vector<RelationAlignmentEntry>& RelationScores::Entries() const {
+  if (entries_cache_valid_) return entries_cache_;
+  entries_cache_.clear();
+  entries_cache_.reserve(size());
   for (const auto& [key, score] : left_sub_right_) {
-    out.push_back(RelationAlignmentEntry{
+    entries_cache_.push_back(RelationAlignmentEntry{
         Decode(util::UnpackFirst(key)), Decode(util::UnpackSecond(key)), score,
         /*sub_is_left=*/true});
   }
   for (const auto& [key, score] : right_sub_left_) {
-    out.push_back(RelationAlignmentEntry{
+    entries_cache_.push_back(RelationAlignmentEntry{
         Decode(util::UnpackFirst(key)), Decode(util::UnpackSecond(key)), score,
         /*sub_is_left=*/false});
   }
-  return out;
+  entries_cache_valid_ = true;
+  return entries_cache_;
 }
 
 }  // namespace paris::core
@@ -54,6 +58,7 @@ void RelationScores::SetBootstrapPrior(rdf::RelId left, rdf::RelId right,
     l = -l;
   }
   right_sub_left_[util::PackPair(Encode(r), Encode(l))] = prior;
+  entries_cache_valid_ = false;
 }
 
 }  // namespace paris::core

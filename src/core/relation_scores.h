@@ -63,8 +63,12 @@ class RelationScores {
   void SetSubLeftRight(rdf::RelId left, rdf::RelId right, double score);
   void SetSubRightLeft(rdf::RelId right, rdf::RelId left, double score);
 
-  // Everything stored, for reporting. Includes both directions.
-  std::vector<RelationAlignmentEntry> Entries() const;
+  // Everything stored, for reporting and the negative-evidence pass.
+  // Includes both directions. The vector is materialized on first call and
+  // cached (setters invalidate), so per-iteration consumers like
+  // `BestCounterparts::Build` stop rebuilding it from scratch. Not
+  // synchronized: first call must not race with other accessors.
+  const std::vector<RelationAlignmentEntry>& Entries() const;
 
   size_t size() const {
     return left_sub_right_.size() + right_sub_left_.size();
@@ -100,6 +104,10 @@ class RelationScores {
   double theta_ = 0.0;
   Table left_sub_right_;
   Table right_sub_left_;
+
+  // Lazily-built Entries() cache; rebuilt after any setter call.
+  mutable std::vector<RelationAlignmentEntry> entries_cache_;
+  mutable bool entries_cache_valid_ = false;
 };
 
 }  // namespace paris::core

@@ -147,7 +147,7 @@ void OntologyBuilder::OnTriple(const rdf::ParsedTriple& t) {
   }
 }
 
-util::StatusOr<Ontology> OntologyBuilder::Build() {
+util::StatusOr<Ontology> OntologyBuilder::Build(util::ThreadPool* pool) {
   if (!first_error_.ok()) return first_error_;
   Ontology onto(pool_);
   onto.name_ = name_;
@@ -230,7 +230,7 @@ util::StatusOr<Ontology> OntologyBuilder::Build() {
     }
   }
 
-  onto.store_.Finalize();
+  onto.store_.Finalize(pool);
   onto.functionality_ = std::make_unique<FunctionalityTable>(onto.store_);
   return onto;
 }

@@ -21,6 +21,10 @@ class SnapshotReader;
 class SnapshotWriter;
 }  // namespace paris::storage
 
+namespace paris::util {
+class ThreadPool;
+}  // namespace paris::util
+
 namespace paris::ontology {
 
 class Ontology;
@@ -170,8 +174,10 @@ class OntologyBuilder : public rdf::TripleSink {
   size_t num_pending_facts() const { return facts_.size(); }
 
   // Consumes the builder. Returns an error if the accumulated statements
-  // violate the model (e.g., a literal used as a class).
-  util::StatusOr<Ontology> Build();
+  // violate the model (e.g., a literal used as a class). With a non-null
+  // `pool`, the triple-store finalize (the dominant build phase on large
+  // ontologies) shards its sorts across the workers.
+  util::StatusOr<Ontology> Build(util::ThreadPool* pool = nullptr);
 
  private:
   struct RawFact {

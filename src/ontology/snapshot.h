@@ -29,12 +29,27 @@ struct AlignmentSnapshot {
   Ontology right;
 };
 
+// How `LoadAlignmentSnapshot` brings the file in.
+enum class SnapshotLoadMode {
+  // Try the zero-copy mmap path, fall back to streaming when the file
+  // cannot be mapped (platform without mmap, map failure). Content errors
+  // never fall back — a corrupt file is rejected, not retried.
+  kAuto,
+  // Stream and copy through SnapshotReader (the pre-mmap behavior).
+  kStream,
+  // Map the file read-only; the packed index columns alias the mapping
+  // (which the loaded ontologies keep alive). Fails if mmap is unavailable.
+  kMmap,
+};
+
 // Loads a snapshot into the (empty) `pool`. On failure the pool's contents
 // are unspecified — use a fresh pool per attempt. Rejects files with a bad
 // magic/version, structurally invalid sections, or a checksum mismatch
-// (corruption / truncation).
+// (corruption / truncation); the mmap path verifies the whole-file checksum
+// *before* adopting any view (checksum-before-map).
 util::StatusOr<AlignmentSnapshot> LoadAlignmentSnapshot(
-    const std::string& path, rdf::TermPool* pool);
+    const std::string& path, rdf::TermPool* pool,
+    SnapshotLoadMode mode = SnapshotLoadMode::kAuto);
 
 }  // namespace paris::ontology
 

@@ -43,10 +43,10 @@ void TripleStore::Add(TermId subject, RelId rel, TermId object) {
   pending_.push_back({LocalIndex(object), Inverse(rel), subject});
 }
 
-void TripleStore::Finalize() {
+void TripleStore::Finalize(util::ThreadPool* pool) {
   assert(!finalized_);
   index_ = storage::ColumnarIndex::Build(terms_, rel_names_.size(),
-                                         std::move(pending_));
+                                         std::move(pending_), pool);
   pending_ = {};
   finalized_ = true;
 }
@@ -118,16 +118,16 @@ void TripleStore::SaveTo(storage::SnapshotWriter& writer) const {
 util::StatusOr<TripleStore> TripleStore::LoadFrom(
     storage::SnapshotReader& reader, TermPool* pool) {
   TripleStore store(pool);
-  std::vector<uint64_t> offsets;
-  std::vector<Fact> facts;
-  std::vector<uint64_t> pair_offsets;
-  std::vector<TermPair> pairs;
+  storage::Column<uint64_t> offsets;
+  storage::Column<Fact> facts;
+  storage::Column<uint64_t> pair_offsets;
+  storage::Column<TermPair> pairs;
   reader.ReadPodVector(&store.rel_names_);
   reader.ReadPodVector(&store.terms_);
-  reader.ReadPodVector(&offsets);
-  reader.ReadPodVector(&facts);
-  reader.ReadPodVector(&pair_offsets);
-  reader.ReadPodVector(&pairs);
+  reader.ReadPodColumn(&offsets);
+  reader.ReadPodColumn(&facts);
+  reader.ReadPodColumn(&pair_offsets);
+  reader.ReadPodColumn(&pairs);
   if (!reader.ok()) {
     return util::InvalidArgumentError("truncated triple store section");
   }
@@ -160,7 +160,7 @@ util::StatusOr<TripleStore> TripleStore::LoadFrom(
       pair_offsets.size() != store.rel_names_.size() + 1 ||
       !storage::ColumnarIndex::FromColumns(
           std::move(offsets), std::move(facts), std::move(pair_offsets),
-          std::move(pairs), &store.index_)) {
+          std::move(pairs), reader.view_owner(), &store.index_)) {
     return util::InvalidArgumentError("inconsistent triple store columns");
   }
 

@@ -21,6 +21,10 @@ class SnapshotReader;
 class SnapshotWriter;
 }  // namespace paris::storage
 
+namespace paris::util {
+class ThreadPool;
+}  // namespace paris::util
+
 namespace paris::rdf {
 
 // Per-ontology fact storage, optimized for the access pattern of the PARIS
@@ -52,8 +56,10 @@ class TripleStore {
   // which case the statement BaseRel(rel)(object, subject) is recorded.
   void Add(TermId subject, RelId rel, TermId object);
 
-  // Packs the accumulated statements into the columnar index.
-  void Finalize();
+  // Packs the accumulated statements into the columnar index. With a
+  // non-null `pool`, the per-term and per-relation sorts are sharded across
+  // the workers; the packed index is identical to a serial finalize.
+  void Finalize(util::ThreadPool* pool = nullptr);
   bool finalized() const { return finalized_; }
 
   // ---- Read API (requires Finalize(); allocation-free) ----
@@ -121,7 +127,10 @@ class TripleStore {
   void SaveTo(storage::SnapshotWriter& writer) const;
 
   // Restores a finalized store whose term ids reference `pool` (already
-  // loaded). Fails on structurally invalid or out-of-range data.
+  // loaded). Fails on structurally invalid or out-of-range data. With a
+  // memory-backed reader (mmap'ed snapshot) the four packed index columns
+  // become zero-copy views into the mapping — only the dictionary hash
+  // tables and the derived object column are materialized.
   static util::StatusOr<TripleStore> LoadFrom(storage::SnapshotReader& reader,
                                               TermPool* pool);
 

@@ -1,0 +1,71 @@
+#ifndef PARIS_STORAGE_COLUMN_H_
+#define PARIS_STORAGE_COLUMN_H_
+
+#include <cstddef>
+#include <span>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace paris::storage {
+
+// One packed column of the storage engine: either an owned vector (built in
+// memory or streamed from a snapshot) or a read-only view into externally
+// owned bytes (an mmap'ed snapshot — the mapping's lifetime is managed by
+// the structure holding the column, see ColumnarIndex). Either way, readers
+// see a contiguous immutable array.
+template <typename T>
+class Column {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  Column() = default;
+
+  static Column FromOwned(std::vector<T> values) {
+    Column c;
+    c.owned_ = std::move(values);
+    c.view_ = c.owned_;
+    return c;
+  }
+
+  // `values` must stay valid for the column's lifetime.
+  static Column FromView(std::span<const T> values) {
+    Column c;
+    c.view_ = values;
+    return c;
+  }
+
+  Column(Column&& other) noexcept { *this = std::move(other); }
+  Column& operator=(Column&& other) noexcept {
+    if (this == &other) return *this;
+    const bool owned = !other.owned_.empty();
+    owned_ = std::move(other.owned_);
+    view_ = owned ? std::span<const T>(owned_) : other.view_;
+    other.owned_.clear();
+    other.view_ = {};
+    return *this;
+  }
+  Column(const Column&) = delete;
+  Column& operator=(const Column&) = delete;
+
+  std::span<const T> span() const { return view_; }
+  const T* data() const { return view_.data(); }
+  size_t size() const { return view_.size(); }
+  bool empty() const { return view_.empty(); }
+  const T& operator[](size_t i) const { return view_[i]; }
+  auto begin() const { return view_.begin(); }
+  auto end() const { return view_.end(); }
+  const T& front() const { return view_.front(); }
+  const T& back() const { return view_.back(); }
+
+  // True when the column aliases external bytes instead of owning them.
+  bool is_view() const { return owned_.empty() && !view_.empty(); }
+
+ private:
+  std::vector<T> owned_;
+  std::span<const T> view_;
+};
+
+}  // namespace paris::storage
+
+#endif  // PARIS_STORAGE_COLUMN_H_

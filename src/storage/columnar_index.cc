@@ -4,6 +4,9 @@
 #include <cassert>
 #include <cstddef>
 #include <limits>
+#include <utility>
+
+#include "util/thread_pool.h"
 
 namespace paris::storage {
 
@@ -17,73 +20,124 @@ constexpr bool PairLess(const rdf::TermPair& a, const rdf::TermPair& b) {
   return a.first != b.first ? a.first < b.first : a.second < b.second;
 }
 
+constexpr bool EntryLess(const ColumnarIndex::Entry& a,
+                         const ColumnarIndex::Entry& b) {
+  if (a.rel != b.rel) return a.rel < b.rel;
+  return a.other < b.other;
+}
+
 }  // namespace
 
 ColumnarIndex ColumnarIndex::Build(std::span<const rdf::TermId> terms,
                                    size_t num_relations,
-                                   std::vector<Entry>&& entries) {
+                                   std::vector<Entry>&& entries,
+                                   util::ThreadPool* pool) {
   ColumnarIndex index;
   const size_t num_terms = terms.size();
 
-  std::sort(entries.begin(), entries.end(),
-            [](const Entry& a, const Entry& b) {
-              if (a.owner != b.owner) return a.owner < b.owner;
-              if (a.rel != b.rel) return a.rel < b.rel;
-              return a.other < b.other;
-            });
-  entries.erase(std::unique(entries.begin(), entries.end()), entries.end());
-
-  // SPO: counting pass + prefix sum, then fill both columns in one sweep
-  // (the entries are already in CSR order).
-  index.offsets_.assign(num_terms + 1, 0);
-  index.facts_.reserve(entries.size());
-  index.objects_.reserve(entries.size());
+  // Bucket the entries by owner with a counting sort (owners are dense local
+  // indexes), then sort each owner's slice by (rel, other) — sharded across
+  // the pool. The concatenation equals one global (owner, rel, other) sort,
+  // so the packed result is independent of the thread count.
+  std::vector<uint64_t> bucket_offsets(num_terms + 1, 0);
   for (const Entry& e : entries) {
     assert(e.owner < num_terms);
-    ++index.offsets_[e.owner + 1];
-    index.facts_.push_back(rdf::Fact{e.rel, e.other});
-    index.objects_.push_back(e.other);
+    ++bucket_offsets[e.owner + 1];
   }
   for (size_t i = 1; i <= num_terms; ++i) {
-    index.offsets_[i] += index.offsets_[i - 1];
+    bucket_offsets[i] += bucket_offsets[i - 1];
   }
+  std::vector<Entry> sorted(entries.size());
+  {
+    std::vector<uint64_t> cursor(bucket_offsets.begin(),
+                                 bucket_offsets.end() - 1);
+    for (const Entry& e : entries) {
+      sorted[cursor[e.owner]++] = e;
+    }
+  }
+  entries = {};
+
+  // Per-term slice sort + dedup (a store is a *set* of statements;
+  // duplicates always share an owner, so in-slice dedup is global dedup).
+  std::vector<uint64_t> kept(num_terms, 0);
+  util::ForRange(pool, num_terms, [&](size_t begin, size_t end) {
+    for (size_t t = begin; t < end; ++t) {
+      auto lo = sorted.begin() + static_cast<ptrdiff_t>(bucket_offsets[t]);
+      auto hi = sorted.begin() + static_cast<ptrdiff_t>(bucket_offsets[t + 1]);
+      std::sort(lo, hi, EntryLess);
+      kept[t] = static_cast<uint64_t>(std::unique(lo, hi) - lo);
+    }
+  });
+
+  // SPO offsets: prefix sums over the deduplicated slice lengths.
+  std::vector<uint64_t> offsets(num_terms + 1, 0);
+  for (size_t t = 0; t < num_terms; ++t) {
+    offsets[t + 1] = offsets[t] + kept[t];
+  }
+  const size_t num_facts = offsets[num_terms];
+
+  // Fill both adjacency columns, sharded by term.
+  std::vector<rdf::Fact> facts(num_facts);
+  std::vector<rdf::TermId> objects(num_facts);
+  util::ForRange(pool, num_terms, [&](size_t begin, size_t end) {
+    for (size_t t = begin; t < end; ++t) {
+      const Entry* src = sorted.data() + bucket_offsets[t];
+      const size_t dst = offsets[t];
+      for (uint64_t i = 0; i < kept[t]; ++i) {
+        facts[dst + i] = rdf::Fact{src[i].rel, src[i].other};
+        objects[dst + i] = src[i].other;
+      }
+    }
+  });
 
   // POS: bucket the base-direction statements by relation, then sort each
-  // relation's range by (first, second).
-  index.pair_offsets_.assign(num_relations + 1, 0);
-  for (const Entry& e : entries) {
-    if (e.rel > 0) {
-      assert(static_cast<size_t>(e.rel) <= num_relations);
-      ++index.pair_offsets_[static_cast<size_t>(e.rel)];
+  // relation's range by (first, second) — sharded by relation.
+  std::vector<uint64_t> pair_offsets(num_relations + 1, 0);
+  for (size_t t = 0; t < num_terms; ++t) {
+    const Entry* src = sorted.data() + bucket_offsets[t];
+    for (uint64_t i = 0; i < kept[t]; ++i) {
+      if (src[i].rel > 0) {
+        assert(static_cast<size_t>(src[i].rel) <= num_relations);
+        ++pair_offsets[static_cast<size_t>(src[i].rel)];
+      }
     }
   }
   for (size_t r = 1; r <= num_relations; ++r) {
-    index.pair_offsets_[r] += index.pair_offsets_[r - 1];
+    pair_offsets[r] += pair_offsets[r - 1];
   }
-  index.pairs_.resize(index.pair_offsets_[num_relations]);
-  std::vector<uint64_t> cursor(index.pair_offsets_.begin(),
-                               index.pair_offsets_.end() - 1);
-  for (const Entry& e : entries) {
-    if (e.rel > 0) {
-      index.pairs_[cursor[static_cast<size_t>(e.rel) - 1]++] =
-          rdf::TermPair{terms[e.owner], e.other};
+  std::vector<rdf::TermPair> pairs(pair_offsets[num_relations]);
+  {
+    std::vector<uint64_t> cursor(pair_offsets.begin(), pair_offsets.end() - 1);
+    for (size_t t = 0; t < num_terms; ++t) {
+      const Entry* src = sorted.data() + bucket_offsets[t];
+      for (uint64_t i = 0; i < kept[t]; ++i) {
+        if (src[i].rel > 0) {
+          pairs[cursor[static_cast<size_t>(src[i].rel) - 1]++] =
+              rdf::TermPair{terms[src[i].owner], src[i].other};
+        }
+      }
     }
   }
-  for (size_t r = 1; r <= num_relations; ++r) {
-    std::sort(index.pairs_.begin() +
-                  static_cast<ptrdiff_t>(index.pair_offsets_[r - 1]),
-              index.pairs_.begin() +
-                  static_cast<ptrdiff_t>(index.pair_offsets_[r]),
-              PairLess);
-  }
+  util::ForRange(pool, num_relations, [&](size_t begin, size_t end) {
+    for (size_t r = begin; r < end; ++r) {
+      std::sort(pairs.begin() + static_cast<ptrdiff_t>(pair_offsets[r]),
+                pairs.begin() + static_cast<ptrdiff_t>(pair_offsets[r + 1]),
+                PairLess);
+    }
+  });
+
+  index.offsets_ = Column<uint64_t>::FromOwned(std::move(offsets));
+  index.facts_ = Column<rdf::Fact>::FromOwned(std::move(facts));
+  index.objects_ = Column<rdf::TermId>::FromOwned(std::move(objects));
+  index.pair_offsets_ = Column<uint64_t>::FromOwned(std::move(pair_offsets));
+  index.pairs_ = Column<rdf::TermPair>::FromOwned(std::move(pairs));
   return index;
 }
 
-bool ColumnarIndex::FromColumns(std::vector<uint64_t> offsets,
-                                std::vector<rdf::Fact> facts,
-                                std::vector<uint64_t> pair_offsets,
-                                std::vector<rdf::TermPair> pairs,
-                                ColumnarIndex* out) {
+bool ColumnarIndex::Validate(std::span<const uint64_t> offsets,
+                             std::span<const rdf::Fact> facts,
+                             std::span<const uint64_t> pair_offsets,
+                             std::span<const rdf::TermPair> pairs) {
   if (offsets.empty() || pair_offsets.empty()) return false;
   if (offsets.front() != 0 || offsets.back() != facts.size()) return false;
   if (pair_offsets.front() != 0 || pair_offsets.back() != pairs.size()) {
@@ -111,15 +165,45 @@ bool ColumnarIndex::FromColumns(std::vector<uint64_t> offsets,
       if (!PairLess(pairs[i - 1], pairs[i])) return false;
     }
   }
+  return true;
+}
 
+void ColumnarIndex::RebuildObjectColumn() {
+  std::vector<rdf::TermId> objects(facts_.size());
+  for (size_t i = 0; i < facts_.size(); ++i) {
+    objects[i] = facts_[i].other;
+  }
+  objects_ = Column<rdf::TermId>::FromOwned(std::move(objects));
+}
+
+bool ColumnarIndex::FromColumns(std::vector<uint64_t> offsets,
+                                std::vector<rdf::Fact> facts,
+                                std::vector<uint64_t> pair_offsets,
+                                std::vector<rdf::TermPair> pairs,
+                                ColumnarIndex* out) {
+  return FromColumns(Column<uint64_t>::FromOwned(std::move(offsets)),
+                     Column<rdf::Fact>::FromOwned(std::move(facts)),
+                     Column<uint64_t>::FromOwned(std::move(pair_offsets)),
+                     Column<rdf::TermPair>::FromOwned(std::move(pairs)),
+                     /*keep_alive=*/nullptr, out);
+}
+
+bool ColumnarIndex::FromColumns(Column<uint64_t> offsets,
+                                Column<rdf::Fact> facts,
+                                Column<uint64_t> pair_offsets,
+                                Column<rdf::TermPair> pairs,
+                                std::shared_ptr<const void> keep_alive,
+                                ColumnarIndex* out) {
+  if (!Validate(offsets.span(), facts.span(), pair_offsets.span(),
+                pairs.span())) {
+    return false;
+  }
   out->offsets_ = std::move(offsets);
   out->facts_ = std::move(facts);
   out->pair_offsets_ = std::move(pair_offsets);
   out->pairs_ = std::move(pairs);
-  out->objects_.resize(out->facts_.size());
-  for (size_t i = 0; i < out->facts_.size(); ++i) {
-    out->objects_[i] = out->facts_[i].other;
-  }
+  out->keep_alive_ = std::move(keep_alive);
+  out->RebuildObjectColumn();
   return true;
 }
 

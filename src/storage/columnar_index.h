@@ -2,11 +2,17 @@
 #define PARIS_STORAGE_COLUMNAR_INDEX_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "rdf/term.h"
 #include "rdf/triple.h"
+#include "storage/column.h"
+
+namespace paris::util {
+class ThreadPool;
+}  // namespace paris::util
 
 namespace paris::storage {
 
@@ -27,8 +33,11 @@ namespace paris::storage {
 //  * POS (pairs): per positive relation, its (first, second) pairs in one
 //    flat array sorted by (first, second), with an offset per relation.
 //
-// All spans point into the index and stay valid for its lifetime; every read
-// accessor is allocation-free and safe to call from many threads.
+// Columns are either owned vectors (Build / streamed snapshot load) or
+// read-only views into an mmap'ed snapshot (zero-copy load) — `keep_alive`
+// pins the mapping for the index's lifetime. All spans point into the index
+// and stay valid for its lifetime; every read accessor is allocation-free
+// and safe to call from many threads.
 class ColumnarIndex {
  public:
   // One half-statement during ingest: rel(owner, other) where `owner` is a
@@ -50,18 +59,33 @@ class ColumnarIndex {
   // Packs the index. `terms` maps local index → global term id (used to emit
   // POS pairs); every entry's `owner` must be < terms.size() and every
   // positive |rel| must be ≤ num_relations. Duplicate entries are removed (a
-  // store is a *set* of statements).
+  // store is a *set* of statements). With a non-null `pool`, the dominant
+  // per-term slice sorts and per-relation pair sorts are sharded across the
+  // workers; the packed result is identical to a serial build.
   static ColumnarIndex Build(std::span<const rdf::TermId> terms,
                              size_t num_relations,
-                             std::vector<Entry>&& entries);
+                             std::vector<Entry>&& entries,
+                             util::ThreadPool* pool = nullptr);
 
-  // Reassembles an index from raw columns (snapshot load). Returns false —
-  // leaving `out` untouched — if the columns are structurally inconsistent
-  // (non-monotone offsets, unsorted or duplicate rows, out-of-range ids).
+  // Reassembles an index from raw columns (streamed snapshot load). Returns
+  // false — leaving `out` untouched — if the columns are structurally
+  // inconsistent (non-monotone offsets, unsorted or duplicate rows,
+  // out-of-range ids).
   static bool FromColumns(std::vector<uint64_t> offsets,
                           std::vector<rdf::Fact> facts,
                           std::vector<uint64_t> pair_offsets,
                           std::vector<rdf::TermPair> pairs, ColumnarIndex* out);
+
+  // Column-based core: each column is either owned (streamed load) or a
+  // zero-copy view into externally owned bytes (an mmap'ed snapshot), in
+  // which case `keep_alive` pins the owner of the viewed bytes (the file
+  // mapping) for the index's lifetime. The derived object column is always
+  // materialized in memory. On failure `out` is untouched.
+  static bool FromColumns(Column<uint64_t> offsets, Column<rdf::Fact> facts,
+                          Column<uint64_t> pair_offsets,
+                          Column<rdf::TermPair> pairs,
+                          std::shared_ptr<const void> keep_alive,
+                          ColumnarIndex* out);
 
   // ---- Read API (all O(1) or O(log degree), zero allocation) ----
 
@@ -99,20 +123,32 @@ class ColumnarIndex {
   // Distinct statements (inverses not double-counted).
   size_t num_triples() const { return pairs_.size(); }
 
+  // True when the packed columns alias an mmap'ed snapshot.
+  bool zero_copy() const { return keep_alive_ != nullptr; }
+
   // ---- Raw columns (snapshot save, deep-equality in tests) ----
 
-  std::span<const uint64_t> offsets() const { return offsets_; }
-  std::span<const rdf::Fact> facts() const { return facts_; }
-  std::span<const rdf::TermId> objects() const { return objects_; }
-  std::span<const uint64_t> pair_offsets() const { return pair_offsets_; }
-  std::span<const rdf::TermPair> pairs() const { return pairs_; }
+  std::span<const uint64_t> offsets() const { return offsets_.span(); }
+  std::span<const rdf::Fact> facts() const { return facts_.span(); }
+  std::span<const rdf::TermId> objects() const { return objects_.span(); }
+  std::span<const uint64_t> pair_offsets() const {
+    return pair_offsets_.span();
+  }
+  std::span<const rdf::TermPair> pairs() const { return pairs_.span(); }
 
  private:
-  std::vector<uint64_t> offsets_;        // num_terms + 1
-  std::vector<rdf::Fact> facts_;         // CSR adjacency rows
-  std::vector<rdf::TermId> objects_;     // objects_[i] == facts_[i].other
-  std::vector<uint64_t> pair_offsets_;   // num_relations + 1
-  std::vector<rdf::TermPair> pairs_;     // POS rows
+  static bool Validate(std::span<const uint64_t> offsets,
+                       std::span<const rdf::Fact> facts,
+                       std::span<const uint64_t> pair_offsets,
+                       std::span<const rdf::TermPair> pairs);
+  void RebuildObjectColumn();
+
+  Column<uint64_t> offsets_;        // num_terms + 1
+  Column<rdf::Fact> facts_;         // CSR adjacency rows
+  Column<rdf::TermId> objects_;     // objects_[i] == facts_[i].other
+  Column<uint64_t> pair_offsets_;   // num_relations + 1
+  Column<rdf::TermPair> pairs_;     // POS rows
+  std::shared_ptr<const void> keep_alive_;  // mapping owner for view columns
 };
 
 }  // namespace paris::storage

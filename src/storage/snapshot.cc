@@ -22,6 +22,10 @@ uint64_t HashBytes(uint64_t h, const void* data, size_t size) {
 
 }  // namespace
 
+uint64_t FnvHash(const void* data, size_t size) {
+  return HashBytes(14695981039346656037ull, data, size);
+}
+
 // ---------------------------------------------------------------------------
 // SnapshotWriter
 // ---------------------------------------------------------------------------
@@ -30,6 +34,13 @@ void SnapshotWriter::WriteBytes(const void* data, size_t size) {
   out_.write(static_cast<const char*>(data),
              static_cast<std::streamsize>(size));
   checksum_ = HashBytes(checksum_, data, size);
+  offset_ += size;
+}
+
+void SnapshotWriter::AlignTo8() {
+  static constexpr char kZeros[8] = {};
+  const size_t pad = (8 - offset_ % 8) % 8;
+  if (pad != 0) WriteBytes(kZeros, pad);
 }
 
 void SnapshotWriter::WriteU8(uint8_t v) { WriteBytes(&v, 1); }
@@ -59,14 +70,34 @@ bool SnapshotWriter::ok() const { return static_cast<bool>(out_); }
 
 bool SnapshotReader::ReadBytes(void* data, size_t size) {
   if (failed_) return false;
-  in_.read(static_cast<char*>(data), static_cast<std::streamsize>(size));
-  if (static_cast<size_t>(in_.gcount()) != size) {
+  if (memory_backed()) {
+    if (size > size_ - pos_) {
+      failed_ = true;
+      std::memset(data, 0, size);
+      return false;
+    }
+    // No hashing: the memory-backed caller verified the whole-file checksum
+    // before constructing the reader.
+    std::memcpy(data, data_ + pos_, size);
+    pos_ += size;
+    return true;
+  }
+  in_->read(static_cast<char*>(data), static_cast<std::streamsize>(size));
+  if (static_cast<size_t>(in_->gcount()) != size) {
     failed_ = true;
     std::memset(data, 0, size);
     return false;
   }
   checksum_ = HashBytes(checksum_, data, size);
+  pos_ += size;
   return true;
+}
+
+void SnapshotReader::SkipAlignmentPadding() {
+  const size_t pad = (8 - pos_ % 8) % 8;
+  if (pad == 0) return;
+  unsigned char scratch[8];
+  ReadBytes(scratch, pad);
 }
 
 uint8_t SnapshotReader::ReadU8() {
@@ -110,13 +141,19 @@ std::string SnapshotReader::ReadString(uint64_t max_size) {
 }
 
 uint64_t SnapshotReader::ReadChecksumTrailer() {
-  if (failed_) return 0;
-  unsigned char b[8] = {};
-  in_.read(reinterpret_cast<char*>(b), 8);
-  if (in_.gcount() != 8) {
+  // Streaming mode only: the mmap path verifies the whole-file trailer with
+  // FnvHash before constructing its reader.
+  if (failed_ || memory_backed()) {
     failed_ = true;
     return 0;
   }
+  unsigned char b[8] = {};
+  in_->read(reinterpret_cast<char*>(b), 8);
+  if (in_->gcount() != 8) {
+    failed_ = true;
+    return 0;
+  }
+  pos_ += 8;
   uint64_t v = 0;
   for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(b[i]) << (8 * i);
   return v;

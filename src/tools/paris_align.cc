@@ -10,7 +10,8 @@
 //   --max-iterations N     fixpoint cap (default 10)
 //   --theta X              bootstrap sub-relation probability (default 0.1)
 //   --matcher M            identity | normalized | fuzzy  (default identity)
-//   --threads N            worker threads for the instance pass
+//   --threads N            worker threads for the instance pass, the
+//                          relation pass, and index finalization
 //   --negative-evidence    use Eq. (14) instead of Eq. (13)
 //   --name-prior           seed iteration 1 with relation-name similarity
 //   --stats                print ontology statistics and exit
@@ -18,12 +19,17 @@
 //                          ontologies (term pool + packed indexes)
 //   --load-snapshot PATH   load ontologies from a snapshot instead of
 //                          parsing RDF files (positional args not needed)
+//   --snapshot-load-mode M auto | mmap | stream (default auto): mmap maps
+//                          the packed columns zero-copy, stream copies
+//                          through the buffered reader, auto tries mmap
+//                          and falls back to stream
 //
 // Exit status 0 on success, 1 on usage/load errors.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <vector>
 #include <string>
@@ -39,6 +45,8 @@ struct CliOptions {
   std::string output_prefix;
   std::string save_snapshot;
   std::string load_snapshot;
+  paris::ontology::SnapshotLoadMode load_mode =
+      paris::ontology::SnapshotLoadMode::kAuto;
   paris::core::AlignmentConfig config;
   std::string matcher = "identity";
   bool stats_only = false;
@@ -50,7 +58,8 @@ void PrintUsage() {
                "[--max-iterations N] [--theta X] [--matcher identity|"
                "normalized|fuzzy] [--threads N] [--negative-evidence] "
                "[--name-prior] [--stats] [--save-snapshot PATH] "
-               "[--load-snapshot PATH]\n");
+               "[--load-snapshot PATH] "
+               "[--snapshot-load-mode auto|mmap|stream]\n");
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* options) {
@@ -92,6 +101,20 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       const char* v = next_value("--load-snapshot");
       if (v == nullptr) return false;
       options->load_snapshot = v;
+    } else if (arg == "--snapshot-load-mode") {
+      const char* v = next_value("--snapshot-load-mode");
+      if (v == nullptr) return false;
+      const std::string mode = v;
+      if (mode == "auto") {
+        options->load_mode = paris::ontology::SnapshotLoadMode::kAuto;
+      } else if (mode == "mmap") {
+        options->load_mode = paris::ontology::SnapshotLoadMode::kMmap;
+      } else if (mode == "stream") {
+        options->load_mode = paris::ontology::SnapshotLoadMode::kStream;
+      } else {
+        std::fprintf(stderr, "unknown snapshot load mode: %s\n", v);
+        return false;
+      }
     } else if (arg == "--negative-evidence") {
       options->config.use_negative_evidence = true;
     } else if (arg == "--name-prior") {
@@ -154,7 +177,7 @@ int main(int argc, char** argv) {
 
   if (!options.load_snapshot.empty()) {
     auto snapshot = paris::ontology::LoadAlignmentSnapshot(
-        options.load_snapshot, &pool);
+        options.load_snapshot, &pool, options.load_mode);
     if (!snapshot.ok()) {
       std::fprintf(stderr, "%s: %s\n", options.load_snapshot.c_str(),
                    snapshot.status().ToString().c_str());
@@ -163,6 +186,13 @@ int main(int argc, char** argv) {
     left.emplace(std::move(snapshot->left));
     right.emplace(std::move(snapshot->right));
   } else {
+    // Worker pool for index finalization, scoped to the parse branch; the
+    // aligner creates its own pool later from the same thread count.
+    std::unique_ptr<paris::util::ThreadPool> finalize_pool;
+    if (options.config.num_threads > 0) {
+      finalize_pool = std::make_unique<paris::util::ThreadPool>(
+          options.config.num_threads);
+    }
     paris::ontology::OntologyBuilder left_builder(&pool, "left");
     auto status = parse_file(options.left_path, &left_builder);
     if (!status.ok()) {
@@ -170,7 +200,7 @@ int main(int argc, char** argv) {
                    status.ToString().c_str());
       return 1;
     }
-    auto built_left = left_builder.Build();
+    auto built_left = left_builder.Build(finalize_pool.get());
     if (!built_left.ok()) {
       std::fprintf(stderr, "left ontology: %s\n",
                    built_left.status().ToString().c_str());
@@ -184,7 +214,7 @@ int main(int argc, char** argv) {
                    status.ToString().c_str());
       return 1;
     }
-    auto built_right = right_builder.Build();
+    auto built_right = right_builder.Build(finalize_pool.get());
     if (!built_right.ok()) {
       std::fprintf(stderr, "right ontology: %s\n",
                    built_right.status().ToString().c_str());

@@ -46,12 +46,24 @@ void ThreadPool::ParallelFor(size_t total,
     fn(0, total);
     return;
   }
-  // Over-decompose a little so stragglers balance out.
-  const size_t num_chunks = std::min(total, threads_.size() * 4);
+  // Over-decompose, then let workers claim chunks off a shared counter:
+  // fixed boundaries keep the fn(begin, end) calls identical across runs and
+  // pool sizes, while dynamic claiming keeps every worker busy until the
+  // whole range is drained, even when per-index cost is heavily skewed.
+  const size_t num_chunks = std::min(total, threads_.size() * 8);
   const size_t chunk = (total + num_chunks - 1) / num_chunks;
-  for (size_t begin = 0; begin < total; begin += chunk) {
-    const size_t end = std::min(begin + chunk, total);
-    Schedule([&fn, begin, end] { fn(begin, end); });
+  std::atomic<size_t> next{0};
+  const size_t num_workers = std::min(threads_.size(), num_chunks);
+  for (size_t w = 0; w < num_workers; ++w) {
+    // Capturing locals by reference is safe: Wait() below blocks until every
+    // claimed chunk has run.
+    Schedule([&next, &fn, chunk, total] {
+      while (true) {
+        const size_t begin = next.fetch_add(chunk, std::memory_order_relaxed);
+        if (begin >= total) return;
+        fn(begin, std::min(begin + chunk, total));
+      }
+    });
   }
   Wait();
 }

@@ -33,9 +33,15 @@ class ThreadPool {
   // Blocks until every scheduled task has finished.
   void Wait();
 
-  // Splits [0, total) into contiguous chunks and runs
+  // Splits [0, total) into contiguous fixed-size chunks and runs
   // `fn(begin, end)` for each chunk across the pool, blocking until done.
-  // With 0 workers, runs a single chunk inline.
+  // Chunks are claimed dynamically off a shared atomic counter, so a worker
+  // that drew a cheap chunk immediately pulls the next one instead of idling
+  // behind the unluckiest statically-assigned range (skewed fanout no longer
+  // serializes the pass). Chunk boundaries depend only on `total` and the
+  // pool size — never on claim order — so callers writing to disjoint
+  // per-index output slots stay deterministic. With 0 workers, runs a single
+  // chunk inline.
   void ParallelFor(size_t total, const std::function<void(size_t, size_t)>& fn);
 
  private:
@@ -49,6 +55,18 @@ class ThreadPool {
   size_t in_flight_ = 0;
   bool shutting_down_ = false;
 };
+
+// Runs `fn` over [0, total): sharded across `pool` when one is present (and
+// has workers), inline as a single chunk otherwise. The nullable-pool
+// convention every parallelized pass shares.
+inline void ForRange(ThreadPool* pool, size_t total,
+                     const std::function<void(size_t, size_t)>& fn) {
+  if (pool != nullptr && pool->num_threads() > 0) {
+    pool->ParallelFor(total, fn);
+  } else if (total > 0) {
+    fn(0, total);
+  }
+}
 
 }  // namespace paris::util
 

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <optional>
 
 #include "core/aligner.h"
 #include "ontology/ontology.h"
@@ -384,6 +385,74 @@ TEST_F(AlignerTest, RunsAreDeterministic) {
     ASSERT_NE(other, nullptr);
     EXPECT_EQ(other->other, c.other);
     EXPECT_DOUBLE_EQ(other->prob, c.prob);
+  }
+}
+
+// The full fixpoint — instance pass, relation pass, and class pass — must
+// be byte-identical across thread counts, including the relation table's
+// iteration order (the negative-evidence pass is sensitive to it).
+TEST_F(AlignerTest, ByteIdenticalAcrossThreadCounts) {
+  BuildPair(
+      [](OntologyBuilder& b) {
+        for (int i = 0; i < 24; ++i) {
+          const std::string e = "l:e" + std::to_string(i);
+          b.AddLiteralFact(e, "l:name", "Name " + std::to_string(i));
+          b.AddLiteralFact(e, "l:city", "City " + std::to_string(i % 4));
+          b.AddFact(e, "l:knows", "l:e" + std::to_string((i + 1) % 24));
+          b.AddFact(e, "l:worksAt", "l:e" + std::to_string((i + 7) % 24));
+        }
+      },
+      [](OntologyBuilder& b) {
+        for (int i = 0; i < 24; ++i) {
+          const std::string e = "r:f" + std::to_string(i);
+          b.AddLiteralFact(e, "r:label", "Name " + std::to_string(i));
+          b.AddLiteralFact(e, "r:town", "City " + std::to_string(i % 4));
+          b.AddFact(e, "r:contact", "r:f" + std::to_string((i + 1) % 24));
+          b.AddFact(e, "r:employer", "r:f" + std::to_string((i + 7) % 24));
+        }
+      });
+
+  AlignmentConfig base;
+  base.max_iterations = 4;
+  base.use_negative_evidence = true;
+
+  std::optional<AlignmentResult> reference;
+  for (size_t threads : {size_t{0}, size_t{1}, size_t{4}}) {
+    AlignmentConfig config = base;
+    config.num_threads = threads;
+    AlignmentResult result = Aligner(*left_, *right_, config).Run();
+    if (!reference.has_value()) {
+      reference.emplace(std::move(result));
+      continue;
+    }
+    // Instance assignments: identical keys, counterparts, and exact probs.
+    ASSERT_EQ(result.instances.max_left().size(),
+              reference->instances.max_left().size())
+        << "threads=" << threads;
+    for (const auto& [l, c] : reference->instances.max_left()) {
+      const auto* other = result.instances.MaxOfLeft(l);
+      ASSERT_NE(other, nullptr) << "threads=" << threads;
+      EXPECT_EQ(other->other, c.other);
+      EXPECT_EQ(other->prob, c.prob) << "threads=" << threads;
+    }
+    // Relation tables: identical entries in identical iteration order.
+    const auto& expect_entries = reference->relations.Entries();
+    const auto& got_entries = result.relations.Entries();
+    ASSERT_EQ(got_entries.size(), expect_entries.size())
+        << "threads=" << threads;
+    for (size_t i = 0; i < expect_entries.size(); ++i) {
+      EXPECT_EQ(got_entries[i].sub, expect_entries[i].sub);
+      EXPECT_EQ(got_entries[i].super, expect_entries[i].super);
+      EXPECT_EQ(got_entries[i].score, expect_entries[i].score);
+      EXPECT_EQ(got_entries[i].sub_is_left, expect_entries[i].sub_is_left);
+    }
+    // Class scores.
+    ASSERT_EQ(result.classes.entries().size(),
+              reference->classes.entries().size());
+    for (size_t i = 0; i < reference->classes.entries().size(); ++i) {
+      EXPECT_EQ(result.classes.entries()[i].score,
+                reference->classes.entries()[i].score);
+    }
   }
 }
 

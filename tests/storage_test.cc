@@ -4,10 +4,12 @@
 #include <cstdio>
 #include <fstream>
 #include <optional>
+#include <ranges>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "core/aligner.h"
 #include "ontology/ontology.h"
 #include "ontology/snapshot.h"
 #include "rdf/store.h"
@@ -15,6 +17,7 @@
 #include "rdf/triple.h"
 #include "storage/columnar_index.h"
 #include "storage/snapshot.h"
+#include "util/thread_pool.h"
 
 namespace paris {
 namespace {
@@ -124,6 +127,45 @@ TEST(ColumnarIndexTest, FromColumnsRejectsInconsistentColumns) {
       {0, 0}, {}, {0, 2}, {TermPair{2, 2}, TermPair{1, 1}}, &out));
   // A consistent empty index is fine.
   EXPECT_TRUE(ColumnarIndex::FromColumns({0}, {}, {0}, {}, &out));
+}
+
+// A pool-sharded Finalize must pack the exact same index as a serial one.
+TEST(ColumnarIndexTest, ParallelFinalizeMatchesSerial) {
+  auto populate = [](rdf::TermPool* pool, rdf::TripleStore* store) {
+    const RelId knows = store->InternRelation(pool->InternIri("ex:knows"));
+    const RelId likes = store->InternRelation(pool->InternIri("ex:likes"));
+    // Skewed: term 0 is a hub with most of the statements.
+    std::vector<TermId> ids;
+    for (int i = 0; i < 50; ++i) {
+      ids.push_back(pool->InternIri("ex:t" + std::to_string(i)));
+    }
+    for (int i = 1; i < 50; ++i) {
+      store->Add(ids[0], knows, ids[static_cast<size_t>(i)]);
+      store->Add(ids[0], likes, ids[static_cast<size_t>((i * 7) % 50)]);
+      store->Add(ids[static_cast<size_t>(i)], knows,
+                 ids[static_cast<size_t>((i * 3) % 50)]);
+      store->Add(ids[0], knows, ids[static_cast<size_t>(i)]);  // duplicate
+    }
+  };
+
+  rdf::TermPool pool_serial;
+  rdf::TripleStore serial(&pool_serial);
+  populate(&pool_serial, &serial);
+  serial.Finalize();
+
+  rdf::TermPool pool_parallel;
+  rdf::TripleStore parallel(&pool_parallel);
+  populate(&pool_parallel, &parallel);
+  paris::util::ThreadPool workers(4);
+  parallel.Finalize(&workers);
+
+  const auto& a = serial.index();
+  const auto& b = parallel.index();
+  ASSERT_TRUE(std::ranges::equal(a.offsets(), b.offsets()));
+  ASSERT_TRUE(std::ranges::equal(a.facts(), b.facts()));
+  ASSERT_TRUE(std::ranges::equal(a.objects(), b.objects()));
+  ASSERT_TRUE(std::ranges::equal(a.pair_offsets(), b.pair_offsets()));
+  ASSERT_TRUE(std::ranges::equal(a.pairs(), b.pairs()));
 }
 
 // ---------------------------------------------------------------------------
@@ -433,6 +475,133 @@ TEST_F(AlignmentSnapshotTest, RejectsTrailingGarbageAndMissingFile) {
       ontology::LoadAlignmentSnapshot(TempPath("does_not_exist.snap"),
                                       &scratch2)
           .ok());
+}
+
+// ---------------------------------------------------------------------------
+// mmap zero-copy load path
+// ---------------------------------------------------------------------------
+
+TEST_F(AlignmentSnapshotTest, MmapLoadMatchesStreamLoad) {
+  rdf::TermPool pool;
+  std::optional<ontology::Ontology> left;
+  std::optional<ontology::Ontology> right;
+  Build(&pool, &left, &right);
+  const std::string path = TempPath("mmap.snap");
+  ASSERT_TRUE(ontology::SaveAlignmentSnapshot(path, *left, *right).ok());
+
+  rdf::TermPool stream_pool;
+  auto streamed = ontology::LoadAlignmentSnapshot(
+      path, &stream_pool, ontology::SnapshotLoadMode::kStream);
+  ASSERT_TRUE(streamed.ok()) << streamed.status().ToString();
+  EXPECT_FALSE(streamed->left.store().index().zero_copy());
+
+  rdf::TermPool mmap_pool;
+  auto mapped = ontology::LoadAlignmentSnapshot(
+      path, &mmap_pool, ontology::SnapshotLoadMode::kMmap);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+  // The packed columns must alias the mapping, not heap copies.
+  EXPECT_TRUE(mapped->left.store().index().zero_copy());
+  EXPECT_TRUE(mapped->right.store().index().zero_copy());
+
+  ExpectOntologyEqual(streamed->left, mapped->left);
+  ExpectOntologyEqual(streamed->right, mapped->right);
+  ExpectOntologyEqual(*left, mapped->left);
+  ExpectOntologyEqual(*right, mapped->right);
+
+  // The file may be deleted while the mapping is alive (POSIX semantics);
+  // reads must keep working.
+  std::remove(path.c_str());
+  EXPECT_GT(mapped->left.num_triples(), 0u);
+  ExpectOntologyEqual(streamed->left, mapped->left);
+}
+
+TEST_F(AlignmentSnapshotTest, MmapRejectsCorruptionAndTruncation) {
+  rdf::TermPool pool;
+  std::optional<ontology::Ontology> left;
+  std::optional<ontology::Ontology> right;
+  Build(&pool, &left, &right);
+  const std::string path = TempPath("mmap_corrupt_base.snap");
+  ASSERT_TRUE(ontology::SaveAlignmentSnapshot(path, *left, *right).ok());
+
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    bytes = buffer.str();
+  }
+  const std::string bad_path = TempPath("mmap_corrupt.snap");
+  for (size_t offset = 0; offset < bytes.size();
+       offset += 1 + bytes.size() / 23) {
+    std::string mutated = bytes;
+    mutated[offset] = static_cast<char>(mutated[offset] ^ 0x5a);
+    {
+      std::ofstream out(bad_path, std::ios::binary | std::ios::trunc);
+      out << mutated;
+    }
+    rdf::TermPool scratch;
+    EXPECT_FALSE(ontology::LoadAlignmentSnapshot(
+                     bad_path, &scratch, ontology::SnapshotLoadMode::kMmap)
+                     .ok())
+        << "byte flip at offset " << offset << " was not rejected by mmap";
+  }
+  for (size_t keep : {size_t{0}, size_t{4}, size_t{12}, bytes.size() / 2,
+                      bytes.size() - 1}) {
+    {
+      std::ofstream out(bad_path, std::ios::binary | std::ios::trunc);
+      out << bytes.substr(0, keep);
+    }
+    rdf::TermPool scratch;
+    EXPECT_FALSE(ontology::LoadAlignmentSnapshot(
+                     bad_path, &scratch, ontology::SnapshotLoadMode::kMmap)
+                     .ok())
+        << "truncation to " << keep << " bytes was not rejected by mmap";
+  }
+  std::remove(bad_path.c_str());
+  std::remove(path.c_str());
+}
+
+// End to end: the aligner must produce identical equivalence tables whether
+// the ontologies were freshly built, streamed, or mmap'ed — at any thread
+// count.
+TEST_F(AlignmentSnapshotTest, AlignmentIdenticalAcrossLoadPathsAndThreads) {
+  rdf::TermPool pool;
+  std::optional<ontology::Ontology> left;
+  std::optional<ontology::Ontology> right;
+  Build(&pool, &left, &right);
+  const std::string path = TempPath("align_paths.snap");
+  ASSERT_TRUE(ontology::SaveAlignmentSnapshot(path, *left, *right).ok());
+
+  core::AlignmentConfig config;
+  config.max_iterations = 4;
+  auto run = [&config](const ontology::Ontology& l,
+                       const ontology::Ontology& r, size_t threads) {
+    core::AlignmentConfig c = config;
+    c.num_threads = threads;
+    return core::Aligner(l, r, c).Run();
+  };
+  const core::AlignmentResult reference = run(*left, *right, 0);
+  ASSERT_GT(reference.instances.max_left().size(), 0u);
+
+  for (const auto mode : {ontology::SnapshotLoadMode::kStream,
+                          ontology::SnapshotLoadMode::kMmap}) {
+    for (size_t threads : {size_t{0}, size_t{4}}) {
+      rdf::TermPool fresh;
+      auto loaded = ontology::LoadAlignmentSnapshot(path, &fresh, mode);
+      ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+      const core::AlignmentResult result =
+          run(loaded->left, loaded->right, threads);
+      ASSERT_EQ(result.instances.max_left().size(),
+                reference.instances.max_left().size());
+      for (const auto& [l_term, candidate] : reference.instances.max_left()) {
+        const auto* other = result.instances.MaxOfLeft(l_term);
+        ASSERT_NE(other, nullptr);
+        EXPECT_EQ(other->other, candidate.other);
+        EXPECT_EQ(other->prob, candidate.prob);
+      }
+    }
+  }
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <mutex>
 #include <numeric>
 #include <set>
+#include <utility>
+#include <vector>
 
 #include "util/hash.h"
 #include "util/random.h"
@@ -273,6 +277,40 @@ TEST(ThreadPoolTest, ParallelForEmptyRange) {
   bool called = false;
   pool.ParallelFor(0, [&](size_t, size_t) { called = true; });
   EXPECT_FALSE(called);
+}
+
+// Chunks are claimed dynamically, but their boundaries must be a pure
+// function of (total, pool size): identical across runs, covering the range
+// exactly once even under heavily skewed per-chunk cost.
+TEST(ThreadPoolTest, ParallelForChunksAreDeterministicUnderSkew) {
+  ThreadPool pool(4);
+  auto run_once = [&pool] {
+    std::mutex mu;
+    std::vector<std::pair<size_t, size_t>> chunks;
+    std::vector<std::atomic<int>> hits(997);
+    pool.ParallelFor(hits.size(), [&](size_t begin, size_t end) {
+      // Skew: the first chunk burns far more work than the rest.
+      volatile size_t sink = 0;
+      const size_t spins = begin == 0 ? 2000000 : 100;
+      for (size_t i = 0; i < spins; ++i) sink = sink + i;
+      for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+      std::lock_guard<std::mutex> lock(mu);
+      chunks.emplace_back(begin, end);
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+    std::sort(chunks.begin(), chunks.end());
+    return chunks;
+  };
+  const auto first = run_once();
+  const auto second = run_once();
+  EXPECT_EQ(first, second);
+  // Contiguous partition of [0, 997).
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first.front().first, 0u);
+  EXPECT_EQ(first.back().second, 997u);
+  for (size_t i = 1; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].first, first[i - 1].second);
+  }
 }
 
 }  // namespace
