@@ -1,8 +1,10 @@
 // Parallel-phase benchmark: machine-readable JSON wall-times for every phase
 // of a paris_align run — parse (store ingest), index finalize, the
-// relation-score pass, the instance pass, and snapshot loading (streamed vs
-// mmap) — at 1, 2, and 8 worker threads. Gives future PRs a perf
-// trajectory; the committed baseline lives in BENCH_parallel.json.
+// relation-score pass, the instance pass, the class pass, snapshot loading
+// (streamed vs mmap), and a cold run vs a run resumed from a result
+// snapshot — at 1, 2, and 8 worker threads. Gives future PRs a perf
+// trajectory; the committed baseline lives in BENCH_parallel.json, which the
+// CI bench job compares fresh runs against (same hardware_threads only).
 //
 //   bench_parallel [OUTPUT.json]    (default: stdout)
 #include <cstdio>
@@ -14,6 +16,7 @@
 #include <vector>
 
 #include "core/aligner.h"
+#include "core/result_snapshot.h"
 #include "ontology/snapshot.h"
 #include "rdf/store.h"
 #include "rdf/term.h"
@@ -144,6 +147,55 @@ int Main(int argc, char** argv) {
     }
     phases.push_back({"instance_pass", threads, instance_seconds});
     phases.push_back({"relation_pass", threads, relation_seconds});
+    phases.push_back({"class_pass", threads, result.seconds_classes});
+  }
+
+  // --- Cold run vs resume from a result snapshot ---------------------------
+  {
+    core::AlignmentConfig config;
+    config.num_threads = 1;
+    config.max_iterations = 3;
+    config.convergence_threshold = 0.0;
+    config.record_history = false;
+
+    util::WallTimer timer;
+    core::Aligner cold(*pair->left, *pair->right, config);
+    const core::AlignmentResult cold_result = cold.Run();
+    phases.push_back({"run_cold", 1, timer.ElapsedSeconds()});
+
+    // Checkpoint after 2 of the 3 iterations, then resume: load + the last
+    // iteration + the class pass.
+    core::AlignmentConfig partial = config;
+    partial.max_iterations = 2;
+    const core::AlignmentResult checkpoint =
+        core::Aligner(*pair->left, *pair->right, partial).Run();
+    const std::string result_path = "/tmp/bench_parallel.result";
+    auto saved = core::SaveAlignmentResult(result_path, checkpoint,
+                                           *pair->left, *pair->right,
+                                           partial, "identity");
+    if (!saved.ok()) {
+      std::fprintf(stderr, "result snapshot save failed: %s\n",
+                   saved.ToString().c_str());
+      return 1;
+    }
+    timer.Restart();
+    auto loaded = core::LoadAlignmentResult(result_path, *pair->left,
+                                            *pair->right, config, "identity");
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "result snapshot load failed: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    core::Aligner warm(*pair->left, *pair->right, config);
+    const core::AlignmentResult warm_result =
+        warm.Resume(std::move(loaded).value());
+    phases.push_back({"run_resume", 1, timer.ElapsedSeconds()});
+    std::remove(result_path.c_str());
+    if (warm_result.instances.num_left_aligned() !=
+        cold_result.instances.num_left_aligned()) {
+      std::fprintf(stderr, "resume diverged from cold run\n");
+      return 1;
+    }
   }
 
   // --- Snapshot load (not threaded: stream copies, mmap maps) --------------

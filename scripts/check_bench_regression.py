@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Gate CI on bench_parallel wall-time regressions.
+
+Compares a fresh bench_parallel JSON against the committed baseline
+(BENCH_parallel.json) phase by phase and fails when any phase regressed by
+more than --max-regression (default 25%).
+
+Wall times are only comparable on like hardware, so when the current run's
+hardware_threads differs from the baseline's recorded value the comparison
+is skipped (exit 0) — the baseline was recorded on a different machine
+shape and a "regression" would be noise. Phases below --min-seconds in the
+baseline are skipped too: at sub-hundredth-of-a-second scale, scheduler
+jitter dwarfs any real change. Phases present only in the current run (new
+benchmarks without a baseline yet) are reported but never fail.
+"""
+
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed BENCH_parallel.json")
+    parser.add_argument("current", help="freshly generated bench JSON")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="allowed fractional slowdown per phase (default 0.25 = 25%%)",
+    )
+    parser.add_argument(
+        "--min-seconds",
+        type=float,
+        default=0.02,
+        help="skip phases whose baseline is below this (noise floor)",
+    )
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.current) as f:
+        current = json.load(f)
+
+    base_threads = baseline.get("hardware_threads")
+    cur_threads = current.get("hardware_threads")
+    if base_threads != cur_threads:
+        print(
+            f"SKIP: baseline recorded on {base_threads} hardware threads, "
+            f"this machine has {cur_threads}; wall times are not comparable.\n"
+            f"To arm the gate on this machine shape, commit this run's JSON "
+            f"(uploaded as the bench artifact / commit comment) as {args.baseline}."
+        )
+        return 0
+
+    base = {(p["phase"], p["threads"]): p["seconds"] for p in baseline["phases"]}
+    current_keys = {(p["phase"], p["threads"]) for p in current["phases"]}
+    # A phase that exists in the baseline but not in the fresh run means a
+    # benchmark was dropped or renamed — the gate must not silently pass.
+    missing = sorted(k for k in base if k not in current_keys)
+    failures = []
+    print(f"{'phase':<24} {'threads':>7} {'baseline':>10} {'current':>10} {'ratio':>7}")
+    for p in current["phases"]:
+        key = (p["phase"], p["threads"])
+        seconds = p["seconds"]
+        if key not in base:
+            print(f"{key[0]:<24} {key[1]:>7} {'-':>10} {seconds:>10.4f}   (new, no baseline)")
+            continue
+        ratio = seconds / base[key] if base[key] > 0 else float("inf")
+        note = ""
+        # Skip only when both sides sit under the floor — a sub-floor
+        # baseline must not excuse a current time well above it.
+        if base[key] < args.min_seconds and seconds < args.min_seconds:
+            note = "  (below noise floor, not gated)"
+        elif seconds > max(base[key], args.min_seconds) * (1.0 + args.max_regression):
+            note = "  REGRESSION"
+            failures.append((key, base[key], seconds, ratio))
+        print(
+            f"{key[0]:<24} {key[1]:>7} {base[key]:>10.4f} {seconds:>10.4f} "
+            f"{ratio:>6.2f}x{note}"
+        )
+
+    if missing:
+        print(f"\nFAIL: baseline phase(s) missing from the current run:")
+        for phase, threads in missing:
+            print(f"  {phase} (threads={threads})")
+    if failures:
+        print(
+            f"\nFAIL: {len(failures)} phase(s) regressed more than "
+            f"{args.max_regression:.0%} vs {args.baseline}:"
+        )
+        for (phase, threads), was, now, ratio in failures:
+            print(f"  {phase} (threads={threads}): {was:.4f}s -> {now:.4f}s ({ratio:.2f}x)")
+    if failures or missing:
+        return 1
+    print("\nOK: no phase regressed beyond the threshold.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

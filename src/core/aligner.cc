@@ -53,7 +53,13 @@ Aligner::Aligner(const ontology::Ontology& left,
   }
 }
 
-AlignmentResult Aligner::Run() {
+AlignmentResult Aligner::Run() { return RunInternal(nullptr); }
+
+AlignmentResult Aligner::Resume(AlignmentResult checkpoint) {
+  return RunInternal(&checkpoint);
+}
+
+AlignmentResult Aligner::RunInternal(AlignmentResult* checkpoint) {
   util::WallTimer total_timer;
   AlignmentResult result;
 
@@ -69,11 +75,24 @@ AlignmentResult Aligner::Run() {
   }
 
   InstanceEquivalences previous;  // empty: first iteration has no equalities
-  previous.Finalize();
-  RelationScores rel_scores =
-      config_.use_relation_name_prior
-          ? NamePriorBootstrap(left_, right_, config_)
-          : RelationScores::Bootstrap(config_.theta);
+  RelationScores rel_scores;
+  int start_iteration = 1;
+  bool finished = false;  // checkpoint already converged / exhausted the cap
+  if (checkpoint != nullptr) {
+    // Adopt the checkpoint's state exactly as iteration k left it; the loop
+    // below continues at k+1 as if it had never stopped.
+    start_iteration = static_cast<int>(checkpoint->iterations.size()) + 1;
+    finished = checkpoint->converged_at > 0;
+    result.iterations = std::move(checkpoint->iterations);
+    result.converged_at = checkpoint->converged_at;
+    previous = std::move(checkpoint->instances);
+    rel_scores = std::move(checkpoint->relations);
+  } else {
+    previous.Finalize();
+    rel_scores = config_.use_relation_name_prior
+                     ? NamePriorBootstrap(left_, right_, config_)
+                     : RelationScores::Bootstrap(config_.theta);
+  }
 
   auto make_context = [&](bool left_to_right,
                           const InstanceEquivalences* equiv) {
@@ -87,7 +106,8 @@ AlignmentResult Aligner::Run() {
     return ctx;
   };
 
-  for (int iteration = 1; iteration <= config_.max_iterations; ++iteration) {
+  for (int iteration = start_iteration;
+       !finished && iteration <= config_.max_iterations; ++iteration) {
     IterationRecord record;
     record.index = iteration;
 
@@ -145,8 +165,8 @@ AlignmentResult Aligner::Run() {
   util::WallTimer class_timer;
   DirectionalContext l2r_final = make_context(true, &previous);
   DirectionalContext r2l_final = make_context(false, &previous);
-  result.classes =
-      ComputeClassScores(left_, right_, l2r_final, r2l_final, config_);
+  result.classes = ComputeClassScores(left_, right_, l2r_final, r2l_final,
+                                      config_, pool.get());
   result.seconds_classes = class_timer.ElapsedSeconds();
 
   result.instances = std::move(previous);

@@ -72,7 +72,21 @@ class Aligner {
 
   AlignmentResult Run();
 
+  // Continues a run from `checkpoint` — an AlignmentResult saved after k
+  // completed iterations (see src/core/result_snapshot.h). Iterations
+  // resume at k+1 with the checkpoint's equivalences and relation scores as
+  // the previous-iteration state, so the final tables are identical to an
+  // uninterrupted run with the same config (num_threads and max_iterations
+  // may differ). A checkpoint that already converged (or exhausted
+  // max_iterations) skips the fixpoint loop and recomputes only the class
+  // alignment. The checkpoint's scalar iteration records are carried over;
+  // their per-iteration history snapshots are not (result snapshots do not
+  // store them).
+  AlignmentResult Resume(AlignmentResult checkpoint);
+
  private:
+  AlignmentResult RunInternal(AlignmentResult* checkpoint);
+
   const ontology::Ontology& left_;
   const ontology::Ontology& right_;
   AlignmentConfig config_;

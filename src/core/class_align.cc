@@ -8,43 +8,60 @@ namespace paris::core {
 
 namespace {
 
-void ScoreOneDirection(const DirectionalContext& ctx,
-                       const AlignmentConfig& config, bool sub_is_left,
-                       std::vector<ClassAlignmentEntry>* out) {
-  const ontology::Ontology& source = *ctx.source;
-  const ontology::Ontology& target = *ctx.target;
+// Per-worker scratch, reused across the classes of one chunk so the pass
+// does not pay container construction per class. Reuse means the maps'
+// bucket layout (and so their iteration order) depends on which classes the
+// worker saw before — per-class output is therefore sorted by target class
+// below, never emitted in map order, keeping entries byte-identical across
+// thread counts and chunk assignments.
+struct ClassScratch {
   std::vector<Candidate> x_eq;
   std::unordered_map<rdf::TermId, double> per_class_miss;
+  std::unordered_map<rdf::TermId, double> expected_overlap;
+  std::vector<std::pair<rdf::TermId, double>> sorted_overlap;
+};
 
-  for (rdf::TermId c : source.classes()) {
-    const auto members = source.InstancesOf(c);
-    if (members.empty()) continue;
-    const size_t sample =
-        std::min(members.size(), config.class_instance_sample);
-    std::unordered_map<rdf::TermId, double> expected_overlap;
-    for (size_t i = 0; i < sample; ++i) {
-      x_eq.clear();
-      ctx.AppendEquivalents(members[i], &x_eq);
-      if (x_eq.empty()) continue;
-      // Per instance x: for each target class d,
-      //   1 - ∏_{y ∈ eq(x), type(y, d)} (1 - Pr(x ≡ y)).
-      per_class_miss.clear();
-      for (const Candidate& cx : x_eq) {
-        for (rdf::TermId d : target.ClassesOf(cx.other)) {
-          auto [it, inserted] = per_class_miss.emplace(d, 1.0);
-          it->second *= (1.0 - cx.prob);
-        }
-      }
-      for (const auto& [d, miss] : per_class_miss) {
-        expected_overlap[d] += 1.0 - miss;
+void ScoreOneClass(rdf::TermId c, const DirectionalContext& ctx,
+                   const AlignmentConfig& config, bool sub_is_left,
+                   ClassScratch* scratch,
+                   std::vector<ClassAlignmentEntry>* out) {
+  const ontology::Ontology& source = *ctx.source;
+  const ontology::Ontology& target = *ctx.target;
+  const auto members = source.InstancesOf(c);
+  if (members.empty()) return;
+  const size_t sample = std::min(members.size(), config.class_instance_sample);
+  std::vector<Candidate>& x_eq = scratch->x_eq;
+  std::unordered_map<rdf::TermId, double>& per_class_miss =
+      scratch->per_class_miss;
+  std::unordered_map<rdf::TermId, double>& expected_overlap =
+      scratch->expected_overlap;
+  expected_overlap.clear();
+  for (size_t i = 0; i < sample; ++i) {
+    x_eq.clear();
+    ctx.AppendEquivalents(members[i], &x_eq);
+    if (x_eq.empty()) continue;
+    // Per instance x: for each target class d,
+    //   1 - ∏_{y ∈ eq(x), type(y, d)} (1 - Pr(x ≡ y)).
+    per_class_miss.clear();
+    for (const Candidate& cx : x_eq) {
+      for (rdf::TermId d : target.ClassesOf(cx.other)) {
+        auto [it, inserted] = per_class_miss.emplace(d, 1.0);
+        it->second *= (1.0 - cx.prob);
       }
     }
-    for (const auto& [d, overlap] : expected_overlap) {
-      const double score = overlap / static_cast<double>(sample);
-      if (score >= config.class_min_score) {
-        out->push_back(ClassAlignmentEntry{c, d, score > 1.0 ? 1.0 : score,
-                                           sub_is_left});
-      }
+    for (const auto& [d, miss] : per_class_miss) {
+      expected_overlap[d] += 1.0 - miss;
+    }
+  }
+  std::vector<std::pair<rdf::TermId, double>>& sorted = scratch->sorted_overlap;
+  sorted.assign(expected_overlap.begin(), expected_overlap.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [d, overlap] : sorted) {
+    const double score = overlap / static_cast<double>(sample);
+    if (score >= config.class_min_score) {
+      out->push_back(
+          ClassAlignmentEntry{c, d, score > 1.0 ? 1.0 : score, sub_is_left});
     }
   }
 }
@@ -79,14 +96,40 @@ size_t ClassScores::NumAlignedSubClasses(double threshold,
   return seen.size();
 }
 
-ClassScores ComputeClassScores(const ontology::Ontology& /*left*/,
-                               const ontology::Ontology& /*right*/,
+ClassScores ComputeClassScores(const ontology::Ontology& left,
+                               const ontology::Ontology& right,
                                const DirectionalContext& l2r,
                                const DirectionalContext& r2l,
-                               const AlignmentConfig& config) {
+                               const AlignmentConfig& config,
+                               util::ThreadPool* pool) {
+  // One task per (direction, class); task i scores left class i for
+  // i < num_left, right class i-num_left otherwise. Every task writes only
+  // its own shard, so the pass parallelizes without locks.
+  const std::vector<rdf::TermId>& left_classes = left.classes();
+  const std::vector<rdf::TermId>& right_classes = right.classes();
+  const size_t num_left = left_classes.size();
+  const size_t total = num_left + right_classes.size();
+  std::vector<std::vector<ClassAlignmentEntry>> shards(total);
+
+  auto score_range = [&](size_t begin, size_t end) {
+    ClassScratch scratch;
+    for (size_t i = begin; i < end; ++i) {
+      const bool is_left = i < num_left;
+      const rdf::TermId c =
+          is_left ? left_classes[i] : right_classes[i - num_left];
+      ScoreOneClass(c, is_left ? l2r : r2l, config, is_left, &scratch,
+                    &shards[i]);
+    }
+  };
+  util::ForRange(pool, total, score_range);
+
+  // Deterministic merge: shard order reproduces the exact insertion
+  // sequence of a serial run, so the entry list is identical across thread
+  // counts.
   std::vector<ClassAlignmentEntry> entries;
-  ScoreOneDirection(l2r, config, /*sub_is_left=*/true, &entries);
-  ScoreOneDirection(r2l, config, /*sub_is_left=*/false, &entries);
+  for (std::vector<ClassAlignmentEntry>& shard : shards) {
+    entries.insert(entries.end(), shard.begin(), shard.end());
+  }
   return ClassScores(std::move(entries));
 }
 

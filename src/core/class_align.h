@@ -7,6 +7,7 @@
 #include "core/direction.h"
 #include "ontology/ontology.h"
 #include "rdf/term.h"
+#include "util/thread_pool.h"
 
 namespace paris::core {
 
@@ -51,11 +52,17 @@ class ClassScores {
 //
 // evaluated over at most `config.class_instance_sample` instances per class,
 // against the final maximal assignment. Computed in both directions.
+//
+// With a pool, one task per (direction, class) fans across the workers —
+// each task writes only its own shard, and the shards are merged in serial
+// order, so the entry sequence (and therefore the result) is byte-identical
+// across thread counts, like `ComputeRelationScores`.
 ClassScores ComputeClassScores(const ontology::Ontology& left,
                                const ontology::Ontology& right,
                                const DirectionalContext& l2r,
                                const DirectionalContext& r2l,
-                               const AlignmentConfig& config);
+                               const AlignmentConfig& config,
+                               util::ThreadPool* pool = nullptr);
 
 }  // namespace paris::core
 

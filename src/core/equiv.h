@@ -7,8 +7,23 @@
 #include <vector>
 
 #include "rdf/term.h"
+#include "util/status.h"
+
+namespace paris::storage {
+class SnapshotReader;
+class SnapshotWriter;
+}  // namespace paris::storage
 
 namespace paris::core {
+
+class InstanceEquivalences;
+
+// Result-snapshot section I/O (src/core/result_snapshot.h); friends of
+// InstanceEquivalences.
+void SaveInstanceEquivalences(const InstanceEquivalences& equiv,
+                              storage::SnapshotWriter& writer);
+util::StatusOr<InstanceEquivalences> LoadInstanceEquivalences(
+    storage::SnapshotReader& reader, size_t pool_size);
 
 // One equivalence candidate: another ontology's term with Pr(x ≡ other).
 struct Candidate {
@@ -69,6 +84,10 @@ class InstanceEquivalences {
   friend InstanceEquivalences BlendEquivalences(
       const InstanceEquivalences& previous, const InstanceEquivalences& fresh,
       double lambda, double threshold, size_t max_candidates);
+  friend void SaveInstanceEquivalences(const InstanceEquivalences& equiv,
+                                       storage::SnapshotWriter& writer);
+  friend util::StatusOr<InstanceEquivalences> LoadInstanceEquivalences(
+      storage::SnapshotReader& reader, size_t pool_size);
 
   bool finalized_ = false;
   std::unordered_map<rdf::TermId, std::vector<Candidate>> left_to_right_;

@@ -1,5 +1,6 @@
 #include "core/relation_scores.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace paris::core {
@@ -34,6 +35,17 @@ const std::vector<RelationAlignmentEntry>& RelationScores::Entries() const {
         Decode(util::UnpackFirst(key)), Decode(util::UnpackSecond(key)), score,
         /*sub_is_left=*/false});
   }
+  // Canonical order (left direction first, then sub, then super): entry
+  // order must be a function of the table *contents*, not of unordered_map
+  // bucket layout, or a run resumed from a result snapshot could tie-break
+  // differently than the cold run it mirrors.
+  std::sort(entries_cache_.begin(), entries_cache_.end(),
+            [](const RelationAlignmentEntry& a,
+               const RelationAlignmentEntry& b) {
+              if (a.sub_is_left != b.sub_is_left) return a.sub_is_left;
+              if (a.sub != b.sub) return a.sub < b.sub;
+              return a.super < b.super;
+            });
   entries_cache_valid_ = true;
   return entries_cache_;
 }

@@ -8,8 +8,24 @@
 
 #include "rdf/triple.h"
 #include "util/hash.h"
+#include "util/status.h"
+
+namespace paris::storage {
+class SnapshotReader;
+class SnapshotWriter;
+}  // namespace paris::storage
 
 namespace paris::core {
+
+class RelationScores;
+
+// Result-snapshot section I/O (src/core/result_snapshot.h); friends of
+// RelationScores.
+void SaveRelationScores(const RelationScores& scores,
+                        storage::SnapshotWriter& writer);
+util::StatusOr<RelationScores> LoadRelationScores(
+    storage::SnapshotReader& reader, size_t num_left_relations,
+    size_t num_right_relations);
 
 // One reportable sub-relation alignment.
 struct RelationAlignmentEntry {
@@ -64,10 +80,14 @@ class RelationScores {
   void SetSubRightLeft(rdf::RelId right, rdf::RelId left, double score);
 
   // Everything stored, for reporting and the negative-evidence pass.
-  // Includes both directions. The vector is materialized on first call and
-  // cached (setters invalidate), so per-iteration consumers like
-  // `BestCounterparts::Build` stop rebuilding it from scratch. Not
-  // synchronized: first call must not race with other accessors.
+  // Includes both directions, in canonical (sub_is_left, sub, super) order —
+  // never hash-map iteration order — so consumers that tie-break or
+  // accumulate while scanning behave identically whether the table was
+  // computed in-process or restored from a result snapshot. The vector is
+  // materialized on first call and cached (setters invalidate), so
+  // per-iteration consumers like `BestCounterparts::Build` stop rebuilding
+  // it from scratch. Not synchronized: first call must not race with other
+  // accessors.
   const std::vector<RelationAlignmentEntry>& Entries() const;
 
   size_t size() const {
@@ -75,6 +95,12 @@ class RelationScores {
   }
 
  private:
+  friend void SaveRelationScores(const RelationScores& scores,
+                                 storage::SnapshotWriter& writer);
+  friend util::StatusOr<RelationScores> LoadRelationScores(
+      storage::SnapshotReader& reader, size_t num_left_relations,
+      size_t num_right_relations);
+
   using Table = std::unordered_map<uint64_t, double, util::PackedPairHash>;
 
   // ZigZag so signed relation ids pack into 32 bits.

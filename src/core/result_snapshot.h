@@ -1,0 +1,87 @@
+#ifndef PARIS_CORE_RESULT_SNAPSHOT_H_
+#define PARIS_CORE_RESULT_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/aligner.h"
+#include "ontology/ontology.h"
+#include "storage/snapshot.h"
+#include "util/status.h"
+
+namespace paris::core {
+
+// Versioned binary snapshot of an `AlignmentResult` — the alignment
+// *output* state, as opposed to the ontology snapshots of
+// src/ontology/snapshot.h which persist the *input*. Saving the result
+// after iteration k and loading it into `Aligner::Resume` continues the
+// fixpoint at iteration k+1 with final state identical to an uninterrupted
+// run (`paris_align --save-result/--resume-from`).
+//
+// File layout (storage::SnapshotWriter framing; scalars little-endian, POD
+// arrays 8-byte aligned, FNV-1a trailer):
+//
+//   magic    "PARISRS\n"
+//   version  u32 (currently 1)
+//   key      ontology-pair fingerprint u64, matcher name, and every
+//            trajectory-shaping AlignmentConfig field
+//   run      iteration records (index, wall times, change fraction,
+//            aligned count), converged_at, class/total seconds
+//   tables   instance equivalences (sorted keys + CSR offsets + candidate
+//            columns), relation scores (sorted packed keys + scores, both
+//            directions, bootstrap state), class scores (entry columns)
+//   trailer  u64 FNV-1a checksum of every byte after the magic
+//
+// Everything map-shaped is serialized in sorted key order, so identical
+// results produce byte-identical files. Per-iteration history snapshots
+// (`IterationRecord::max_left/max_right/relations`) are NOT serialized —
+// they feed the experiment tables, not the fixpoint; a resumed run carries
+// the scalar records of the completed iterations only.
+//
+// The key section makes resuming under a different setup fail loudly:
+// loading verifies the stored matcher, config fields, and ontology
+// fingerprint against the caller's. `num_threads`, `record_history`, and
+// `max_iterations` are deliberately excluded — resuming on different
+// hardware or with a raised iteration cap is the point of the snapshot.
+
+inline constexpr char kResultSnapshotMagic[8] = {'P', 'A', 'R', 'I',
+                                                 'S', 'R', 'S', '\n'};
+inline constexpr uint32_t kResultSnapshotVersion = 1;
+
+// Cheap identity of the ontology pair a result belongs to: FNV-1a over the
+// shared pool size and both sides' name, triple/relation/instance/class
+// counts, and relation names. Not a content checksum — it detects "resumed
+// against the wrong dataset", not bit rot (the input snapshot's own
+// checksum covers that).
+uint64_t OntologyPairFingerprint(const ontology::Ontology& left,
+                                 const ontology::Ontology& right);
+
+// Writes `result` to `path`. `config` must be the resolved config the run
+// used (`Aligner::config()`, after instance_threshold resolution), and
+// `matcher` the literal-matcher name; both are stored for the resume-time
+// compatibility check.
+util::Status SaveAlignmentResult(const std::string& path,
+                                 const AlignmentResult& result,
+                                 const ontology::Ontology& left,
+                                 const ontology::Ontology& right,
+                                 const AlignmentConfig& config,
+                                 const std::string& matcher);
+
+// Loads a result snapshot for resumption against the given ontology pair
+// and run setup. Rejects files with a bad magic/version, a checksum
+// mismatch (corruption / truncation), structurally invalid sections, a
+// key section that does not match `left`/`right`/`config`/`matcher`, or
+// more completed iterations than `config.max_iterations` allows (a resume
+// cannot un-run iterations). The mmap path verifies the whole-file
+// checksum before adopting any view (checksum-before-map, like the
+// ontology snapshots); either way the returned result owns all its memory
+// — no view outlives the load.
+util::StatusOr<AlignmentResult> LoadAlignmentResult(
+    const std::string& path, const ontology::Ontology& left,
+    const ontology::Ontology& right, const AlignmentConfig& config,
+    const std::string& matcher,
+    storage::SnapshotLoadMode mode = storage::SnapshotLoadMode::kAuto);
+
+}  // namespace paris::core
+
+#endif  // PARIS_CORE_RESULT_SNAPSHOT_H_

@@ -3,15 +3,12 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
-#include <cstring>
 #include <fstream>
-#include <memory>
-#include <span>
+#include <optional>
 #include <utility>
 #include <vector>
 
 #include "ontology/functionality.h"
-#include "storage/mmap_file.h"
 #include "storage/snapshot.h"
 
 namespace paris::ontology {
@@ -159,83 +156,21 @@ util::StatusOr<AlignmentSnapshot> LoadSections(storage::SnapshotReader& reader,
   return AlignmentSnapshot{std::move(left).value(), std::move(right).value()};
 }
 
-util::StatusOr<AlignmentSnapshot> LoadFromStream(const std::string& path,
-                                                 rdf::TermPool* pool) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    return util::NotFoundError("cannot open snapshot " + path);
-  }
-  storage::SnapshotReader reader(in);
-  util::Status status = storage::CheckSnapshotHeader(reader, in);
-  if (!status.ok()) return status;
-  auto sections = LoadSections(reader, pool);
-  if (!sections.ok()) return sections.status();
-  const uint64_t computed = reader.checksum();
-  const uint64_t stored = reader.ReadChecksumTrailer();
-  if (!reader.ok() || computed != stored) {
-    return util::InvalidArgumentError(
-        "corrupt snapshot (checksum mismatch): " + path);
-  }
-  if (in.peek() != std::char_traits<char>::eof()) {
-    return util::InvalidArgumentError(
-        "corrupt snapshot (trailing bytes): " + path);
-  }
-  return sections;
-}
-
-util::StatusOr<AlignmentSnapshot> LoadFromMapping(
-    std::shared_ptr<storage::MappedFile> mapping, const std::string& path,
-    rdf::TermPool* pool) {
-  const std::span<const std::byte> bytes = mapping->bytes();
-  constexpr size_t kMagicSize = sizeof(storage::kSnapshotMagic);
-  if (bytes.size() < kMagicSize + sizeof(uint32_t) + sizeof(uint64_t) ||
-      std::memcmp(bytes.data(), storage::kSnapshotMagic, kMagicSize) != 0) {
-    return util::InvalidArgumentError("not a PARIS snapshot (bad magic): " +
-                                      path);
-  }
-
-  // Checksum-before-map policy: verify the trailer over the whole mapping
-  // before any structure adopts a view into it. This touches every byte
-  // once (like the streaming reader) but nothing is copied.
-  const size_t body_size = bytes.size() - kMagicSize - sizeof(uint64_t);
-  const uint64_t computed = storage::FnvHash(bytes.data() + kMagicSize,
-                                             body_size);
-  uint64_t stored = 0;
-  std::memcpy(&stored, bytes.data() + bytes.size() - sizeof(uint64_t),
-              sizeof(uint64_t));
-  if (computed != stored) {
-    return util::InvalidArgumentError(
-        "corrupt snapshot (checksum mismatch): " + path);
-  }
-
-  storage::SnapshotReader reader(bytes);
-  reader.set_view_owner(mapping);
-  const uint32_t version = reader.ReadU32();
-  if (!reader.ok() || version != storage::kSnapshotVersion) {
-    return util::InvalidArgumentError("unsupported snapshot version " +
-                                      std::to_string(version) + ": " + path);
-  }
-  auto sections = LoadSections(reader, pool);
-  if (!sections.ok()) return sections.status();
-  if (reader.position() != bytes.size() - sizeof(uint64_t)) {
-    return util::InvalidArgumentError(
-        "corrupt snapshot (trailing bytes): " + path);
-  }
-  return sections;
-}
-
 }  // namespace
 
 util::StatusOr<AlignmentSnapshot> LoadAlignmentSnapshot(
     const std::string& path, rdf::TermPool* pool, SnapshotLoadMode mode) {
-  if (mode == SnapshotLoadMode::kStream) return LoadFromStream(path, pool);
-  auto mapping = storage::MappedFile::Open(path);
-  if (!mapping.ok()) {
-    // Only a map failure falls back; content errors never do.
-    if (mode == SnapshotLoadMode::kMmap) return mapping.status();
-    return LoadFromStream(path, pool);
-  }
-  return LoadFromMapping(std::move(mapping).value(), path, pool);
+  std::optional<AlignmentSnapshot> out;
+  util::Status status = storage::LoadSnapshotFile(
+      path, mode, storage::kSnapshotMagic, storage::kSnapshotVersion,
+      "snapshot", [&](storage::SnapshotReader& reader) {
+        auto sections = LoadSections(reader, pool);
+        if (!sections.ok()) return sections.status();
+        out.emplace(std::move(sections).value());
+        return util::OkStatus();
+      });
+  if (!status.ok()) return status;
+  return std::move(*out);
 }
 
 }  // namespace paris::ontology

@@ -5,6 +5,7 @@
 
 #include "ontology/ontology.h"
 #include "rdf/term.h"
+#include "storage/snapshot.h"
 #include "util/status.h"
 
 namespace paris::ontology {
@@ -29,18 +30,9 @@ struct AlignmentSnapshot {
   Ontology right;
 };
 
-// How `LoadAlignmentSnapshot` brings the file in.
-enum class SnapshotLoadMode {
-  // Try the zero-copy mmap path, fall back to streaming when the file
-  // cannot be mapped (platform without mmap, map failure). Content errors
-  // never fall back — a corrupt file is rejected, not retried.
-  kAuto,
-  // Stream and copy through SnapshotReader (the pre-mmap behavior).
-  kStream,
-  // Map the file read-only; the packed index columns alias the mapping
-  // (which the loaded ontologies keep alive). Fails if mmap is unavailable.
-  kMmap,
-};
+// How `LoadAlignmentSnapshot` brings the file in. In `kMmap` the packed
+// index columns alias the mapping, which the loaded ontologies keep alive.
+using SnapshotLoadMode = storage::SnapshotLoadMode;
 
 // Loads a snapshot into the (empty) `pool`. On failure the pool's contents
 // are unspecified — use a fresh pool per attempt. Rejects files with a bad

@@ -1,9 +1,15 @@
 #include "storage/snapshot.h"
 
 #include <algorithm>
+#include <bit>
 #include <cstring>
+#include <fstream>
 #include <istream>
+#include <memory>
 #include <ostream>
+#include <utility>
+
+#include "storage/mmap_file.h"
 
 namespace paris::storage {
 
@@ -55,6 +61,10 @@ void SnapshotWriter::WriteU64(uint64_t v) {
   unsigned char b[8];
   for (int i = 0; i < 8; ++i) b[i] = static_cast<unsigned char>(v >> (8 * i));
   WriteBytes(b, 8);
+}
+
+void SnapshotWriter::WriteDouble(double v) {
+  WriteU64(std::bit_cast<uint64_t>(v));
 }
 
 void SnapshotWriter::WriteString(std::string_view s) {
@@ -122,6 +132,10 @@ uint64_t SnapshotReader::ReadU64() {
   return v;
 }
 
+double SnapshotReader::ReadDouble() {
+  return std::bit_cast<double>(ReadU64());
+}
+
 std::string SnapshotReader::ReadString(uint64_t max_size) {
   const uint64_t n = ReadU64();
   if (n > max_size) {
@@ -168,24 +182,168 @@ void WriteSnapshotHeader(SnapshotWriter& writer, std::ostream& raw) {
   writer.WriteU32(kSnapshotVersion);
 }
 
-util::Status CheckSnapshotHeader(SnapshotReader& reader, std::istream& raw) {
-  char magic[sizeof(kSnapshotMagic)] = {};
-  raw.read(magic, sizeof(magic));
-  if (raw.gcount() != sizeof(magic) ||
-      std::memcmp(magic, kSnapshotMagic, sizeof(magic)) != 0) {
-    reader.MarkFailed();
-    return util::InvalidArgumentError("not a PARIS snapshot (bad magic)");
+namespace {
+
+using SectionLoader = std::function<util::Status(SnapshotReader&)>;
+
+util::Status LoadSnapshotFileFromStream(const std::string& path,
+                                        const char (&magic)[8],
+                                        uint32_t version, const char* kind,
+                                        const SectionLoader& load_sections) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return util::NotFoundError("cannot open " + std::string(kind) + " " +
+                               path);
   }
-  const uint32_t version = reader.ReadU32();
+  char file_magic[8] = {};
+  in.read(file_magic, sizeof(file_magic));
+  if (in.gcount() != sizeof(file_magic) ||
+      std::memcmp(file_magic, magic, sizeof(file_magic)) != 0) {
+    return util::InvalidArgumentError("not a PARIS " + std::string(kind) +
+                                      " (bad magic): " + path);
+  }
+  SnapshotReader reader(in);
+  const uint32_t file_version = reader.ReadU32();
   if (!reader.ok()) {
-    return util::InvalidArgumentError("truncated snapshot header");
+    return util::InvalidArgumentError("truncated " + std::string(kind) +
+                                      " header");
   }
-  if (version != kSnapshotVersion) {
-    reader.MarkFailed();
-    return util::InvalidArgumentError("unsupported snapshot version " +
-                                      std::to_string(version));
+  if (file_version != version) {
+    return util::InvalidArgumentError(
+        "unsupported " + std::string(kind) + " version " +
+        std::to_string(file_version) + ": " + path);
+  }
+  util::Status status = load_sections(reader);
+  if (!status.ok()) {
+    // The streaming reader only sees the checksum trailer after the
+    // sections, so a flipped byte inside them can surface as a section-level
+    // FAILED_PRECONDITION (e.g. a garbled run-key field reading as "a
+    // different config") instead of as corruption. Such verdicts are only
+    // trustworthy over an intact file: drain the remainder, extend the
+    // running hash, and report a trailer mismatch as corruption instead.
+    if (status.code() == util::StatusCode::kFailedPrecondition &&
+        reader.ok()) {
+      // Chunked drain with an 8-byte rolling tail (the candidate trailer),
+      // hashing everything before it — O(1) memory however large the file.
+      uint64_t computed = reader.checksum();
+      char tail[sizeof(uint64_t)];
+      size_t tail_size = 0;
+      char chunk[1 << 16];
+      while (in) {
+        in.read(chunk, sizeof(chunk));
+        const size_t got = static_cast<size_t>(in.gcount());
+        if (got == 0) break;
+        if (tail_size + got <= sizeof(tail)) {
+          std::memcpy(tail + tail_size, chunk, got);
+          tail_size += got;
+          continue;
+        }
+        const size_t hashable = tail_size + got - sizeof(tail);
+        const size_t from_tail = std::min(tail_size, hashable);
+        computed = HashBytes(computed, tail, from_tail);
+        computed = HashBytes(computed, chunk, hashable - from_tail);
+        char next_tail[sizeof(tail)];
+        size_t n = 0;
+        for (size_t i = from_tail; i < tail_size; ++i) {
+          next_tail[n++] = tail[i];
+        }
+        for (size_t i = hashable - from_tail; i < got; ++i) {
+          next_tail[n++] = chunk[i];
+        }
+        std::memcpy(tail, next_tail, n);
+        tail_size = n;
+      }
+      if (tail_size < sizeof(tail)) {
+        return util::InvalidArgumentError("corrupt " + std::string(kind) +
+                                          " (checksum mismatch): " + path);
+      }
+      uint64_t stored = 0;
+      for (size_t i = 0; i < sizeof(tail); ++i) {
+        stored |= static_cast<uint64_t>(static_cast<unsigned char>(tail[i]))
+                  << (8 * i);
+      }
+      if (computed != stored) {
+        return util::InvalidArgumentError("corrupt " + std::string(kind) +
+                                          " (checksum mismatch): " + path);
+      }
+    }
+    return status;
+  }
+  const uint64_t computed = reader.checksum();
+  const uint64_t stored = reader.ReadChecksumTrailer();
+  if (!reader.ok() || computed != stored) {
+    return util::InvalidArgumentError("corrupt " + std::string(kind) +
+                                      " (checksum mismatch): " + path);
+  }
+  if (in.peek() != std::char_traits<char>::eof()) {
+    return util::InvalidArgumentError("corrupt " + std::string(kind) +
+                                      " (trailing bytes): " + path);
   }
   return util::OkStatus();
+}
+
+util::Status LoadSnapshotFileFromMapping(std::shared_ptr<MappedFile> mapping,
+                                         const std::string& path,
+                                         const char (&magic)[8],
+                                         uint32_t version, const char* kind,
+                                         const SectionLoader& load_sections) {
+  const std::span<const std::byte> bytes = mapping->bytes();
+  constexpr size_t kMagicSize = 8;
+  if (bytes.size() < kMagicSize + sizeof(uint32_t) + sizeof(uint64_t) ||
+      std::memcmp(bytes.data(), magic, kMagicSize) != 0) {
+    return util::InvalidArgumentError("not a PARIS " + std::string(kind) +
+                                      " (bad magic): " + path);
+  }
+
+  // Checksum-before-map policy: verify the trailer over the whole mapping
+  // before any structure adopts a view into it. This touches every byte
+  // once (like the streaming reader) but nothing is copied.
+  const size_t body_size = bytes.size() - kMagicSize - sizeof(uint64_t);
+  const uint64_t computed = FnvHash(bytes.data() + kMagicSize, body_size);
+  uint64_t stored = 0;
+  std::memcpy(&stored, bytes.data() + bytes.size() - sizeof(uint64_t),
+              sizeof(uint64_t));
+  if (computed != stored) {
+    return util::InvalidArgumentError("corrupt " + std::string(kind) +
+                                      " (checksum mismatch): " + path);
+  }
+
+  SnapshotReader reader(bytes);
+  reader.set_view_owner(std::move(mapping));
+  const uint32_t file_version = reader.ReadU32();
+  if (!reader.ok() || file_version != version) {
+    return util::InvalidArgumentError(
+        "unsupported " + std::string(kind) + " version " +
+        std::to_string(file_version) + ": " + path);
+  }
+  util::Status status = load_sections(reader);
+  if (!status.ok()) return status;
+  if (reader.position() != bytes.size() - sizeof(uint64_t)) {
+    return util::InvalidArgumentError("corrupt " + std::string(kind) +
+                                      " (trailing bytes): " + path);
+  }
+  return util::OkStatus();
+}
+
+}  // namespace
+
+util::Status LoadSnapshotFile(
+    const std::string& path, SnapshotLoadMode mode, const char (&magic)[8],
+    uint32_t version, const char* kind,
+    const std::function<util::Status(SnapshotReader&)>& load_sections) {
+  if (mode == SnapshotLoadMode::kStream) {
+    return LoadSnapshotFileFromStream(path, magic, version, kind,
+                                      load_sections);
+  }
+  auto mapping = MappedFile::Open(path);
+  if (!mapping.ok()) {
+    // Only a map failure falls back; content errors never do.
+    if (mode == SnapshotLoadMode::kMmap) return mapping.status();
+    return LoadSnapshotFileFromStream(path, magic, version, kind,
+                                      load_sections);
+  }
+  return LoadSnapshotFileFromMapping(std::move(mapping).value(), path, magic,
+                                     version, kind, load_sections);
 }
 
 // ---------------------------------------------------------------------------

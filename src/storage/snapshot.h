@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <memory>
 #include <span>
@@ -37,6 +38,21 @@ inline constexpr char kSnapshotMagic[8] = {'P', 'A', 'R', 'I',
                                            'S', 'N', 'P', '\n'};
 inline constexpr uint32_t kSnapshotVersion = 2;
 
+// How a snapshot loader brings a file in. Shared by the ontology snapshots
+// (src/ontology/snapshot.h) and the alignment-result snapshots
+// (src/core/result_snapshot.h).
+enum class SnapshotLoadMode {
+  // Try the zero-copy mmap path, fall back to streaming when the file
+  // cannot be mapped (platform without mmap, map failure). Content errors
+  // never fall back — a corrupt file is rejected, not retried.
+  kAuto,
+  // Stream and copy through SnapshotReader.
+  kStream,
+  // Map the file read-only; loads may alias the mapping. Fails if mmap is
+  // unavailable.
+  kMmap,
+};
+
 // Streams sections to `out`, maintaining a running FNV-1a 64 hash of every
 // byte written (the magic is excluded by writing it before construction —
 // `WriteSnapshotHeader` handles this) plus the absolute file offset
@@ -50,6 +66,7 @@ class SnapshotWriter {
   void WriteU8(uint8_t v);
   void WriteU32(uint32_t v);
   void WriteU64(uint64_t v);
+  void WriteDouble(double v);  // IEEE-754 bits as a little-endian u64
   void WriteString(std::string_view s);  // u64 length + bytes
 
   // u64 length, zero padding to an 8-byte file offset, then the raw rows.
@@ -107,6 +124,7 @@ class SnapshotReader {
   uint8_t ReadU8();
   uint32_t ReadU32();
   uint64_t ReadU64();
+  double ReadDouble();
   std::string ReadString(uint64_t max_size = kMaxString);
 
   // Reads a length-prefixed POD array. Grows the vector in bounded chunks so
@@ -208,9 +226,31 @@ class SnapshotReader {
   std::shared_ptr<const void> view_owner_;
 };
 
-// Writes / verifies the magic + format version framing.
+// Writes the magic + format version framing (the ontology snapshot family;
+// other families write their own magic + version through the writer).
 void WriteSnapshotHeader(SnapshotWriter& writer, std::ostream& raw);
-util::Status CheckSnapshotHeader(SnapshotReader& reader, std::istream& raw);
+
+// Shared whole-file load framing for every snapshot family (ontology
+// snapshots, alignment-result snapshots): magic and version checks, section
+// loading via `load_sections`, checksum-trailer verification, and the
+// trailing-bytes check — with the stream / mmap / auto dispatch and the
+// checksum-before-map policy in one place, so the families cannot drift.
+//
+//  * kStream: sections are read and hashed incrementally; the trailer is
+//    compared afterwards.
+//  * kMmap: the whole-file FNV-1a trailer is verified over the mapping
+//    *before* the reader is constructed; `load_sections` may then adopt
+//    zero-copy views (the reader's view_owner pins the mapping).
+//  * kAuto: try mmap, fall back to streaming only when the file cannot be
+//    mapped. Content errors never fall back.
+//
+// `kind` names the family in error messages ("snapshot", "result
+// snapshot"). `load_sections` must consume everything between the version
+// field and the trailer, returning a non-OK status on structural errors.
+util::Status LoadSnapshotFile(
+    const std::string& path, SnapshotLoadMode mode, const char (&magic)[8],
+    uint32_t version, const char* kind,
+    const std::function<util::Status(SnapshotReader&)>& load_sections);
 
 // FNV-1a 64 over one contiguous byte range, seeded with the offset basis —
 // the same hash the writer and the streaming reader maintain incrementally.

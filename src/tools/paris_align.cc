@@ -22,7 +22,16 @@
 //   --snapshot-load-mode M auto | mmap | stream (default auto): mmap maps
 //                          the packed columns zero-copy, stream copies
 //                          through the buffered reader, auto tries mmap
-//                          and falls back to stream
+//                          and falls back to stream; also steers how
+//                          --resume-from brings the result snapshot in
+//   --save-result PATH     after the run, write a binary snapshot of the
+//                          alignment result (equivalences, relation and
+//                          class scores, iteration metadata)
+//   --resume-from PATH     continue a previous run from its result
+//                          snapshot instead of starting at iteration 1;
+//                          the inputs and config must match the saved run
+//                          (final tables are identical to an uninterrupted
+//                          run)
 //
 // Exit status 0 on success, 1 on usage/load errors.
 #include <cstdio>
@@ -34,6 +43,7 @@
 #include <vector>
 #include <string>
 
+#include "core/result_snapshot.h"
 #include "ontology/snapshot.h"
 #include "paris/paris.h"
 
@@ -45,6 +55,8 @@ struct CliOptions {
   std::string output_prefix;
   std::string save_snapshot;
   std::string load_snapshot;
+  std::string save_result;
+  std::string resume_from;
   paris::ontology::SnapshotLoadMode load_mode =
       paris::ontology::SnapshotLoadMode::kAuto;
   paris::core::AlignmentConfig config;
@@ -59,7 +71,8 @@ void PrintUsage() {
                "normalized|fuzzy] [--threads N] [--negative-evidence] "
                "[--name-prior] [--stats] [--save-snapshot PATH] "
                "[--load-snapshot PATH] "
-               "[--snapshot-load-mode auto|mmap|stream]\n");
+               "[--snapshot-load-mode auto|mmap|stream] "
+               "[--save-result PATH] [--resume-from PATH]\n");
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* options) {
@@ -101,6 +114,14 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       const char* v = next_value("--load-snapshot");
       if (v == nullptr) return false;
       options->load_snapshot = v;
+    } else if (arg == "--save-result") {
+      const char* v = next_value("--save-result");
+      if (v == nullptr) return false;
+      options->save_result = v;
+    } else if (arg == "--resume-from") {
+      const char* v = next_value("--resume-from");
+      if (v == nullptr) return false;
+      options->resume_from = v;
     } else if (arg == "--snapshot-load-mode") {
       const char* v = next_value("--snapshot-load-mode");
       if (v == nullptr) return false;
@@ -251,13 +272,40 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  paris::core::AlignmentResult result = aligner.Run();
+  paris::core::AlignmentResult result;
+  if (!options.resume_from.empty()) {
+    auto checkpoint = paris::core::LoadAlignmentResult(
+        options.resume_from, *left, *right, aligner.config(), options.matcher,
+        options.load_mode);
+    if (!checkpoint.ok()) {
+      std::fprintf(stderr, "%s: %s\n", options.resume_from.c_str(),
+                   checkpoint.status().ToString().c_str());
+      return 1;
+    }
+    const size_t completed = checkpoint->iterations.size();
+    result = aligner.Resume(std::move(checkpoint).value());
+    std::printf("resumed after iteration %zu\n", completed);
+  } else {
+    result = aligner.Run();
+  }
   std::printf("aligned %zu instances, %zu relation scores, %zu class "
               "scores in %.2fs (%zu iterations%s)\n",
               result.instances.num_left_aligned(), result.relations.size(),
               result.classes.entries().size(), result.seconds_total,
               result.iterations.size(),
               result.converged_at > 0 ? ", converged" : "");
+
+  if (!options.save_result.empty()) {
+    auto status = paris::core::SaveAlignmentResult(
+        options.save_result, result, *left, *right, aligner.config(),
+        options.matcher);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s: %s\n", options.save_result.c_str(),
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote result snapshot %s\n", options.save_result.c_str());
+  }
 
   if (!options.output_prefix.empty()) {
     auto status = paris::core::WriteAlignmentFiles(result, *left, *right,
