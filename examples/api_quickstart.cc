@@ -1,0 +1,88 @@
+// Quickstart for the `paris::api::Session` facade — the documented entry
+// point of the library. Generates a small synthetic dataset, then drives
+// the whole lifecycle through one handle with per-iteration progress:
+//
+//   load -> snapshot -> align (callbacks) -> save result -> export
+//
+// Build & run (in-tree):
+//   cmake -B build -DPARIS_BUILD_EXAMPLES=ON && cmake --build build
+//   ./build/example_api_quickstart
+//
+// Build & run (out-of-tree, against an installed paris):
+//   cmake --install build --prefix /tmp/paris-prefix
+//   cmake -B build-ex -S examples/find_package_smoke \
+//         -DCMAKE_PREFIX_PATH=/tmp/paris-prefix
+//   cmake --build build-ex && ./build-ex/api_quickstart
+//
+// Every facade call returns util::Status — nothing below main() prints or
+// exits on its own.
+#include <cstdio>
+#include <string>
+
+#include "paris/paris.h"
+
+namespace {
+
+// One Status-check to rule the example; a real embedder would propagate.
+bool Check(const paris::util::Status& status, const char* what) {
+  if (status.ok()) return true;
+  std::fprintf(stderr, "%s failed: %s\n", what, status.ToString().c_str());
+  return false;
+}
+
+}  // namespace
+
+int main() {
+  const std::string dir = "/tmp/paris_api_quickstart";
+
+  // --- Generate a small benchmark pair (also a facade call) -------------
+  paris::api::DatasetSpec spec;
+  spec.profile = "restaurant";
+  spec.output_prefix = dir + "_data";
+  spec.scale = 0.5;
+  auto dataset = paris::api::GenerateDataset(spec);
+  if (!Check(dataset.status(), "GenerateDataset")) return 1;
+  std::printf("generated %zu + %zu triples (%zu gold pairs)\n",
+              dataset->left_triples, dataset->right_triples,
+              dataset->gold_pairs);
+
+  // --- Configure a session ----------------------------------------------
+  paris::api::Session session(paris::api::Session::Options()
+                                  .set_threads(2)
+                                  .set_max_iterations(8)
+                                  .set_matcher("normalized"));
+
+  // --- Load, snapshot for faster future loads ----------------------------
+  if (!Check(session.LoadFromFiles(dataset->left_path, dataset->right_path),
+             "LoadFromFiles")) {
+    return 1;
+  }
+  if (!Check(session.SaveSnapshot(dir + ".snap"), "SaveSnapshot")) return 1;
+
+  // --- Align with progress reporting and a cancellation token ------------
+  auto token = std::make_shared<paris::api::CancellationToken>();
+  paris::api::RunCallbacks callbacks;
+  callbacks.cancellation = token;  // call token->Cancel() from any thread
+  callbacks.on_iteration = [](const paris::api::IterationProgress& progress) {
+    std::printf("  iteration %d/%d: %zu aligned, %.1f%% changed, %.3fs\n",
+                progress.iteration, progress.max_iterations,
+                progress.num_aligned, 100.0 * progress.change_fraction,
+                progress.seconds);
+  };
+  if (!Check(session.Align(callbacks), "Align")) return 1;
+
+  const paris::api::RunSummary summary = session.summary();
+  std::printf("aligned %zu instances, %zu relation scores, %zu class scores "
+              "in %.2fs%s\n",
+              summary.instances_aligned, summary.relation_scores,
+              summary.class_scores, summary.seconds,
+              summary.converged ? " (converged)" : "");
+
+  // --- Persist the run and export the tables ------------------------------
+  // The result snapshot can seed `Session::Resume` in a later process.
+  if (!Check(session.SaveResult(dir + ".result"), "SaveResult")) return 1;
+  if (!Check(session.Export(dir + "_out"), "Export")) return 1;
+  std::printf("wrote %s_out_{instances,relations,classes}.tsv\n",
+              dir.c_str());
+  return 0;
+}

@@ -1,0 +1,66 @@
+#include "api/dataset.h"
+
+#include <fstream>
+#include <map>
+
+#include "ontology/export.h"
+#include "ontology/snapshot.h"
+#include "synth/profiles.h"
+
+namespace paris::api {
+
+util::StatusOr<DatasetSummary> GenerateDataset(const DatasetSpec& spec) {
+  synth::ProfileOptions options;
+  options.scale = spec.scale;
+
+  util::StatusOr<synth::OntologyPair> pair =
+      util::InvalidArgumentError("unknown profile: " + spec.profile +
+                                 " (known: person, restaurant, yago-dbpedia, "
+                                 "yago-imdb)");
+  if (spec.profile == "person") {
+    pair = synth::MakeOaeiPersonPair(options);
+  } else if (spec.profile == "restaurant") {
+    pair = synth::MakeOaeiRestaurantPair(options);
+  } else if (spec.profile == "yago-dbpedia") {
+    pair = synth::MakeYagoDbpediaPair(options);
+  } else if (spec.profile == "yago-imdb") {
+    pair = synth::MakeYagoImdbPair(options);
+  }
+  if (!pair.ok()) return pair.status();
+
+  DatasetSummary summary;
+  summary.left_path = spec.output_prefix + "_left.nt";
+  summary.right_path = spec.output_prefix + "_right.nt";
+  summary.gold_path = spec.output_prefix + "_gold.tsv";
+
+  auto status = ontology::ExportToNTriplesFile(*pair->left, summary.left_path);
+  if (!status.ok()) return status;
+  status = ontology::ExportToNTriplesFile(*pair->right, summary.right_path);
+  if (!status.ok()) return status;
+
+  if (!spec.save_snapshot.empty()) {
+    status = ontology::SaveAlignmentSnapshot(spec.save_snapshot, *pair->left,
+                                             *pair->right);
+    if (!status.ok()) return status;
+    summary.snapshot_written = true;
+  }
+
+  std::ofstream gold(summary.gold_path);
+  if (!gold) {
+    return util::InvalidArgumentError("cannot open " + summary.gold_path +
+                                      " for writing");
+  }
+  gold << "# gold instance pairs: left\tright\n";
+  std::map<std::string, std::string> sorted;
+  for (const auto& [l, r] : pair->gold.left_to_right()) {
+    sorted.emplace(pair->left->TermName(l), pair->right->TermName(r));
+  }
+  for (const auto& [l, r] : sorted) gold << l << "\t" << r << "\n";
+
+  summary.left_triples = pair->left->num_triples();
+  summary.right_triples = pair->right->num_triples();
+  summary.gold_pairs = pair->gold.num_instance_pairs();
+  return summary;
+}
+
+}  // namespace paris::api

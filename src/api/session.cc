@@ -1,0 +1,253 @@
+#include "api/session.h"
+
+#include <cstdio>
+#include <ostream>
+#include <utility>
+
+#include "core/result_io.h"
+#include "core/result_snapshot.h"
+#include "rdf/ntriples.h"
+#include "rdf/turtle.h"
+
+namespace paris::api {
+
+namespace {
+
+// Prefixes an error with the file it concerns, so every facade failure
+// reports the failing path uniformly. Skipped when the underlying layer
+// already named it.
+util::Status Annotate(const std::string& context, const util::Status& status) {
+  if (status.ok()) return status;
+  if (status.message().find(context) != std::string::npos) return status;
+  return util::Status(status.code(), context + ": " + status.message());
+}
+
+// printf-style formatting into a std::string (the stats report reproduces
+// the historical printf output byte for byte, so iostream formatting is
+// not an option).
+template <typename... Args>
+std::string StrFormat(const char* format, Args... args) {
+  const int size = std::snprintf(nullptr, 0, format, args...);
+  std::string out(static_cast<size_t>(size), '\0');
+  std::snprintf(out.data(), out.size() + 1, format, args...);
+  return out;
+}
+
+// Files ending in .ttl/.turtle are parsed as Turtle, everything else as
+// N-Triples.
+util::Status ParseRdfFile(const std::string& path, rdf::TripleSink* sink) {
+  const bool turtle =
+      path.size() >= 4 &&
+      (path.rfind(".ttl") == path.size() - 4 ||
+       (path.size() >= 7 && path.rfind(".turtle") == path.size() - 7));
+  return turtle ? rdf::TurtleParser::ParseFile(path, sink)
+                : rdf::NTriplesParser::ParseFile(path, sink);
+}
+
+}  // namespace
+
+Session::Session() : Session(Options()) {}
+
+Session::Session(Options options) : options_(std::move(options)) {}
+
+Session::~Session() = default;
+
+util::ThreadPool* Session::workers() {
+  if (thread_pool_ == nullptr && options_.config.num_threads > 0) {
+    thread_pool_ =
+        std::make_unique<util::ThreadPool>(options_.config.num_threads);
+  }
+  return thread_pool_.get();
+}
+
+util::Status Session::LoadFromFiles(const std::string& left_path,
+                                    const std::string& right_path) {
+  if (loaded()) {
+    return util::FailedPreconditionError(
+        "session already has ontologies loaded");
+  }
+  auto pool = std::make_unique<rdf::TermPool>();
+
+  ontology::OntologyBuilder left_builder(pool.get(), "left");
+  auto status = ParseRdfFile(left_path, &left_builder);
+  if (!status.ok()) return Annotate(left_path, status);
+  auto left = left_builder.Build(workers());
+  if (!left.ok()) return Annotate("left ontology", left.status());
+
+  ontology::OntologyBuilder right_builder(pool.get(), "right");
+  status = ParseRdfFile(right_path, &right_builder);
+  if (!status.ok()) return Annotate(right_path, status);
+  auto right = right_builder.Build(workers());
+  if (!right.ok()) return Annotate("right ontology", right.status());
+
+  pool_ = std::move(pool);
+  left_.emplace(std::move(left).value());
+  right_.emplace(std::move(right).value());
+  return util::OkStatus();
+}
+
+util::Status Session::LoadFromSnapshot(const std::string& path) {
+  if (loaded()) {
+    return util::FailedPreconditionError(
+        "session already has ontologies loaded");
+  }
+  // The loader leaves a pool unspecified on failure, so commit the pool to
+  // the session only once the load succeeded.
+  auto pool = std::make_unique<rdf::TermPool>();
+  auto snapshot = ontology::LoadAlignmentSnapshot(path, pool.get(),
+                                                  options_.snapshot_load_mode);
+  if (!snapshot.ok()) return Annotate(path, snapshot.status());
+  pool_ = std::move(pool);
+  left_.emplace(std::move(snapshot->left));
+  right_.emplace(std::move(snapshot->right));
+  return util::OkStatus();
+}
+
+util::Status Session::SaveSnapshot(const std::string& path) const {
+  if (!loaded()) {
+    return util::FailedPreconditionError("no ontologies loaded");
+  }
+  return Annotate(path, ontology::SaveAlignmentSnapshot(path, *left_, *right_));
+}
+
+util::Status Session::Align(const RunCallbacks& callbacks) {
+  return RunAligner(callbacks, /*resume_path=*/"");
+}
+
+util::Status Session::Resume(const std::string& result_snapshot_path,
+                             const RunCallbacks& callbacks) {
+  return RunAligner(callbacks, result_snapshot_path);
+}
+
+util::Status Session::RunAligner(const RunCallbacks& callbacks,
+                                 const std::string& resume_path) {
+  if (!loaded()) {
+    return util::FailedPreconditionError(
+        "no ontologies loaded; call LoadFromFiles or LoadFromSnapshot first");
+  }
+  if (has_result()) {
+    return util::FailedPreconditionError(
+        "session already has an alignment result; one Session runs one "
+        "alignment — create a new Session to re-run");
+  }
+  const MatcherRegistry& registry =
+      options_.registry != nullptr ? *options_.registry
+                                   : MatcherRegistry::Default();
+  auto factory = registry.Resolve(options_.matcher);
+  if (!factory.ok()) return factory.status();
+
+  core::Aligner aligner(*left_, *right_, options_.config);
+  aligner.set_literal_matcher_factory(std::move(factory).value());
+  aligner.set_thread_pool(workers());
+
+  bool cancelled = false;
+  aligner.set_iteration_observer(
+      [&callbacks, &cancelled, this](const core::IterationRecord& record) {
+        if (callbacks.on_iteration) {
+          IterationProgress progress;
+          progress.iteration = record.index;
+          progress.max_iterations = options_.config.max_iterations;
+          progress.num_aligned = record.num_left_aligned;
+          progress.change_fraction = record.change_fraction;
+          progress.seconds =
+              record.seconds_instances + record.seconds_relations;
+          callbacks.on_iteration(progress);
+        }
+        if (callbacks.cancellation && callbacks.cancellation->cancelled()) {
+          cancelled = true;
+          return false;
+        }
+        return true;
+      });
+
+  size_t resumed = 0;
+  if (resume_path.empty()) {
+    result_.emplace(aligner.Run());
+  } else {
+    auto checkpoint =
+        core::LoadAlignmentResult(resume_path, *left_, *right_,
+                                  aligner.config(), options_.matcher,
+                                  options_.snapshot_load_mode);
+    if (!checkpoint.ok()) return Annotate(resume_path, checkpoint.status());
+    resumed = checkpoint->iterations.size();
+    result_.emplace(aligner.Resume(std::move(checkpoint).value()));
+  }
+  resolved_config_ = aligner.config();
+  resumed_iterations_ = resumed;
+  // A cancellation that raced the natural end of the run (the converging
+  // iteration, or the iteration cap) stopped nothing: the result is the
+  // complete one, so report success, not kCancelled.
+  const bool finished_naturally =
+      result_->converged_at > 0 ||
+      result_->iterations.size() >=
+          static_cast<size_t>(resolved_config_.max_iterations);
+  cancelled_ = cancelled && !finished_naturally;
+  if (cancelled_) {
+    return util::CancelledError(
+        "alignment cancelled after iteration " +
+        std::to_string(result_->iterations.size()) +
+        "; the partial result is retained and can be saved with SaveResult");
+  }
+  return util::OkStatus();
+}
+
+util::Status Session::SaveResult(const std::string& path) const {
+  if (!has_result()) {
+    return util::FailedPreconditionError("no alignment result to save");
+  }
+  return Annotate(path,
+                  core::SaveAlignmentResult(path, *result_, *left_, *right_,
+                                            resolved_config_,
+                                            options_.matcher));
+}
+
+util::Status Session::Export(const std::string& prefix) const {
+  if (!has_result()) {
+    return util::FailedPreconditionError("no alignment result to export");
+  }
+  return core::WriteAlignmentFiles(*result_, *left_, *right_, prefix);
+}
+
+util::Status Session::WriteInstanceAlignment(std::ostream& out) const {
+  if (!has_result()) {
+    return util::FailedPreconditionError("no alignment result to write");
+  }
+  core::WriteInstanceAlignment(result_->instances, *left_, *right_, out);
+  return util::OkStatus();
+}
+
+util::Status Session::PrintStats(std::ostream& out) const {
+  if (!loaded()) {
+    return util::FailedPreconditionError("no ontologies loaded");
+  }
+  for (const ontology::Ontology* onto : {&*left_, &*right_}) {
+    out << StrFormat(
+        "%s: %zu instances, %zu classes, %zu relations, %zu triples\n",
+        onto->name().c_str(), onto->instances().size(),
+        onto->classes().size(), onto->num_relations(), onto->num_triples());
+    out << "  relation functionalities (fun / fun⁻¹):\n";
+    for (rdf::RelId r = 1;
+         r <= static_cast<rdf::RelId>(onto->num_relations()); ++r) {
+      out << StrFormat("    %-32s %.3f / %.3f  (%zu facts)\n",
+                       onto->RelationName(r).c_str(), onto->Fun(r),
+                       onto->FunInverse(r), onto->store().PairCount(r));
+    }
+  }
+  return util::OkStatus();
+}
+
+RunSummary Session::summary() const {
+  RunSummary summary;
+  if (!has_result()) return summary;
+  summary.instances_aligned = result_->instances.num_left_aligned();
+  summary.relation_scores = result_->relations.size();
+  summary.class_scores = result_->classes.entries().size();
+  summary.iterations = result_->iterations.size();
+  summary.resumed_iterations = resumed_iterations_;
+  summary.seconds = result_->seconds_total;
+  summary.converged = result_->converged_at > 0;
+  summary.cancelled = cancelled_;
+  return summary;
+}
+
+}  // namespace paris::api

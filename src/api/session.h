@@ -1,0 +1,222 @@
+#ifndef PARIS_API_SESSION_H_
+#define PARIS_API_SESSION_H_
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "api/matcher_registry.h"
+#include "core/aligner.h"
+#include "core/config.h"
+#include "ontology/ontology.h"
+#include "ontology/snapshot.h"
+#include "rdf/term.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace paris::api {
+
+// Re-exported so facade callers spell everything in one namespace.
+using SnapshotLoadMode = ontology::SnapshotLoadMode;
+
+// Cooperative cancellation for `Session::Align` / `Session::Resume`. Safe
+// to `Cancel()` from any thread; the run checks it at iteration boundaries
+// and stops with a consistent, resumable partial result.
+class CancellationToken {
+ public:
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+// Scalar progress report for one completed fixpoint iteration.
+struct IterationProgress {
+  int iteration = 0;       // 1-based
+  int max_iterations = 0;  // the configured cap
+  size_t num_aligned = 0;  // left instances with a counterpart
+  double change_fraction = 1.0;
+  double seconds = 0.0;    // instance + relation pass wall time
+};
+
+// Hooks into a run. Both members are optional; the progress callback is
+// invoked on the thread driving the run, after each completed iteration.
+struct RunCallbacks {
+  std::function<void(const IterationProgress&)> on_iteration;
+  std::shared_ptr<CancellationToken> cancellation;
+};
+
+// What a finished (or cancelled) run produced, in plain scalars — enough
+// for a caller to report without reaching into the core result types.
+struct RunSummary {
+  size_t instances_aligned = 0;
+  size_t relation_scores = 0;
+  size_t class_scores = 0;
+  size_t iterations = 0;          // completed, including resumed-over ones
+  size_t resumed_iterations = 0;  // iterations adopted from a checkpoint
+  double seconds = 0.0;
+  bool converged = false;
+  bool cancelled = false;
+};
+
+// The PARIS run lifecycle behind one handle:
+//
+//   load (files or snapshot) -> align / resume -> export / save
+//
+// A Session owns the shared term pool, both ontologies, and the worker
+// pool; every method returns `util::Status` / `util::StatusOr` instead of
+// printing or exiting, so the facade is embeddable (the CLI tools are thin
+// adapters over it). One Session runs one alignment: load once, align
+// once; re-running with different options means a new Session (the
+// underlying data can be re-loaded cheaply from a snapshot). Methods are
+// not synchronized — drive a Session from one thread (cancellation tokens
+// are the exception and may be flipped from anywhere).
+//
+//   paris::api::Session session(
+//       paris::api::Session::Options().set_threads(4).set_matcher("fuzzy"));
+//   auto status = session.LoadFromFiles("a.nt", "b.ttl");
+//   if (status.ok()) status = session.Align();
+//   if (status.ok()) status = session.Export("out");
+class Session {
+ public:
+  struct Options {
+    Options() = default;
+
+    // Full engine configuration; the named setters below cover the common
+    // knobs, the rest is reachable directly for ablation-style embedding.
+    core::AlignmentConfig config;
+    // Literal matcher, resolved by name when Align/Resume starts. The name
+    // is recorded in result snapshots for the resume compatibility check.
+    std::string matcher = "identity";
+    // Registry the matcher name resolves against; null = Default().
+    const MatcherRegistry* registry = nullptr;
+    // How LoadFromSnapshot / Resume bring snapshot files in.
+    ontology::SnapshotLoadMode snapshot_load_mode =
+        ontology::SnapshotLoadMode::kAuto;
+
+    Options& set_threads(size_t n) { config.num_threads = n; return *this; }
+    Options& set_theta(double theta) { config.theta = theta; return *this; }
+    Options& set_max_iterations(int n) {
+      config.max_iterations = n;
+      return *this;
+    }
+    Options& set_negative_evidence(bool on) {
+      config.use_negative_evidence = on;
+      return *this;
+    }
+    Options& set_name_prior(bool on) {
+      config.use_relation_name_prior = on;
+      return *this;
+    }
+    Options& set_matcher(std::string name) {
+      matcher = std::move(name);
+      return *this;
+    }
+    Options& set_registry(const MatcherRegistry* r) {
+      registry = r;
+      return *this;
+    }
+    Options& set_snapshot_load_mode(ontology::SnapshotLoadMode mode) {
+      snapshot_load_mode = mode;
+      return *this;
+    }
+  };
+
+  Session();  // all-default options
+  explicit Session(Options options);
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+  Session(Session&&) = default;
+  Session& operator=(Session&&) = default;
+
+  const Options& options() const { return options_; }
+
+  // ---- Load --------------------------------------------------------------
+
+  // Parses two RDF files into the left/right ontologies. Files ending in
+  // .ttl/.turtle are parsed as Turtle, everything else as N-Triples.
+  // FailedPrecondition if the session is already loaded; parse and build
+  // errors carry the failing path.
+  util::Status LoadFromFiles(const std::string& left_path,
+                             const std::string& right_path);
+
+  // Loads both ontologies from a binary alignment snapshot
+  // (`SaveSnapshot`'s format) instead of parsing RDF.
+  util::Status LoadFromSnapshot(const std::string& path);
+
+  // Writes the loaded pair as a binary snapshot for fast future loads.
+  util::Status SaveSnapshot(const std::string& path) const;
+
+  // ---- Run ---------------------------------------------------------------
+
+  // Runs the fixpoint to convergence (or the iteration cap). On
+  // cancellation returns kCancelled but keeps the partial result — it can
+  // still be saved with SaveResult and continued later via Resume.
+  // FailedPrecondition when nothing is loaded or the session already has a
+  // result (one Session = one run).
+  util::Status Align(const RunCallbacks& callbacks = {});
+
+  // Continues a previous run from its result snapshot (`SaveResult`'s
+  // format); the loaded inputs and the session config must match the saved
+  // run or the load fails with FailedPrecondition naming the field. The
+  // final tables are identical to an uninterrupted run.
+  util::Status Resume(const std::string& result_snapshot_path,
+                      const RunCallbacks& callbacks = {});
+
+  // Writes the run's result (equivalences, relation and class scores,
+  // iteration metadata) as a binary snapshot that Resume accepts.
+  util::Status SaveResult(const std::string& path) const;
+
+  // ---- Inspect / export --------------------------------------------------
+
+  // Writes `<prefix>_{instances,relations,classes}.tsv`.
+  util::Status Export(const std::string& prefix) const;
+
+  // Writes the maximal instance assignment as TSV to `out`.
+  util::Status WriteInstanceAlignment(std::ostream& out) const;
+
+  // Writes per-ontology statistics (sizes plus per-relation
+  // functionalities) for both sides to `out`.
+  util::Status PrintStats(std::ostream& out) const;
+
+  bool loaded() const { return left_.has_value(); }
+  bool has_result() const { return result_.has_value(); }
+
+  // Require `loaded()` / `has_result()` respectively.
+  const ontology::Ontology& left() const { return *left_; }
+  const ontology::Ontology& right() const { return *right_; }
+  const core::AlignmentResult& result() const { return *result_; }
+  RunSummary summary() const;  // zero-value summary before a run
+
+ private:
+  util::Status RunAligner(const RunCallbacks& callbacks,
+                          const std::string& resume_path);
+  // The worker pool, created on demand (null when options request 0
+  // threads). Used for both index finalization and the alignment passes.
+  util::ThreadPool* workers();
+
+  Options options_;
+  std::unique_ptr<rdf::TermPool> pool_;
+  std::unique_ptr<util::ThreadPool> thread_pool_;
+  std::optional<ontology::Ontology> left_;
+  std::optional<ontology::Ontology> right_;
+  std::optional<core::AlignmentResult> result_;
+  // The config the run actually used (instance_threshold resolved by the
+  // Aligner); what SaveResult records for the resume compatibility check.
+  core::AlignmentConfig resolved_config_;
+  size_t resumed_iterations_ = 0;
+  bool cancelled_ = false;
+};
+
+}  // namespace paris::api
+
+#endif  // PARIS_API_SESSION_H_

@@ -69,9 +69,11 @@ AlignmentResult Aligner::RunInternal(AlignmentResult* checkpoint) {
   matcher_l2r->IndexTarget(right_);
   matcher_r2l->IndexTarget(left_);
 
-  std::unique_ptr<util::ThreadPool> pool;
-  if (config_.num_threads > 0) {
-    pool = std::make_unique<util::ThreadPool>(config_.num_threads);
+  util::ThreadPool* pool = external_pool_;
+  std::unique_ptr<util::ThreadPool> owned_pool;
+  if (pool == nullptr && config_.num_threads > 0) {
+    owned_pool = std::make_unique<util::ThreadPool>(config_.num_threads);
+    pool = owned_pool.get();
   }
 
   InstanceEquivalences previous;  // empty: first iteration has no equalities
@@ -115,7 +117,7 @@ AlignmentResult Aligner::RunInternal(AlignmentResult* checkpoint) {
     util::WallTimer timer;
     DirectionalContext l2r_prev = make_context(true, &previous);
     InstanceEquivalences current = ComputeInstanceEquivalences(
-        left_, right_, rel_scores, l2r_prev, config_, pool.get());
+        left_, right_, rel_scores, l2r_prev, config_, pool);
     if (config_.dampening > 0.0 && iteration > 1) {
       // Progressively increasing dampening factor (§5.1's convergence
       // device): λ grows toward `dampening` as iterations accumulate.
@@ -134,7 +136,7 @@ AlignmentResult Aligner::RunInternal(AlignmentResult* checkpoint) {
     DirectionalContext l2r_cur = make_context(true, &current);
     DirectionalContext r2l_cur = make_context(false, &current);
     rel_scores = ComputeRelationScores(left_, right_, l2r_cur, r2l_cur,
-                                       config_, pool.get());
+                                       config_, pool);
     record.seconds_relations = timer.ElapsedSeconds();
 
     if (config_.record_history) {
@@ -149,6 +151,8 @@ AlignmentResult Aligner::RunInternal(AlignmentResult* checkpoint) {
                      << "s";
     result.iterations.push_back(std::move(record));
 
+    const bool keep_going =
+        !iteration_observer_ || iteration_observer_(result.iterations.back());
     const bool converged =
         iteration > 1 &&
         result.iterations.back().change_fraction <
@@ -158,6 +162,9 @@ AlignmentResult Aligner::RunInternal(AlignmentResult* checkpoint) {
       result.converged_at = iteration;
       break;
     }
+    // Cooperative stop: the observer declined to continue. Falls through to
+    // the class pass so the partial result stays consistent and resumable.
+    if (!keep_going) break;
   }
 
   // Final step: class alignment from the converged assignment (§4.3 —
@@ -166,7 +173,7 @@ AlignmentResult Aligner::RunInternal(AlignmentResult* checkpoint) {
   DirectionalContext l2r_final = make_context(true, &previous);
   DirectionalContext r2l_final = make_context(false, &previous);
   result.classes = ComputeClassScores(left_, right_, l2r_final, r2l_final,
-                                      config_, pool.get());
+                                      config_, pool);
   result.seconds_classes = class_timer.ElapsedSeconds();
 
   result.instances = std::move(previous);

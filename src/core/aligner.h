@@ -1,6 +1,7 @@
 #ifndef PARIS_CORE_ALIGNER_H_
 #define PARIS_CORE_ALIGNER_H_
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -68,6 +69,24 @@ class Aligner {
     matcher_factory_ = std::move(factory);
   }
 
+  // Observes the fixpoint from outside (api::Session wires progress
+  // reporting and cooperative cancellation through this). Invoked on the
+  // run thread after each completed iteration with that iteration's record.
+  // Returning false stops the run at this iteration boundary: the class
+  // pass still runs over the state so far, so the returned result is
+  // internally consistent and — like a run that exhausted max_iterations —
+  // resumable from a saved result snapshot. Must be set before Run().
+  using IterationObserver = std::function<bool(const IterationRecord&)>;
+  void set_iteration_observer(IterationObserver observer) {
+    iteration_observer_ = std::move(observer);
+  }
+
+  // Uses `pool` (non-owning, may be null) for the parallel passes instead
+  // of constructing a pool from `config.num_threads` per Run(). Lets a
+  // caller that already owns a worker pool (api::Session) share it across
+  // index finalization and repeated runs.
+  void set_thread_pool(util::ThreadPool* pool) { external_pool_ = pool; }
+
   const AlignmentConfig& config() const { return config_; }
 
   AlignmentResult Run();
@@ -91,6 +110,8 @@ class Aligner {
   const ontology::Ontology& right_;
   AlignmentConfig config_;
   LiteralMatcherFactory matcher_factory_;
+  IterationObserver iteration_observer_;
+  util::ThreadPool* external_pool_ = nullptr;
 };
 
 }  // namespace paris::core

@@ -1,5 +1,25 @@
 // Umbrella header: the full public API of the PARIS ontology-alignment
-// library. Typical usage:
+// library.
+//
+// The documented entry point is the `paris::api::Session` facade, which
+// owns the whole run lifecycle behind Status-returning methods:
+//
+//   paris::api::Session session(
+//       paris::api::Session::Options().set_threads(4));
+//   auto status = session.LoadFromFiles("left.nt", "right.ttl");
+//   if (status.ok()) status = session.Align();    // callbacks optional
+//   if (status.ok()) status = session.Export("out");
+//   if (!status.ok()) { /* every failure is a util::Status */ }
+//
+// `Session::Align` takes optional `paris::api::RunCallbacks` (per-iteration
+// progress + cooperative cancellation), runs can be snapshotted and
+// resumed (`SaveResult` / `Resume`), and literal matchers are resolved by
+// name through `paris::api::MatcherRegistry`, so custom matchers plug in
+// without touching call sites. See src/api/README.md for a quickstart and
+// examples/api_quickstart.cc for a buildable walkthrough.
+//
+// The layers beneath the facade stay public for embedders that need finer
+// control (ablations, custom pipelines, the experiment drivers):
 //
 //   paris::rdf::TermPool pool;
 //   paris::ontology::OntologyBuilder b1(&pool, "left"), b2(&pool, "right");
@@ -11,6 +31,9 @@
 #ifndef PARIS_PARIS_PARIS_H_
 #define PARIS_PARIS_PARIS_H_
 
+#include "api/dataset.h"
+#include "api/matcher_registry.h"
+#include "api/session.h"
 #include "baseline/label_match.h"
 #include "baseline/self_training.h"
 #include "core/aligner.h"
@@ -24,9 +47,11 @@
 #include "core/relation_align.h"
 #include "core/relation_scores.h"
 #include "core/result_io.h"
+#include "core/result_snapshot.h"
 #include "ontology/export.h"
 #include "ontology/functionality.h"
 #include "ontology/ontology.h"
+#include "ontology/snapshot.h"
 #include "ontology/vocab.h"
 #include "rdf/ntriples.h"
 #include "rdf/store.h"

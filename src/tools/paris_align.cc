@@ -1,326 +1,161 @@
 // paris_align — align two RDF ontologies from the command line.
 //
-//   paris_align LEFT.nt RIGHT.ttl [options]
+//   paris_align LEFT.nt RIGHT.ttl [options]      (see --help)
 //
 // Files ending in .ttl/.turtle are parsed as Turtle, everything else as
 // N-Triples.
 //
-// Options:
-//   --output PREFIX        write PREFIX_{instances,relations,classes}.tsv
-//   --max-iterations N     fixpoint cap (default 10)
-//   --theta X              bootstrap sub-relation probability (default 0.1)
-//   --matcher M            identity | normalized | fuzzy  (default identity)
-//   --threads N            worker threads for the instance pass, the
-//                          relation pass, and index finalization
-//   --negative-evidence    use Eq. (14) instead of Eq. (13)
-//   --name-prior           seed iteration 1 with relation-name similarity
-//   --stats                print ontology statistics and exit
-//   --save-snapshot PATH   after loading, write a binary snapshot of both
-//                          ontologies (term pool + packed indexes)
-//   --load-snapshot PATH   load ontologies from a snapshot instead of
-//                          parsing RDF files (positional args not needed)
-//   --snapshot-load-mode M auto | mmap | stream (default auto): mmap maps
-//                          the packed columns zero-copy, stream copies
-//                          through the buffered reader, auto tries mmap
-//                          and falls back to stream; also steers how
-//                          --resume-from brings the result snapshot in
-//   --save-result PATH     after the run, write a binary snapshot of the
-//                          alignment result (equivalences, relation and
-//                          class scores, iteration metadata)
-//   --resume-from PATH     continue a previous run from its result
-//                          snapshot instead of starting at iteration 1;
-//                          the inputs and config must match the saved run
-//                          (final tables are identical to an uninterrupted
-//                          run)
+// This tool is a thin adapter over `paris::api::Session`: it parses flags,
+// drives the load → align/resume → export lifecycle through the facade,
+// prints the facade's results, and maps Status to the exit code. All
+// engine behavior lives behind the API.
 //
-// Exit status 0 on success, 1 on usage/load errors.
+// Exit status 0 on success, 1 on usage/load/run errors (the failing path
+// and Status code are reported on stderr).
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <iostream>
-#include <memory>
-#include <optional>
-#include <vector>
 #include <string>
+#include <vector>
 
-#include "core/result_snapshot.h"
-#include "ontology/snapshot.h"
 #include "paris/paris.h"
+#include "util/flags.h"
 
 namespace {
 
-struct CliOptions {
-  std::string left_path;
-  std::string right_path;
-  std::string output_prefix;
-  std::string save_snapshot;
-  std::string load_snapshot;
-  std::string save_result;
-  std::string resume_from;
-  paris::ontology::SnapshotLoadMode load_mode =
-      paris::ontology::SnapshotLoadMode::kAuto;
-  paris::core::AlignmentConfig config;
-  std::string matcher = "identity";
-  bool stats_only = false;
-};
-
-void PrintUsage() {
-  std::fprintf(stderr,
-               "usage: paris_align LEFT.nt RIGHT.nt [--output PREFIX] "
-               "[--max-iterations N] [--theta X] [--matcher identity|"
-               "normalized|fuzzy] [--threads N] [--negative-evidence] "
-               "[--name-prior] [--stats] [--save-snapshot PATH] "
-               "[--load-snapshot PATH] "
-               "[--snapshot-load-mode auto|mmap|stream] "
-               "[--save-result PATH] [--resume-from PATH]\n");
+int Fail(const paris::util::Status& status) {
+  std::fprintf(stderr, "paris_align: %s\n", status.ToString().c_str());
+  return 1;
 }
 
-bool ParseArgs(int argc, char** argv, CliOptions* options) {
-  std::vector<std::string> positional;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next_value = [&](const char* flag) -> const char* {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "missing value for %s\n", flag);
-        return nullptr;
-      }
-      return argv[++i];
-    };
-    if (arg == "--output") {
-      const char* v = next_value("--output");
-      if (v == nullptr) return false;
-      options->output_prefix = v;
-    } else if (arg == "--max-iterations") {
-      const char* v = next_value("--max-iterations");
-      if (v == nullptr) return false;
-      options->config.max_iterations = std::atoi(v);
-    } else if (arg == "--theta") {
-      const char* v = next_value("--theta");
-      if (v == nullptr) return false;
-      options->config.theta = std::atof(v);
-    } else if (arg == "--matcher") {
-      const char* v = next_value("--matcher");
-      if (v == nullptr) return false;
-      options->matcher = v;
-    } else if (arg == "--threads") {
-      const char* v = next_value("--threads");
-      if (v == nullptr) return false;
-      options->config.num_threads = static_cast<size_t>(std::atoi(v));
-    } else if (arg == "--save-snapshot") {
-      const char* v = next_value("--save-snapshot");
-      if (v == nullptr) return false;
-      options->save_snapshot = v;
-    } else if (arg == "--load-snapshot") {
-      const char* v = next_value("--load-snapshot");
-      if (v == nullptr) return false;
-      options->load_snapshot = v;
-    } else if (arg == "--save-result") {
-      const char* v = next_value("--save-result");
-      if (v == nullptr) return false;
-      options->save_result = v;
-    } else if (arg == "--resume-from") {
-      const char* v = next_value("--resume-from");
-      if (v == nullptr) return false;
-      options->resume_from = v;
-    } else if (arg == "--snapshot-load-mode") {
-      const char* v = next_value("--snapshot-load-mode");
-      if (v == nullptr) return false;
-      const std::string mode = v;
-      if (mode == "auto") {
-        options->load_mode = paris::ontology::SnapshotLoadMode::kAuto;
-      } else if (mode == "mmap") {
-        options->load_mode = paris::ontology::SnapshotLoadMode::kMmap;
-      } else if (mode == "stream") {
-        options->load_mode = paris::ontology::SnapshotLoadMode::kStream;
-      } else {
-        std::fprintf(stderr, "unknown snapshot load mode: %s\n", v);
-        return false;
-      }
-    } else if (arg == "--negative-evidence") {
-      options->config.use_negative_evidence = true;
-    } else if (arg == "--name-prior") {
-      options->config.use_relation_name_prior = true;
-    } else if (arg == "--stats") {
-      options->stats_only = true;
-    } else if (arg.rfind("--", 0) == 0) {
-      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
-      return false;
-    } else {
-      positional.push_back(arg);
-    }
-  }
-  if (!options->load_snapshot.empty()) {
-    // The snapshot replaces the RDF inputs entirely.
-    return positional.empty();
-  }
-  if (positional.size() != 2) return false;
-  options->left_path = positional[0];
-  options->right_path = positional[1];
-  return true;
-}
-
-void PrintStats(const paris::ontology::Ontology& onto) {
-  std::printf("%s: %zu instances, %zu classes, %zu relations, %zu triples\n",
-              onto.name().c_str(), onto.instances().size(),
-              onto.classes().size(), onto.num_relations(),
-              onto.num_triples());
-  std::printf("  relation functionalities (fun / fun⁻¹):\n");
-  for (paris::rdf::RelId r = 1;
-       r <= static_cast<paris::rdf::RelId>(onto.num_relations()); ++r) {
-    std::printf("    %-32s %.3f / %.3f  (%zu facts)\n",
-                onto.RelationName(r).c_str(), onto.Fun(r), onto.FunInverse(r),
-                onto.store().PairCount(r));
-  }
+int UsageError(const paris::util::FlagParser& parser,
+               const paris::util::Status& status) {
+  std::fprintf(stderr, "paris_align: %s\n%s\n", status.ToString().c_str(),
+               parser.Usage().c_str());
+  return 1;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  CliOptions options;
-  if (!ParseArgs(argc, argv, &options)) {
-    PrintUsage();
-    return 1;
-  }
+  paris::api::Session::Options options;
+  std::string output_prefix;
+  std::string save_snapshot;
+  std::string load_snapshot;
+  std::string save_result;
+  std::string resume_from;
+  std::string load_mode = "auto";
+  bool stats_only = false;
 
-  auto parse_file = [](const std::string& path,
-                       paris::rdf::TripleSink* sink) {
-    const bool turtle = path.size() >= 4 &&
-                        (path.rfind(".ttl") == path.size() - 4 ||
-                         (path.size() >= 7 &&
-                          path.rfind(".turtle") == path.size() - 7));
-    return turtle ? paris::rdf::TurtleParser::ParseFile(path, sink)
-                  : paris::rdf::NTriplesParser::ParseFile(path, sink);
-  };
+  paris::util::FlagParser parser("paris_align", "LEFT.nt RIGHT.nt");
+  parser.AddString("--output", &output_prefix,
+                   "write PREFIX_{instances,relations,classes}.tsv",
+                   "PREFIX");
+  parser.AddInt("--max-iterations", &options.config.max_iterations,
+                "fixpoint cap (default 10)");
+  parser.AddDouble("--theta", &options.config.theta,
+                   "bootstrap sub-relation probability (default 0.1)");
+  parser.AddChoice("--matcher", &options.matcher,
+                   paris::api::MatcherRegistry::Default().Names(),
+                   "literal matcher (default identity)");
+  parser.AddSizeT("--threads", &options.config.num_threads,
+                  "worker threads for the alignment passes and index "
+                  "finalization");
+  parser.AddBool("--negative-evidence", &options.config.use_negative_evidence,
+                 "use Eq. (14) instead of Eq. (13)");
+  parser.AddBool("--name-prior", &options.config.use_relation_name_prior,
+                 "seed iteration 1 with relation-name similarity");
+  parser.AddBool("--stats", &stats_only,
+                 "print ontology statistics and exit");
+  parser.AddString("--save-snapshot", &save_snapshot,
+                   "after loading, write a binary snapshot of both "
+                   "ontologies", "PATH");
+  parser.AddString("--load-snapshot", &load_snapshot,
+                   "load ontologies from a snapshot instead of parsing RDF "
+                   "files", "PATH");
+  parser.AddChoice("--snapshot-load-mode", &load_mode,
+                   {"auto", "mmap", "stream"},
+                   "how snapshots are brought in (default auto)");
+  parser.AddString("--save-result", &save_result,
+                   "after the run, write a binary snapshot of the alignment "
+                   "result", "PATH");
+  parser.AddString("--resume-from", &resume_from,
+                   "continue a previous run from its result snapshot",
+                   "PATH");
 
-  paris::rdf::TermPool pool;
-  std::optional<paris::ontology::Ontology> left;
-  std::optional<paris::ontology::Ontology> right;
-
-  if (!options.load_snapshot.empty()) {
-    auto snapshot = paris::ontology::LoadAlignmentSnapshot(
-        options.load_snapshot, &pool, options.load_mode);
-    if (!snapshot.ok()) {
-      std::fprintf(stderr, "%s: %s\n", options.load_snapshot.c_str(),
-                   snapshot.status().ToString().c_str());
-      return 1;
-    }
-    left.emplace(std::move(snapshot->left));
-    right.emplace(std::move(snapshot->right));
-  } else {
-    // Worker pool for index finalization, scoped to the parse branch; the
-    // aligner creates its own pool later from the same thread count.
-    std::unique_ptr<paris::util::ThreadPool> finalize_pool;
-    if (options.config.num_threads > 0) {
-      finalize_pool = std::make_unique<paris::util::ThreadPool>(
-          options.config.num_threads);
-    }
-    paris::ontology::OntologyBuilder left_builder(&pool, "left");
-    auto status = parse_file(options.left_path, &left_builder);
-    if (!status.ok()) {
-      std::fprintf(stderr, "%s: %s\n", options.left_path.c_str(),
-                   status.ToString().c_str());
-      return 1;
-    }
-    auto built_left = left_builder.Build(finalize_pool.get());
-    if (!built_left.ok()) {
-      std::fprintf(stderr, "left ontology: %s\n",
-                   built_left.status().ToString().c_str());
-      return 1;
-    }
-    left.emplace(std::move(built_left).value());
-    paris::ontology::OntologyBuilder right_builder(&pool, "right");
-    status = parse_file(options.right_path, &right_builder);
-    if (!status.ok()) {
-      std::fprintf(stderr, "%s: %s\n", options.right_path.c_str(),
-                   status.ToString().c_str());
-      return 1;
-    }
-    auto built_right = right_builder.Build(finalize_pool.get());
-    if (!built_right.ok()) {
-      std::fprintf(stderr, "right ontology: %s\n",
-                   built_right.status().ToString().c_str());
-      return 1;
-    }
-    right.emplace(std::move(built_right).value());
-  }
-
-  if (!options.save_snapshot.empty()) {
-    auto status = paris::ontology::SaveAlignmentSnapshot(
-        options.save_snapshot, *left, *right);
-    if (!status.ok()) {
-      std::fprintf(stderr, "%s: %s\n", options.save_snapshot.c_str(),
-                   status.ToString().c_str());
-      return 1;
-    }
-    std::printf("wrote snapshot %s\n", options.save_snapshot.c_str());
-  }
-
-  if (options.stats_only) {
-    PrintStats(*left);
-    PrintStats(*right);
+  std::vector<std::string> positional;
+  auto status = parser.Parse(argc, argv, &positional);
+  if (!status.ok()) return UsageError(parser, status);
+  if (parser.help_requested()) {
+    std::printf("%s", parser.Help().c_str());
     return 0;
   }
-
-  paris::core::Aligner aligner(*left, *right, options.config);
-  if (options.matcher == "normalized") {
-    aligner.set_literal_matcher_factory(
-        paris::core::NormalizingMatcherFactory());
-  } else if (options.matcher == "fuzzy") {
-    aligner.set_literal_matcher_factory(paris::core::FuzzyMatcherFactory());
-  } else if (options.matcher != "identity") {
-    std::fprintf(stderr, "unknown matcher: %s\n", options.matcher.c_str());
-    return 1;
+  if (load_mode == "mmap") {
+    options.snapshot_load_mode = paris::api::SnapshotLoadMode::kMmap;
+  } else if (load_mode == "stream") {
+    options.snapshot_load_mode = paris::api::SnapshotLoadMode::kStream;
   }
 
-  paris::core::AlignmentResult result;
-  if (!options.resume_from.empty()) {
-    auto checkpoint = paris::core::LoadAlignmentResult(
-        options.resume_from, *left, *right, aligner.config(), options.matcher,
-        options.load_mode);
-    if (!checkpoint.ok()) {
-      std::fprintf(stderr, "%s: %s\n", options.resume_from.c_str(),
-                   checkpoint.status().ToString().c_str());
-      return 1;
+  paris::api::Session session(options);
+
+  // --- Load ---------------------------------------------------------------
+  if (!load_snapshot.empty()) {
+    // The snapshot replaces the RDF inputs entirely.
+    if (!positional.empty()) {
+      return UsageError(parser, paris::util::InvalidArgumentError(
+                                    "positional inputs and --load-snapshot "
+                                    "are mutually exclusive"));
     }
-    const size_t completed = checkpoint->iterations.size();
-    result = aligner.Resume(std::move(checkpoint).value());
-    std::printf("resumed after iteration %zu\n", completed);
+    status = session.LoadFromSnapshot(load_snapshot);
   } else {
-    result = aligner.Run();
+    if (positional.size() != 2) {
+      return UsageError(parser, paris::util::InvalidArgumentError(
+                                    "expected exactly two input files"));
+    }
+    status = session.LoadFromFiles(positional[0], positional[1]);
+  }
+  if (!status.ok()) return Fail(status);
+
+  if (!save_snapshot.empty()) {
+    status = session.SaveSnapshot(save_snapshot);
+    if (!status.ok()) return Fail(status);
+    std::printf("wrote snapshot %s\n", save_snapshot.c_str());
+  }
+
+  if (stats_only) {
+    status = session.PrintStats(std::cout);
+    return status.ok() ? 0 : Fail(status);
+  }
+
+  // --- Align / resume -----------------------------------------------------
+  status = resume_from.empty() ? session.Align() : session.Resume(resume_from);
+  if (!status.ok()) return Fail(status);
+
+  const paris::api::RunSummary summary = session.summary();
+  if (!resume_from.empty()) {
+    std::printf("resumed after iteration %zu\n", summary.resumed_iterations);
   }
   std::printf("aligned %zu instances, %zu relation scores, %zu class "
               "scores in %.2fs (%zu iterations%s)\n",
-              result.instances.num_left_aligned(), result.relations.size(),
-              result.classes.entries().size(), result.seconds_total,
-              result.iterations.size(),
-              result.converged_at > 0 ? ", converged" : "");
+              summary.instances_aligned, summary.relation_scores,
+              summary.class_scores, summary.seconds, summary.iterations,
+              summary.converged ? ", converged" : "");
 
-  if (!options.save_result.empty()) {
-    auto status = paris::core::SaveAlignmentResult(
-        options.save_result, result, *left, *right, aligner.config(),
-        options.matcher);
-    if (!status.ok()) {
-      std::fprintf(stderr, "%s: %s\n", options.save_result.c_str(),
-                   status.ToString().c_str());
-      return 1;
-    }
-    std::printf("wrote result snapshot %s\n", options.save_result.c_str());
+  // --- Persist / export ---------------------------------------------------
+  if (!save_result.empty()) {
+    status = session.SaveResult(save_result);
+    if (!status.ok()) return Fail(status);
+    std::printf("wrote result snapshot %s\n", save_result.c_str());
   }
 
-  if (!options.output_prefix.empty()) {
-    auto status = paris::core::WriteAlignmentFiles(result, *left, *right,
-                                                   options.output_prefix);
-    if (!status.ok()) {
-      std::fprintf(stderr, "writing results: %s\n",
-                   status.ToString().c_str());
-      return 1;
-    }
+  if (!output_prefix.empty()) {
+    status = session.Export(output_prefix);
+    if (!status.ok()) return Fail(status);
     std::printf("wrote %s_{instances,relations,classes}.tsv\n",
-                options.output_prefix.c_str());
+                output_prefix.c_str());
   } else {
     // No output prefix: print the instance alignment to stdout.
-    paris::core::WriteInstanceAlignment(result.instances, *left, *right,
-                                        std::cout);
+    status = session.WriteInstanceAlignment(std::cout);
+    if (!status.ok()) return Fail(status);
   }
   return 0;
 }

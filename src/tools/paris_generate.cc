@@ -8,104 +8,66 @@
 //
 // Profiles: person | restaurant | yago-dbpedia | yago-imdb
 // Optional third argument: scale factor (default 1.0).
-// Options:
-//   --save-snapshot PATH   also write a binary snapshot of the generated
-//                          pair, loadable via `paris_align --load-snapshot`
+//
+// This tool is a thin adapter over `paris::api::GenerateDataset`: flag
+// parsing, one facade call, result printing, Status-to-exit-code.
 #include <cstdio>
-#include <cstdlib>
-#include <fstream>
-#include <map>
 #include <string>
 #include <vector>
 
-#include "ontology/export.h"
-#include "ontology/snapshot.h"
 #include "paris/paris.h"
-#include "synth/profiles.h"
+#include "util/flags.h"
 
 int main(int argc, char** argv) {
+  paris::api::DatasetSpec spec;
+  std::string scale = "1.0";
+
+  paris::util::FlagParser parser(
+      "paris_generate",
+      "person|restaurant|yago-dbpedia|yago-imdb OUTPUT_PREFIX [scale]");
+  parser.AddString("--save-snapshot", &spec.save_snapshot,
+                   "also write a binary snapshot of the generated pair, "
+                   "loadable via `paris_align --load-snapshot`", "PATH");
+
   std::vector<std::string> positional;
-  std::string snapshot_path;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--save-snapshot") {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "missing value for --save-snapshot\n");
-        return 1;
-      }
-      snapshot_path = argv[++i];
-    } else {
-      positional.push_back(arg);
-    }
-  }
-  if (positional.size() < 2) {
-    std::fprintf(stderr,
-                 "usage: paris_generate person|restaurant|yago-dbpedia|"
-                 "yago-imdb OUTPUT_PREFIX [scale] [--save-snapshot PATH]\n");
-    return 1;
-  }
-  const std::string profile = positional[0];
-  const std::string prefix = positional[1];
-  paris::synth::ProfileOptions options;
-  if (positional.size() > 2) options.scale = std::atof(positional[2].c_str());
-
-  paris::util::StatusOr<paris::synth::OntologyPair> pair =
-      paris::util::InvalidArgumentError("unknown profile: " + profile);
-  if (profile == "person") {
-    pair = paris::synth::MakeOaeiPersonPair(options);
-  } else if (profile == "restaurant") {
-    pair = paris::synth::MakeOaeiRestaurantPair(options);
-  } else if (profile == "yago-dbpedia") {
-    pair = paris::synth::MakeYagoDbpediaPair(options);
-  } else if (profile == "yago-imdb") {
-    pair = paris::synth::MakeYagoImdbPair(options);
-  }
-  if (!pair.ok()) {
-    std::fprintf(stderr, "%s\n", pair.status().ToString().c_str());
-    return 1;
-  }
-
-  auto status = paris::ontology::ExportToNTriplesFile(*pair->left,
-                                                      prefix + "_left.nt");
+  auto status = parser.Parse(argc, argv, &positional);
   if (!status.ok()) {
-    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    std::fprintf(stderr, "paris_generate: %s\n%s\n",
+                 status.ToString().c_str(), parser.Usage().c_str());
     return 1;
   }
-  status = paris::ontology::ExportToNTriplesFile(*pair->right,
-                                                 prefix + "_right.nt");
-  if (!status.ok()) {
-    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+  if (parser.help_requested()) {
+    std::printf("%s", parser.Help().c_str());
+    return 0;
+  }
+  if (positional.size() < 2 || positional.size() > 3) {
+    std::fprintf(stderr, "%s\n", parser.Usage().c_str());
+    return 1;
+  }
+  spec.profile = positional[0];
+  spec.output_prefix = positional[1];
+  if (positional.size() > 2) scale = positional[2];
+  if (!paris::util::ParseFullDouble(scale, &spec.scale)) {
+    std::fprintf(stderr, "paris_generate: invalid scale: '%s'\n",
+                 scale.c_str());
     return 1;
   }
 
-  if (!snapshot_path.empty()) {
-    status = paris::ontology::SaveAlignmentSnapshot(snapshot_path, *pair->left,
-                                                    *pair->right);
-    if (!status.ok()) {
-      std::fprintf(stderr, "%s\n", status.ToString().c_str());
-      return 1;
-    }
-    std::printf("wrote snapshot %s\n", snapshot_path.c_str());
-  }
-
-  const std::string gold_path = prefix + "_gold.tsv";
-  std::ofstream gold(gold_path);
-  if (!gold) {
-    std::fprintf(stderr, "cannot open %s\n", gold_path.c_str());
+  auto summary = paris::api::GenerateDataset(spec);
+  if (!summary.ok()) {
+    std::fprintf(stderr, "paris_generate: %s\n",
+                 summary.status().ToString().c_str());
     return 1;
   }
-  gold << "# gold instance pairs: left\tright\n";
-  std::map<std::string, std::string> sorted;
-  for (const auto& [l, r] : pair->gold.left_to_right()) {
-    sorted.emplace(pair->left->TermName(l), pair->right->TermName(r));
-  }
-  for (const auto& [l, r] : sorted) gold << l << "\t" << r << "\n";
 
+  if (summary->snapshot_written) {
+    std::printf("wrote snapshot %s\n", spec.save_snapshot.c_str());
+  }
   std::printf(
-      "%s: wrote %s_left.nt (%zu triples), %s_right.nt (%zu triples), "
-      "%s (%zu gold pairs)\n",
-      profile.c_str(), prefix.c_str(), pair->left->num_triples(),
-      prefix.c_str(), pair->right->num_triples(), gold_path.c_str(),
-      pair->gold.num_instance_pairs());
+      "%s: wrote %s (%zu triples), %s (%zu triples), %s (%zu gold pairs)\n",
+      spec.profile.c_str(), summary->left_path.c_str(),
+      summary->left_triples, summary->right_path.c_str(),
+      summary->right_triples, summary->gold_path.c_str(),
+      summary->gold_pairs);
   return 0;
 }

@@ -19,6 +19,7 @@ enum class StatusCode {
   kFailedPrecondition = 5,
   kInternal = 6,
   kUnimplemented = 7,
+  kCancelled = 8,
 };
 
 // Returns a stable human-readable name for `code` ("OK", "INVALID_ARGUMENT",
@@ -62,6 +63,7 @@ Status OutOfRangeError(std::string message);
 Status FailedPreconditionError(std::string message);
 Status InternalError(std::string message);
 Status UnimplementedError(std::string message);
+Status CancelledError(std::string message);
 
 // Value-or-error, in the spirit of absl::StatusOr. `value()` must only be
 // called when `ok()`.

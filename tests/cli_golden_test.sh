@@ -1,0 +1,107 @@
+#!/usr/bin/env bash
+# Golden-output test for the paris_generate / paris_align CLIs.
+#
+#   cli_golden_test.sh PARIS_GENERATE PARIS_ALIGN GOLDEN_DIR [--update]
+#
+# Drives the full CLI lifecycle on the deterministic `restaurant` synthetic
+# profile and compares every stdout byte and every output TSV against the
+# files committed under GOLDEN_DIR. The goldens were captured from the
+# pre-facade tools, so this test pins the rebuilt CLIs to byte-identical
+# behavior. Wall-clock timings in the run summary are masked before
+# comparison; PARIS_LOG lines go to stderr and are not captured.
+#
+# With --update, the goldens are rewritten instead of compared.
+set -u
+
+GENERATE=$(realpath "$1")
+ALIGN=$(realpath "$2")
+GOLDEN=$(realpath "$3")
+UPDATE=${4:-}
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+cd "$WORK"
+
+failures=0
+
+# Masks run wall-clock so the summary line compares deterministically.
+mask() { sed -E 's/ in [0-9]+\.[0-9]{2}s / in X.XXs /'; }
+
+check() {
+  local name=$1 actual=$2
+  if [ "$UPDATE" = "--update" ]; then
+    cp "$actual" "$GOLDEN/$name"
+    return
+  fi
+  if ! cmp -s "$GOLDEN/$name" "$actual"; then
+    echo "FAIL: $name differs from golden" >&2
+    diff -u "$GOLDEN/$name" "$actual" | head -30 >&2
+    failures=$((failures + 1))
+  fi
+}
+
+run() {
+  # Runs a command, asserting exit status 0; stdout goes to the named file.
+  local out=$1
+  shift
+  if ! "$@" > "$out" 2> stderr.txt; then
+    echo "FAIL: non-zero exit from: $*" >&2
+    cat stderr.txt >&2
+    exit 1
+  fi
+}
+
+# --- generate: plain, and with a snapshot ---------------------------------
+run generate_stdout.txt "$GENERATE" restaurant rest
+check generate_stdout.txt generate_stdout.txt
+
+run generate_snap_stdout.txt "$GENERATE" restaurant rest2 --save-snapshot rest.snap
+check generate_snap_stdout.txt generate_snap_stdout.txt
+check rest_gold.tsv rest_gold.tsv
+
+# --- stats ----------------------------------------------------------------
+run stats_stdout.txt "$ALIGN" rest_left.nt rest_right.nt --stats
+check stats_stdout.txt stats_stdout.txt
+
+# --- full run with output files -------------------------------------------
+run align_stdout_raw.txt "$ALIGN" rest_left.nt rest_right.nt --output run
+mask < align_stdout_raw.txt > align_stdout.txt
+check align_stdout.txt align_stdout.txt
+check run_instances.tsv run_instances.tsv
+check run_relations.tsv run_relations.tsv
+check run_classes.tsv run_classes.tsv
+
+# --- default run: instance alignment on stdout ----------------------------
+run default_stdout_raw.txt "$ALIGN" rest_left.nt rest_right.nt
+mask < default_stdout_raw.txt > default_stdout.txt
+check default_stdout.txt default_stdout.txt
+
+# --- snapshot round trip --------------------------------------------------
+run snap_stdout_raw.txt "$ALIGN" --load-snapshot rest.snap --output snaprun
+mask < snap_stdout_raw.txt > snap_stdout.txt
+check snap_stdout.txt snap_stdout.txt
+check run_instances.tsv snaprun_instances.tsv
+check run_relations.tsv snaprun_relations.tsv
+check run_classes.tsv snaprun_classes.tsv
+
+# --- save-result / resume-from round trip ---------------------------------
+run save_stdout_raw.txt "$ALIGN" rest_left.nt rest_right.nt --max-iterations 2 --save-result k2.result
+mask < save_stdout_raw.txt > save_stdout.txt
+check save_stdout.txt save_stdout.txt
+
+run resume_stdout_raw.txt "$ALIGN" rest_left.nt rest_right.nt --resume-from k2.result --output resumed
+mask < resume_stdout_raw.txt > resume_stdout.txt
+check resume_stdout.txt resume_stdout.txt
+check run_instances.tsv resumed_instances.tsv
+check run_relations.tsv resumed_relations.tsv
+check run_classes.tsv resumed_classes.tsv
+
+if [ "$UPDATE" = "--update" ]; then
+  echo "goldens updated in $GOLDEN"
+  exit 0
+fi
+if [ "$failures" -ne 0 ]; then
+  echo "$failures golden comparison(s) failed" >&2
+  exit 1
+fi
+echo "all golden comparisons passed"

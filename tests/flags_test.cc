@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/flags.h"
+#include "util/status.h"
+
+namespace paris {
+namespace {
+
+using util::FlagParser;
+using util::StatusCode;
+
+// Builds an argv the parser can consume; `args` excludes the program name.
+class Argv {
+ public:
+  explicit Argv(std::vector<std::string> args) : strings_(std::move(args)) {
+    pointers_.push_back(const_cast<char*>("test_program"));
+    for (const auto& s : strings_) {
+      pointers_.push_back(const_cast<char*>(s.c_str()));
+    }
+  }
+  int argc() const { return static_cast<int>(pointers_.size()); }
+  char* const* argv() const { return pointers_.data(); }
+
+ private:
+  std::vector<std::string> strings_;
+  std::vector<char*> pointers_;
+};
+
+struct TestFlags {
+  std::string output;
+  int iterations = 10;
+  double theta = 0.1;
+  size_t threads = 0;
+  bool verbose = false;
+  std::string mode = "auto";
+
+  FlagParser MakeParser() {
+    FlagParser parser("test_program", "INPUT");
+    parser.AddString("--output", &output, "output prefix", "PREFIX");
+    parser.AddInt("--iterations", &iterations, "iteration cap");
+    parser.AddDouble("--theta", &theta, "bootstrap probability");
+    parser.AddSizeT("--threads", &threads, "worker threads");
+    parser.AddBool("--verbose", &verbose, "chatty output");
+    parser.AddChoice("--mode", &mode, {"auto", "mmap", "stream"},
+                     "load mode");
+    return parser;
+  }
+};
+
+TEST(FlagParserTest, ParsesTypedFlagsAndPositionals) {
+  TestFlags flags;
+  FlagParser parser = flags.MakeParser();
+  Argv argv({"input.nt", "--output", "out", "--iterations", "3", "--theta",
+             "0.25", "--threads=4", "--verbose", "--mode", "mmap", "extra"});
+  std::vector<std::string> positional;
+  ASSERT_TRUE(parser.Parse(argv.argc(), argv.argv(), &positional).ok());
+  EXPECT_EQ(flags.output, "out");
+  EXPECT_EQ(flags.iterations, 3);
+  EXPECT_DOUBLE_EQ(flags.theta, 0.25);
+  EXPECT_EQ(flags.threads, 4u);
+  EXPECT_TRUE(flags.verbose);
+  EXPECT_EQ(flags.mode, "mmap");
+  EXPECT_EQ(positional, (std::vector<std::string>{"input.nt", "extra"}));
+}
+
+TEST(FlagParserTest, DefaultsSurviveWhenUnset) {
+  TestFlags flags;
+  FlagParser parser = flags.MakeParser();
+  Argv argv({"input.nt"});
+  std::vector<std::string> positional;
+  ASSERT_TRUE(parser.Parse(argv.argc(), argv.argv(), &positional).ok());
+  EXPECT_EQ(flags.iterations, 10);
+  EXPECT_DOUBLE_EQ(flags.theta, 0.1);
+  EXPECT_FALSE(flags.verbose);
+  EXPECT_EQ(flags.mode, "auto");
+}
+
+TEST(FlagParserTest, UnknownFlagNamesTheFlag) {
+  TestFlags flags;
+  FlagParser parser = flags.MakeParser();
+  Argv argv({"--nope", "x"});
+  std::vector<std::string> positional;
+  auto status = parser.Parse(argv.argc(), argv.argv(), &positional);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("--nope"), std::string::npos);
+}
+
+TEST(FlagParserTest, MissingValueNamesTheFlag) {
+  TestFlags flags;
+  FlagParser parser = flags.MakeParser();
+  Argv argv({"--output"});
+  std::vector<std::string> positional;
+  auto status = parser.Parse(argv.argc(), argv.argv(), &positional);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("--output"), std::string::npos);
+}
+
+TEST(FlagParserTest, MalformedNumbersAreRejected) {
+  for (const auto& args : std::vector<std::vector<std::string>>{
+           {"--iterations", "3abc"},
+           {"--iterations", ""},
+           {"--theta", "fast"},
+           {"--threads", "-2"}}) {
+    TestFlags flags;
+    FlagParser parser = flags.MakeParser();
+    Argv argv(args);
+    std::vector<std::string> positional;
+    auto status = parser.Parse(argv.argc(), argv.argv(), &positional);
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument) << args[1];
+    EXPECT_NE(status.message().find(args[0]), std::string::npos) << args[1];
+  }
+}
+
+TEST(FlagParserTest, ChoiceRejectsUnknownValueListingChoices) {
+  TestFlags flags;
+  FlagParser parser = flags.MakeParser();
+  Argv argv({"--mode", "turbo"});
+  std::vector<std::string> positional;
+  auto status = parser.Parse(argv.argc(), argv.argv(), &positional);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("turbo"), std::string::npos);
+  EXPECT_NE(status.message().find("auto|mmap|stream"), std::string::npos);
+}
+
+TEST(FlagParserTest, BoolFlagRejectsInlineValue) {
+  TestFlags flags;
+  FlagParser parser = flags.MakeParser();
+  Argv argv({"--verbose=1"});
+  std::vector<std::string> positional;
+  EXPECT_EQ(parser.Parse(argv.argc(), argv.argv(), &positional).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FlagParserTest, HelpStopsParsingAndRendersEveryFlag) {
+  TestFlags flags;
+  FlagParser parser = flags.MakeParser();
+  Argv argv({"--help", "--nope"});
+  std::vector<std::string> positional;
+  ASSERT_TRUE(parser.Parse(argv.argc(), argv.argv(), &positional).ok());
+  EXPECT_TRUE(parser.help_requested());
+
+  const std::string help = parser.Help();
+  EXPECT_NE(help.find("usage: test_program INPUT [options]"),
+            std::string::npos);
+  for (const char* name : {"--output", "--iterations", "--theta", "--threads",
+                           "--verbose", "--mode", "--help"}) {
+    EXPECT_NE(help.find(name), std::string::npos) << name;
+  }
+  EXPECT_NE(help.find("auto|mmap|stream"), std::string::npos);
+}
+
+TEST(FlagParserTest, HelpWithNoRegisteredFlags) {
+  // A positional-only tool still gets a sane --help block.
+  FlagParser parser("bare_tool", "INPUT");
+  Argv argv({"--help"});
+  std::vector<std::string> positional;
+  ASSERT_TRUE(parser.Parse(argv.argc(), argv.argv(), &positional).ok());
+  EXPECT_TRUE(parser.help_requested());
+  const std::string help = parser.Help();
+  EXPECT_NE(help.find("usage: bare_tool INPUT"), std::string::npos);
+  EXPECT_NE(help.find("--help"), std::string::npos);
+}
+
+TEST(FlagParserTest, StrictNumericHelpers) {
+  long long i = 0;
+  EXPECT_TRUE(util::ParseFullInt64("42", &i));
+  EXPECT_EQ(i, 42);
+  EXPECT_FALSE(util::ParseFullInt64("42x", &i));
+  EXPECT_FALSE(util::ParseFullInt64("", &i));
+  double d = 0.0;
+  EXPECT_TRUE(util::ParseFullDouble("0.5", &d));
+  EXPECT_DOUBLE_EQ(d, 0.5);
+  EXPECT_FALSE(util::ParseFullDouble("0.5s", &d));
+}
+
+}  // namespace
+}  // namespace paris
