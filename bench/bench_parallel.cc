@@ -1,10 +1,13 @@
 // Parallel-phase benchmark: machine-readable JSON wall-times for every phase
 // of a paris_align run — parse (store ingest), index finalize, the
-// relation-score pass, the instance pass, the class pass, snapshot loading
-// (streamed vs mmap), and a cold run vs a run resumed from a result
-// snapshot — at 1, 2, and 8 worker threads. Gives future PRs a perf
-// trajectory; the committed baseline lives in BENCH_parallel.json, which the
-// CI bench job compares fresh runs against (same hardware_threads only).
+// relation-score pass, the instance pass, the class pass (each additionally
+// split into its sharded parallel section vs its serial Prepare+Merge
+// bookends), snapshot loading (streamed vs mmap), and a cold run vs a run
+// resumed from a result snapshot — at 1, 2, and 8 worker threads. Gives
+// future PRs a perf trajectory; the committed baselines live in
+// BENCH_parallel.json (one entry per hardware_threads value), which the CI
+// bench job compares fresh runs against (matching hardware_threads only;
+// see scripts/check_bench_regression.py --add-baseline).
 //
 //   bench_parallel [OUTPUT.json]    (default: stdout)
 #include <cstdio>
@@ -148,6 +151,14 @@ int Main(int argc, char** argv) {
     phases.push_back({"instance_pass", threads, instance_seconds});
     phases.push_back({"relation_pass", threads, relation_seconds});
     phases.push_back({"class_pass", threads, result.seconds_classes});
+    // Pipeline phase split per pass: the sharded (parallel) section vs the
+    // serial Prepare+Merge bookends — the pipeline's Amdahl fraction.
+    for (const auto& timings : result.pass_timings) {
+      phases.push_back(
+          {timings.pass + "_pass_shards", threads, timings.shard_seconds});
+      phases.push_back({timings.pass + "_pass_serial", threads,
+                        timings.prepare_seconds + timings.merge_seconds});
+    }
   }
 
   // --- Cold run vs resume from a result snapshot ---------------------------

@@ -1,22 +1,41 @@
 #!/usr/bin/env python3
 """Gate CI on bench_parallel wall-time regressions.
 
-Compares a fresh bench_parallel JSON against the committed baseline
+Compares a fresh bench_parallel JSON against the committed baseline file
 (BENCH_parallel.json) phase by phase and fails when any phase regressed by
 more than --max-regression (default 25%).
 
-Wall times are only comparable on like hardware, so when the current run's
-hardware_threads differs from the baseline's recorded value the comparison
-is skipped (exit 0) — the baseline was recorded on a different machine
-shape and a "regression" would be noise. Phases below --min-seconds in the
-baseline are skipped too: at sub-hundredth-of-a-second scale, scheduler
-jitter dwarfs any real change. Phases present only in the current run (new
-benchmarks without a baseline yet) are reported but never fail.
+Wall times are only comparable on like hardware, so the baseline file holds
+one baseline *per machine shape*:
+
+    {"bench": "bench_parallel",
+     "baselines": [ {<run with "hardware_threads": 1>},
+                    {<run with "hardware_threads": 4>}, ... ]}
+
+The gate compares the current run against the baseline whose
+hardware_threads matches the current machine; when none matches, the
+comparison is skipped (exit 0) with instructions for arming the gate on
+that shape — run with --add-baseline to merge the fresh run into the file
+and commit it. A legacy single-run baseline file (the run object at the top
+level) is still accepted.
+
+Phases below --min-seconds in the matching baseline are skipped: at
+sub-hundredth-of-a-second scale, scheduler jitter dwarfs any real change.
+Phases present only in the current run (new benchmarks without a baseline
+yet) are reported but never fail.
 """
 
 import argparse
 import json
 import sys
+
+
+def load_baselines(doc):
+    """Returns the list of per-shape baseline runs in `doc`."""
+    if "baselines" in doc:
+        return doc["baselines"]
+    # Legacy format: the whole document is one run.
+    return [doc]
 
 
 def main() -> int:
@@ -35,23 +54,55 @@ def main() -> int:
         default=0.02,
         help="skip phases whose baseline is below this (noise floor)",
     )
+    parser.add_argument(
+        "--add-baseline",
+        action="store_true",
+        help="instead of comparing, merge the current run into the baseline "
+        "file as the entry for its hardware_threads value (replacing any "
+        "existing entry for that shape) and exit",
+    )
     args = parser.parse_args()
 
     with open(args.baseline) as f:
-        baseline = json.load(f)
+        baseline_doc = json.load(f)
     with open(args.current) as f:
         current = json.load(f)
 
-    base_threads = baseline.get("hardware_threads")
     cur_threads = current.get("hardware_threads")
-    if base_threads != cur_threads:
+    baselines = load_baselines(baseline_doc)
+
+    if args.add_baseline:
+        kept = [b for b in baselines if b.get("hardware_threads") != cur_threads]
+        kept.append(current)
+        kept.sort(key=lambda b: b.get("hardware_threads") or 0)
+        merged = {"bench": "bench_parallel", "baselines": kept}
+        with open(args.baseline, "w") as f:
+            json.dump(merged, f, indent=2)
+            f.write("\n")
         print(
-            f"SKIP: baseline recorded on {base_threads} hardware threads, "
-            f"this machine has {cur_threads}; wall times are not comparable.\n"
-            f"To arm the gate on this machine shape, commit this run's JSON "
-            f"(uploaded as the bench artifact / commit comment) as {args.baseline}."
+            f"OK: recorded baseline for hardware_threads={cur_threads} in "
+            f"{args.baseline} ({len(kept)} shape(s) total); commit the file "
+            f"to arm the gate on this machine shape."
         )
         return 0
+
+    matching = [b for b in baselines if b.get("hardware_threads") == cur_threads]
+    if not matching:
+        shapes = sorted(
+            b.get("hardware_threads") for b in baselines
+        )
+        print(
+            f"SKIP: no baseline for this machine shape (hardware_threads="
+            f"{cur_threads}; baselines exist for {shapes}); wall times are "
+            f"not comparable across shapes.\n"
+            f"To arm the gate here, run:\n"
+            f"    python3 scripts/check_bench_regression.py {args.baseline} "
+            f"<fresh run JSON> --add-baseline\n"
+            f"and commit the updated {args.baseline} (the bench artifact / "
+            f"commit comment JSON is exactly that fresh run)."
+        )
+        return 0
+    baseline = matching[0]
 
     base = {(p["phase"], p["threads"]): p["seconds"] for p in baseline["phases"]}
     current_keys = {(p["phase"], p["threads"]) for p in current["phases"]}
@@ -87,7 +138,8 @@ def main() -> int:
     if failures:
         print(
             f"\nFAIL: {len(failures)} phase(s) regressed more than "
-            f"{args.max_regression:.0%} vs {args.baseline}:"
+            f"{args.max_regression:.0%} vs {args.baseline} "
+            f"(hardware_threads={cur_threads}):"
         )
         for (phase, threads), was, now, ratio in failures:
             print(f"  {phase} (threads={threads}): {was:.4f}s -> {now:.4f}s ({ratio:.2f}x)")

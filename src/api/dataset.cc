@@ -2,16 +2,23 @@
 
 #include <fstream>
 #include <map>
+#include <memory>
 
 #include "ontology/export.h"
 #include "ontology/snapshot.h"
 #include "synth/profiles.h"
+#include "util/thread_pool.h"
 
 namespace paris::api {
 
 util::StatusOr<DatasetSummary> GenerateDataset(const DatasetSpec& spec) {
   synth::ProfileOptions options;
   options.scale = spec.scale;
+  std::unique_ptr<util::ThreadPool> workers;
+  if (spec.num_threads > 0) {
+    workers = std::make_unique<util::ThreadPool>(spec.num_threads);
+    options.pool = workers.get();
+  }
 
   util::StatusOr<synth::OntologyPair> pair =
       util::InvalidArgumentError("unknown profile: " + spec.profile +

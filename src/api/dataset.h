@@ -24,6 +24,9 @@ struct DatasetSpec {
   // When non-empty, also writes a binary snapshot of the generated pair,
   // loadable via `Session::LoadFromSnapshot`.
   std::string save_snapshot;
+  // Worker threads for index finalization of the generated pair; 0 = build
+  // serially. The generated files are byte-identical either way.
+  size_t num_threads = 0;
 };
 
 // What GenerateDataset wrote, for reporting.

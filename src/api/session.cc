@@ -1,5 +1,6 @@
 #include "api/session.h"
 
+#include <atomic>
 #include <cstdio>
 #include <ostream>
 #include <utility>
@@ -140,7 +141,10 @@ util::Status Session::RunAligner(const RunCallbacks& callbacks,
   aligner.set_literal_matcher_factory(std::move(factory).value());
   aligner.set_thread_pool(workers());
 
-  bool cancelled = false;
+  // Written from the run thread (iteration observer) and from pool workers
+  // (shard observer); the runs never overlap, but the atomic keeps the
+  // flag race-free without leaning on the pool's synchronization.
+  std::atomic<bool> cancelled{false};
   aligner.set_iteration_observer(
       [&callbacks, &cancelled, this](const core::IterationRecord& record) {
         if (callbacks.on_iteration) {
@@ -154,11 +158,34 @@ util::Status Session::RunAligner(const RunCallbacks& callbacks,
           callbacks.on_iteration(progress);
         }
         if (callbacks.cancellation && callbacks.cancellation->cancelled()) {
-          cancelled = true;
+          cancelled.store(true, std::memory_order_relaxed);
           return false;
         }
         return true;
       });
+  // Shard-granular progress + cancellation: polled after every completed
+  // shard, so a cancel takes effect mid-pass instead of waiting out the
+  // instance pass (minutes at YAGO scale). The aligner checkpoints the
+  // completed shards; Resume picks them up.
+  if (callbacks.on_shard || callbacks.cancellation) {
+    aligner.set_shard_observer(
+        [&callbacks, &cancelled](const core::ShardProgress& shard) {
+          if (callbacks.on_shard) {
+            ShardProgress progress;
+            progress.pass = shard.pass;
+            progress.iteration = shard.iteration;
+            progress.shard = shard.shard;
+            progress.num_shards = shard.num_shards;
+            progress.num_completed = shard.num_completed;
+            callbacks.on_shard(progress);
+          }
+          if (callbacks.cancellation && callbacks.cancellation->cancelled()) {
+            cancelled.store(true, std::memory_order_relaxed);
+            return false;
+          }
+          return true;
+        });
+  }
 
   size_t resumed = 0;
   if (resume_path.empty()) {
@@ -181,11 +208,21 @@ util::Status Session::RunAligner(const RunCallbacks& callbacks,
       result_->converged_at > 0 ||
       result_->iterations.size() >=
           static_cast<size_t>(resolved_config_.max_iterations);
-  cancelled_ = cancelled && !finished_naturally;
+  cancelled_ = cancelled.load(std::memory_order_relaxed) && !finished_naturally;
   if (cancelled_) {
+    std::string detail;
+    if (result_->partial.has_value()) {
+      detail = " (iteration " + std::to_string(result_->partial->iteration) +
+               " checkpointed after " +
+               std::to_string(result_->partial->shards.size()) + " of " +
+               std::to_string(result_->partial->num_shards) + " " +
+               (result_->partial->pass == core::kInstancePass ? "instance"
+                                                              : "relation") +
+               "-pass shards)";
+    }
     return util::CancelledError(
         "alignment cancelled after iteration " +
-        std::to_string(result_->iterations.size()) +
+        std::to_string(result_->iterations.size()) + detail +
         "; the partial result is retained and can be saved with SaveResult");
   }
   return util::OkStatus();

@@ -24,8 +24,11 @@ namespace paris::api {
 using SnapshotLoadMode = ontology::SnapshotLoadMode;
 
 // Cooperative cancellation for `Session::Align` / `Session::Resume`. Safe
-// to `Cancel()` from any thread; the run checks it at iteration boundaries
-// and stops with a consistent, resumable partial result.
+// to `Cancel()` from any thread; the run checks it at *shard* granularity
+// (after every completed shard of the instance/relation passes, typically
+// 1/64th of a pass) and stops with a consistent, resumable partial result:
+// a cancel that lands mid-iteration checkpoints the completed shards, and
+// `Resume` continues byte-identically to the uninterrupted run.
 class CancellationToken {
  public:
   void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
@@ -46,10 +49,26 @@ struct IterationProgress {
   double seconds = 0.0;    // instance + relation pass wall time
 };
 
-// Hooks into a run. Both members are optional; the progress callback is
-// invoked on the thread driving the run, after each completed iteration.
+// Scalar progress report for one completed pipeline shard (a fixed
+// fraction of one pass — see src/core/README.md for the pass pipeline).
+struct ShardProgress {
+  const char* pass = "";     // "instance" | "relation" | "class"
+  int iteration = 0;         // 1-based; for the final class pass, the last
+                             // completed iteration
+  size_t shard = 0;          // shard that just completed
+  size_t num_shards = 0;     // shards in this pass
+  size_t num_completed = 0;  // completed so far this pass
+};
+
+// Hooks into a run. All members are optional. `on_iteration` is invoked on
+// the thread driving the run, after each completed iteration. `on_shard`
+// is invoked after every completed shard of every pass — serialized, but
+// possibly on a worker thread, so it must be cheap and thread-safe (a
+// progress bar update, an atomic counter). The cancellation token is
+// polled after every shard.
 struct RunCallbacks {
   std::function<void(const IterationProgress&)> on_iteration;
+  std::function<void(const ShardProgress&)> on_shard;
   std::shared_ptr<CancellationToken> cancellation;
 };
 
@@ -159,10 +178,13 @@ class Session {
   // ---- Run ---------------------------------------------------------------
 
   // Runs the fixpoint to convergence (or the iteration cap). On
-  // cancellation returns kCancelled but keeps the partial result — it can
-  // still be saved with SaveResult and continued later via Resume.
-  // FailedPrecondition when nothing is loaded or the session already has a
-  // result (one Session = one run).
+  // cancellation — honored at shard granularity, so even a cancel landing
+  // deep inside the instance pass takes effect promptly — returns
+  // kCancelled but keeps the partial result: it can still be saved with
+  // SaveResult (a mid-iteration cancel records its completed shards in the
+  // snapshot) and continued later via Resume, byte-identically to an
+  // uninterrupted run. FailedPrecondition when nothing is loaded or the
+  // session already has a result (one Session = one run).
   util::Status Align(const RunCallbacks& callbacks = {});
 
   // Continues a previous run from its result snapshot (`SaveResult`'s

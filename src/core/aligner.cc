@@ -42,6 +42,52 @@ RelationScores NamePriorBootstrap(const ontology::Ontology& left,
   return scores;
 }
 
+// Feeds a checkpoint's cached shards back into `pass` ahead of the shard
+// loop. Returns the completed-flags vector for the scheduler — empty when
+// nothing is usable (wrong pass, a different shard layout, or every payload
+// failing validation), in which case the pass simply recomputes everything;
+// the final tables are byte-identical either way.
+std::vector<uint8_t> AdoptShards(Pass& pass,
+                                 const PartialIterationState* partial,
+                                 int pass_index, size_t num_shards,
+                                 IterationContext& ctx) {
+  std::vector<uint8_t> done;
+  if (partial == nullptr || partial->pass != pass_index ||
+      partial->num_shards != num_shards ||
+      partial->payloads.size() != partial->shards.size()) {
+    return done;
+  }
+  done.assign(num_shards, 0);
+  bool any = false;
+  for (size_t i = 0; i < partial->shards.size(); ++i) {
+    const uint32_t shard = partial->shards[i];
+    if (shard >= num_shards || done[shard]) continue;
+    if (pass.LoadShard(shard, partial->payloads[i], ctx)) {
+      done[shard] = 1;
+      any = true;
+    }
+  }
+  if (!any) done.clear();
+  return done;
+}
+
+// Serializes the completed shards of an interrupted pass into a checkpoint.
+PartialIterationState CapturePartial(const Pass& pass, int pass_index,
+                                     int iteration, size_t num_shards,
+                                     const ShardRunOutcome& outcome) {
+  PartialIterationState partial;
+  partial.iteration = iteration;
+  partial.pass = pass_index;
+  partial.num_shards = static_cast<uint32_t>(num_shards);
+  for (size_t shard = 0; shard < num_shards; ++shard) {
+    if (!outcome.completed[shard]) continue;
+    partial.shards.push_back(static_cast<uint32_t>(shard));
+    partial.payloads.emplace_back();
+    pass.SaveShard(shard, &partial.payloads.back());
+  }
+  return partial;
+}
+
 }  // namespace
 
 Aligner::Aligner(const ontology::Ontology& left,
@@ -76,10 +122,44 @@ AlignmentResult Aligner::RunInternal(AlignmentResult* checkpoint) {
     pool = owned_pool.get();
   }
 
+  // The pipeline: one context carrying the per-iteration state and the
+  // per-worker scratch, three passes scheduled over fixed shards.
+  const size_t worker_slots =
+      pool != nullptr && pool->num_threads() > 0 ? pool->num_threads() : 1;
+  IterationContext ctx(worker_slots);
+  ctx.left = &left_;
+  ctx.right = &right_;
+  ctx.config = &config_;
+  ctx.matcher_l2r = matcher_l2r.get();
+  ctx.matcher_r2l = matcher_r2l.get();
+
+  InstancePass instance_pass;
+  RelationPass relation_pass;
+  ClassPass class_pass;
+  result.pass_timings = {PassTimings{"instance"}, PassTimings{"relation"},
+                         PassTimings{"class"}};
+  PassTimings& instance_times = result.pass_timings[kInstancePass];
+  PassTimings& relation_times = result.pass_timings[kRelationPass];
+  PassTimings& class_times = result.pass_timings[kClassPass];
+
+  // The shard gate for the cancellable passes; the class pass reports
+  // progress through the observer but ignores its verdict (it always
+  // completes, keeping the result consistent).
+  std::function<bool(const ShardProgress&)> cancellable_gate;
+  std::function<bool(const ShardProgress&)> reporting_gate;
+  if (shard_observer_) {
+    cancellable_gate = shard_observer_;
+    reporting_gate = [this](const ShardProgress& progress) {
+      shard_observer_(progress);
+      return true;
+    };
+  }
+
   InstanceEquivalences previous;  // empty: first iteration has no equalities
   RelationScores rel_scores;
   int start_iteration = 1;
   bool finished = false;  // checkpoint already converged / exhausted the cap
+  std::optional<PartialIterationState> resume_partial;
   if (checkpoint != nullptr) {
     // Adopt the checkpoint's state exactly as iteration k left it; the loop
     // below continues at k+1 as if it had never stopped.
@@ -89,6 +169,10 @@ AlignmentResult Aligner::RunInternal(AlignmentResult* checkpoint) {
     result.converged_at = checkpoint->converged_at;
     previous = std::move(checkpoint->instances);
     rel_scores = std::move(checkpoint->relations);
+    if (checkpoint->partial.has_value() && !finished &&
+        checkpoint->partial->iteration == start_iteration) {
+      resume_partial = std::move(checkpoint->partial);
+    }
   } else {
     previous.Finalize();
     rel_scores = config_.use_relation_name_prior
@@ -96,52 +180,100 @@ AlignmentResult Aligner::RunInternal(AlignmentResult* checkpoint) {
                      : RelationScores::Bootstrap(config_.theta);
   }
 
-  auto make_context = [&](bool left_to_right,
-                          const InstanceEquivalences* equiv) {
-    DirectionalContext ctx;
-    ctx.source = left_to_right ? &left_ : &right_;
-    ctx.target = left_to_right ? &right_ : &left_;
-    ctx.matcher = left_to_right ? matcher_l2r.get() : matcher_r2l.get();
-    ctx.equiv = equiv;
-    ctx.source_is_left = left_to_right;
-    ctx.use_full = config_.use_full_equalities;
-    return ctx;
-  };
-
   for (int iteration = start_iteration;
        !finished && iteration <= config_.max_iterations; ++iteration) {
     IterationRecord record;
     record.index = iteration;
+    ctx.iteration = iteration;
+    ctx.previous = &previous;
+    ctx.rel_scores = &rel_scores;
+    PartialIterationState* adopt =
+        resume_partial.has_value() && resume_partial->iteration == iteration
+            ? &*resume_partial
+            : nullptr;
 
-    // Step 1: instance equivalences from the previous iteration's state.
+    // Step 1: instance pass from the previous iteration's state. A resumed
+    // iteration that was cancelled during its *relation* pass already has
+    // the instance pass's (blended) output — adopt it outright.
     util::WallTimer timer;
-    DirectionalContext l2r_prev = make_context(true, &previous);
-    InstanceEquivalences current = ComputeInstanceEquivalences(
-        left_, right_, rel_scores, l2r_prev, config_, pool);
-    if (config_.dampening > 0.0 && iteration > 1) {
-      // Progressively increasing dampening factor (§5.1's convergence
-      // device): λ grows toward `dampening` as iterations accumulate.
-      const double lambda =
-          config_.dampening * (1.0 - 1.0 / static_cast<double>(iteration));
-      current = BlendEquivalences(previous, current, lambda,
-                                  config_.instance_threshold,
-                                  config_.max_candidates_per_instance);
+    util::WallTimer phase_timer;
+    if (adopt != nullptr && adopt->pass == kRelationPass) {
+      ctx.current = std::move(adopt->instances);
+    } else {
+      const size_t num_shards = instance_pass.Prepare(ctx);
+      const std::vector<uint8_t> cached =
+          AdoptShards(instance_pass, adopt, kInstancePass, num_shards, ctx);
+      instance_times.prepare_seconds += phase_timer.ElapsedSeconds();
+      phase_timer.Restart();
+      const ShardRunOutcome outcome =
+          RunPassShards(instance_pass, num_shards, ctx, pool,
+                        cancellable_gate, cached.empty() ? nullptr : &cached);
+      instance_times.shard_seconds += phase_timer.ElapsedSeconds();
+      instance_times.shards_run += outcome.num_completed;
+      if (!outcome.all_completed()) {
+        // Mid-pass cancel: checkpoint the completed shards and wrap up from
+        // the last completed iteration.
+        result.partial.emplace(CapturePartial(instance_pass, kInstancePass,
+                                              iteration, num_shards, outcome));
+        break;
+      }
+      phase_timer.Restart();
+      instance_pass.Merge(ctx);
+      if (config_.dampening > 0.0 && iteration > 1) {
+        // Progressively increasing dampening factor (§5.1's convergence
+        // device): λ grows toward `dampening` as iterations accumulate.
+        const double lambda =
+            config_.dampening * (1.0 - 1.0 / static_cast<double>(iteration));
+        ctx.current =
+            BlendEquivalences(previous, ctx.current, lambda,
+                              config_.instance_threshold,
+                              config_.max_candidates_per_instance);
+      }
+      instance_times.merge_seconds += phase_timer.ElapsedSeconds();
+      if (outcome.stopped) {
+        // The cancel landed on the pass's final shard: the instance pass is
+        // complete, so checkpoint its merged output and resume straight
+        // into the relation pass.
+        result.partial.emplace();
+        result.partial->iteration = iteration;
+        result.partial->pass = kRelationPass;
+        result.partial->instances = std::move(ctx.current);
+        break;
+      }
     }
     record.seconds_instances = timer.ElapsedSeconds();
-    record.num_left_aligned = current.num_left_aligned();
-    record.change_fraction = current.MaxAssignmentChangeFraction(previous);
+    record.num_left_aligned = ctx.current.num_left_aligned();
+    record.change_fraction = ctx.current.MaxAssignmentChangeFraction(previous);
 
-    // Step 2: sub-relation scores from the fresh equivalences.
+    // Step 2: relation pass from the fresh equivalences.
     timer.Restart();
-    DirectionalContext l2r_cur = make_context(true, &current);
-    DirectionalContext r2l_cur = make_context(false, &current);
-    rel_scores = ComputeRelationScores(left_, right_, l2r_cur, r2l_cur,
-                                       config_, pool);
+    phase_timer.Restart();
+    const size_t num_shards = relation_pass.Prepare(ctx);
+    const std::vector<uint8_t> cached =
+        AdoptShards(relation_pass, adopt, kRelationPass, num_shards, ctx);
+    relation_times.prepare_seconds += phase_timer.ElapsedSeconds();
+    phase_timer.Restart();
+    const ShardRunOutcome outcome =
+        RunPassShards(relation_pass, num_shards, ctx, pool, cancellable_gate,
+                      cached.empty() ? nullptr : &cached);
+    relation_times.shard_seconds += phase_timer.ElapsedSeconds();
+    relation_times.shards_run += outcome.num_completed;
+    if (!outcome.all_completed()) {
+      result.partial.emplace(CapturePartial(relation_pass, kRelationPass,
+                                            iteration, num_shards, outcome));
+      result.partial->instances = std::move(ctx.current);
+      break;
+    }
+    phase_timer.Restart();
+    relation_pass.Merge(ctx);
+    relation_times.merge_seconds += phase_timer.ElapsedSeconds();
+    rel_scores = std::move(ctx.fresh_scores);
     record.seconds_relations = timer.ElapsedSeconds();
+    resume_partial.reset();  // fully consumed once its iteration completes
 
     if (config_.record_history) {
-      record.max_left = current.max_left();
-      record.max_right = current.max_right();
+      record.max_left = ctx.current.max_left();
+      record.max_right = ctx.current.max_right();
       record.relations = rel_scores;
     }
     PARIS_LOG(kInfo) << "iteration " << iteration << ": aligned "
@@ -157,23 +289,37 @@ AlignmentResult Aligner::RunInternal(AlignmentResult* checkpoint) {
         iteration > 1 &&
         result.iterations.back().change_fraction <
             config_.convergence_threshold;
-    previous = std::move(current);
+    previous = std::move(ctx.current);
     if (converged) {
       result.converged_at = iteration;
       break;
     }
-    // Cooperative stop: the observer declined to continue. Falls through to
+    // Cooperative stop at the iteration boundary: the iteration observer
+    // declined to continue, or a shard-level cancel landed on the relation
+    // pass's final shard (the iteration still completed). Falls through to
     // the class pass so the partial result stays consistent and resumable.
-    if (!keep_going) break;
+    if (!keep_going || outcome.stopped) break;
   }
 
-  // Final step: class alignment from the converged assignment (§4.3 —
-  // computed only after the instance equivalences).
+  // Final step: class pass from the last completed assignment (§4.3 —
+  // computed only after the instance equivalences). Runs even after a
+  // mid-iteration cancel: the interrupted iteration lives in
+  // `result.partial`, while the tables below all reflect `previous`.
   util::WallTimer class_timer;
-  DirectionalContext l2r_final = make_context(true, &previous);
-  DirectionalContext r2l_final = make_context(false, &previous);
-  result.classes = ComputeClassScores(left_, right_, l2r_final, r2l_final,
-                                      config_, pool);
+  ctx.iteration = static_cast<int>(result.iterations.size());
+  ctx.previous = &previous;
+  util::WallTimer phase_timer;
+  const size_t class_shards = class_pass.Prepare(ctx);
+  class_times.prepare_seconds += phase_timer.ElapsedSeconds();
+  phase_timer.Restart();
+  const ShardRunOutcome class_outcome =
+      RunPassShards(class_pass, class_shards, ctx, pool, reporting_gate);
+  class_times.shard_seconds += phase_timer.ElapsedSeconds();
+  class_times.shards_run += class_outcome.num_completed;
+  phase_timer.Restart();
+  class_pass.Merge(ctx);
+  class_times.merge_seconds += phase_timer.ElapsedSeconds();
+  result.classes = std::move(ctx.classes);
   result.seconds_classes = class_timer.ElapsedSeconds();
 
   result.instances = std::move(previous);

@@ -3,6 +3,8 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "core/class_align.h"
@@ -10,6 +12,7 @@
 #include "core/equiv.h"
 #include "core/instance_align.h"
 #include "core/literal_match.h"
+#include "core/pass.h"
 #include "core/relation_align.h"
 #include "core/relation_scores.h"
 #include "ontology/ontology.h"
@@ -33,6 +36,45 @@ struct IterationRecord {
   RelationScores relations;
 };
 
+// A mid-iteration cancellation checkpoint: the work of the interrupted
+// iteration that is already done and need not be recomputed on resume. The
+// surrounding AlignmentResult stays consistent — its tables reflect the
+// last *completed* iteration; this carries the partial one on the side.
+//
+//  * pass == kInstancePass: `shards`/`payloads` hold the completed instance
+//    shards (opaque `InstancePass::SaveShard` payloads).
+//  * pass == kRelationPass: the instance pass of the iteration finished —
+//    `instances` is its (blended) output — and `shards`/`payloads` hold the
+//    completed relation shards.
+//
+// Resume re-runs the interrupted iteration, feeding the cached shards back
+// through `Pass::LoadShard` and computing only the rest; because shard
+// outputs are deterministic functions of the previous iteration's state,
+// the final tables are byte-identical to an uninterrupted run even when the
+// cache is unusable (different `num_shards`, or a payload that fails
+// validation — both simply recompute).
+struct PartialIterationState {
+  int iteration = 0;  // 1-based, the iteration that was interrupted
+  int pass = kInstancePass;           // kInstancePass or kRelationPass
+  uint32_t num_shards = 0;            // the pass's shard count when saved
+  std::vector<uint32_t> shards;       // completed shard ids, ascending
+  std::vector<std::string> payloads;  // parallel to `shards`
+  InstanceEquivalences instances;     // set when pass == kRelationPass
+};
+
+// Wall time spent in one pipeline pass, split by phase and accumulated over
+// the run: `shard_seconds` is the parallel section, `prepare_seconds` +
+// `merge_seconds` the serial rest (the bench harness reports these so the
+// pipeline's parallel fraction stays visible). Not serialized in result
+// snapshots.
+struct PassTimings {
+  std::string pass;
+  double prepare_seconds = 0.0;
+  double shard_seconds = 0.0;
+  double merge_seconds = 0.0;
+  size_t shards_run = 0;
+};
+
 // The complete output of a PARIS run.
 struct AlignmentResult {
   InstanceEquivalences instances;  // final equivalence store
@@ -44,16 +86,24 @@ struct AlignmentResult {
   int converged_at = -1;
   double seconds_classes = 0.0;
   double seconds_total = 0.0;
+  // Present when the run was cancelled mid-iteration (shard observer
+  // returned false inside a pass): the completed work of the interrupted
+  // iteration. Serialized in result snapshots; consumed by Resume.
+  std::optional<PartialIterationState> partial;
+  // Per-pass phase times, in pipeline order (instance, relation, class).
+  std::vector<PassTimings> pass_timings;
 };
 
-// The PARIS fixpoint driver (§5.1):
+// The PARIS fixpoint driver (§5.1), scheduling the pass pipeline
+// (core/pass.h):
 //   1. functionalities are precomputed per ontology (done at build),
-//   2. each iteration computes instance equivalences (Eq. 13/14, seeded
-//      with Pr(r ⊆ r') = θ the first time) and then sub-relation scores
-//      (Eq. 12) from the fresh equivalences,
+//   2. each iteration runs the instance pass (Eq. 13/14, seeded with
+//      Pr(r ⊆ r') = θ the first time) and then the relation pass (Eq. 12)
+//      over fixed shards, with one shared Prepare → RunShard* → Merge
+//      discipline per pass,
 //   3. iteration stops when maximal assignments change less than the
 //      convergence threshold (default 1 %),
-//   4. a final pass computes class alignments (Eq. 17).
+//   4. a final class pass computes class alignments (Eq. 17).
 //
 // The two ontologies must share one `rdf::TermPool`. The aligner never
 // mutates them; `Run()` may be called repeatedly (e.g. with different
@@ -81,6 +131,20 @@ class Aligner {
     iteration_observer_ = std::move(observer);
   }
 
+  // Observes the pipeline at shard granularity: invoked after every
+  // completed shard of every pass — serialized, but possibly on a worker
+  // thread, so the callback must be cheap and thread-safe. Returning false
+  // cancels mid-iteration: the instance/relation pass stops claiming
+  // shards, the completed ones are recorded as a PartialIterationState, and
+  // the run wraps up with a consistent, resumable result whose Resume
+  // reproduces the uninterrupted run byte-identically. During the final
+  // class pass the return value is ignored (the pass always completes to
+  // keep the result consistent). Must be set before Run().
+  using ShardObserver = std::function<bool(const ShardProgress&)>;
+  void set_shard_observer(ShardObserver observer) {
+    shard_observer_ = std::move(observer);
+  }
+
   // Uses `pool` (non-owning, may be null) for the parallel passes instead
   // of constructing a pool from `config.num_threads` per Run(). Lets a
   // caller that already owns a worker pool (api::Session) share it across
@@ -92,15 +156,17 @@ class Aligner {
   AlignmentResult Run();
 
   // Continues a run from `checkpoint` — an AlignmentResult saved after k
-  // completed iterations (see src/core/result_snapshot.h). Iterations
+  // completed iterations (see src/core/result_snapshot.h), plus possibly a
+  // partially completed iteration k+1 (mid-iteration cancel). Iterations
   // resume at k+1 with the checkpoint's equivalences and relation scores as
-  // the previous-iteration state, so the final tables are identical to an
-  // uninterrupted run with the same config (num_threads and max_iterations
-  // may differ). A checkpoint that already converged (or exhausted
-  // max_iterations) skips the fixpoint loop and recomputes only the class
-  // alignment. The checkpoint's scalar iteration records are carried over;
-  // their per-iteration history snapshots are not (result snapshots do not
-  // store them).
+  // the previous-iteration state — cached shards of a partial iteration are
+  // adopted instead of recomputed — so the final tables are identical to an
+  // uninterrupted run with the same config (num_threads, num_shards, and
+  // max_iterations may differ). A checkpoint that already converged (or
+  // exhausted max_iterations) skips the fixpoint loop and recomputes only
+  // the class alignment. The checkpoint's scalar iteration records are
+  // carried over; their per-iteration history snapshots are not (result
+  // snapshots do not store them).
   AlignmentResult Resume(AlignmentResult checkpoint);
 
  private:
@@ -111,6 +177,7 @@ class Aligner {
   AlignmentConfig config_;
   LiteralMatcherFactory matcher_factory_;
   IterationObserver iteration_observer_;
+  ShardObserver shard_observer_;
   util::ThreadPool* external_pool_ = nullptr;
 };
 

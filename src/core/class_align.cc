@@ -6,24 +6,24 @@
 
 namespace paris::core {
 
-namespace {
-
-// Per-worker scratch, reused across the classes of one chunk so the pass
-// does not pay container construction per class. Reuse means the maps'
+// Per-worker scratch, owned by the IterationContext so the containers'
+// capacity survives across shards and iterations. Reuse means the maps'
 // bucket layout (and so their iteration order) depends on which classes the
 // worker saw before — per-class output is therefore sorted by target class
 // below, never emitted in map order, keeping entries byte-identical across
-// thread counts and chunk assignments.
-struct ClassScratch {
+// thread counts and shard assignments.
+struct ClassShardScratch {
   std::vector<Candidate> x_eq;
   std::unordered_map<rdf::TermId, double> per_class_miss;
   std::unordered_map<rdf::TermId, double> expected_overlap;
   std::vector<std::pair<rdf::TermId, double>> sorted_overlap;
 };
 
+namespace {
+
 void ScoreOneClass(rdf::TermId c, const DirectionalContext& ctx,
                    const AlignmentConfig& config, bool sub_is_left,
-                   ClassScratch* scratch,
+                   ClassShardScratch* scratch,
                    std::vector<ClassAlignmentEntry>* out) {
   const ontology::Ontology& source = *ctx.source;
   const ontology::Ontology& target = *ctx.target;
@@ -96,41 +96,39 @@ size_t ClassScores::NumAlignedSubClasses(double threshold,
   return seen.size();
 }
 
-ClassScores ComputeClassScores(const ontology::Ontology& left,
-                               const ontology::Ontology& right,
-                               const DirectionalContext& l2r,
-                               const DirectionalContext& r2l,
-                               const AlignmentConfig& config,
-                               util::ThreadPool* pool) {
-  // One task per (direction, class); task i scores left class i for
-  // i < num_left, right class i-num_left otherwise. Every task writes only
-  // its own shard, so the pass parallelizes without locks.
-  const std::vector<rdf::TermId>& left_classes = left.classes();
-  const std::vector<rdf::TermId>& right_classes = right.classes();
-  const size_t num_left = left_classes.size();
-  const size_t total = num_left + right_classes.size();
-  std::vector<std::vector<ClassAlignmentEntry>> shards(total);
+size_t ClassPass::Prepare(IterationContext& ctx) {
+  num_left_ = ctx.left->classes().size();
+  const size_t total = num_left_ + ctx.right->classes().size();
+  layout_ = ShardLayout::Make(total, ctx.config->num_shards);
+  l2r_ = ctx.Direction(true, ctx.previous);
+  r2l_ = ctx.Direction(false, ctx.previous);
+  outputs_.resize(layout_.num_shards);
+  for (auto& shard : outputs_) shard.clear();
+  scratch_ = &ctx.ScratchSlots<ClassShardScratch>();  // serial phase
+  return layout_.num_shards;
+}
 
-  auto score_range = [&](size_t begin, size_t end) {
-    ClassScratch scratch;
-    for (size_t i = begin; i < end; ++i) {
-      const bool is_left = i < num_left;
-      const rdf::TermId c =
-          is_left ? left_classes[i] : right_classes[i - num_left];
-      ScoreOneClass(c, is_left ? l2r : r2l, config, is_left, &scratch,
-                    &shards[i]);
-    }
-  };
-  util::ForRange(pool, total, score_range);
+void ClassPass::RunShard(size_t shard, size_t worker, IterationContext& ctx) {
+  const std::vector<rdf::TermId>& left_classes = ctx.left->classes();
+  const std::vector<rdf::TermId>& right_classes = ctx.right->classes();
+  ClassShardScratch& scratch = (*scratch_)[worker];
+  // Item i scores left class i for i < num_left, right class i-num_left
+  // otherwise.
+  for (size_t i = layout_.begin(shard); i < layout_.end(shard); ++i) {
+    const bool is_left = i < num_left_;
+    const rdf::TermId c =
+        is_left ? left_classes[i] : right_classes[i - num_left_];
+    ScoreOneClass(c, is_left ? l2r_ : r2l_, *ctx.config, is_left, &scratch,
+                  &outputs_[shard]);
+  }
+}
 
-  // Deterministic merge: shard order reproduces the exact insertion
-  // sequence of a serial run, so the entry list is identical across thread
-  // counts.
+void ClassPass::Merge(IterationContext& ctx) {
   std::vector<ClassAlignmentEntry> entries;
-  for (std::vector<ClassAlignmentEntry>& shard : shards) {
+  for (const std::vector<ClassAlignmentEntry>& shard : outputs_) {
     entries.insert(entries.end(), shard.begin(), shard.end());
   }
-  return ClassScores(std::move(entries));
+  ctx.classes = ClassScores(std::move(entries));
 }
 
 }  // namespace paris::core

@@ -1,50 +1,26 @@
 #ifndef PARIS_CORE_CLASS_ALIGN_H_
 #define PARIS_CORE_CLASS_ALIGN_H_
 
+#include <string>
+#include <string_view>
 #include <vector>
 
+#include "core/class_scores.h"
 #include "core/config.h"
 #include "core/direction.h"
+#include "core/pass.h"
 #include "ontology/ontology.h"
 #include "rdf/term.h"
-#include "util/thread_pool.h"
 
 namespace paris::core {
 
-// One reportable sub-class alignment Pr(sub ⊆ super).
-struct ClassAlignmentEntry {
-  rdf::TermId sub = rdf::kNullTerm;
-  rdf::TermId super = rdf::kNullTerm;
-  double score = 0.0;
-  // True if `sub` is a class of the left ontology.
-  bool sub_is_left = true;
-};
+// Per-worker scratch of the class pass (defined in class_align.cc), owned
+// by the IterationContext and bound to `scratch_` in Prepare — the serial
+// phase, per the ScratchSlots contract.
+struct ClassShardScratch;
 
-// All sub-class scores, both directions, with query helpers for the
-// experiment harness.
-class ClassScores {
- public:
-  explicit ClassScores(std::vector<ClassAlignmentEntry> entries)
-      : entries_(std::move(entries)) {}
-  ClassScores() = default;
-
-  const std::vector<ClassAlignmentEntry>& entries() const { return entries_; }
-
-  // Entries with score ≥ threshold, one direction, sorted by descending
-  // score.
-  std::vector<ClassAlignmentEntry> AboveThreshold(double threshold,
-                                                  bool sub_is_left) const;
-
-  // Number of distinct sub-classes (one direction) with ≥1 assignment of
-  // score ≥ threshold. This is the quantity of the paper's Figure 2.
-  size_t NumAlignedSubClasses(double threshold, bool sub_is_left) const;
-
- private:
-  std::vector<ClassAlignmentEntry> entries_;
-};
-
-// The final class-alignment step (§4.3, Eq. (17)), run once after the
-// instance fixpoint converged:
+// The class-alignment pass (§4.3, Eq. (17)), run once after the instance
+// fixpoint converged (or stopped):
 //
 //   Pr(c ⊆ d) = Σ_{x : type(x,c)} [1 - ∏_{y : type(y,d)} (1 - Pr(x ≡ y))]
 //               ----------------------------------------------------------
@@ -53,16 +29,32 @@ class ClassScores {
 // evaluated over at most `config.class_instance_sample` instances per class,
 // against the final maximal assignment. Computed in both directions.
 //
-// With a pool, one task per (direction, class) fans across the workers —
-// each task writes only its own shard, and the shards are merged in serial
-// order, so the entry sequence (and therefore the result) is byte-identical
-// across thread counts, like `ComputeRelationScores`.
-ClassScores ComputeClassScores(const ontology::Ontology& left,
-                               const ontology::Ontology& right,
-                               const DirectionalContext& l2r,
-                               const DirectionalContext& r2l,
-                               const AlignmentConfig& config,
-                               util::ThreadPool* pool = nullptr);
+// Input (bound in Prepare): `ctx.previous`, the equivalence store of the
+// last completed iteration. The item space is the (direction, class)
+// sequence — left classes first, then right — and shards partition it;
+// every shard appends only to its own entry list, and Merge concatenates
+// the lists in ascending shard order, so the entry sequence is
+// byte-identical across shard and thread counts.
+class ClassPass final : public Pass {
+ public:
+  const char* name() const override { return "class"; }
+  size_t Prepare(IterationContext& ctx) override;
+  void RunShard(size_t shard, size_t worker, IterationContext& ctx) override;
+  void Merge(IterationContext& ctx) override;
+  // SaveShard/LoadShard keep the never-checkpointed defaults: the class
+  // pass is the run's final consistency step and always completes (the
+  // aligner never cancels it mid-pass), so there is nothing to cache.
+
+ private:
+  ShardLayout layout_;
+  size_t num_left_ = 0;
+  DirectionalContext l2r_;
+  DirectionalContext r2l_;
+  std::vector<std::vector<ClassAlignmentEntry>> outputs_;  // one per shard
+  // The per-worker scratch slots, bound in Prepare (RunShard must not call
+  // ScratchSlots itself — it may allocate).
+  std::vector<ClassShardScratch>* scratch_ = nullptr;
+};
 
 }  // namespace paris::core
 

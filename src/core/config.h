@@ -74,8 +74,17 @@ struct AlignmentConfig {
   bool use_relation_name_prior = false;
   double name_prior_cap = 0.5;
 
-  // Worker threads for the instance pass; 0 = run inline.
+  // Worker threads for the alignment passes; 0 = run inline.
   size_t num_threads = 0;
+
+  // Shards per pipeline pass (core/pass.h); 0 = the fixed default
+  // (kDefaultNumShards). Shard boundaries depend only on this and the item
+  // count — never on num_threads — so mid-iteration checkpoints stay valid
+  // across machines. Like num_threads, this does not shape the trajectory
+  // (results are byte-identical across shard counts) and is therefore
+  // excluded from the result-snapshot compatibility key; resuming under a
+  // different shard count only forfeits the checkpoint's cached shards.
+  size_t num_shards = 0;
 
   // Record per-iteration maximal assignments and relation scores in the
   // result (needed by the per-iteration experiment tables).

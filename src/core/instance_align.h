@@ -1,16 +1,28 @@
 #ifndef PARIS_CORE_INSTANCE_ALIGN_H_
 #define PARIS_CORE_INSTANCE_ALIGN_H_
 
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
 #include "core/config.h"
 #include "core/direction.h"
 #include "core/equiv.h"
+#include "core/pass.h"
 #include "core/relation_scores.h"
 #include "ontology/ontology.h"
-#include "util/thread_pool.h"
 
 namespace paris::core {
 
-// One instance-equivalence pass (§4.1/§4.2 of the paper).
+// Per-worker scratch of the instance pass (defined in instance_align.cc),
+// owned by the IterationContext and bound to `scratch_` in Prepare — the
+// serial phase, per the ScratchSlots contract.
+struct InstanceShardScratch;
+
+// The instance-equivalence pass (§4.1/§4.2 of the paper), one pipeline
+// stage per fixpoint iteration.
 //
 // For every instance x of the left ontology, computes Pr(x ≡ x') for the
 // right-ontology candidates x' reachable through shared evidence, using the
@@ -19,14 +31,49 @@ namespace paris::core {
 // of the right ontology. Probabilities follow Eq. (13) (positive evidence),
 // optionally multiplied by the negative-evidence factor of Eq. (14).
 //
-// `l2r` must expand left terms to right equivalents using the *previous*
-// iteration's store; `rel_scores` provides Pr(r ⊆ r') (θ-bootstrap table in
-// the first iteration). The result is finalized (transpose + maximal
-// assignments built).
-InstanceEquivalences ComputeInstanceEquivalences(
-    const ontology::Ontology& left, const ontology::Ontology& right,
-    const RelationScores& rel_scores, const DirectionalContext& l2r,
-    const AlignmentConfig& config, util::ThreadPool* pool);
+// Inputs (bound in Prepare): `ctx.previous` — the *previous* iteration's
+// equivalence store — and `ctx.rel_scores` — Pr(r ⊆ r'), the θ-bootstrap
+// table in the first iteration. Shards partition the left instance list;
+// every shard writes only its instances' candidate slots, so the pass
+// parallelizes without locks. Merge assembles the slots in instance order
+// into `ctx.current` and finalizes it (transpose + maximal assignments),
+// reproducing the exact store a serial whole-ontology sweep would build.
+//
+// This pass dominates wall time at YAGO scale, which is why cancellation
+// is polled between its shards: SaveShard/LoadShard persist one shard's
+// candidate lists so a cancelled pass resumes without recomputing them.
+class InstancePass final : public Pass {
+ public:
+  const char* name() const override { return "instance"; }
+  size_t Prepare(IterationContext& ctx) override;
+  void RunShard(size_t shard, size_t worker, IterationContext& ctx) override;
+  void Merge(IterationContext& ctx) override;
+  void SaveShard(size_t shard, std::string* out) const override;
+  bool LoadShard(size_t shard, std::string_view bytes,
+                 IterationContext& ctx) override;
+
+ private:
+  // The negative-evidence pass's per-relation maximally contained
+  // counterparts (§5.2), rebuilt in Prepare from the iteration's input
+  // scores. Keyed by signed left relation id: (right relation r', score).
+  struct BestCounterparts {
+    std::unordered_map<rdf::RelId, std::pair<rdf::RelId, double>>
+        right_sub_left;
+    std::unordered_map<rdf::RelId, std::pair<rdf::RelId, double>>
+        left_sub_right;
+  };
+
+  ShardLayout layout_;
+  DirectionalContext l2r_;
+  BestCounterparts best_;
+  // Candidate lists, one slot per left instance, filled by RunShard (or
+  // LoadShard) and drained by Merge. The outer vector keeps its capacity
+  // across iterations.
+  std::vector<std::vector<Candidate>> results_;
+  // The per-worker scratch slots, bound in Prepare (RunShard must not call
+  // ScratchSlots itself — it may allocate).
+  std::vector<InstanceShardScratch>* scratch_ = nullptr;
+};
 
 }  // namespace paris::core
 

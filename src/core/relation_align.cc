@@ -5,7 +5,30 @@
 
 namespace paris::core {
 
+// Per-worker scratch for ScoreOneRelation, owned by the IterationContext so
+// container capacity survives across relations, shards, and iterations. The
+// reused maps' bucket layouts depend on history, but nothing below leaks
+// map iteration order into the stored scores: every emitted entry is keyed
+// by (sub, super), and `numerator` order only permutes entries within one
+// relation's list, whose table insertion order no consumer observes
+// (RelationScores::Entries() reports canonical order since PR 3).
+struct RelationShardScratch {
+  std::unordered_map<rdf::RelId, double> numerator;
+  std::vector<Candidate> x_eq;
+  std::vector<Candidate> y_eq;
+  std::unordered_map<rdf::TermId, double> y_eq_probs;
+  std::unordered_map<rdf::RelId, double> pair_products;
+};
+
 namespace {
+
+// ZigZag encoding for the signed relation ids in shard payloads.
+uint32_t ZigZag(rdf::RelId r) {
+  return (static_cast<uint32_t>(r) << 1) ^ static_cast<uint32_t>(r >> 31);
+}
+rdf::RelId UnZigZag(uint32_t v) {
+  return static_cast<rdf::RelId>((v >> 1) ^ (~(v & 1) + 1));
+}
 
 // Computes Pr(r ⊆ r') for one source relation r (positive id) against every
 // relation r' of the target ontology, and stores entries above threshold via
@@ -13,16 +36,19 @@ namespace {
 template <typename StoreFn>
 void ScoreOneRelation(rdf::RelId rel, const DirectionalContext& ctx,
                       const AlignmentConfig& config,
+                      RelationShardScratch& scratch,
                       const StoreFn& store_score) {
   const ontology::Ontology& source = *ctx.source;
   const ontology::Ontology& target = *ctx.target;
 
   double denominator = 0.0;
-  std::unordered_map<rdf::RelId, double> numerator;
-  std::vector<Candidate> x_eq;
-  std::vector<Candidate> y_eq;
-  std::unordered_map<rdf::TermId, double> y_eq_probs;
-  std::unordered_map<rdf::RelId, double> pair_products;
+  std::unordered_map<rdf::RelId, double>& numerator = scratch.numerator;
+  std::vector<Candidate>& x_eq = scratch.x_eq;
+  std::vector<Candidate>& y_eq = scratch.y_eq;
+  std::unordered_map<rdf::TermId, double>& y_eq_probs = scratch.y_eq_probs;
+  std::unordered_map<rdf::RelId, double>& pair_products =
+      scratch.pair_products;
+  numerator.clear();
 
   source.store().ForEachPair(
       rel, config.relation_pair_sample, [&](rdf::TermId x, rdf::TermId y) {
@@ -73,52 +99,100 @@ void ScoreOneRelation(rdf::RelId rel, const DirectionalContext& ctx,
 
 }  // namespace
 
-RelationScores ComputeRelationScores(const ontology::Ontology& left,
-                                     const ontology::Ontology& right,
-                                     const DirectionalContext& l2r,
-                                     const DirectionalContext& r2l,
-                                     const AlignmentConfig& config,
-                                     util::ThreadPool* pool) {
-  // One task per (direction, relation); task i scores left relation i+1 for
-  // i < num_left, right relation i-num_left+1 otherwise. Every task writes
-  // only its own shard, so the pass parallelizes without locks.
-  const size_t num_left = left.num_relations();
-  const size_t num_right = right.num_relations();
-  const size_t total = num_left + num_right;
-  struct Scored {
-    rdf::RelId sub;
-    rdf::RelId super;
-    double score;
-  };
-  std::vector<std::vector<Scored>> shards(total);
+size_t RelationPass::Prepare(IterationContext& ctx) {
+  num_left_ = ctx.left->num_relations();
+  const size_t total = num_left_ + ctx.right->num_relations();
+  layout_ = ShardLayout::Make(total, ctx.config->num_shards);
+  l2r_ = ctx.Direction(true, &ctx.current);
+  r2l_ = ctx.Direction(false, &ctx.current);
+  outputs_.resize(layout_.num_shards);
+  for (auto& shard : outputs_) shard.clear();
+  scratch_ = &ctx.ScratchSlots<RelationShardScratch>();  // serial phase
+  return layout_.num_shards;
+}
 
-  auto score_range = [&](size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) {
-      const bool is_left = i < num_left;
-      const rdf::RelId rel =
-          static_cast<rdf::RelId>(is_left ? i + 1 : i - num_left + 1);
-      ScoreOneRelation(rel, is_left ? l2r : r2l, config,
-                       [&](rdf::RelId sub, rdf::RelId super, double score) {
-                         shards[i].push_back(Scored{sub, super, score});
-                       });
-    }
-  };
-  util::ForRange(pool, total, score_range);
+void RelationPass::RunShard(size_t shard, size_t worker,
+                            IterationContext& ctx) {
+  RelationShardScratch& scratch = (*scratch_)[worker];
+  std::vector<Scored>& out = outputs_[shard];
+  // Item i scores left relation i+1 for i < num_left, right relation
+  // i-num_left+1 otherwise.
+  for (size_t i = layout_.begin(shard); i < layout_.end(shard); ++i) {
+    const bool is_left = i < num_left_;
+    const rdf::RelId rel =
+        static_cast<rdf::RelId>(is_left ? i + 1 : i - num_left_ + 1);
+    ScoreOneRelation(rel, is_left ? l2r_ : r2l_, *ctx.config, scratch,
+                     [&](rdf::RelId sub, rdf::RelId super, double score) {
+                       out.push_back(Scored{sub, super, score, is_left});
+                     });
+  }
+}
 
-  // Deterministic merge: shard order reproduces the exact insertion sequence
-  // of a serial run, so the tables (and their iteration order) are
-  // byte-identical across thread counts.
+void RelationPass::Merge(IterationContext& ctx) {
   RelationScores scores;
-  for (size_t i = 0; i < total; ++i) {
-    for (const Scored& s : shards[i]) {
-      if (i < num_left) {
+  for (const std::vector<Scored>& shard : outputs_) {
+    for (const Scored& s : shard) {
+      if (s.sub_is_left) {
         scores.SetSubLeftRight(s.sub, s.super, s.score);
       } else {
         scores.SetSubRightLeft(s.sub, s.super, s.score);
       }
     }
   }
-  return scores;
+  ctx.fresh_scores = std::move(scores);
+}
+
+void RelationPass::SaveShard(size_t shard, std::string* out) const {
+  PayloadWriter writer;
+  writer.U64(outputs_[shard].size());
+  for (const Scored& s : outputs_[shard]) {
+    writer.U8(s.sub_is_left ? 1 : 0);
+    writer.U32(ZigZag(s.sub));
+    writer.U32(ZigZag(s.super));
+    writer.F64(s.score);
+  }
+  *out = writer.Take();
+}
+
+bool RelationPass::LoadShard(size_t shard, std::string_view bytes,
+                             IterationContext& ctx) {
+  PayloadReader reader(bytes);
+  uint64_t count = 0;
+  // Each entry occupies 17 payload bytes (u8 + 2×u32 + f64); bounding the
+  // count by that keeps a corrupt length field from provoking a giant
+  // reserve() before per-entry validation runs.
+  if (!reader.U64(&count) || count > bytes.size() / 17) return false;
+  std::vector<Scored> staged;
+  staged.reserve(count);
+  const auto num_rels = [&](bool left_side) {
+    return left_side ? ctx.left->num_relations() : ctx.right->num_relations();
+  };
+  for (uint64_t j = 0; j < count; ++j) {
+    uint8_t is_left = 0;
+    uint32_t sub = 0;
+    uint32_t super = 0;
+    Scored s;
+    if (!reader.U8(&is_left) || is_left > 1 || !reader.U32(&sub) ||
+        !reader.U32(&super) || !reader.F64(&s.score)) {
+      return false;
+    }
+    s.sub_is_left = is_left == 1;
+    s.sub = UnZigZag(sub);
+    s.super = UnZigZag(super);
+    // Stored subs are canonical (positive); supers may be inverses.
+    if (s.sub <= 0 ||
+        static_cast<size_t>(s.sub) > num_rels(s.sub_is_left) ||
+        s.super == 0 ||
+        static_cast<size_t>(s.super < 0 ? -s.super : s.super) >
+            num_rels(!s.sub_is_left) ||
+        !(s.score >= 0.0) || s.score > 1.0) {
+      return false;
+    }
+    staged.push_back(s);
+  }
+  if (!reader.AtEnd()) return false;
+  outputs_[shard] = std::move(staged);
+  return true;
 }
 
 }  // namespace paris::core

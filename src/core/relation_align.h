@@ -1,38 +1,72 @@
 #ifndef PARIS_CORE_RELATION_ALIGN_H_
 #define PARIS_CORE_RELATION_ALIGN_H_
 
+#include <string>
+#include <string_view>
+#include <vector>
+
 #include "core/config.h"
 #include "core/direction.h"
+#include "core/pass.h"
 #include "core/relation_scores.h"
 #include "ontology/ontology.h"
-#include "util/thread_pool.h"
 
 namespace paris::core {
 
-// One sub-relation pass (§4.2, Eq. (12)): for every relation r of each
-// ontology, estimates Pr(r ⊆ r') against every relation r' of the other
-// ontology as
+// Per-worker scratch of the relation pass (defined in relation_align.cc),
+// owned by the IterationContext and bound to `scratch_` in Prepare — the
+// serial phase, per the ScratchSlots contract.
+struct RelationShardScratch;
+
+// The sub-relation pass (§4.2, Eq. (12)), one pipeline stage per fixpoint
+// iteration: for every relation r of each ontology, estimates Pr(r ⊆ r')
+// against every relation r' of the other ontology as
 //
 //     Σ_{r(x,y)} [1 - ∏_{r'(x',y'), x≈x', y≈y'} (1 - Pr(x≡x')·Pr(y≡y'))]
 //     ------------------------------------------------------------------
 //     Σ_{r(x,y)} [1 - ∏_{x', y'} (1 - Pr(x≡x')·Pr(y≡y'))]
 //
-// Only the pairs of the previous maximal assignment feed the estimate
+// Only the pairs of the current maximal assignment feed the estimate
 // (§5.2), at most `config.relation_pair_sample` pairs per relation.
 // Inverse relations are covered by the Pr(r ⊆ r') = Pr(r⁻¹ ⊆ r'⁻¹)
 // canonicalization in `RelationScores`.
 //
-// With a non-null `pool` the per-relation estimates run across the workers
-// (each relation's accumulators are independent); the per-relation score
-// lists are merged into the table serially in relation-id order, so the
-// result — including hash-table iteration order — is identical to a serial
-// run.
-RelationScores ComputeRelationScores(const ontology::Ontology& left,
-                                     const ontology::Ontology& right,
-                                     const DirectionalContext& l2r,
-                                     const DirectionalContext& r2l,
-                                     const AlignmentConfig& config,
-                                     util::ThreadPool* pool = nullptr);
+// Input (bound in Prepare): `ctx.current`, the equivalences the instance
+// pass of the same iteration just produced. The item space is the
+// (direction, relation) sequence — left relations first, then right — and
+// shards partition it; every shard appends only to its own score list, so
+// the pass parallelizes without locks. Merge inserts the shard lists into
+// `ctx.fresh_scores` in ascending shard order, reproducing the exact
+// insertion sequence of a serial run.
+class RelationPass final : public Pass {
+ public:
+  const char* name() const override { return "relation"; }
+  size_t Prepare(IterationContext& ctx) override;
+  void RunShard(size_t shard, size_t worker, IterationContext& ctx) override;
+  void Merge(IterationContext& ctx) override;
+  void SaveShard(size_t shard, std::string* out) const override;
+  bool LoadShard(size_t shard, std::string_view bytes,
+                 IterationContext& ctx) override;
+
+ private:
+  struct Scored {
+    rdf::RelId sub;
+    rdf::RelId super;
+    double score;
+    bool sub_is_left;
+  };
+
+  ShardLayout layout_;
+  size_t num_left_ = 0;
+  DirectionalContext l2r_;
+  DirectionalContext r2l_;
+  // One score list per shard, filled by RunShard (or LoadShard) and drained
+  // by Merge.
+  std::vector<std::vector<Scored>> outputs_;
+  // The per-worker scratch slots, bound in Prepare (RunShard must not call
+  // ScratchSlots itself — it may allocate).
+  std::vector<RelationShardScratch>* scratch_ = nullptr;
+};
 
 }  // namespace paris::core
 

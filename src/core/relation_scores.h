@@ -85,9 +85,9 @@ class RelationScores {
   // accumulate while scanning behave identically whether the table was
   // computed in-process or restored from a result snapshot. The vector is
   // materialized on first call and cached (setters invalidate), so
-  // per-iteration consumers like `BestCounterparts::Build` stop rebuilding
-  // it from scratch. Not synchronized: first call must not race with other
-  // accessors.
+  // per-iteration consumers like the negative-evidence counterpart table
+  // built in `InstancePass::Prepare` stop rebuilding it from scratch. Not
+  // synchronized: first call must not race with other accessors.
   const std::vector<RelationAlignmentEntry>& Entries() const;
 
   size_t size() const {

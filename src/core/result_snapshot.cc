@@ -18,6 +18,11 @@ namespace {
 // handful, so anything larger is a corrupt count.
 constexpr uint64_t kMaxIterations = 1 << 20;
 
+// Upper bound on a partial checkpoint's shard count (ShardLayout caps the
+// shard count at the item count, but the file is untrusted and the count
+// sizes two reserve() calls before any per-shard validation).
+constexpr uint64_t kMaxShards = 1 << 20;
+
 void AppendU64(std::string* buf, uint64_t v) {
   for (int i = 0; i < 8; ++i) buf->push_back(static_cast<char>(v >> (8 * i)));
 }
@@ -409,6 +414,48 @@ util::StatusOr<AlignmentResult> LoadResultSections(
   auto classes = LoadClassScores(reader, pool_size);
   if (!classes.ok()) return classes.status();
   result.classes = std::move(classes).value();
+
+  // Partial-iteration checkpoint (mid-iteration cancel), v2.
+  const auto invalid_partial = [] {
+    return util::InvalidArgumentError("corrupt partial-iteration section");
+  };
+  const uint8_t has_partial = reader.ReadU8();
+  if (!reader.ok() || has_partial > 1) return invalid_partial();
+  if (has_partial == 1) {
+    PartialIterationState partial;
+    partial.iteration = static_cast<int>(reader.ReadU32());
+    partial.pass = static_cast<int>(reader.ReadU32());
+    partial.num_shards = reader.ReadU32();
+    const uint64_t num_cached = reader.ReadU64();
+    // A partial iteration is always the one right after the completed
+    // records, belongs to a cancellable pass, and can only exist in a run
+    // that had not converged.
+    if (!reader.ok() ||
+        partial.iteration != static_cast<int>(num_iterations) + 1 ||
+        (partial.pass != kInstancePass && partial.pass != kRelationPass) ||
+        partial.num_shards > kMaxShards || num_cached > partial.num_shards ||
+        result.converged_at != -1) {
+      return invalid_partial();
+    }
+    partial.shards.reserve(num_cached);
+    partial.payloads.reserve(num_cached);
+    for (uint64_t i = 0; i < num_cached; ++i) {
+      const uint32_t shard = reader.ReadU32();
+      std::string payload = reader.ReadString();
+      if (!reader.ok() || shard >= partial.num_shards ||
+          (i > 0 && shard <= partial.shards.back())) {
+        return invalid_partial();
+      }
+      partial.shards.push_back(shard);
+      partial.payloads.push_back(std::move(payload));
+    }
+    if (partial.pass == kRelationPass) {
+      auto current = LoadInstanceEquivalences(reader, pool_size);
+      if (!current.ok()) return current.status();
+      partial.instances = std::move(current).value();
+    }
+    result.partial.emplace(std::move(partial));
+  }
   return result;
 }
 
@@ -448,6 +495,23 @@ util::Status SaveAlignmentResult(const std::string& path,
   SaveInstanceEquivalences(result.instances, writer);
   SaveRelationScores(result.relations, writer);
   SaveClassScores(result.classes, writer);
+
+  // Partial-iteration checkpoint (mid-iteration cancel), v2.
+  writer.WriteU8(result.partial.has_value() ? 1 : 0);
+  if (result.partial.has_value()) {
+    const PartialIterationState& partial = *result.partial;
+    writer.WriteU32(static_cast<uint32_t>(partial.iteration));
+    writer.WriteU32(static_cast<uint32_t>(partial.pass));
+    writer.WriteU32(partial.num_shards);
+    writer.WriteU64(partial.shards.size());
+    for (size_t i = 0; i < partial.shards.size(); ++i) {
+      writer.WriteU32(partial.shards[i]);
+      writer.WriteString(partial.payloads[i]);
+    }
+    if (partial.pass == kRelationPass) {
+      SaveInstanceEquivalences(partial.instances, writer);
+    }
+  }
   writer.WriteU64(writer.checksum());
   out.flush();
   if (!writer.ok()) {

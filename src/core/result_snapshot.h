@@ -22,7 +22,7 @@ namespace paris::core {
 // arrays 8-byte aligned, FNV-1a trailer):
 //
 //   magic    "PARISRS\n"
-//   version  u32 (currently 1)
+//   version  u32 (currently 2)
 //   key      ontology-pair fingerprint u64, matcher name, and every
 //            trajectory-shaping AlignmentConfig field
 //   run      iteration records (index, wall times, change fraction,
@@ -30,6 +30,11 @@ namespace paris::core {
 //   tables   instance equivalences (sorted keys + CSR offsets + candidate
 //            columns), relation scores (sorted packed keys + scores, both
 //            directions, bootstrap state), class scores (entry columns)
+//   partial  u8 present flag; when set, the mid-iteration checkpoint of a
+//            shard-level cancel (v2): interrupted iteration + pass, shard
+//            count, the completed shards' ids and opaque payloads, and —
+//            for a relation-pass cancel — the iteration's instance
+//            equivalences
 //   trailer  u64 FNV-1a checksum of every byte after the magic
 //
 // Everything map-shaped is serialized in sorted key order, so identical
@@ -40,13 +45,15 @@ namespace paris::core {
 //
 // The key section makes resuming under a different setup fail loudly:
 // loading verifies the stored matcher, config fields, and ontology
-// fingerprint against the caller's. `num_threads`, `record_history`, and
-// `max_iterations` are deliberately excluded — resuming on different
-// hardware or with a raised iteration cap is the point of the snapshot.
+// fingerprint against the caller's. `num_threads`, `num_shards`,
+// `record_history`, and `max_iterations` are deliberately excluded —
+// resuming on different hardware or with a raised iteration cap is the
+// point of the snapshot (a different `num_shards` merely drops the partial
+// section's cached shards; results are unaffected).
 
 inline constexpr char kResultSnapshotMagic[8] = {'P', 'A', 'R', 'I',
                                                  'S', 'R', 'S', '\n'};
-inline constexpr uint32_t kResultSnapshotVersion = 1;
+inline constexpr uint32_t kResultSnapshotVersion = 2;
 
 // Cheap identity of the ontology pair a result belongs to: FNV-1a over the
 // shared pool size and both sides' name, triple/relation/instance/class

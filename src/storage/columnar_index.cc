@@ -26,6 +26,88 @@ constexpr bool EntryLess(const ColumnarIndex::Entry& a,
   return a.other < b.other;
 }
 
+// Number of input ranges the parallel counting-sort passes split their scan
+// into. Per-range histograms cost range_count × bucket_count counters, so
+// the fanout is deliberately modest; below kParallelSortMinEntries the
+// serial scan wins and the parallel path is skipped entirely.
+size_t SortRangeCount(const util::ThreadPool* pool) {
+  // A constructed-but-empty pool (ThreadPool(0) = "run inline") counts as
+  // one range, like no pool at all.
+  if (pool == nullptr || pool->num_threads() == 0) return 1;
+  return std::min<size_t>(pool->num_threads(), 8);
+}
+constexpr size_t kParallelSortMinEntries = 1 << 15;
+
+// Parallel stable counting sort: scans `total` input items in `ranges`
+// fixed ranges, building one histogram per range via `count(range_begin,
+// range_end, histogram)`, prefix-combines the histograms into per-range
+// write cursors (range r's cursor for bucket b starts where range r-1's
+// items for b end), and scatters via `scatter(range_begin, range_end,
+// cursors)`. Because cursors are pre-computed from fixed range boundaries,
+// every item lands exactly where the serial scan would have put it — the
+// output is byte-identical, in-bucket order included — while both the
+// histogram and the scatter pass run across the pool.
+// `prepare(total_out)` runs once between the two passes — after the bucket
+// offsets are known, before any scatter — so the caller can size the output
+// array.
+template <typename CountFn, typename PrepareFn, typename ScatterFn>
+std::vector<uint64_t> ParallelCountingSort(util::ThreadPool* pool,
+                                           size_t total, size_t num_buckets,
+                                           const CountFn& count,
+                                           const PrepareFn& prepare,
+                                           const ScatterFn& scatter) {
+  // Each extra range costs a num_buckets-sized histogram; capping the
+  // fanout at total/num_buckets bounds the transient counters by ~8 bytes
+  // per input item (half the entry array) even when the bucket space is as
+  // large as the term dictionary.
+  size_t ranges = total >= kParallelSortMinEntries ? SortRangeCount(pool) : 1;
+  if (num_buckets > 0) {
+    ranges = std::min(ranges, std::max<size_t>(1, total / num_buckets));
+  }
+  const size_t chunk = (total + ranges - 1) / ranges;
+  const auto range_bounds = [&](size_t r) {
+    const size_t begin = r * chunk;
+    return std::pair<size_t, size_t>{std::min(begin, total),
+                                     std::min(begin + chunk, total)};
+  };
+
+  // Per-range histograms (bucket counts), then offsets via prefix sums.
+  std::vector<std::vector<uint64_t>> counts(ranges);
+  util::ForRange(pool, ranges, [&](size_t begin, size_t end) {
+    for (size_t r = begin; r < end; ++r) {
+      counts[r].assign(num_buckets, 0);
+      const auto [lo, hi] = range_bounds(r);
+      count(lo, hi, counts[r].data());
+    }
+  });
+  std::vector<uint64_t> offsets(num_buckets + 1, 0);
+  for (size_t r = 0; r < ranges; ++r) {
+    for (size_t b = 0; b < num_buckets; ++b) {
+      offsets[b + 1] += counts[r][b];
+    }
+  }
+  for (size_t b = 1; b <= num_buckets; ++b) offsets[b] += offsets[b - 1];
+  prepare(offsets[num_buckets]);
+
+  // Rewrite each range's counts into its starting cursors: bucket start +
+  // everything earlier ranges contribute to that bucket.
+  for (size_t b = 0; b < num_buckets; ++b) {
+    uint64_t cursor = offsets[b];
+    for (size_t r = 0; r < ranges; ++r) {
+      const uint64_t n = counts[r][b];
+      counts[r][b] = cursor;
+      cursor += n;
+    }
+  }
+  util::ForRange(pool, ranges, [&](size_t begin, size_t end) {
+    for (size_t r = begin; r < end; ++r) {
+      const auto [lo, hi] = range_bounds(r);
+      scatter(lo, hi, counts[r].data());
+    }
+  });
+  return offsets;
+}
+
 }  // namespace
 
 ColumnarIndex ColumnarIndex::Build(std::span<const rdf::TermId> terms,
@@ -38,23 +120,25 @@ ColumnarIndex ColumnarIndex::Build(std::span<const rdf::TermId> terms,
   // Bucket the entries by owner with a counting sort (owners are dense local
   // indexes), then sort each owner's slice by (rel, other) — sharded across
   // the pool. The concatenation equals one global (owner, rel, other) sort,
-  // so the packed result is independent of the thread count.
-  std::vector<uint64_t> bucket_offsets(num_terms + 1, 0);
-  for (const Entry& e : entries) {
-    assert(e.owner < num_terms);
-    ++bucket_offsets[e.owner + 1];
-  }
-  for (size_t i = 1; i <= num_terms; ++i) {
-    bucket_offsets[i] += bucket_offsets[i - 1];
-  }
-  std::vector<Entry> sorted(entries.size());
-  {
-    std::vector<uint64_t> cursor(bucket_offsets.begin(),
-                                 bucket_offsets.end() - 1);
-    for (const Entry& e : entries) {
-      sorted[cursor[e.owner]++] = e;
-    }
-  }
+  // so the packed result is independent of the thread count. Histogram and
+  // scatter both fan across the pool (per-range counts, prefix-combined
+  // cursors); the stable per-range cursors reproduce the serial scatter's
+  // in-bucket order exactly.
+  std::vector<Entry> sorted;
+  const std::vector<uint64_t> bucket_offsets = ParallelCountingSort(
+      pool, entries.size(), num_terms,
+      [&](size_t lo, size_t hi, uint64_t* histogram) {
+        for (size_t i = lo; i < hi; ++i) {
+          assert(entries[i].owner < num_terms);
+          ++histogram[entries[i].owner];
+        }
+      },
+      [&](uint64_t total) { sorted.resize(total); },
+      [&](size_t lo, size_t hi, uint64_t* cursors) {
+        for (size_t i = lo; i < hi; ++i) {
+          sorted[cursors[entries[i].owner]++] = entries[i];
+        }
+      });
   entries = {};
 
   // Per-term slice sort + dedup (a store is a *set* of statements;
@@ -90,34 +174,36 @@ ColumnarIndex ColumnarIndex::Build(std::span<const rdf::TermId> terms,
     }
   });
 
-  // POS: bucket the base-direction statements by relation, then sort each
-  // relation's range by (first, second) — sharded by relation.
-  std::vector<uint64_t> pair_offsets(num_relations + 1, 0);
-  for (size_t t = 0; t < num_terms; ++t) {
-    const Entry* src = sorted.data() + bucket_offsets[t];
-    for (uint64_t i = 0; i < kept[t]; ++i) {
-      if (src[i].rel > 0) {
-        assert(static_cast<size_t>(src[i].rel) <= num_relations);
-        ++pair_offsets[static_cast<size_t>(src[i].rel)];
-      }
-    }
-  }
-  for (size_t r = 1; r <= num_relations; ++r) {
-    pair_offsets[r] += pair_offsets[r - 1];
-  }
-  std::vector<rdf::TermPair> pairs(pair_offsets[num_relations]);
-  {
-    std::vector<uint64_t> cursor(pair_offsets.begin(), pair_offsets.end() - 1);
-    for (size_t t = 0; t < num_terms; ++t) {
-      const Entry* src = sorted.data() + bucket_offsets[t];
-      for (uint64_t i = 0; i < kept[t]; ++i) {
-        if (src[i].rel > 0) {
-          pairs[cursor[static_cast<size_t>(src[i].rel) - 1]++] =
-              rdf::TermPair{terms[src[i].owner], src[i].other};
+  // POS: bucket the base-direction statements by relation (counting-sort
+  // histogram + scatter over fixed term ranges, both across the pool; the
+  // returned offsets equal the serial pass's `pair_offsets` exactly), then
+  // sort each relation's range by (first, second) — sharded by relation.
+  std::vector<rdf::TermPair> pairs;
+  std::vector<uint64_t> pair_offsets = ParallelCountingSort(
+      pool, num_terms, num_relations,
+      [&](size_t lo, size_t hi, uint64_t* histogram) {
+        for (size_t t = lo; t < hi; ++t) {
+          const Entry* src = sorted.data() + bucket_offsets[t];
+          for (uint64_t i = 0; i < kept[t]; ++i) {
+            if (src[i].rel > 0) {
+              assert(static_cast<size_t>(src[i].rel) <= num_relations);
+              ++histogram[static_cast<size_t>(src[i].rel) - 1];
+            }
+          }
         }
-      }
-    }
-  }
+      },
+      [&](uint64_t total) { pairs.resize(total); },
+      [&](size_t lo, size_t hi, uint64_t* cursors) {
+        for (size_t t = lo; t < hi; ++t) {
+          const Entry* src = sorted.data() + bucket_offsets[t];
+          for (uint64_t i = 0; i < kept[t]; ++i) {
+            if (src[i].rel > 0) {
+              pairs[cursors[static_cast<size_t>(src[i].rel) - 1]++] =
+                  rdf::TermPair{terms[src[i].owner], src[i].other};
+            }
+          }
+        }
+      });
   util::ForRange(pool, num_relations, [&](size_t begin, size_t end) {
     for (size_t r = begin; r < end; ++r) {
       std::sort(pairs.begin() + static_cast<ptrdiff_t>(pair_offsets[r]),

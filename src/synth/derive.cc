@@ -182,7 +182,8 @@ namespace {
 util::StatusOr<ontology::Ontology> BuildSide(const World& world,
                                              const DeriveSpec& spec,
                                              rdf::TermPool* pool,
-                                             SideArtifacts* artifacts) {
+                                             SideArtifacts* artifacts,
+                                             util::ThreadPool* workers) {
   ontology::OntologyBuilder builder(pool, spec.onto_name);
   util::Rng noise_rng(spec.seed ^ 0x6e6f697365ULL);  // "noise"
 
@@ -286,7 +287,7 @@ util::StatusOr<ontology::Ontology> BuildSide(const World& world,
     }
   }
 
-  return builder.Build();
+  return builder.Build(workers);
 }
 
 // Resolves the gold cover / class tables of one built side.
@@ -319,17 +320,19 @@ void ResolveGoldSide(const DeriveSpec& spec, const ontology::Ontology& onto,
 
 }  // namespace
 
-util::StatusOr<OntologyPair> PairDeriver::Derive(std::string pair_name) const {
+util::StatusOr<OntologyPair> PairDeriver::Derive(
+    std::string pair_name, util::ThreadPool* pool) const {
   OntologyPair pair;
   pair.name = std::move(pair_name);
   pair.pool = std::make_unique<rdf::TermPool>();
 
   SideArtifacts left_artifacts;
   SideArtifacts right_artifacts;
-  auto left = BuildSide(*world_, left_spec_, pair.pool.get(), &left_artifacts);
+  auto left =
+      BuildSide(*world_, left_spec_, pair.pool.get(), &left_artifacts, pool);
   if (!left.ok()) return left.status();
-  auto right =
-      BuildSide(*world_, right_spec_, pair.pool.get(), &right_artifacts);
+  auto right = BuildSide(*world_, right_spec_, pair.pool.get(),
+                         &right_artifacts, pool);
   if (!right.ok()) return right.status();
   pair.left =
       std::make_unique<ontology::Ontology>(std::move(left).value());

@@ -12,6 +12,7 @@
 #include "rdf/triple.h"
 #include "synth/world.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace paris::synth {
 
@@ -158,7 +159,11 @@ class PairDeriver {
         left_spec_(std::move(left_spec)),
         right_spec_(std::move(right_spec)) {}
 
-  util::StatusOr<OntologyPair> Derive(std::string pair_name) const;
+  // With a non-null `pool`, the per-side index finalization (term-slice
+  // and relation-pair sorts, counting-sort scatters) fans across the
+  // workers; the derived pair is byte-identical either way.
+  util::StatusOr<OntologyPair> Derive(std::string pair_name,
+                                      util::ThreadPool* pool = nullptr) const;
 
   // Deterministic inclusion decision for `entity_index` at the given
   // coverage probability (exposed for tests).

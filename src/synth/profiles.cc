@@ -90,7 +90,7 @@ util::StatusOr<OntologyPair> MakeOaeiPersonPair(
                    ClsMap(2, "p2:Location"), ClsMap(3, "p2:District")};
 
   return PairDeriver(&world, std::move(left), std::move(right))
-      .Derive("oaei-person");
+      .Derive("oaei-person", options.pool);
 }
 
 // ---------------------------------------------------------------------------
@@ -161,7 +161,7 @@ util::StatusOr<OntologyPair> MakeOaeiRestaurantPair(
                    ClsMap(2, "r2:Place"), ClsMap(3, "r2:Cuisine")};
 
   return PairDeriver(&world, std::move(left), std::move(right))
-      .Derive("oaei-restaurant");
+      .Derive("oaei-restaurant", options.pool);
 }
 
 // ---------------------------------------------------------------------------
@@ -344,7 +344,7 @@ util::StatusOr<OntologyPair> MakeYagoDbpediaPair(
   }
 
   return PairDeriver(&world, std::move(left), std::move(right))
-      .Derive("yago-dbpedia");
+      .Derive("yago-dbpedia", options.pool);
 }
 
 // ---------------------------------------------------------------------------
@@ -470,7 +470,7 @@ util::StatusOr<OntologyPair> MakeYagoImdbPair(const ProfileOptions& options) {
                    ClsMap(6, "imdb:tvSeries")};
 
   return PairDeriver(&world, std::move(left), std::move(right))
-      .Derive("yago-imdb");
+      .Derive("yago-imdb", options.pool);
 }
 
 }  // namespace paris::synth

@@ -3,6 +3,7 @@
 
 #include "synth/derive.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace paris::synth {
 
@@ -11,6 +12,9 @@ struct ProfileOptions {
   // Multiplies every entity count (1.0 = the defaults documented below).
   double scale = 1.0;
   uint64_t seed = 42;
+  // Non-owning worker pool for index finalization; null = build serially.
+  // The generated pair is byte-identical either way.
+  util::ThreadPool* pool = nullptr;
 };
 
 // The four dataset pairs of the paper's evaluation (§6), rebuilt as seeded
@@ -21,7 +25,8 @@ struct ProfileOptions {
 
 // OAEI 2010 "Person" (§6.2, Table 1): two near-noise-free person/address
 // ontologies with disjoint vocabularies; 500 gold person pairs at scale 1.
-util::StatusOr<OntologyPair> MakeOaeiPersonPair(const ProfileOptions& options = {});
+util::StatusOr<OntologyPair> MakeOaeiPersonPair(
+    const ProfileOptions& options = {});
 
 // OAEI 2010 "Restaurant" (§6.2/§6.3, Table 1): restaurant/address/category
 // ontologies where one side reformats phone numbers and typos names;
@@ -40,7 +45,8 @@ util::StatusOr<OntologyPair> MakeYagoDbpediaPair(
 // database; labels on the IMDb side carry typos and token-swapped
 // transliteration variants, so the rdfs:label baseline loses recall while
 // PARIS recovers through structure.
-util::StatusOr<OntologyPair> MakeYagoImdbPair(const ProfileOptions& options = {});
+util::StatusOr<OntologyPair> MakeYagoImdbPair(
+    const ProfileOptions& options = {});
 
 }  // namespace paris::synth
 

@@ -60,6 +60,12 @@ int main(int argc, char** argv) {
   parser.AddSizeT("--threads", &options.config.num_threads,
                   "worker threads for the alignment passes and index "
                   "finalization");
+  parser.AddSizeT("--shards", &options.config.num_shards,
+                  "shards per alignment pass (0 = default 64); results are "
+                  "identical across shard counts");
+  bool progress = false;
+  parser.AddBool("--progress", &progress,
+                 "report per-shard pipeline progress on stderr");
   parser.AddBool("--negative-evidence", &options.config.use_negative_evidence,
                  "use Eq. (14) instead of Eq. (13)");
   parser.AddBool("--name-prior", &options.config.use_relation_name_prior,
@@ -127,7 +133,24 @@ int main(int argc, char** argv) {
   }
 
   // --- Align / resume -----------------------------------------------------
-  status = resume_from.empty() ? session.Align() : session.Resume(resume_from);
+  paris::api::RunCallbacks callbacks;
+  if (progress) {
+    // Progress goes to stderr so the goldened stdout stays byte-identical.
+    callbacks.on_shard = [](const paris::api::ShardProgress& shard) {
+      std::fprintf(stderr, "progress: iteration %d %s pass %zu/%zu shards\n",
+                   shard.iteration, shard.pass, shard.num_completed,
+                   shard.num_shards);
+    };
+    callbacks.on_iteration = [](const paris::api::IterationProgress& it) {
+      std::fprintf(stderr,
+                   "progress: iteration %d/%d done, %zu aligned, "
+                   "change %.4f\n",
+                   it.iteration, it.max_iterations, it.num_aligned,
+                   it.change_fraction);
+    };
+  }
+  status = resume_from.empty() ? session.Align(callbacks)
+                               : session.Resume(resume_from, callbacks);
   if (!status.ok()) return Fail(status);
 
   const paris::api::RunSummary summary = session.summary();

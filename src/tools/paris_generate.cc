@@ -28,6 +28,9 @@ int main(int argc, char** argv) {
   parser.AddString("--save-snapshot", &spec.save_snapshot,
                    "also write a binary snapshot of the generated pair, "
                    "loadable via `paris_align --load-snapshot`", "PATH");
+  parser.AddSizeT("--threads", &spec.num_threads,
+                  "worker threads for index finalization of the generated "
+                  "pair (output is identical across thread counts)");
 
   std::vector<std::string> positional;
   auto status = parser.Parse(argc, argv, &positional);

@@ -68,6 +68,35 @@ void ThreadPool::ParallelFor(size_t total,
   Wait();
 }
 
+void ThreadPool::ParallelForShards(
+    size_t total, const std::function<bool(size_t, size_t)>& fn) {
+  if (total == 0) return;
+  if (threads_.empty()) {
+    for (size_t shard = 0; shard < total; ++shard) {
+      if (!fn(shard, 0)) return;
+    }
+    return;
+  }
+  std::atomic<size_t> next{0};
+  std::atomic<bool> stop{false};
+  const size_t num_workers = std::min(threads_.size(), total);
+  for (size_t w = 0; w < num_workers; ++w) {
+    // Capturing locals by reference is safe: Wait() below blocks until every
+    // claimed shard has run. `w` is the worker's stable scratch slot.
+    Schedule([&next, &stop, &fn, total, w] {
+      while (!stop.load(std::memory_order_acquire)) {
+        const size_t shard = next.fetch_add(1, std::memory_order_relaxed);
+        if (shard >= total) return;
+        if (!fn(shard, w)) {
+          stop.store(true, std::memory_order_release);
+          return;
+        }
+      }
+    });
+  }
+  Wait();
+}
+
 void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;

@@ -44,6 +44,21 @@ class ThreadPool {
   // chunk inline.
   void ParallelFor(size_t total, const std::function<void(size_t, size_t)>& fn);
 
+  // Shard-granular variant for the pass pipeline: claims one index at a
+  // time off the shared counter and runs `fn(shard, worker)`, blocking
+  // until the range is drained or the loop is stopped. `worker` is a stable
+  // slot id in [0, max(1, num_threads())) identifying the claiming worker,
+  // so callers can keep per-worker scratch that is reused across shards
+  // instead of reallocated. `fn` returning false stops the loop
+  // cooperatively: no further shards are claimed (shards already running
+  // finish) — this is what lets a cancellation land at a shard boundary
+  // instead of an iteration boundary. Claim order is nondeterministic;
+  // callers must write only shard-local output. With 0 workers, runs the
+  // shards in order on the calling thread (worker slot 0), stopping at the
+  // first false.
+  void ParallelForShards(size_t total,
+                         const std::function<bool(size_t, size_t)>& fn);
+
  private:
   void WorkerLoop();
 
@@ -65,6 +80,20 @@ inline void ForRange(ThreadPool* pool, size_t total,
     pool->ParallelFor(total, fn);
   } else if (total > 0) {
     fn(0, total);
+  }
+}
+
+// Nullable-pool counterpart of `ParallelForShards`: claims shards across
+// `pool` when one is present (and has workers), otherwise runs them in
+// order inline on worker slot 0, stopping at the first false.
+inline void ForRangeShards(ThreadPool* pool, size_t total,
+                           const std::function<bool(size_t, size_t)>& fn) {
+  if (pool != nullptr && pool->num_threads() > 0) {
+    pool->ParallelForShards(total, fn);
+    return;
+  }
+  for (size_t shard = 0; shard < total; ++shard) {
+    if (!fn(shard, 0)) return;
   }
 }
 
