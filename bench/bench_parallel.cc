@@ -3,13 +3,16 @@
 // relation-score pass, the instance pass, the class pass (each additionally
 // split into its sharded parallel section vs its serial Prepare+Merge
 // bookends), snapshot loading (streamed vs mmap), and a cold run vs a run
-// resumed from a result snapshot — at 1, 2, and 8 worker threads. Gives
-// future PRs a perf trajectory; the committed baselines live in
-// BENCH_parallel.json (one entry per hardware_threads value), which the CI
-// bench job compares fresh runs against (matching hardware_threads only;
-// see scripts/check_bench_regression.py --add-baseline).
+// resumed from a result snapshot — at 1, 2, and 8 worker threads, plus the
+// observability overhead (the same run with tracing + metrics on vs off,
+// reported as a fraction). Gives future PRs a perf trajectory; the
+// committed baselines live in BENCH_parallel.json (one entry per
+// hardware_threads value), which the CI bench job compares fresh runs
+// against (matching hardware_threads only; see
+// scripts/check_bench_regression.py --add-baseline).
 //
 //   bench_parallel [OUTPUT.json]    (default: stdout)
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -20,13 +23,14 @@
 
 #include "core/aligner.h"
 #include "core/result_snapshot.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "ontology/snapshot.h"
 #include "rdf/store.h"
 #include "rdf/term.h"
 #include "synth/profiles.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
-#include "util/timer.h"
 
 namespace paris::bench {
 namespace {
@@ -52,7 +56,9 @@ struct StoreWorkload {
   double parse_seconds = 0;
 
   void Ingest(size_t triples, size_t terms, size_t relations) {
-    util::WallTimer timer;
+    // A null-recorder span is the bench's stopwatch — the same steady clock
+    // every instrumented phase reports through.
+    obs::Span timer(nullptr, 0, "bench", "parse");
     store = std::make_unique<rdf::TripleStore>(&pool);
     std::vector<rdf::TermId> term_ids;
     term_ids.reserve(terms);
@@ -76,7 +82,7 @@ struct StoreWorkload {
                  term_ids[o]);
     }
     num_triples = triples;
-    parse_seconds = timer.ElapsedSeconds();
+    parse_seconds = timer.End();
   }
 };
 
@@ -117,9 +123,9 @@ int Main(int argc, char** argv) {
       phases.push_back({"parse", 1, workload.parse_seconds});
     }
     util::ThreadPool pool(threads);
-    util::WallTimer timer;
+    obs::Span timer(nullptr, 0, "bench", "finalize");
     workload.store->Finalize(&pool);
-    phases.push_back({"finalize", threads, timer.ElapsedSeconds()});
+    phases.push_back({"finalize", threads, timer.End()});
     store_triples = workload.store->num_triples();
   }
 
@@ -169,10 +175,10 @@ int Main(int argc, char** argv) {
     config.convergence_threshold = 0.0;
     config.record_history = false;
 
-    util::WallTimer timer;
+    obs::Span cold_timer(nullptr, 0, "bench", "run_cold");
     core::Aligner cold(*pair->left, *pair->right, config);
     const core::AlignmentResult cold_result = cold.Run();
-    phases.push_back({"run_cold", 1, timer.ElapsedSeconds()});
+    phases.push_back({"run_cold", 1, cold_timer.End()});
 
     // Checkpoint after 2 of the 3 iterations, then resume: load + the last
     // iteration + the class pass.
@@ -189,7 +195,7 @@ int Main(int argc, char** argv) {
                    saved.ToString().c_str());
       return 1;
     }
-    timer.Restart();
+    obs::Span resume_timer(nullptr, 0, "bench", "run_resume");
     auto loaded = core::LoadAlignmentResult(result_path, *pair->left,
                                             *pair->right, config, "identity");
     if (!loaded.ok()) {
@@ -200,7 +206,7 @@ int Main(int argc, char** argv) {
     core::Aligner warm(*pair->left, *pair->right, config);
     const core::AlignmentResult warm_result =
         warm.Resume(std::move(loaded).value());
-    phases.push_back({"run_resume", 1, timer.ElapsedSeconds()});
+    phases.push_back({"run_resume", 1, resume_timer.End()});
     std::remove(result_path.c_str());
     if (warm_result.instances.num_left_aligned() !=
         cold_result.instances.num_left_aligned()) {
@@ -221,7 +227,7 @@ int Main(int argc, char** argv) {
   for (const auto& [name, mode] :
        {std::pair{"snapshot_load_stream", ontology::SnapshotLoadMode::kStream},
         std::pair{"snapshot_load_mmap", ontology::SnapshotLoadMode::kMmap}}) {
-    util::WallTimer timer;
+    obs::Span timer(nullptr, 0, "bench", name);
     rdf::TermPool fresh;
     auto loaded = ontology::LoadAlignmentSnapshot(snap_path, &fresh, mode);
     if (!loaded.ok()) {
@@ -229,9 +235,51 @@ int Main(int argc, char** argv) {
                    loaded.status().ToString().c_str());
       return 1;
     }
-    phases.push_back({name, 1, timer.ElapsedSeconds()});
+    phases.push_back({name, 1, timer.End()});
   }
   std::remove(snap_path.c_str());
+
+  // --- Observability overhead ----------------------------------------------
+  // The same fixed-work run with tracing + metrics off vs on, interleaved
+  // to share thermal/cache conditions, best-of-3 each. The acceptance bar
+  // for the obs subsystem is under 1% overhead; "obs_overhead_fraction"
+  // reports the measured fraction (as the phase's "seconds" value).
+  {
+    core::AlignmentConfig config;
+    config.num_threads = 1;
+    config.max_iterations = 3;
+    config.convergence_threshold = 0.0;
+    config.record_history = false;
+    double best_off = 0, best_on = 0;
+    size_t aligned_off = 0, aligned_on = 0;
+    for (int rep = 0; rep < 3; ++rep) {
+      {
+        obs::Span timer(nullptr, 0, "bench", "run_obs_off");
+        core::Aligner aligner(*pair->left, *pair->right, config);
+        aligned_off = aligner.Run().instances.num_left_aligned();
+        const double seconds = timer.End();
+        best_off = rep == 0 ? seconds : std::min(best_off, seconds);
+      }
+      {
+        obs::TraceRecorder trace(config.num_threads);
+        obs::MetricsRegistry metrics(config.num_threads);
+        obs::Span timer(nullptr, 0, "bench", "run_obs_on");
+        core::Aligner aligner(*pair->left, *pair->right, config);
+        aligner.set_observability({&trace, &metrics});
+        aligned_on = aligner.Run().instances.num_left_aligned();
+        const double seconds = timer.End();
+        best_on = rep == 0 ? seconds : std::min(best_on, seconds);
+      }
+    }
+    if (aligned_on != aligned_off) {
+      std::fprintf(stderr, "observability changed the alignment result\n");
+      return 1;
+    }
+    phases.push_back({"run_obs_off", 1, best_off});
+    phases.push_back({"run_obs_on", 1, best_on});
+    phases.push_back({"obs_overhead_fraction", 1,
+                      std::max(0.0, (best_on - best_off) / best_off)});
+  }
 
   std::FILE* out = stdout;
   if (argc > 1) {

@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Validate paris_align --trace-json / --metrics-json output.
+
+Checks that the trace is well-formed Chrome trace-event JSON whose shard
+spans cover every (iteration, pass) contiguously from shard 0, and that the
+metrics JSON has the registry schema (histogram counts = bounds + 1) with
+internally consistent per-iteration convergence telemetry. Prints a
+one-line summary (also written to --summary, for the CI commit comment).
+
+    check_trace.py TRACE.json [METRICS.json] [--summary OUT.txt]
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(message):
+    print(f"check_trace: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_trace(path):
+    with open(path) as f:
+        trace = json.load(f)
+    if trace.get("displayTimeUnit") != "ms":
+        fail("missing displayTimeUnit")
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("traceEvents missing or empty")
+
+    spans = 0
+    shards = {}  # (iteration, pass name) -> set of shard ids
+    for event in events:
+        ph = event.get("ph")
+        if ph == "M":
+            if event.get("name") != "thread_name" or "tid" not in event:
+                fail(f"malformed metadata event: {event}")
+            continue
+        if ph != "X":
+            fail(f"unexpected event phase {ph!r}")
+        for key in ("name", "cat", "ts", "dur", "pid", "tid"):
+            if key not in event:
+                fail(f"complete event missing {key!r}: {event}")
+        if event["dur"] < 0 or event["ts"] < 0:
+            fail(f"negative timestamp: {event}")
+        spans += 1
+        args = event.get("args", {})
+        if event["cat"] == "shard":
+            key = (args.get("iteration", 0), event["name"])
+            shards.setdefault(key, set()).add(args["shard"])
+
+    if not shards:
+        fail("no shard spans recorded")
+    for (iteration, name), ids in sorted(shards.items()):
+        expected = set(range(len(ids)))
+        if ids != expected:
+            fail(
+                f"iteration {iteration} {name} pass: shard spans not "
+                f"contiguous from 0: {sorted(ids)}"
+            )
+    return spans, shards
+
+
+def check_metrics(path):
+    with open(path) as f:
+        metrics = json.load(f)
+    for section in ("counters", "gauges", "histograms"):
+        if not isinstance(metrics.get(section), dict):
+            fail(f"metrics missing {section!r} object")
+    for name, value in metrics["counters"].items():
+        if not isinstance(value, int) or value < 0:
+            fail(f"counter {name!r} is not a non-negative integer")
+    for name, histogram in metrics["histograms"].items():
+        bounds = histogram.get("bounds")
+        counts = histogram.get("counts")
+        if not isinstance(bounds, list) or not isinstance(counts, list):
+            fail(f"histogram {name!r} missing bounds/counts")
+        if len(counts) != len(bounds) + 1:
+            fail(f"histogram {name!r}: {len(counts)} counts for "
+                 f"{len(bounds)} bounds")
+        if sorted(bounds) != bounds:
+            fail(f"histogram {name!r}: bounds not ascending")
+
+    iterations = metrics.get("iterations")
+    if not isinstance(iterations, list):
+        fail("metrics missing iterations array")
+    for it in iterations:
+        moved = it["changed"] + it["gained"] + it["dropped"]
+        if sum(it["shard_changed"]) != moved:
+            fail(f"iteration {it['iteration']}: shard_changed sums to "
+                 f"{sum(it['shard_changed'])}, expected {moved}")
+        delta = it["score_delta"]
+        if len(delta["counts"]) != len(delta["bounds"]) + 1:
+            fail(f"iteration {it['iteration']}: score_delta shape")
+        if sum(delta["counts"]) != it["stable"] + it["changed"]:
+            fail(f"iteration {it['iteration']}: score_delta sums to "
+                 f"{sum(delta['counts'])}, expected "
+                 f"{it['stable'] + it['changed']}")
+    return metrics
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace")
+    parser.add_argument("metrics", nargs="?")
+    parser.add_argument("--summary", help="also write the summary line here")
+    args = parser.parse_args()
+
+    spans, shards = check_trace(args.trace)
+    passes = len(shards)
+    summary = f"trace OK: {spans} spans, {passes} (iteration, pass) groups"
+
+    if args.metrics:
+        metrics = check_metrics(args.metrics)
+        iterations = metrics["iterations"]
+        aligned = metrics["gauges"].get("run.instances_aligned", 0)
+        moved_last = (
+            iterations[-1]["changed"]
+            + iterations[-1]["gained"]
+            + iterations[-1]["dropped"]
+            if iterations
+            else 0
+        )
+        summary += (
+            f"; metrics OK: {len(metrics['counters'])} counters, "
+            f"{len(iterations)} iterations, {aligned} aligned, "
+            f"{moved_last} moved in last iteration"
+        )
+
+    print(summary)
+    if args.summary:
+        with open(args.summary, "w") as f:
+            f.write(summary + "\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -3,10 +3,14 @@
 #include <atomic>
 #include <cstdio>
 #include <ostream>
+#include <sstream>
 #include <utility>
 
 #include "core/result_io.h"
 #include "core/result_snapshot.h"
+#include "core/telemetry.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rdf/ntriples.h"
 #include "rdf/turtle.h"
 
@@ -49,7 +53,19 @@ util::Status ParseRdfFile(const std::string& path, rdf::TripleSink* sink) {
 
 Session::Session() : Session(Options()) {}
 
-Session::Session(Options options) : options_(std::move(options)) {}
+Session::Session(Options options) : options_(std::move(options)) {
+  // Sized for the worker pool `workers()` would create: slots [0, threads)
+  // for the pool workers plus a main slot — matching how the instrumented
+  // layers hand out slot ids (obs/hooks.h).
+  const size_t worker_slots =
+      options_.config.num_threads > 0 ? options_.config.num_threads : 1;
+  if (options_.trace) {
+    trace_ = std::make_unique<obs::TraceRecorder>(worker_slots);
+  }
+  if (options_.metrics) {
+    metrics_ = std::make_unique<obs::MetricsRegistry>(worker_slots);
+  }
+}
 
 Session::~Session() = default;
 
@@ -70,15 +86,22 @@ util::Status Session::LoadFromFiles(const std::string& left_path,
   auto pool = std::make_unique<rdf::TermPool>();
 
   ontology::OntologyBuilder left_builder(pool.get(), "left");
-  auto status = ParseRdfFile(left_path, &left_builder);
-  if (!status.ok()) return Annotate(left_path, status);
-  auto left = left_builder.Build(workers());
+  {
+    obs::Span span(trace_.get(), hooks().main_slot(), "io", "rdf.parse.left");
+    auto status = ParseRdfFile(left_path, &left_builder);
+    if (!status.ok()) return Annotate(left_path, status);
+  }
+  auto left = left_builder.Build(workers(), hooks());
   if (!left.ok()) return Annotate("left ontology", left.status());
 
   ontology::OntologyBuilder right_builder(pool.get(), "right");
-  status = ParseRdfFile(right_path, &right_builder);
-  if (!status.ok()) return Annotate(right_path, status);
-  auto right = right_builder.Build(workers());
+  {
+    obs::Span span(trace_.get(), hooks().main_slot(), "io",
+                   "rdf.parse.right");
+    auto status = ParseRdfFile(right_path, &right_builder);
+    if (!status.ok()) return Annotate(right_path, status);
+  }
+  auto right = right_builder.Build(workers(), hooks());
   if (!right.ok()) return Annotate("right ontology", right.status());
 
   pool_ = std::move(pool);
@@ -95,6 +118,7 @@ util::Status Session::LoadFromSnapshot(const std::string& path) {
   // The loader leaves a pool unspecified on failure, so commit the pool to
   // the session only once the load succeeded.
   auto pool = std::make_unique<rdf::TermPool>();
+  obs::Span span(trace_.get(), hooks().main_slot(), "io", "snapshot.load");
   auto snapshot = ontology::LoadAlignmentSnapshot(path, pool.get(),
                                                   options_.snapshot_load_mode);
   if (!snapshot.ok()) return Annotate(path, snapshot.status());
@@ -108,6 +132,7 @@ util::Status Session::SaveSnapshot(const std::string& path) const {
   if (!loaded()) {
     return util::FailedPreconditionError("no ontologies loaded");
   }
+  obs::Span span(trace_.get(), hooks().main_slot(), "io", "snapshot.save");
   return Annotate(path, ontology::SaveAlignmentSnapshot(path, *left_, *right_));
 }
 
@@ -140,6 +165,7 @@ util::Status Session::RunAligner(const RunCallbacks& callbacks,
   core::Aligner aligner(*left_, *right_, options_.config);
   aligner.set_literal_matcher_factory(std::move(factory).value());
   aligner.set_thread_pool(workers());
+  aligner.set_observability(hooks());
 
   // Written from the run thread (iteration observer) and from pool workers
   // (shard observer); the runs never overlap, but the atomic keeps the
@@ -155,6 +181,7 @@ util::Status Session::RunAligner(const RunCallbacks& callbacks,
           progress.change_fraction = record.change_fraction;
           progress.seconds =
               record.seconds_instances + record.seconds_relations;
+          progress.num_changed = record.telemetry.num_changed();
           callbacks.on_iteration(progress);
         }
         if (callbacks.cancellation && callbacks.cancellation->cancelled()) {
@@ -191,10 +218,12 @@ util::Status Session::RunAligner(const RunCallbacks& callbacks,
   if (resume_path.empty()) {
     result_.emplace(aligner.Run());
   } else {
-    auto checkpoint =
-        core::LoadAlignmentResult(resume_path, *left_, *right_,
-                                  aligner.config(), options_.matcher,
-                                  options_.snapshot_load_mode);
+    auto checkpoint = [&] {
+      obs::Span span(trace_.get(), hooks().main_slot(), "io", "result.load");
+      return core::LoadAlignmentResult(resume_path, *left_, *right_,
+                                       aligner.config(), options_.matcher,
+                                       options_.snapshot_load_mode);
+    }();
     if (!checkpoint.ok()) return Annotate(resume_path, checkpoint.status());
     resumed = checkpoint->iterations.size();
     result_.emplace(aligner.Resume(std::move(checkpoint).value()));
@@ -232,6 +261,7 @@ util::Status Session::SaveResult(const std::string& path) const {
   if (!has_result()) {
     return util::FailedPreconditionError("no alignment result to save");
   }
+  obs::Span span(trace_.get(), hooks().main_slot(), "io", "result.save");
   return Annotate(path,
                   core::SaveAlignmentResult(path, *result_, *left_, *right_,
                                             resolved_config_,
@@ -270,6 +300,71 @@ util::Status Session::PrintStats(std::ostream& out) const {
                        onto->FunInverse(r), onto->store().PairCount(r));
     }
   }
+  return util::OkStatus();
+}
+
+util::Status Session::WriteTrace(std::ostream& out) const {
+  if (trace_ == nullptr) {
+    return util::FailedPreconditionError(
+        "tracing disabled; construct the Session with "
+        "Options::set_trace(true)");
+  }
+  trace_->WriteJson(out);
+  return util::OkStatus();
+}
+
+util::StatusOr<obs::MetricsSnapshot> Session::Metrics() const {
+  if (metrics_ == nullptr) {
+    return util::FailedPreconditionError(
+        "metrics disabled; construct the Session with "
+        "Options::set_metrics(true)");
+  }
+  return metrics_->Snapshot();
+}
+
+util::Status Session::WriteMetricsJson(std::ostream& out) const {
+  if (metrics_ == nullptr) {
+    return util::FailedPreconditionError(
+        "metrics disabled; construct the Session with "
+        "Options::set_metrics(true)");
+  }
+  std::ostringstream registry_json;
+  metrics_->WriteJson(registry_json);
+  std::string body = std::move(registry_json).str();
+  // The registry snapshot is a closed JSON object; re-open it to append the
+  // per-iteration convergence telemetry as one more section.
+  body.pop_back();
+  out << body << ",\"iterations\":[";
+  if (has_result()) {
+    for (size_t i = 0; i < result_->iterations.size(); ++i) {
+      const core::IterationRecord& record = result_->iterations[i];
+      const core::ConvergenceTelemetry& t = record.telemetry;
+      if (i > 0) out << ",";
+      out << "{\"iteration\":" << record.index
+          << ",\"num_aligned\":" << record.num_left_aligned
+          << ",\"change_fraction\":"
+          << StrFormat("%g", record.change_fraction)
+          << ",\"changed\":" << t.changed << ",\"gained\":" << t.gained
+          << ",\"dropped\":" << t.dropped << ",\"stable\":" << t.stable
+          << ",\"score_delta\":{\"bounds\":[";
+      for (size_t b = 0; b < std::size(core::kScoreDeltaBounds); ++b) {
+        if (b > 0) out << ",";
+        out << StrFormat("%g", core::kScoreDeltaBounds[b]);
+      }
+      out << "],\"counts\":[";
+      for (size_t c = 0; c < t.score_delta_counts.size(); ++c) {
+        if (c > 0) out << ",";
+        out << t.score_delta_counts[c];
+      }
+      out << "]},\"shard_changed\":[";
+      for (size_t s = 0; s < t.shard_changed.size(); ++s) {
+        if (s > 0) out << ",";
+        out << t.shard_changed[s];
+      }
+      out << "]}";
+    }
+  }
+  out << "]}\n";
   return util::OkStatus();
 }
 

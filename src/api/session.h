@@ -12,6 +12,7 @@
 #include "api/matcher_registry.h"
 #include "core/aligner.h"
 #include "core/config.h"
+#include "obs/hooks.h"
 #include "ontology/ontology.h"
 #include "ontology/snapshot.h"
 #include "rdf/term.h"
@@ -47,6 +48,9 @@ struct IterationProgress {
   size_t num_aligned = 0;  // left instances with a counterpart
   double change_fraction = 1.0;
   double seconds = 0.0;    // instance + relation pass wall time
+  // Convergence telemetry: left instances whose maximal assignment moved
+  // this iteration (changed counterpart + newly assigned + dropped).
+  size_t num_changed = 0;
 };
 
 // Scalar progress report for one completed pipeline shard (a fixed
@@ -119,6 +123,11 @@ class Session {
     // How LoadFromSnapshot / Resume bring snapshot files in.
     ontology::SnapshotLoadMode snapshot_load_mode =
         ontology::SnapshotLoadMode::kAuto;
+    // Observability (src/obs/): when set, the session owns a TraceRecorder
+    // / MetricsRegistry sized for its worker pool and instruments loading,
+    // the pass pipeline, and snapshot IO. Never changes alignment output.
+    bool trace = false;
+    bool metrics = false;
 
     Options& set_threads(size_t n) { config.num_threads = n; return *this; }
     Options& set_theta(double theta) { config.theta = theta; return *this; }
@@ -144,6 +153,14 @@ class Session {
     }
     Options& set_snapshot_load_mode(ontology::SnapshotLoadMode mode) {
       snapshot_load_mode = mode;
+      return *this;
+    }
+    Options& set_trace(bool on) {
+      trace = on;
+      return *this;
+    }
+    Options& set_metrics(bool on) {
+      metrics = on;
       return *this;
     }
   };
@@ -210,6 +227,22 @@ class Session {
   // functionalities) for both sides to `out`.
   util::Status PrintStats(std::ostream& out) const;
 
+  // ---- Observability (Options::trace / Options::metrics) -----------------
+
+  // Writes every span recorded so far as Chrome trace-event JSON (openable
+  // in chrome://tracing or https://ui.perfetto.dev). FailedPrecondition
+  // unless Options::trace was set.
+  util::Status WriteTrace(std::ostream& out) const;
+
+  // The merged metric values (deterministic across thread and shard
+  // counts). FailedPrecondition unless Options::metrics was set.
+  util::StatusOr<obs::MetricsSnapshot> Metrics() const;
+
+  // The registry snapshot plus, when a result exists, the per-iteration
+  // convergence telemetry, as one JSON object. FailedPrecondition unless
+  // Options::metrics was set.
+  util::Status WriteMetricsJson(std::ostream& out) const;
+
   bool loaded() const { return left_.has_value(); }
   bool has_result() const { return result_.has_value(); }
 
@@ -225,10 +258,17 @@ class Session {
   // The worker pool, created on demand (null when options request 0
   // threads). Used for both index finalization and the alignment passes.
   util::ThreadPool* workers();
+  // The session's recorders as non-owning hooks ({} when observability is
+  // off); handed to every instrumented layer.
+  obs::Hooks hooks() const { return {trace_.get(), metrics_.get()}; }
 
   Options options_;
   std::unique_ptr<rdf::TermPool> pool_;
   std::unique_ptr<util::ThreadPool> thread_pool_;
+  // Created in the constructor (sized for the worker pool) when the
+  // corresponding option is on, so spans/metrics cover loading too.
+  std::unique_ptr<obs::TraceRecorder> trace_;
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
   std::optional<ontology::Ontology> left_;
   std::optional<ontology::Ontology> right_;
   std::optional<core::AlignmentResult> result_;

@@ -1,11 +1,13 @@
 #include "core/aligner.h"
 
+#include <iterator>
 #include <string>
 #include <utility>
+#include <vector>
 
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/string_util.h"
-#include "util/timer.h"
 
 namespace paris::core {
 
@@ -106,7 +108,26 @@ AlignmentResult Aligner::Resume(AlignmentResult checkpoint) {
 }
 
 AlignmentResult Aligner::RunInternal(AlignmentResult* checkpoint) {
-  util::WallTimer total_timer;
+  // Every duration below comes from one clock: an obs::Span, which times
+  // itself even with no trace recorder attached. `pass_timings`, the
+  // iteration records, and --trace-json therefore always agree.
+  const size_t obs_slot = obs_.main_slot();
+  obs::Span total_span(obs_.trace, obs_slot, "run", "align");
+  obs::MetricId m_changed = 0;
+  obs::MetricId m_gained = 0;
+  obs::MetricId m_dropped = 0;
+  obs::MetricId m_stable = 0;
+  obs::MetricId m_score_delta = 0;
+  if (obs_.metrics != nullptr) {
+    m_changed = obs_.metrics->Counter("convergence.changed");
+    m_gained = obs_.metrics->Counter("convergence.gained");
+    m_dropped = obs_.metrics->Counter("convergence.dropped");
+    m_stable = obs_.metrics->Counter("convergence.stable");
+    m_score_delta = obs_.metrics->Histogram(
+        "convergence.score_delta",
+        std::vector<double>(std::begin(kScoreDeltaBounds),
+                            std::end(kScoreDeltaBounds)));
+  }
   AlignmentResult result;
 
   // Literal matchers, one per direction (§5.3).
@@ -132,6 +153,7 @@ AlignmentResult Aligner::RunInternal(AlignmentResult* checkpoint) {
   ctx.config = &config_;
   ctx.matcher_l2r = matcher_l2r.get();
   ctx.matcher_r2l = matcher_r2l.get();
+  ctx.obs = obs_;
 
   InstancePass instance_pass;
   RelationPass relation_pass;
@@ -195,20 +217,25 @@ AlignmentResult Aligner::RunInternal(AlignmentResult* checkpoint) {
     // Step 1: instance pass from the previous iteration's state. A resumed
     // iteration that was cancelled during its *relation* pass already has
     // the instance pass's (blended) output — adopt it outright.
-    util::WallTimer timer;
-    util::WallTimer phase_timer;
+    obs::Span iteration_span(obs_.trace, obs_slot, "iteration", "iteration",
+                             iteration);
+    obs::Span instance_span(obs_.trace, obs_slot, "pass", "instance",
+                            iteration);
     if (adopt != nullptr && adopt->pass == kRelationPass) {
       ctx.current = std::move(adopt->instances);
     } else {
+      obs::Span prepare_span(obs_.trace, obs_slot, "phase",
+                             "instance.prepare", iteration);
       const size_t num_shards = instance_pass.Prepare(ctx);
       const std::vector<uint8_t> cached =
           AdoptShards(instance_pass, adopt, kInstancePass, num_shards, ctx);
-      instance_times.prepare_seconds += phase_timer.ElapsedSeconds();
-      phase_timer.Restart();
+      instance_times.prepare_seconds += prepare_span.End();
+      obs::Span shards_span(obs_.trace, obs_slot, "phase", "instance.shards",
+                            iteration);
       const ShardRunOutcome outcome =
           RunPassShards(instance_pass, num_shards, ctx, pool,
                         cancellable_gate, cached.empty() ? nullptr : &cached);
-      instance_times.shard_seconds += phase_timer.ElapsedSeconds();
+      instance_times.shard_seconds += shards_span.End();
       instance_times.shards_run += outcome.num_completed;
       if (!outcome.all_completed()) {
         // Mid-pass cancel: checkpoint the completed shards and wrap up from
@@ -217,7 +244,8 @@ AlignmentResult Aligner::RunInternal(AlignmentResult* checkpoint) {
                                               iteration, num_shards, outcome));
         break;
       }
-      phase_timer.Restart();
+      obs::Span merge_span(obs_.trace, obs_slot, "phase", "instance.merge",
+                           iteration);
       instance_pass.Merge(ctx);
       if (config_.dampening > 0.0 && iteration > 1) {
         // Progressively increasing dampening factor (§5.1's convergence
@@ -229,7 +257,7 @@ AlignmentResult Aligner::RunInternal(AlignmentResult* checkpoint) {
                               config_.instance_threshold,
                               config_.max_candidates_per_instance);
       }
-      instance_times.merge_seconds += phase_timer.ElapsedSeconds();
+      instance_times.merge_seconds += merge_span.End();
       if (outcome.stopped) {
         // The cancel landed on the pass's final shard: the instance pass is
         // complete, so checkpoint its merged output and resume straight
@@ -241,22 +269,40 @@ AlignmentResult Aligner::RunInternal(AlignmentResult* checkpoint) {
         break;
       }
     }
-    record.seconds_instances = timer.ElapsedSeconds();
+    record.seconds_instances = instance_span.End();
     record.num_left_aligned = ctx.current.num_left_aligned();
     record.change_fraction = ctx.current.MaxAssignmentChangeFraction(previous);
+    // Convergence telemetry: what this iteration moved, per entity and per
+    // instance-pass shard. Recomputing the layout here (instead of asking
+    // the pass) keeps the adopted-instance-pass resume path covered too.
+    record.telemetry = ComputeConvergenceTelemetry(
+        left_.instances(),
+        ShardLayout::Make(left_.instances().size(), config_.num_shards),
+        previous, ctx.current);
+    if (obs_.metrics != nullptr) {
+      obs_.metrics->Add(m_changed, obs_slot, record.telemetry.changed);
+      obs_.metrics->Add(m_gained, obs_slot, record.telemetry.gained);
+      obs_.metrics->Add(m_dropped, obs_slot, record.telemetry.dropped);
+      obs_.metrics->Add(m_stable, obs_slot, record.telemetry.stable);
+      obs_.metrics->MergeCounts(m_score_delta, obs_slot,
+                                record.telemetry.score_delta_counts);
+    }
 
     // Step 2: relation pass from the fresh equivalences.
-    timer.Restart();
-    phase_timer.Restart();
+    obs::Span relation_span(obs_.trace, obs_slot, "pass", "relation",
+                            iteration);
+    obs::Span rel_prepare_span(obs_.trace, obs_slot, "phase",
+                               "relation.prepare", iteration);
     const size_t num_shards = relation_pass.Prepare(ctx);
     const std::vector<uint8_t> cached =
         AdoptShards(relation_pass, adopt, kRelationPass, num_shards, ctx);
-    relation_times.prepare_seconds += phase_timer.ElapsedSeconds();
-    phase_timer.Restart();
+    relation_times.prepare_seconds += rel_prepare_span.End();
+    obs::Span rel_shards_span(obs_.trace, obs_slot, "phase",
+                              "relation.shards", iteration);
     const ShardRunOutcome outcome =
         RunPassShards(relation_pass, num_shards, ctx, pool, cancellable_gate,
                       cached.empty() ? nullptr : &cached);
-    relation_times.shard_seconds += phase_timer.ElapsedSeconds();
+    relation_times.shard_seconds += rel_shards_span.End();
     relation_times.shards_run += outcome.num_completed;
     if (!outcome.all_completed()) {
       result.partial.emplace(CapturePartial(relation_pass, kRelationPass,
@@ -264,11 +310,12 @@ AlignmentResult Aligner::RunInternal(AlignmentResult* checkpoint) {
       result.partial->instances = std::move(ctx.current);
       break;
     }
-    phase_timer.Restart();
+    obs::Span rel_merge_span(obs_.trace, obs_slot, "phase", "relation.merge",
+                             iteration);
     relation_pass.Merge(ctx);
-    relation_times.merge_seconds += phase_timer.ElapsedSeconds();
+    relation_times.merge_seconds += rel_merge_span.End();
     rel_scores = std::move(ctx.fresh_scores);
-    record.seconds_relations = timer.ElapsedSeconds();
+    record.seconds_relations = relation_span.End();
     resume_partial.reset();  // fully consumed once its iteration completes
 
     if (config_.record_history) {
@@ -305,26 +352,38 @@ AlignmentResult Aligner::RunInternal(AlignmentResult* checkpoint) {
   // computed only after the instance equivalences). Runs even after a
   // mid-iteration cancel: the interrupted iteration lives in
   // `result.partial`, while the tables below all reflect `previous`.
-  util::WallTimer class_timer;
   ctx.iteration = static_cast<int>(result.iterations.size());
   ctx.previous = &previous;
-  util::WallTimer phase_timer;
+  obs::Span class_span(obs_.trace, obs_slot, "pass", "class", ctx.iteration);
+  obs::Span class_prepare_span(obs_.trace, obs_slot, "phase", "class.prepare",
+                               ctx.iteration);
   const size_t class_shards = class_pass.Prepare(ctx);
-  class_times.prepare_seconds += phase_timer.ElapsedSeconds();
-  phase_timer.Restart();
+  class_times.prepare_seconds += class_prepare_span.End();
+  obs::Span class_shards_span(obs_.trace, obs_slot, "phase", "class.shards",
+                              ctx.iteration);
   const ShardRunOutcome class_outcome =
       RunPassShards(class_pass, class_shards, ctx, pool, reporting_gate);
-  class_times.shard_seconds += phase_timer.ElapsedSeconds();
+  class_times.shard_seconds += class_shards_span.End();
   class_times.shards_run += class_outcome.num_completed;
-  phase_timer.Restart();
+  obs::Span class_merge_span(obs_.trace, obs_slot, "phase", "class.merge",
+                             ctx.iteration);
   class_pass.Merge(ctx);
-  class_times.merge_seconds += phase_timer.ElapsedSeconds();
+  class_times.merge_seconds += class_merge_span.End();
   result.classes = std::move(ctx.classes);
-  result.seconds_classes = class_timer.ElapsedSeconds();
+  result.seconds_classes = class_span.End();
 
   result.instances = std::move(previous);
   result.relations = std::move(rel_scores);
-  result.seconds_total = total_timer.ElapsedSeconds();
+  result.seconds_total = total_span.End();
+  if (obs_.metrics != nullptr) {
+    obs_.metrics->SetGauge(obs_.metrics->Gauge("run.iterations"),
+                           static_cast<int64_t>(result.iterations.size()));
+    obs_.metrics->SetGauge(obs_.metrics->Gauge("run.converged_at"),
+                           result.converged_at);
+    obs_.metrics->SetGauge(
+        obs_.metrics->Gauge("run.instances_aligned"),
+        static_cast<int64_t>(result.instances.num_left_aligned()));
+  }
   return result;
 }
 

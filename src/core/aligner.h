@@ -15,6 +15,8 @@
 #include "core/pass.h"
 #include "core/relation_align.h"
 #include "core/relation_scores.h"
+#include "core/telemetry.h"
+#include "obs/hooks.h"
 #include "ontology/ontology.h"
 #include "util/thread_pool.h"
 
@@ -30,6 +32,9 @@ struct IterationRecord {
   // iteration (the "Change to prev." column).
   double change_fraction = 1.0;
   size_t num_left_aligned = 0;
+  // What this iteration changed about the maximal assignment, per entity
+  // and per shard (always recorded; not serialized in result snapshots).
+  ConvergenceTelemetry telemetry;
   // Snapshots (populated when config.record_history).
   std::unordered_map<rdf::TermId, Candidate> max_left;
   std::unordered_map<rdf::TermId, Candidate> max_right;
@@ -151,6 +156,16 @@ class Aligner {
   // index finalization and repeated runs.
   void set_thread_pool(util::ThreadPool* pool) { external_pool_ = pool; }
 
+  // Attaches tracing/metrics recorders (src/obs/) for the run. Both
+  // pointers are optional and non-owning; when set they must be sized for
+  // the worker pool the run uses (max(1, threads) worker slots) and stay
+  // alive until Run/Resume returns. Spans cover the run, each iteration,
+  // each pass (with prepare/shards/merge sub-phases), and every computed
+  // shard; metrics stay deterministic across thread and shard counts.
+  // Enabling observability never changes the alignment output. Must be set
+  // before Run().
+  void set_observability(obs::Hooks hooks) { obs_ = hooks; }
+
   const AlignmentConfig& config() const { return config_; }
 
   AlignmentResult Run();
@@ -179,6 +194,7 @@ class Aligner {
   IterationObserver iteration_observer_;
   ShardObserver shard_observer_;
   util::ThreadPool* external_pool_ = nullptr;
+  obs::Hooks obs_;
 };
 
 }  // namespace paris::core

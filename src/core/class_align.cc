@@ -105,6 +105,10 @@ size_t ClassPass::Prepare(IterationContext& ctx) {
   outputs_.resize(layout_.num_shards);
   for (auto& shard : outputs_) shard.clear();
   scratch_ = &ctx.ScratchSlots<ClassShardScratch>();  // serial phase
+  if (ctx.obs.metrics != nullptr) {  // serial phase: registration may allocate
+    classes_scored_ = ctx.obs.metrics->Counter("class.classes_scored");
+    entries_emitted_ = ctx.obs.metrics->Counter("class.entries_emitted");
+  }
   return layout_.num_shards;
 }
 
@@ -120,6 +124,11 @@ void ClassPass::RunShard(size_t shard, size_t worker, IterationContext& ctx) {
         is_left ? left_classes[i] : right_classes[i - num_left_];
     ScoreOneClass(c, is_left ? l2r_ : r2l_, *ctx.config, is_left, &scratch,
                   &outputs_[shard]);
+  }
+  if (ctx.obs.metrics != nullptr) {
+    ctx.obs.metrics->Add(classes_scored_, worker,
+                         layout_.end(shard) - layout_.begin(shard));
+    ctx.obs.metrics->Add(entries_emitted_, worker, outputs_[shard].size());
   }
 }
 

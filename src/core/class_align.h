@@ -54,6 +54,10 @@ class ClassPass final : public Pass {
   // The per-worker scratch slots, bound in Prepare (RunShard must not call
   // ScratchSlots itself — it may allocate).
   std::vector<ClassShardScratch>* scratch_ = nullptr;
+  // Registered in Prepare when ctx.obs.metrics is set; bumped per shard
+  // with the worker's slot.
+  obs::MetricId classes_scored_ = 0;
+  obs::MetricId entries_emitted_ = 0;
 };
 
 }  // namespace paris::core

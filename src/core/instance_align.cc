@@ -163,6 +163,13 @@ size_t InstancePass::Prepare(IterationContext& ctx) {
   results_.resize(layout_.total);
   for (auto& slot : results_) slot.clear();
   scratch_ = &ctx.ScratchSlots<InstanceShardScratch>();  // serial phase
+  if (ctx.obs.metrics != nullptr) {  // serial phase: registration may allocate
+    entities_scored_ = ctx.obs.metrics->Counter("instance.entities_scored");
+    entities_with_candidates_ =
+        ctx.obs.metrics->Counter("instance.entities_with_candidates");
+    candidates_emitted_ =
+        ctx.obs.metrics->Counter("instance.candidates_emitted");
+  }
   return layout_.num_shards;
 }
 
@@ -225,6 +232,20 @@ void InstancePass::RunShard(size_t shard, size_t worker,
       candidates.resize(config.max_candidates_per_instance);
     }
     results_[i] = std::move(candidates);
+  }
+  if (ctx.obs.metrics != nullptr) {
+    uint64_t with_candidates = 0;
+    uint64_t emitted = 0;
+    for (size_t i = layout_.begin(shard); i < layout_.end(shard); ++i) {
+      if (!results_[i].empty()) {
+        ++with_candidates;
+        emitted += results_[i].size();
+      }
+    }
+    ctx.obs.metrics->Add(entities_scored_, worker,
+                         layout_.end(shard) - layout_.begin(shard));
+    ctx.obs.metrics->Add(entities_with_candidates_, worker, with_candidates);
+    ctx.obs.metrics->Add(candidates_emitted_, worker, emitted);
   }
 }
 

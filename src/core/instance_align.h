@@ -73,6 +73,11 @@ class InstancePass final : public Pass {
   // The per-worker scratch slots, bound in Prepare (RunShard must not call
   // ScratchSlots itself — it may allocate).
   std::vector<InstanceShardScratch>* scratch_ = nullptr;
+  // Registered in Prepare when ctx.obs.metrics is set; bumped per shard
+  // with the worker's slot.
+  obs::MetricId entities_scored_ = 0;
+  obs::MetricId entities_with_candidates_ = 0;
+  obs::MetricId candidates_emitted_ = 0;
 };
 
 }  // namespace paris::core

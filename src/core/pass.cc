@@ -31,7 +31,16 @@ ShardRunOutcome RunPassShards(
           return !stop.load(std::memory_order_acquire);
         }
         if (stop.load(std::memory_order_acquire)) return false;
-        pass.RunShard(shard, worker, ctx);
+        if (ctx.obs.trace != nullptr) {
+          // The only per-shard instrumentation cost when tracing is off is
+          // the branch above; the span (two clock reads + one buffer
+          // append into the worker's own slot) exists only when it is on.
+          obs::Span span(ctx.obs.trace, worker, "shard", pass.name(),
+                         ctx.iteration, static_cast<int64_t>(shard));
+          pass.RunShard(shard, worker, ctx);
+        } else {
+          pass.RunShard(shard, worker, ctx);
+        }
         bool keep_going = true;
         {
           std::lock_guard<std::mutex> lock(mutex);

@@ -19,6 +19,7 @@
 #include "core/equiv.h"
 #include "core/literal_match.h"
 #include "core/relation_scores.h"
+#include "obs/hooks.h"
 #include "ontology/ontology.h"
 #include "util/thread_pool.h"
 
@@ -91,6 +92,11 @@ class IterationContext {
   const AlignmentConfig* config = nullptr;
   const LiteralMatcher* matcher_l2r = nullptr;
   const LiteralMatcher* matcher_r2l = nullptr;
+  // Observability hooks (default: off). Passes may register metrics in
+  // their serial phases and update them per shard with the worker slot;
+  // the scheduler records one "shard" span per computed shard. Both
+  // recorders, when set, are sized for this context's worker slots.
+  obs::Hooks obs;
 
   // --- Fixpoint state, rebound by the Aligner every iteration -------------
   int iteration = 0;                               // 1-based

@@ -108,6 +108,10 @@ size_t RelationPass::Prepare(IterationContext& ctx) {
   outputs_.resize(layout_.num_shards);
   for (auto& shard : outputs_) shard.clear();
   scratch_ = &ctx.ScratchSlots<RelationShardScratch>();  // serial phase
+  if (ctx.obs.metrics != nullptr) {  // serial phase: registration may allocate
+    relations_scored_ = ctx.obs.metrics->Counter("relation.relations_scored");
+    scores_emitted_ = ctx.obs.metrics->Counter("relation.scores_emitted");
+  }
   return layout_.num_shards;
 }
 
@@ -125,6 +129,11 @@ void RelationPass::RunShard(size_t shard, size_t worker,
                      [&](rdf::RelId sub, rdf::RelId super, double score) {
                        out.push_back(Scored{sub, super, score, is_left});
                      });
+  }
+  if (ctx.obs.metrics != nullptr) {
+    ctx.obs.metrics->Add(relations_scored_, worker,
+                         layout_.end(shard) - layout_.begin(shard));
+    ctx.obs.metrics->Add(scores_emitted_, worker, out.size());
   }
 }
 

@@ -66,6 +66,10 @@ class RelationPass final : public Pass {
   // The per-worker scratch slots, bound in Prepare (RunShard must not call
   // ScratchSlots itself — it may allocate).
   std::vector<RelationShardScratch>* scratch_ = nullptr;
+  // Registered in Prepare when ctx.obs.metrics is set; bumped per shard
+  // with the worker's slot.
+  obs::MetricId relations_scored_ = 0;
+  obs::MetricId scores_emitted_ = 0;
 };
 
 }  // namespace paris::core

@@ -1,0 +1,124 @@
+#ifndef PARIS_OBS_METRICS_H_
+#define PARIS_OBS_METRICS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace paris::obs {
+
+// Handle for one registered metric; cheap to copy and store in pass
+// members. Obtained from MetricsRegistry registration (serial phases only).
+using MetricId = uint32_t;
+
+// The merged, order-independent view of a registry: every value is an
+// integer count (or an explicitly set gauge), so two runs of the same work
+// produce equal snapshots regardless of thread or shard scheduling. Name
+// vectors are sorted, so equality is plain member comparison.
+struct MetricsSnapshot {
+  struct Counter {
+    std::string name;
+    uint64_t value = 0;
+    friend bool operator==(const Counter&, const Counter&) = default;
+  };
+  struct Gauge {
+    std::string name;
+    int64_t value = 0;
+    friend bool operator==(const Gauge&, const Gauge&) = default;
+  };
+  struct Histogram {
+    std::string name;
+    std::vector<double> bounds;     // ascending upper bounds
+    std::vector<uint64_t> counts;   // bounds.size() + 1 (last = overflow)
+    friend bool operator==(const Histogram&, const Histogram&) = default;
+  };
+
+  std::vector<Counter> counters;      // sorted by name
+  std::vector<Gauge> gauges;          // sorted by name
+  std::vector<Histogram> histograms;  // sorted by name
+
+  friend bool operator==(const MetricsSnapshot&,
+                         const MetricsSnapshot&) = default;
+
+  // {"counters":{...},"gauges":{...},"histograms":{name:{"bounds":[...],
+  // "counts":[...]}}} — keys in sorted order, so equal snapshots serialize
+  // to equal bytes.
+  void WriteJson(std::ostream& out) const;
+};
+
+// Counters, gauges, and fixed-bucket histograms with per-worker slots.
+//
+// The registry follows the pass pipeline's determinism discipline:
+//
+//  * Registration (`Counter`/`Gauge`/`Histogram`) may allocate and must
+//    happen in a serial phase (Pass::Prepare, or between passes).
+//    Registration is idempotent by name, so a pass re-registering its
+//    metrics every iteration gets the same ids back.
+//  * Updates (`Add`/`Observe`) are lock-free: slot `w` is written only by
+//    the thread holding worker slot `w` (same contract as TraceRecorder and
+//    IterationContext scratch); `main_slot()` belongs to the run thread.
+//  * Only integer counts are accumulated — never wall times, never float
+//    sums — so `Snapshot()` (which merges the slots in ascending slot
+//    order) is identical across thread AND shard counts for the same work.
+class MetricsRegistry {
+ public:
+  explicit MetricsRegistry(size_t worker_slots);
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  size_t num_slots() const { return num_slots_; }
+  size_t main_slot() const { return num_slots_ - 1; }
+
+  // ---- Registration (serial phases only; idempotent by name) -------------
+  MetricId Counter(const std::string& name);
+  MetricId Gauge(const std::string& name);
+  MetricId Histogram(const std::string& name, std::vector<double> bounds);
+
+  // ---- Updates (slot-local, lock-free) -----------------------------------
+
+  // Counter += delta in `slot`'s cell.
+  void Add(MetricId id, size_t slot, uint64_t delta);
+
+  // Histogram: bumps the bucket of the first bound >= value (the overflow
+  // bucket when none is) in `slot`'s cells.
+  void Observe(MetricId id, size_t slot, double value);
+
+  // Histogram: folds pre-binned counts (bounds.size() + 1 entries) into
+  // `slot`'s cells — how convergence telemetry, already binned per
+  // iteration, lands in the registry without re-observing every entity.
+  void MergeCounts(MetricId id, size_t slot,
+                   const std::vector<uint64_t>& counts);
+
+  // Gauge = value (last write wins; serial phases only).
+  void SetGauge(MetricId id, int64_t value);
+
+  // ---- Export (serial; no concurrent updates) ----------------------------
+  MetricsSnapshot Snapshot() const;
+  void WriteJson(std::ostream& out) const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Metric {
+    std::string name;
+    Kind kind;
+    size_t offset = 0;  // first cell in each slot's slab
+    size_t cells = 1;   // counter: 1; histogram: bounds.size() + 1
+    std::vector<double> bounds;  // histograms only
+  };
+
+  size_t num_slots_;
+  size_t cells_per_slot_ = 0;
+  std::vector<Metric> metrics_;
+  std::unordered_map<std::string, MetricId> by_name_;
+  // One slab of cells per slot; grown (all slots together) at registration.
+  std::vector<std::vector<uint64_t>> slots_;
+  std::vector<int64_t> gauges_;  // indexed by Metric::offset for kGauge
+};
+
+}  // namespace paris::obs
+
+#endif  // PARIS_OBS_METRICS_H_

@@ -1,0 +1,135 @@
+#ifndef PARIS_OBS_TRACE_H_
+#define PARIS_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+namespace paris::obs {
+
+// One completed span. `cat` and `name` must be string literals (or other
+// pointers that outlive the recorder): spans are recorded on the pass hot
+// path, and a fixed-size POD append is what keeps that path allocation-free.
+struct TraceEvent {
+  const char* cat = "";   // scope kind: "run"|"iteration"|"pass"|"phase"|
+                          // "shard"|"io"|"bench"
+  const char* name = "";  // e.g. "instance", "snapshot.load"
+  uint64_t start_us = 0;  // monotonic microseconds since recorder creation
+  uint64_t dur_us = 0;
+  int32_t iteration = 0;  // 1-based fixpoint iteration; 0 = not iteration-
+                          // scoped
+  int64_t shard = -1;     // shard id; -1 = not shard-scoped
+};
+
+// Collects spans into per-worker buffers and exports them as Chrome
+// trace-event JSON (chrome://tracing, https://ui.perfetto.dev).
+//
+// Concurrency protocol — the same one the pass pipeline already lives by:
+// slot `w` is written only by the thread currently holding worker slot `w`
+// of the util::ThreadPool (stable ids in [0, worker_slots)), and
+// `main_slot()` only by the thread driving the run. Buffers are therefore
+// never contended and `Record` takes no lock. `WriteJson` must only run
+// after the instrumented work has finished (no concurrent writers).
+//
+// Timestamps come from one steady clock, zeroed at recorder creation, so
+// spans recorded by different threads land on one consistent timeline.
+class TraceRecorder {
+ public:
+  // `worker_slots` must cover every worker slot id the instrumented code
+  // will run under (max(1, pool threads)); one extra slot is reserved for
+  // the driving thread.
+  explicit TraceRecorder(size_t worker_slots);
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  size_t num_slots() const { return buffers_.size(); }
+  size_t main_slot() const { return buffers_.size() - 1; }
+
+  uint64_t NowMicros() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+
+  void Record(size_t slot, const TraceEvent& event) {
+    buffers_[slot].push_back(event);
+  }
+
+  size_t num_events() const;
+
+  // Chrome trace-event JSON: one ph:"M" thread_name metadata event per
+  // slot, then every span as a ph:"X" complete event with args
+  // {"iteration", "shard"} when scoped. Deterministic order: slots
+  // ascending, each buffer in record order.
+  void WriteJson(std::ostream& out) const;
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<std::vector<TraceEvent>> buffers_;
+};
+
+// RAII span: reads the steady clock on construction and records one
+// TraceEvent into `recorder` when it ends (destruction, or an explicit
+// `End()`). A null recorder is valid — the span still times itself and
+// `End()` still returns the elapsed seconds — so instrumented code keeps
+// one code path whether tracing is on or off, and callers that need the
+// duration (pass timings) read it from the span instead of a second clock.
+class Span {
+ public:
+  Span(TraceRecorder* recorder, size_t slot, const char* cat, const char* name,
+       int iteration = 0, int64_t shard = -1)
+      : recorder_(recorder),
+        slot_(slot),
+        cat_(cat),
+        name_(name),
+        iteration_(iteration),
+        shard_(shard),
+        start_(std::chrono::steady_clock::now()) {}
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  ~Span() { End(); }
+
+  // Ends the span (idempotent) and returns its duration in seconds.
+  double End() {
+    if (!ended_) {
+      ended_ = true;
+      const auto stop = std::chrono::steady_clock::now();
+      elapsed_ = std::chrono::duration<double>(stop - start_).count();
+      if (recorder_ != nullptr) {
+        TraceEvent event;
+        event.cat = cat_;
+        event.name = name_;
+        const uint64_t end_us = recorder_->NowMicros();
+        event.dur_us = static_cast<uint64_t>(elapsed_ * 1e6);
+        event.start_us = end_us >= event.dur_us ? end_us - event.dur_us : 0;
+        event.iteration = static_cast<int32_t>(iteration_);
+        event.shard = shard_;
+        recorder_->Record(slot_, event);
+      }
+    }
+    return elapsed_;
+  }
+
+  double elapsed_seconds() { return End(); }
+
+ private:
+  TraceRecorder* recorder_;
+  size_t slot_;
+  const char* cat_;
+  const char* name_;
+  int iteration_;
+  int64_t shard_;
+  std::chrono::steady_clock::time_point start_;
+  bool ended_ = false;
+  double elapsed_ = 0.0;
+};
+
+}  // namespace paris::obs
+
+#endif  // PARIS_OBS_TRACE_H_

@@ -147,7 +147,8 @@ void OntologyBuilder::OnTriple(const rdf::ParsedTriple& t) {
   }
 }
 
-util::StatusOr<Ontology> OntologyBuilder::Build(util::ThreadPool* pool) {
+util::StatusOr<Ontology> OntologyBuilder::Build(util::ThreadPool* pool,
+                                                obs::Hooks hooks) {
   if (!first_error_.ok()) return first_error_;
   Ontology onto(pool_);
   onto.name_ = name_;
@@ -230,8 +231,12 @@ util::StatusOr<Ontology> OntologyBuilder::Build(util::ThreadPool* pool) {
     }
   }
 
-  onto.store_.Finalize(pool);
-  onto.functionality_ = std::make_unique<FunctionalityTable>(onto.store_);
+  onto.store_.Finalize(pool, hooks);
+  {
+    obs::Span span(hooks.trace, hooks.main_slot(), "io",
+                   "ontology.functionality");
+    onto.functionality_ = std::make_unique<FunctionalityTable>(onto.store_);
+  }
   return onto;
 }
 

@@ -176,8 +176,10 @@ class OntologyBuilder : public rdf::TripleSink {
   // Consumes the builder. Returns an error if the accumulated statements
   // violate the model (e.g., a literal used as a class). With a non-null
   // `pool`, the triple-store finalize (the dominant build phase on large
-  // ontologies) shards its sorts across the workers.
-  util::StatusOr<Ontology> Build(util::ThreadPool* pool = nullptr);
+  // ontologies) shards its sorts across the workers. `hooks` (optional)
+  // records "io" spans for the finalize and functionality phases.
+  util::StatusOr<Ontology> Build(util::ThreadPool* pool = nullptr,
+                                 obs::Hooks hooks = {});
 
  private:
   struct RawFact {

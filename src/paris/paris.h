@@ -48,6 +48,10 @@
 #include "core/relation_scores.h"
 #include "core/result_io.h"
 #include "core/result_snapshot.h"
+#include "core/telemetry.h"
+#include "obs/hooks.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "ontology/export.h"
 #include "ontology/functionality.h"
 #include "ontology/ontology.h"

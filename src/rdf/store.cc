@@ -43,10 +43,10 @@ void TripleStore::Add(TermId subject, RelId rel, TermId object) {
   pending_.push_back({LocalIndex(object), Inverse(rel), subject});
 }
 
-void TripleStore::Finalize(util::ThreadPool* pool) {
+void TripleStore::Finalize(util::ThreadPool* pool, obs::Hooks hooks) {
   assert(!finalized_);
   index_ = storage::ColumnarIndex::Build(terms_, rel_names_.size(),
-                                         std::move(pending_), pool);
+                                         std::move(pending_), pool, hooks);
   pending_ = {};
   finalized_ = true;
 }

@@ -59,7 +59,8 @@ class TripleStore {
   // Packs the accumulated statements into the columnar index. With a
   // non-null `pool`, the per-term and per-relation sorts are sharded across
   // the workers; the packed index is identical to a serial finalize.
-  void Finalize(util::ThreadPool* pool = nullptr);
+  // `hooks` (optional) records "io" spans for the build sub-phases.
+  void Finalize(util::ThreadPool* pool = nullptr, obs::Hooks hooks = {});
   bool finalized() const { return finalized_; }
 
   // ---- Read API (requires Finalize(); allocation-free) ----

@@ -113,9 +113,13 @@ std::vector<uint64_t> ParallelCountingSort(util::ThreadPool* pool,
 ColumnarIndex ColumnarIndex::Build(std::span<const rdf::TermId> terms,
                                    size_t num_relations,
                                    std::vector<Entry>&& entries,
-                                   util::ThreadPool* pool) {
+                                   util::ThreadPool* pool, obs::Hooks hooks) {
   ColumnarIndex index;
   const size_t num_terms = terms.size();
+  // Build runs on the calling thread (the inner loops fan across the pool
+  // but block here), so every sub-phase span lands on the main slot.
+  const size_t obs_slot = hooks.main_slot();
+  obs::Span build_span(hooks.trace, obs_slot, "io", "index.build");
 
   // Bucket the entries by owner with a counting sort (owners are dense local
   // indexes), then sort each owner's slice by (rel, other) — sharded across
@@ -125,6 +129,7 @@ ColumnarIndex ColumnarIndex::Build(std::span<const rdf::TermId> terms,
   // cursors); the stable per-range cursors reproduce the serial scatter's
   // in-bucket order exactly.
   std::vector<Entry> sorted;
+  obs::Span bucket_span(hooks.trace, obs_slot, "io", "index.bucket_by_owner");
   const std::vector<uint64_t> bucket_offsets = ParallelCountingSort(
       pool, entries.size(), num_terms,
       [&](size_t lo, size_t hi, uint64_t* histogram) {
@@ -140,9 +145,11 @@ ColumnarIndex ColumnarIndex::Build(std::span<const rdf::TermId> terms,
         }
       });
   entries = {};
+  bucket_span.End();
 
   // Per-term slice sort + dedup (a store is a *set* of statements;
   // duplicates always share an owner, so in-slice dedup is global dedup).
+  obs::Span dedup_span(hooks.trace, obs_slot, "io", "index.sort_dedup");
   std::vector<uint64_t> kept(num_terms, 0);
   util::ForRange(pool, num_terms, [&](size_t begin, size_t end) {
     for (size_t t = begin; t < end; ++t) {
@@ -159,8 +166,10 @@ ColumnarIndex ColumnarIndex::Build(std::span<const rdf::TermId> terms,
     offsets[t + 1] = offsets[t] + kept[t];
   }
   const size_t num_facts = offsets[num_terms];
+  dedup_span.End();
 
   // Fill both adjacency columns, sharded by term.
+  obs::Span fill_span(hooks.trace, obs_slot, "io", "index.pack_columns");
   std::vector<rdf::Fact> facts(num_facts);
   std::vector<rdf::TermId> objects(num_facts);
   util::ForRange(pool, num_terms, [&](size_t begin, size_t end) {
@@ -174,10 +183,13 @@ ColumnarIndex ColumnarIndex::Build(std::span<const rdf::TermId> terms,
     }
   });
 
+  fill_span.End();
+
   // POS: bucket the base-direction statements by relation (counting-sort
   // histogram + scatter over fixed term ranges, both across the pool; the
   // returned offsets equal the serial pass's `pair_offsets` exactly), then
   // sort each relation's range by (first, second) — sharded by relation.
+  obs::Span pairs_span(hooks.trace, obs_slot, "io", "index.pack_pairs");
   std::vector<rdf::TermPair> pairs;
   std::vector<uint64_t> pair_offsets = ParallelCountingSort(
       pool, num_terms, num_relations,
@@ -211,6 +223,7 @@ ColumnarIndex ColumnarIndex::Build(std::span<const rdf::TermId> terms,
                 PairLess);
     }
   });
+  pairs_span.End();
 
   index.offsets_ = Column<uint64_t>::FromOwned(std::move(offsets));
   index.facts_ = Column<rdf::Fact>::FromOwned(std::move(facts));

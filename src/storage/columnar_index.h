@@ -6,6 +6,7 @@
 #include <span>
 #include <vector>
 
+#include "obs/hooks.h"
 #include "rdf/term.h"
 #include "rdf/triple.h"
 #include "storage/column.h"
@@ -61,11 +62,14 @@ class ColumnarIndex {
   // positive |rel| must be ≤ num_relations. Duplicate entries are removed (a
   // store is a *set* of statements). With a non-null `pool`, the dominant
   // per-term slice sorts and per-relation pair sorts are sharded across the
-  // workers; the packed result is identical to a serial build.
+  // workers; the packed result is identical to a serial build. `hooks`
+  // (optional) records one "io" span per build sub-phase — bucket sort,
+  // slice sort+dedup, column fill, pair packing — on the calling thread.
   static ColumnarIndex Build(std::span<const rdf::TermId> terms,
                              size_t num_relations,
                              std::vector<Entry>&& entries,
-                             util::ThreadPool* pool = nullptr);
+                             util::ThreadPool* pool = nullptr,
+                             obs::Hooks hooks = {});
 
   // Reassembles an index from raw columns (streamed snapshot load). Returns
   // false — leaving `out` untouched — if the columns are structurally

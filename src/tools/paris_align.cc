@@ -12,13 +12,17 @@
 //
 // Exit status 0 on success, 1 on usage/load/run errors (the failing path
 // and Status code are reported on stderr).
+#include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "paris/paris.h"
 #include "util/flags.h"
+#include "util/logging.h"
 
 namespace {
 
@@ -34,6 +38,54 @@ int UsageError(const paris::util::FlagParser& parser,
   return 1;
 }
 
+// Throttled per-shard progress: at most ~10 lines per second plus the final
+// shard of every pass, with an ETA extrapolated from the shards completed
+// since the pass started. The shard observer is serialized by the pipeline
+// (api::RunCallbacks), so no locking is needed here.
+class ProgressPrinter {
+ public:
+  void OnShard(const paris::api::ShardProgress& shard) {
+    const auto now = std::chrono::steady_clock::now();
+    if (shard.iteration != iteration_ || pass_ != shard.pass) {
+      iteration_ = shard.iteration;
+      pass_ = shard.pass;
+      pass_start_ = now;
+      // Shards adopted from a checkpoint complete instantly; exclude them
+      // from the extrapolation base.
+      completed_at_start_ = shard.num_completed - 1;
+    }
+    const bool last = shard.num_completed == shard.num_shards;
+    if (!last &&
+        now - last_print_ < std::chrono::milliseconds(100)) {
+      return;
+    }
+    last_print_ = now;
+    std::string eta;
+    const size_t measured = shard.num_completed - completed_at_start_;
+    if (!last && measured > 0) {
+      const double elapsed =
+          std::chrono::duration<double>(now - pass_start_).count();
+      const double remaining = elapsed / static_cast<double>(measured) *
+                               static_cast<double>(shard.num_shards -
+                                                   shard.num_completed);
+      char buffer[32];
+      std::snprintf(buffer, sizeof(buffer), ", eta %.1fs", remaining);
+      eta = buffer;
+    }
+    std::fprintf(stderr,
+                 "progress: iteration %d %s pass %zu/%zu shards%s\n",
+                 shard.iteration, shard.pass, shard.num_completed,
+                 shard.num_shards, eta.c_str());
+  }
+
+ private:
+  int iteration_ = -1;
+  std::string pass_;
+  std::chrono::steady_clock::time_point pass_start_;
+  std::chrono::steady_clock::time_point last_print_;
+  size_t completed_at_start_ = 0;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -44,6 +96,9 @@ int main(int argc, char** argv) {
   std::string save_result;
   std::string resume_from;
   std::string load_mode = "auto";
+  std::string log_level = "info";
+  std::string trace_json;
+  std::string metrics_json;
   bool stats_only = false;
 
   paris::util::FlagParser parser("paris_align", "LEFT.nt RIGHT.nt");
@@ -87,6 +142,15 @@ int main(int argc, char** argv) {
   parser.AddString("--resume-from", &resume_from,
                    "continue a previous run from its result snapshot",
                    "PATH");
+  parser.AddString("--trace-json", &trace_json,
+                   "write a Chrome trace-event JSON of the run (open in "
+                   "chrome://tracing or ui.perfetto.dev)", "PATH");
+  parser.AddString("--metrics-json", &metrics_json,
+                   "write pipeline metrics and per-iteration convergence "
+                   "telemetry as JSON", "PATH");
+  parser.AddChoice("--log-level", &log_level,
+                   {"debug", "info", "warning", "error", "none"},
+                   "minimum log severity on stderr (default info)");
 
   std::vector<std::string> positional;
   auto status = parser.Parse(argc, argv, &positional);
@@ -100,8 +164,36 @@ int main(int argc, char** argv) {
   } else if (load_mode == "stream") {
     options.snapshot_load_mode = paris::api::SnapshotLoadMode::kStream;
   }
+  paris::util::SetLogLevel(*paris::util::LogLevelFromName(log_level));
+  options.trace = !trace_json.empty();
+  options.metrics = !metrics_json.empty();
 
   paris::api::Session session(options);
+
+  // Flushes --trace-json / --metrics-json (no-ops when the flags are
+  // unset). Called on every exit path that has something recorded.
+  auto write_observability = [&]() -> paris::util::Status {
+    if (!trace_json.empty()) {
+      std::ofstream out(trace_json);
+      if (!out) {
+        return paris::util::InvalidArgumentError("cannot open " + trace_json);
+      }
+      auto s = session.WriteTrace(out);
+      if (!s.ok()) return s;
+      std::printf("wrote trace %s\n", trace_json.c_str());
+    }
+    if (!metrics_json.empty()) {
+      std::ofstream out(metrics_json);
+      if (!out) {
+        return paris::util::InvalidArgumentError("cannot open " +
+                                                 metrics_json);
+      }
+      auto s = session.WriteMetricsJson(out);
+      if (!s.ok()) return s;
+      std::printf("wrote metrics %s\n", metrics_json.c_str());
+    }
+    return paris::util::OkStatus();
+  };
 
   // --- Load ---------------------------------------------------------------
   if (!load_snapshot.empty()) {
@@ -129,6 +221,8 @@ int main(int argc, char** argv) {
 
   if (stats_only) {
     status = session.PrintStats(std::cout);
+    if (!status.ok()) return Fail(status);
+    status = write_observability();
     return status.ok() ? 0 : Fail(status);
   }
 
@@ -136,10 +230,9 @@ int main(int argc, char** argv) {
   paris::api::RunCallbacks callbacks;
   if (progress) {
     // Progress goes to stderr so the goldened stdout stays byte-identical.
-    callbacks.on_shard = [](const paris::api::ShardProgress& shard) {
-      std::fprintf(stderr, "progress: iteration %d %s pass %zu/%zu shards\n",
-                   shard.iteration, shard.pass, shard.num_completed,
-                   shard.num_shards);
+    auto printer = std::make_shared<ProgressPrinter>();
+    callbacks.on_shard = [printer](const paris::api::ShardProgress& shard) {
+      printer->OnShard(shard);
     };
     callbacks.on_iteration = [](const paris::api::IterationProgress& it) {
       std::fprintf(stderr,
@@ -180,5 +273,8 @@ int main(int argc, char** argv) {
     status = session.WriteInstanceAlignment(std::cout);
     if (!status.ok()) return Fail(status);
   }
+
+  status = write_observability();
+  if (!status.ok()) return Fail(status);
   return 0;
 }

@@ -17,10 +17,12 @@
 
 #include "paris/paris.h"
 #include "util/flags.h"
+#include "util/logging.h"
 
 int main(int argc, char** argv) {
   paris::api::DatasetSpec spec;
   std::string scale = "1.0";
+  std::string log_level = "info";
 
   paris::util::FlagParser parser(
       "paris_generate",
@@ -31,6 +33,9 @@ int main(int argc, char** argv) {
   parser.AddSizeT("--threads", &spec.num_threads,
                   "worker threads for index finalization of the generated "
                   "pair (output is identical across thread counts)");
+  parser.AddChoice("--log-level", &log_level,
+                   {"debug", "info", "warning", "error", "none"},
+                   "minimum log severity on stderr (default info)");
 
   std::vector<std::string> positional;
   auto status = parser.Parse(argc, argv, &positional);
@@ -43,6 +48,7 @@ int main(int argc, char** argv) {
     std::printf("%s", parser.Help().c_str());
     return 0;
   }
+  paris::util::SetLogLevel(*paris::util::LogLevelFromName(log_level));
   if (positional.size() < 2 || positional.size() > 3) {
     std::fprintf(stderr, "%s\n", parser.Usage().c_str());
     return 1;

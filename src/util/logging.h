@@ -1,8 +1,11 @@
 #ifndef PARIS_UTIL_LOGGING_H_
 #define PARIS_UTIL_LOGGING_H_
 
+#include <functional>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace paris::util {
 
@@ -18,7 +21,22 @@ enum class LogLevel {
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
-// Internal: emits one formatted line to stderr if `level` is enabled.
+// Parses a level name as spelled on CLI flags: "debug", "info", "warning",
+// "error", "none". nullopt for anything else.
+std::optional<LogLevel> LogLevelFromName(std::string_view name);
+
+// Where formatted lines go. The sink receives the already-filtered level
+// and the complete line (prefix included, no trailing newline). Called
+// under the logging mutex, so it may be a plain capture-by-reference
+// lambda; keep it cheap. Passing nullptr restores the default stderr sink.
+using LogSink = std::function<void(LogLevel, std::string_view)>;
+void SetLogSink(LogSink sink);
+
+// Internal: filters on the level, formats the prefix
+// `[<level-char> <seconds-since-start> t<thread>]`, and hands the line to
+// the sink. The timestamp is monotonic (steady clock, matching obs::Span
+// timings); the thread id is a dense per-process counter, 0 for the first
+// logging thread.
 void LogMessage(LogLevel level, const std::string& message);
 
 // Stream-style log sink: `PARIS_LOG(kInfo) << "loaded " << n << " triples";`

@@ -21,6 +21,8 @@
 #include "core/pass.h"
 #include "core/result_io.h"
 #include "core/result_snapshot.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "ontology/ontology.h"
 #include "synth/profiles.h"
 
@@ -109,6 +111,24 @@ TEST_F(PassPipelineTest, ResultsInvariantAcrossShardAndThreadCounts) {
         EXPECT_EQ(got_entries[i].score, expect_entries[i].score);
       }
     }
+  }
+}
+
+// Attaching the observability hooks (src/obs/) must not perturb the
+// pipeline: same tables as the unobserved reference run, at any thread
+// count, while the recorders actually collect.
+TEST_F(PassPipelineTest, ResultsUnchangedWithObservabilityAttached) {
+  const std::string reference =
+      Tables(Run(FixedWorkConfig(3, 0, 8)), left(), right());
+  for (size_t threads : {size_t{0}, size_t{1}, size_t{4}}) {
+    const size_t worker_slots = threads == 0 ? 1 : threads;
+    obs::TraceRecorder trace(worker_slots);
+    obs::MetricsRegistry metrics(worker_slots);
+    core::Aligner aligner(left(), right(), FixedWorkConfig(3, threads, 8));
+    aligner.set_observability({&trace, &metrics});
+    EXPECT_EQ(Tables(aligner.Run(), left(), right()), reference)
+        << "threads=" << threads;
+    EXPECT_GT(trace.num_events(), 0u);
   }
 }
 
