@@ -38,6 +38,16 @@ def load_baselines(doc):
     return [doc]
 
 
+# "*_overhead_fraction" phases report a ratio, not a wall time, and are
+# roughly hardware-independent — so they are gated against these absolute
+# caps (on every machine shape, baseline or not) instead of the per-shape
+# wall-time comparison. checkpoint_overhead_fraction is the acceptance bar
+# for periodic background checkpointing: under 5% on top of a plain run.
+OVERHEAD_CAPS = {
+    "checkpoint_overhead_fraction": 0.05,
+}
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline", help="committed BENCH_parallel.json")
@@ -86,6 +96,16 @@ def main() -> int:
         )
         return 0
 
+    overhead_failures = [
+        (p["phase"], p["seconds"], OVERHEAD_CAPS[p["phase"]])
+        for p in current["phases"]
+        if p["phase"] in OVERHEAD_CAPS and p["seconds"] > OVERHEAD_CAPS[p["phase"]]
+    ]
+    if overhead_failures:
+        for phase, value, cap in overhead_failures:
+            print(f"FAIL: {phase} = {value:.4f} exceeds its {cap:.0%} cap")
+        return 1
+
     matching = [b for b in baselines if b.get("hardware_threads") == cur_threads]
     if not matching:
         shapes = sorted(
@@ -114,6 +134,8 @@ def main() -> int:
     for p in current["phases"]:
         key = (p["phase"], p["threads"])
         seconds = p["seconds"]
+        if p["phase"].endswith("_overhead_fraction"):
+            continue  # a ratio, gated by the absolute caps above
         if key not in base:
             print(f"{key[0]:<24} {key[1]:>7} {'-':>10} {seconds:>10.4f}   (new, no baseline)")
             continue

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <utility>
 
+#include "core/checkpoint.h"
 #include "core/result_io.h"
 #include "core/result_snapshot.h"
 #include "core/telemetry.h"
@@ -164,6 +165,7 @@ util::Status Session::RunAligner(const RunCallbacks& callbacks,
 
   core::Aligner aligner(*left_, *right_, options_.config);
   aligner.set_literal_matcher_factory(std::move(factory).value());
+  aligner.set_matcher_name(options_.matcher);
   aligner.set_thread_pool(workers());
   aligner.set_observability(hooks());
 
@@ -216,7 +218,26 @@ util::Status Session::RunAligner(const RunCallbacks& callbacks,
 
   size_t resumed = 0;
   if (resume_path.empty()) {
-    result_.emplace(aligner.Run());
+    // Crash recovery: adopt the newest usable periodic checkpoint, if the
+    // caller opted in and a previous run left one behind. Anything short of
+    // a clean load (no directory, no manifest, corrupt or incompatible
+    // files) degrades to a cold start — the checkpoint loader has already
+    // logged why.
+    std::optional<core::AlignmentResult> adopted;
+    if (options_.auto_resume && !options_.config.checkpoint_dir.empty()) {
+      obs::Span span(trace_.get(), hooks().main_slot(), "io",
+                     "checkpoint.load");
+      auto checkpoint = core::LoadLatestCheckpoint(
+          options_.config.checkpoint_dir, *left_, *right_, aligner.config(),
+          options_.matcher);
+      if (checkpoint.ok()) adopted.emplace(std::move(checkpoint).value());
+    }
+    if (adopted.has_value()) {
+      resumed = adopted->iterations.size();
+      result_.emplace(aligner.Resume(std::move(*adopted)));
+    } else {
+      result_.emplace(aligner.Run());
+    }
   } else {
     auto checkpoint = [&] {
       obs::Span span(trace_.get(), hooks().main_slot(), "io", "result.load");

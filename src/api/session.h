@@ -128,6 +128,13 @@ class Session {
     // the pass pipeline, and snapshot IO. Never changes alignment output.
     bool trace = false;
     bool metrics = false;
+    // When set (and `config.checkpoint_dir` names a directory), Align()
+    // first looks for the newest usable periodic checkpoint in that
+    // directory and resumes from it — recomputing at most the shard that
+    // was in flight when the previous run died — instead of starting cold.
+    // A directory with no usable checkpoint (or a setup that no longer
+    // matches) degrades to a cold start, never to an error.
+    bool auto_resume = false;
 
     Options& set_threads(size_t n) { config.num_threads = n; return *this; }
     Options& set_theta(double theta) { config.theta = theta; return *this; }
@@ -161,6 +168,15 @@ class Session {
     }
     Options& set_metrics(bool on) {
       metrics = on;
+      return *this;
+    }
+    Options& set_checkpointing(std::string dir, double interval_seconds) {
+      config.checkpoint_dir = std::move(dir);
+      config.checkpoint_interval = interval_seconds;
+      return *this;
+    }
+    Options& set_auto_resume(bool on) {
+      auto_resume = on;
       return *this;
     }
   };

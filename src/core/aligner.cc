@@ -1,11 +1,15 @@
 #include "core/aligner.h"
 
 #include <iterator>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "core/checkpoint.h"
+#include "core/result_snapshot.h"
 #include "obs/trace.h"
+#include "util/fs.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -89,6 +93,80 @@ PartialIterationState CapturePartial(const Pass& pass, int pass_index,
   }
   return partial;
 }
+
+// Feeds the periodic background checkpointer (core/checkpoint.h) from
+// inside the scheduler's shard gate. Rebound before each cancellable pass;
+// `OnShard` runs under the gate mutex — the only place a pass's completed
+// shard outputs are guaranteed stable and visible — and, once the writer's
+// cadence elapses, captures a full result-snapshot view: the last completed
+// iteration's tables plus the running pass's completed shards, exactly the
+// state a mid-pass cancel would persist. Serialization happens here on the
+// gate thread (no live table is copied, see ResultSnapshotView); all file
+// IO stays on the writer's background thread.
+class PassCheckpointer {
+ public:
+  void Bind(CheckpointWriter* writer, const Pass* pass, int pass_index,
+            int iteration, size_t num_shards,
+            const std::vector<uint8_t>* cached, const AlignmentResult* result,
+            const InstanceEquivalences* instances,
+            const RelationScores* relations,
+            const InstanceEquivalences* partial_instances) {
+    writer_ = writer;
+    if (writer_ == nullptr) return;
+    pass_ = pass;
+    pass_index_ = pass_index;
+    iteration_ = iteration;
+    result_ = result;
+    instances_ = instances;
+    relations_ = relations;
+    partial_instances_ = partial_instances;
+    if (cached != nullptr) {
+      done_ = *cached;  // checkpoint-adopted shards count as completed
+    } else {
+      done_.assign(num_shards, 0);
+    }
+  }
+
+  void OnShard(const ShardProgress& progress) {
+    if (writer_ == nullptr) return;
+    if (progress.shard < done_.size()) done_[progress.shard] = 1;
+    if (!writer_->Due()) return;
+    shards_.clear();
+    payloads_.clear();
+    for (size_t shard = 0; shard < done_.size(); ++shard) {
+      if (!done_[shard]) continue;
+      shards_.push_back(static_cast<uint32_t>(shard));
+      payloads_.emplace_back();
+      pass_->SaveShard(shard, &payloads_.back());
+    }
+    ResultSnapshotView view;
+    view.iterations = {result_->iterations.data(), result_->iterations.size()};
+    view.converged_at = -1;
+    view.instances = instances_;
+    view.relations = relations_;
+    view.has_partial = true;
+    view.partial_iteration = iteration_;
+    view.partial_pass = pass_index_;
+    view.partial_num_shards = static_cast<uint32_t>(done_.size());
+    view.partial_shards = shards_;
+    view.partial_payloads = payloads_;
+    view.partial_instances = partial_instances_;
+    writer_->Submit(view);
+  }
+
+ private:
+  CheckpointWriter* writer_ = nullptr;
+  const Pass* pass_ = nullptr;
+  int pass_index_ = 0;
+  int iteration_ = 0;
+  const AlignmentResult* result_ = nullptr;
+  const InstanceEquivalences* instances_ = nullptr;
+  const RelationScores* relations_ = nullptr;
+  const InstanceEquivalences* partial_instances_ = nullptr;
+  std::vector<uint8_t> done_;
+  std::vector<uint32_t> shards_;
+  std::vector<std::string> payloads_;
+};
 
 }  // namespace
 
@@ -177,6 +255,26 @@ AlignmentResult Aligner::RunInternal(AlignmentResult* checkpoint) {
     };
   }
 
+  // Periodic background checkpointing: piggyback on the scheduler's
+  // serialized gate so every shard boundary can capture the pass's
+  // completed state once the cadence elapses — which is why the
+  // cancellable passes get a gate here even without a shard observer.
+  const uint64_t io_retries_before = util::IoRetryCount();
+  size_t shards_recovered = 0;
+  std::unique_ptr<CheckpointWriter> ckpt_writer;
+  PassCheckpointer checkpointer;
+  if (!config_.checkpoint_dir.empty() && config_.checkpoint_interval > 0.0) {
+    ckpt_writer = std::make_unique<CheckpointWriter>(
+        CheckpointWriter::Options{config_.checkpoint_dir,
+                                  config_.checkpoint_interval},
+        left_, right_, config_, matcher_name_);
+    const std::function<bool(const ShardProgress&)> inner = cancellable_gate;
+    cancellable_gate = [&checkpointer, inner](const ShardProgress& progress) {
+      checkpointer.OnShard(progress);
+      return inner ? inner(progress) : true;
+    };
+  }
+
   InstanceEquivalences previous;  // empty: first iteration has no equalities
   RelationScores rel_scores;
   int start_iteration = 1;
@@ -229,7 +327,12 @@ AlignmentResult Aligner::RunInternal(AlignmentResult* checkpoint) {
       const size_t num_shards = instance_pass.Prepare(ctx);
       const std::vector<uint8_t> cached =
           AdoptShards(instance_pass, adopt, kInstancePass, num_shards, ctx);
+      for (uint8_t done : cached) shards_recovered += done;
       instance_times.prepare_seconds += prepare_span.End();
+      checkpointer.Bind(ckpt_writer.get(), &instance_pass, kInstancePass,
+                        iteration, num_shards,
+                        cached.empty() ? nullptr : &cached, &result, &previous,
+                        &rel_scores, /*partial_instances=*/nullptr);
       obs::Span shards_span(obs_.trace, obs_slot, "phase", "instance.shards",
                             iteration);
       const ShardRunOutcome outcome =
@@ -296,7 +399,12 @@ AlignmentResult Aligner::RunInternal(AlignmentResult* checkpoint) {
     const size_t num_shards = relation_pass.Prepare(ctx);
     const std::vector<uint8_t> cached =
         AdoptShards(relation_pass, adopt, kRelationPass, num_shards, ctx);
+    for (uint8_t done : cached) shards_recovered += done;
     relation_times.prepare_seconds += rel_prepare_span.End();
+    checkpointer.Bind(ckpt_writer.get(), &relation_pass, kRelationPass,
+                      iteration, num_shards, cached.empty() ? nullptr : &cached,
+                      &result, &previous, &rel_scores,
+                      /*partial_instances=*/&ctx.current);
     obs::Span rel_shards_span(obs_.trace, obs_slot, "phase",
                               "relation.shards", iteration);
     const ShardRunOutcome outcome =
@@ -374,6 +482,14 @@ AlignmentResult Aligner::RunInternal(AlignmentResult* checkpoint) {
 
   result.instances = std::move(previous);
   result.relations = std::move(rel_scores);
+  // Drain the checkpointer (joins its background write) before reading its
+  // final count; a run that ends normally keeps its last checkpoint on disk
+  // for post-mortems, and the next run in the directory supersedes it.
+  uint64_t checkpoints_written = 0;
+  if (ckpt_writer != nullptr) {
+    ckpt_writer->Drain();
+    checkpoints_written = ckpt_writer->checkpoints_written();
+  }
   result.seconds_total = total_span.End();
   if (obs_.metrics != nullptr) {
     obs_.metrics->SetGauge(obs_.metrics->Gauge("run.iterations"),
@@ -383,6 +499,15 @@ AlignmentResult Aligner::RunInternal(AlignmentResult* checkpoint) {
     obs_.metrics->SetGauge(
         obs_.metrics->Gauge("run.instances_aligned"),
         static_cast<int64_t>(result.instances.num_left_aligned()));
+    // Durability counters (src/obs/README.md): zero in an undisturbed,
+    // uncheckpointed run, so enabling observability still never changes
+    // any deterministic output.
+    obs_.metrics->Add(obs_.metrics->Counter("durability.checkpoints_written"),
+                      obs_slot, checkpoints_written);
+    obs_.metrics->Add(obs_.metrics->Counter("durability.shards_recovered"),
+                      obs_slot, static_cast<uint64_t>(shards_recovered));
+    obs_.metrics->Add(obs_.metrics->Counter("durability.io_retries"), obs_slot,
+                      util::IoRetryCount() - io_retries_before);
   }
   return result;
 }

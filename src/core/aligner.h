@@ -156,6 +156,13 @@ class Aligner {
   // index finalization and repeated runs.
   void set_thread_pool(util::ThreadPool* pool) { external_pool_ = pool; }
 
+  // Names the literal matcher for the periodic background checkpoints
+  // (config().checkpoint_dir / checkpoint_interval): the name goes into
+  // each checkpoint's compatibility key exactly as in SaveAlignmentResult.
+  // Callers that install a non-default matcher factory and enable
+  // checkpointing must set the matching registry name before Run().
+  void set_matcher_name(std::string name) { matcher_name_ = std::move(name); }
+
   // Attaches tracing/metrics recorders (src/obs/) for the run. Both
   // pointers are optional and non-owning; when set they must be sized for
   // the worker pool the run uses (max(1, threads) worker slots) and stay
@@ -191,6 +198,7 @@ class Aligner {
   const ontology::Ontology& right_;
   AlignmentConfig config_;
   LiteralMatcherFactory matcher_factory_;
+  std::string matcher_name_ = "identity";
   IterationObserver iteration_observer_;
   ShardObserver shard_observer_;
   util::ThreadPool* external_pool_ = nullptr;

@@ -2,6 +2,7 @@
 #define PARIS_CORE_CONFIG_H_
 
 #include <cstddef>
+#include <string>
 
 #include "ontology/functionality.h"
 
@@ -89,6 +90,19 @@ struct AlignmentConfig {
   // Record per-iteration maximal assignments and relation scores in the
   // result (needed by the per-iteration experiment tables).
   bool record_history = true;
+
+  // Periodic background checkpointing (core/checkpoint.h). When
+  // `checkpoint_dir` is non-empty and `checkpoint_interval` > 0, the
+  // aligner captures its completed-shard state at shard boundaries every
+  // `checkpoint_interval` seconds and a background thread persists it to
+  // the directory (atomic snapshot file + fsync'd manifest journal), so a
+  // crash loses at most the in-flight shard. Like num_threads/num_shards,
+  // neither field shapes the trajectory: both are excluded from the
+  // result-snapshot compatibility key, and a checkpointed run's output is
+  // byte-identical to an uncheckpointed one. Checkpoint write failures log
+  // a warning and disable further checkpoints; they never fail the run.
+  double checkpoint_interval = 0.0;
+  std::string checkpoint_dir;
 };
 
 }  // namespace paris::core

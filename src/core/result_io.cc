@@ -9,6 +9,7 @@
 #include <sstream>
 #include <vector>
 
+#include "util/fs.h"
 #include "util/string_util.h"
 
 namespace paris::core {
@@ -89,10 +90,10 @@ util::Status WriteAlignmentFiles(const AlignmentResult& result,
   };
   for (const Section& section : sections) {
     const std::string path = prefix + section.suffix;
-    std::ofstream out(path);
-    if (!out) return util::InternalError("cannot open " + path);
-    section.write(out);
-    if (!out.good()) return util::InternalError("write failed: " + path);
+    util::AtomicFileWriter out(path);
+    section.write(out.stream());
+    util::Status status = out.Commit();
+    if (!status.ok()) return status;
   }
   return util::OkStatus();
 }

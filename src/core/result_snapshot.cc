@@ -3,12 +3,13 @@
 #include <algorithm>
 #include <bit>
 #include <cstddef>
-#include <fstream>
 #include <optional>
+#include <sstream>
 #include <utility>
 #include <vector>
 
 #include "storage/column.h"
+#include "util/fs.h"
 
 namespace paris::core {
 
@@ -93,11 +94,11 @@ util::StatusOr<InstanceEquivalences> LoadInstanceEquivalences(
   storage::Column<double> probs;
   if (!reader.ReadPodColumn(&keys) || !reader.ReadPodColumn(&offsets) ||
       !reader.ReadPodColumn(&others) || !reader.ReadPodColumn(&probs)) {
-    return util::InvalidArgumentError(
+    return util::DataLossError(
         "truncated instance-equivalence section");
   }
   const auto invalid = [] {
-    return util::InvalidArgumentError(
+    return util::DataLossError(
         "corrupt instance-equivalence section");
   };
   if (offsets.size() != keys.size() + 1 || offsets.front() != 0 ||
@@ -162,7 +163,7 @@ util::StatusOr<RelationScores> LoadRelationScores(
   scores.bootstrap_ = reader.ReadU8() != 0;
   scores.theta_ = reader.ReadDouble();
   if (!reader.ok() || scores.theta_ < 0.0 || scores.theta_ > 1.0) {
-    return util::InvalidArgumentError("corrupt relation-score section");
+    return util::DataLossError("corrupt relation-score section");
   }
   const auto load_table = [&reader](RelationScores::Table* table,
                                     size_t num_sub, size_t num_super) {
@@ -194,7 +195,7 @@ util::StatusOr<RelationScores> LoadRelationScores(
                   num_right_relations) ||
       !load_table(&scores.right_sub_left_, num_right_relations,
                   num_left_relations)) {
-    return util::InvalidArgumentError("corrupt relation-score section");
+    return util::DataLossError("corrupt relation-score section");
   }
   return scores;
 }
@@ -236,11 +237,11 @@ util::StatusOr<ClassScores> LoadClassScores(storage::SnapshotReader& reader,
   storage::Column<uint8_t> sides;
   if (!reader.ReadPodColumn(&subs) || !reader.ReadPodColumn(&supers) ||
       !reader.ReadPodColumn(&values) || !reader.ReadPodColumn(&sides)) {
-    return util::InvalidArgumentError("truncated class-score section");
+    return util::DataLossError("truncated class-score section");
   }
   if (supers.size() != subs.size() || values.size() != subs.size() ||
       sides.size() != subs.size()) {
-    return util::InvalidArgumentError("corrupt class-score section");
+    return util::DataLossError("corrupt class-score section");
   }
   std::vector<ClassAlignmentEntry> entries;
   entries.reserve(subs.size());
@@ -248,7 +249,7 @@ util::StatusOr<ClassScores> LoadClassScores(storage::SnapshotReader& reader,
     if (static_cast<size_t>(subs[i]) >= pool_size ||
         static_cast<size_t>(supers[i]) >= pool_size || sides[i] > 1 ||
         values[i] < 0.0 || values[i] > 1.0) {
-      return util::InvalidArgumentError("corrupt class-score section");
+      return util::DataLossError("corrupt class-score section");
     }
     entries.push_back(
         ClassAlignmentEntry{subs[i], supers[i], values[i], sides[i] == 1});
@@ -295,14 +296,14 @@ util::Status CheckRunKey(storage::SnapshotReader& reader,
   };
   if (reader.ReadU64() != OntologyPairFingerprint(left, right)) {
     if (!reader.ok()) {
-      return util::InvalidArgumentError("truncated result snapshot");
+      return util::DataLossError("truncated result snapshot");
     }
     return util::FailedPreconditionError(
         "result snapshot was produced from a different ontology pair");
   }
   const std::string stored_matcher = reader.ReadString();
   if (!reader.ok()) {
-    return util::InvalidArgumentError("truncated result snapshot");
+    return util::DataLossError("truncated result snapshot");
   }
   if (stored_matcher != matcher) {
     return mismatch("matcher", stored_matcher, matcher);
@@ -357,7 +358,7 @@ util::Status CheckRunKey(storage::SnapshotReader& reader,
   check_bool("use_relation_name_prior", config.use_relation_name_prior);
   check_double("name_prior_cap", config.name_prior_cap);
   if (!reader.ok()) {
-    return util::InvalidArgumentError("truncated result snapshot");
+    return util::DataLossError("truncated result snapshot");
   }
   return status;
 }
@@ -373,7 +374,7 @@ util::StatusOr<AlignmentResult> LoadResultSections(
   AlignmentResult result;
   const uint64_t num_iterations = reader.ReadU64();
   if (!reader.ok() || num_iterations > kMaxIterations) {
-    return util::InvalidArgumentError("corrupt iteration records");
+    return util::DataLossError("corrupt iteration records");
   }
   // Don't trust `num_iterations` for an upfront reservation — in streaming
   // mode the checksum is only verified after the sections, and
@@ -388,7 +389,7 @@ util::StatusOr<AlignmentResult> LoadResultSections(
     record.change_fraction = reader.ReadDouble();
     record.num_left_aligned = reader.ReadU64();
     if (!reader.ok() || record.index != static_cast<int>(i) + 1) {
-      return util::InvalidArgumentError("corrupt iteration records");
+      return util::DataLossError("corrupt iteration records");
     }
     result.iterations.push_back(std::move(record));
   }
@@ -400,7 +401,7 @@ util::StatusOr<AlignmentResult> LoadResultSections(
       (result.converged_at != -1 &&
        (result.converged_at < 1 ||
         result.converged_at > static_cast<int>(num_iterations)))) {
-    return util::InvalidArgumentError("corrupt iteration records");
+    return util::DataLossError("corrupt iteration records");
   }
 
   const size_t pool_size = left.pool().size();
@@ -417,7 +418,7 @@ util::StatusOr<AlignmentResult> LoadResultSections(
 
   // Partial-iteration checkpoint (mid-iteration cancel), v2.
   const auto invalid_partial = [] {
-    return util::InvalidArgumentError("corrupt partial-iteration section");
+    return util::DataLossError("corrupt partial-iteration section");
   };
   const uint8_t has_partial = reader.ReadU8();
   if (!reader.ok() || has_partial > 1) return invalid_partial();
@@ -461,6 +462,81 @@ util::StatusOr<AlignmentResult> LoadResultSections(
 
 }  // namespace
 
+namespace {
+
+// Writes one complete snapshot file — magic through checksum trailer —
+// from a non-owning view. Both the atomic file save and the in-memory
+// checkpoint serialization go through here, so the formats cannot drift.
+void WriteResultSections(storage::SnapshotWriter& writer, std::ostream& raw,
+                         const ResultSnapshotView& view,
+                         const ontology::Ontology& left,
+                         const ontology::Ontology& right,
+                         const AlignmentConfig& config,
+                         const std::string& matcher) {
+  raw.write(kResultSnapshotMagic, sizeof(kResultSnapshotMagic));
+  writer.WriteU32(kResultSnapshotVersion);
+  SaveRunKey(writer, left, right, config, matcher);
+
+  writer.WriteU64(view.iterations.size());
+  for (const IterationRecord& record : view.iterations) {
+    writer.WriteU32(static_cast<uint32_t>(record.index));
+    writer.WriteDouble(record.seconds_instances);
+    writer.WriteDouble(record.seconds_relations);
+    writer.WriteDouble(record.change_fraction);
+    writer.WriteU64(record.num_left_aligned);
+  }
+  writer.WriteU32(static_cast<uint32_t>(view.converged_at));
+  writer.WriteDouble(view.seconds_classes);
+  writer.WriteDouble(view.seconds_total);
+
+  SaveInstanceEquivalences(*view.instances, writer);
+  SaveRelationScores(*view.relations, writer);
+  static const ClassScores kNoClasses;
+  SaveClassScores(view.classes != nullptr ? *view.classes : kNoClasses,
+                  writer);
+
+  // Partial-iteration checkpoint (mid-iteration cancel), v2.
+  writer.WriteU8(view.has_partial ? 1 : 0);
+  if (view.has_partial) {
+    writer.WriteU32(static_cast<uint32_t>(view.partial_iteration));
+    writer.WriteU32(static_cast<uint32_t>(view.partial_pass));
+    writer.WriteU32(view.partial_num_shards);
+    writer.WriteU64(view.partial_shards.size());
+    for (size_t i = 0; i < view.partial_shards.size(); ++i) {
+      writer.WriteU32(view.partial_shards[i]);
+      writer.WriteString(view.partial_payloads[i]);
+    }
+    if (view.partial_pass == kRelationPass) {
+      SaveInstanceEquivalences(*view.partial_instances, writer);
+    }
+  }
+  writer.WriteU64(writer.checksum());
+}
+
+ResultSnapshotView ViewOf(const AlignmentResult& result) {
+  ResultSnapshotView view;
+  view.iterations = result.iterations;
+  view.converged_at = result.converged_at;
+  view.seconds_classes = result.seconds_classes;
+  view.seconds_total = result.seconds_total;
+  view.instances = &result.instances;
+  view.relations = &result.relations;
+  view.classes = &result.classes;
+  if (result.partial.has_value()) {
+    const PartialIterationState& partial = *result.partial;
+    view.has_partial = true;
+    view.partial_iteration = partial.iteration;
+    view.partial_pass = partial.pass;
+    view.partial_num_shards = partial.num_shards;
+    view.partial_shards = partial.shards;
+    view.partial_payloads = partial.payloads;
+    view.partial_instances = &partial.instances;
+  }
+  return view;
+}
+
+}  // namespace
+
 util::Status SaveAlignmentResult(const std::string& path,
                                  const AlignmentResult& result,
                                  const ontology::Ontology& left,
@@ -471,53 +547,22 @@ util::Status SaveAlignmentResult(const std::string& path,
     return util::InvalidArgumentError(
         "result snapshot requires both ontologies to share one term pool");
   }
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    return util::InvalidArgumentError("cannot open " + path + " for writing");
-  }
+  util::AtomicFileWriter out(path);
+  storage::SnapshotWriter writer(out.stream());
+  WriteResultSections(writer, out.stream(), ViewOf(result), left, right,
+                      config, matcher);
+  return out.Commit();
+}
+
+std::string SerializeAlignmentResult(const ResultSnapshotView& view,
+                                     const ontology::Ontology& left,
+                                     const ontology::Ontology& right,
+                                     const AlignmentConfig& config,
+                                     const std::string& matcher) {
+  std::ostringstream out(std::ios::binary);
   storage::SnapshotWriter writer(out);
-  out.write(kResultSnapshotMagic, sizeof(kResultSnapshotMagic));
-  writer.WriteU32(kResultSnapshotVersion);
-  SaveRunKey(writer, left, right, config, matcher);
-
-  writer.WriteU64(result.iterations.size());
-  for (const IterationRecord& record : result.iterations) {
-    writer.WriteU32(static_cast<uint32_t>(record.index));
-    writer.WriteDouble(record.seconds_instances);
-    writer.WriteDouble(record.seconds_relations);
-    writer.WriteDouble(record.change_fraction);
-    writer.WriteU64(record.num_left_aligned);
-  }
-  writer.WriteU32(static_cast<uint32_t>(result.converged_at));
-  writer.WriteDouble(result.seconds_classes);
-  writer.WriteDouble(result.seconds_total);
-
-  SaveInstanceEquivalences(result.instances, writer);
-  SaveRelationScores(result.relations, writer);
-  SaveClassScores(result.classes, writer);
-
-  // Partial-iteration checkpoint (mid-iteration cancel), v2.
-  writer.WriteU8(result.partial.has_value() ? 1 : 0);
-  if (result.partial.has_value()) {
-    const PartialIterationState& partial = *result.partial;
-    writer.WriteU32(static_cast<uint32_t>(partial.iteration));
-    writer.WriteU32(static_cast<uint32_t>(partial.pass));
-    writer.WriteU32(partial.num_shards);
-    writer.WriteU64(partial.shards.size());
-    for (size_t i = 0; i < partial.shards.size(); ++i) {
-      writer.WriteU32(partial.shards[i]);
-      writer.WriteString(partial.payloads[i]);
-    }
-    if (partial.pass == kRelationPass) {
-      SaveInstanceEquivalences(partial.instances, writer);
-    }
-  }
-  writer.WriteU64(writer.checksum());
-  out.flush();
-  if (!writer.ok()) {
-    return util::InternalError("short write while saving " + path);
-  }
-  return util::OkStatus();
+  WriteResultSections(writer, out, view, left, right, config, matcher);
+  return std::move(out).str();
 }
 
 util::StatusOr<AlignmentResult> LoadAlignmentResult(

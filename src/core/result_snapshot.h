@@ -2,6 +2,7 @@
 #define PARIS_CORE_RESULT_SNAPSHOT_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 
 #include "core/aligner.h"
@@ -63,16 +64,53 @@ inline constexpr uint32_t kResultSnapshotVersion = 2;
 uint64_t OntologyPairFingerprint(const ontology::Ontology& left,
                                  const ontology::Ontology& right);
 
-// Writes `result` to `path`. `config` must be the resolved config the run
-// used (`Aligner::config()`, after instance_threshold resolution), and
-// `matcher` the literal-matcher name; both are stored for the resume-time
-// compatibility check.
+// Writes `result` to `path` via util::AtomicFileWriter: a crash at any
+// instant leaves either the complete previous file or the complete new one.
+// `config` must be the resolved config the run used (`Aligner::config()`,
+// after instance_threshold resolution), and `matcher` the literal-matcher
+// name; both are stored for the resume-time compatibility check.
 util::Status SaveAlignmentResult(const std::string& path,
                                  const AlignmentResult& result,
                                  const ontology::Ontology& left,
                                  const ontology::Ontology& right,
                                  const AlignmentConfig& config,
                                  const std::string& matcher);
+
+// A non-owning view of the state a result snapshot serializes. This is the
+// capture path of the periodic background checkpointer: the aligner points
+// the view at its live tables (under the serialized shard gate, where they
+// are stable) and serializes without copying any of them — in particular
+// no `IterationRecord` history maps are touched (only scalar fields are
+// serialized, exactly as SaveAlignmentResult does).
+struct ResultSnapshotView {
+  std::span<const IterationRecord> iterations;  // completed iterations
+  int converged_at = -1;
+  double seconds_classes = 0.0;
+  double seconds_total = 0.0;
+  const InstanceEquivalences* instances = nullptr;  // required
+  const RelationScores* relations = nullptr;        // required
+  const ClassScores* classes = nullptr;             // nullptr = empty
+  // Mirrors AlignmentResult::partial (the mid-iteration section).
+  bool has_partial = false;
+  int partial_iteration = 0;
+  int partial_pass = 0;
+  uint32_t partial_num_shards = 0;
+  std::span<const uint32_t> partial_shards;
+  std::span<const std::string> partial_payloads;
+  // Required when partial_pass == kRelationPass.
+  const InstanceEquivalences* partial_instances = nullptr;
+};
+
+// Serializes one complete result-snapshot file (magic through checksum
+// trailer) into memory. The returned bytes are exactly what
+// SaveAlignmentResult would have written; LoadAlignmentResult accepts them
+// byte-identically. Used by the checkpointer so the (slow, fsync'd) file
+// write happens on a background thread while the run moves on.
+std::string SerializeAlignmentResult(const ResultSnapshotView& view,
+                                     const ontology::Ontology& left,
+                                     const ontology::Ontology& right,
+                                     const AlignmentConfig& config,
+                                     const std::string& matcher);
 
 // Loads a result snapshot for resumption against the given ontology pair
 // and run setup. Rejects files with a bad magic/version, a checksum

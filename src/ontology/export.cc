@@ -1,10 +1,10 @@
 #include "ontology/export.h"
 
-#include <fstream>
 #include <ostream>
 
 #include "ontology/vocab.h"
 #include "rdf/ntriples.h"
+#include "util/fs.h"
 
 namespace paris::ontology {
 
@@ -47,11 +47,9 @@ void ExportToNTriples(const Ontology& onto, std::ostream& out) {
 
 util::Status ExportToNTriplesFile(const Ontology& onto,
                                   const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return util::InternalError("cannot open " + path);
-  ExportToNTriples(onto, out);
-  if (!out.good()) return util::InternalError("write failed: " + path);
-  return util::OkStatus();
+  util::AtomicFileWriter out(path);
+  ExportToNTriples(onto, out.stream());
+  return out.Commit();
 }
 
 }  // namespace paris::ontology

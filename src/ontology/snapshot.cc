@@ -10,6 +10,7 @@
 
 #include "ontology/functionality.h"
 #include "storage/snapshot.h"
+#include "util/fs.h"
 
 namespace paris::ontology {
 
@@ -82,11 +83,11 @@ util::StatusOr<Ontology> LoadOntologySection(storage::SnapshotReader& reader,
       !reader.ReadPodVector(&onto.classes_) ||
       !LoadTermVectorMap(reader, pool_size, &onto.classes_of_) ||
       !LoadTermVectorMap(reader, pool_size, &onto.superclasses_)) {
-    return util::InvalidArgumentError("truncated ontology section");
+    return util::DataLossError("truncated ontology section");
   }
   if (!TermsInRange(onto.instances_, pool_size) ||
       !TermsInRange(onto.classes_, pool_size)) {
-    return util::InvalidArgumentError("ontology term id out of pool range");
+    return util::DataLossError("ontology term id out of pool range");
   }
 
   // Derived structures: sets, the inverted type index, and functionalities
@@ -95,13 +96,13 @@ util::StatusOr<Ontology> LoadOntologySection(storage::SnapshotReader& reader,
   onto.instance_set_.reserve(onto.instances_.size());
   for (rdf::TermId t : onto.instances_) {
     if (!onto.instance_set_.insert(t).second) {
-      return util::InvalidArgumentError("duplicate instance in snapshot");
+      return util::DataLossError("duplicate instance in snapshot");
     }
   }
   onto.class_set_.reserve(onto.classes_.size());
   for (rdf::TermId t : onto.classes_) {
     if (!onto.class_set_.insert(t).second) {
-      return util::InvalidArgumentError("duplicate class in snapshot");
+      return util::DataLossError("duplicate class in snapshot");
     }
   }
   for (const auto& [instance, classes] : onto.classes_of_) {
@@ -123,22 +124,17 @@ util::Status SaveAlignmentSnapshot(const std::string& path,
     return util::InvalidArgumentError(
         "snapshot requires both ontologies to share one term pool");
   }
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    return util::InvalidArgumentError("cannot open " + path + " for writing");
-  }
-  storage::SnapshotWriter writer(out);
-  storage::WriteSnapshotHeader(writer, out);
+  // Staged through AtomicFileWriter: a crash (or write error) at any point
+  // leaves the previous snapshot at `path` intact.
+  util::AtomicFileWriter out(path);
+  storage::SnapshotWriter writer(out.stream());
+  storage::WriteSnapshotHeader(writer, out.stream());
   storage::SaveTermPool(left.pool(), writer);
   SaveOntologySection(left, writer);
   SaveOntologySection(right, writer);
   const uint64_t checksum = writer.checksum();
   writer.WriteU64(checksum);
-  out.flush();
-  if (!writer.ok()) {
-    return util::InternalError("short write while saving " + path);
-  }
-  return util::OkStatus();
+  return out.Commit();
 }
 
 namespace {

@@ -129,7 +129,7 @@ util::StatusOr<TripleStore> TripleStore::LoadFrom(
   reader.ReadPodColumn(&pair_offsets);
   reader.ReadPodColumn(&pairs);
   if (!reader.ok()) {
-    return util::InvalidArgumentError("truncated triple store section");
+    return util::DataLossError("truncated triple store section");
   }
 
   const size_t pool_size = pool->size();
@@ -138,22 +138,22 @@ util::StatusOr<TripleStore> TripleStore::LoadFrom(
   };
   for (TermId name : store.rel_names_) {
     if (!valid_term(name)) {
-      return util::InvalidArgumentError("relation name out of pool range");
+      return util::DataLossError("relation name out of pool range");
     }
   }
   for (TermId t : store.terms_) {
     if (!valid_term(t)) {
-      return util::InvalidArgumentError("term id out of pool range");
+      return util::DataLossError("term id out of pool range");
     }
   }
   for (const Fact& f : facts) {
     if (!valid_term(f.other)) {
-      return util::InvalidArgumentError("fact object out of pool range");
+      return util::DataLossError("fact object out of pool range");
     }
   }
   for (const TermPair& p : pairs) {
     if (!valid_term(p.first) || !valid_term(p.second)) {
-      return util::InvalidArgumentError("pair term out of pool range");
+      return util::DataLossError("pair term out of pool range");
     }
   }
   if (offsets.size() != store.terms_.size() + 1 ||
@@ -161,7 +161,7 @@ util::StatusOr<TripleStore> TripleStore::LoadFrom(
       !storage::ColumnarIndex::FromColumns(
           std::move(offsets), std::move(facts), std::move(pair_offsets),
           std::move(pairs), reader.view_owner(), &store.index_)) {
-    return util::InvalidArgumentError("inconsistent triple store columns");
+    return util::DataLossError("inconsistent triple store columns");
   }
 
   store.rel_index_.reserve(store.rel_names_.size());
@@ -169,7 +169,7 @@ util::StatusOr<TripleStore> TripleStore::LoadFrom(
     if (!store.rel_index_
              .emplace(store.rel_names_[i], static_cast<RelId>(i + 1))
              .second) {
-      return util::InvalidArgumentError("duplicate relation name");
+      return util::DataLossError("duplicate relation name");
     }
   }
   store.local_index_.reserve(store.terms_.size());
@@ -177,7 +177,7 @@ util::StatusOr<TripleStore> TripleStore::LoadFrom(
     if (!store.local_index_
              .emplace(store.terms_[i], static_cast<uint32_t>(i))
              .second) {
-      return util::InvalidArgumentError("duplicate term in dictionary");
+      return util::DataLossError("duplicate term in dictionary");
     }
   }
   store.finalized_ = true;

@@ -11,13 +11,20 @@
 #include <cstring>
 #endif
 
+#include "util/fault_injection.h"
+#include "util/fs.h"
+
 namespace paris::storage {
 
 #if defined(PARIS_HAS_MMAP)
 
 util::StatusOr<std::shared_ptr<MappedFile>> MappedFile::Open(
     const std::string& path) {
-  const int fd = ::open(path.c_str(), O_RDONLY);
+  const util::FaultAction open_fault =
+      util::CheckFaultRetryingTransient("mmap.open");
+  const int fd = open_fault.kind == util::FaultKind::kErrno
+                     ? (errno = open_fault.error_number, -1)
+                     : ::open(path.c_str(), O_RDONLY);
   if (fd < 0) {
     return util::NotFoundError("cannot open " + path + ": " +
                                std::strerror(errno));
@@ -32,7 +39,11 @@ util::StatusOr<std::shared_ptr<MappedFile>> MappedFile::Open(
     ::close(fd);
     return util::InvalidArgumentError("empty file: " + path);
   }
-  void* data = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  const util::FaultAction map_fault =
+      util::CheckFaultRetryingTransient("mmap.map");
+  void* data = map_fault.kind == util::FaultKind::kErrno
+                   ? (errno = map_fault.error_number, MAP_FAILED)
+                   : ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
   // The mapping holds its own reference to the file; the descriptor can go.
   ::close(fd);
   if (data == MAP_FAILED) {

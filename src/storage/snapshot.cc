@@ -10,6 +10,8 @@
 #include <utility>
 
 #include "storage/mmap_file.h"
+#include "util/fault_injection.h"
+#include "util/fs.h"
 
 namespace paris::storage {
 
@@ -205,8 +207,7 @@ util::Status LoadSnapshotFileFromStream(const std::string& path,
   SnapshotReader reader(in);
   const uint32_t file_version = reader.ReadU32();
   if (!reader.ok()) {
-    return util::InvalidArgumentError("truncated " + std::string(kind) +
-                                      " header");
+    return util::DataLossError("truncated " + std::string(kind) + " header");
   }
   if (file_version != version) {
     return util::InvalidArgumentError(
@@ -254,8 +255,8 @@ util::Status LoadSnapshotFileFromStream(const std::string& path,
         tail_size = n;
       }
       if (tail_size < sizeof(tail)) {
-        return util::InvalidArgumentError("corrupt " + std::string(kind) +
-                                          " (checksum mismatch): " + path);
+        return util::DataLossError("corrupt " + std::string(kind) +
+                                   " (checksum mismatch): " + path);
       }
       uint64_t stored = 0;
       for (size_t i = 0; i < sizeof(tail); ++i) {
@@ -263,8 +264,8 @@ util::Status LoadSnapshotFileFromStream(const std::string& path,
                   << (8 * i);
       }
       if (computed != stored) {
-        return util::InvalidArgumentError("corrupt " + std::string(kind) +
-                                          " (checksum mismatch): " + path);
+        return util::DataLossError("corrupt " + std::string(kind) +
+                                   " (checksum mismatch): " + path);
       }
     }
     return status;
@@ -272,12 +273,12 @@ util::Status LoadSnapshotFileFromStream(const std::string& path,
   const uint64_t computed = reader.checksum();
   const uint64_t stored = reader.ReadChecksumTrailer();
   if (!reader.ok() || computed != stored) {
-    return util::InvalidArgumentError("corrupt " + std::string(kind) +
-                                      " (checksum mismatch): " + path);
+    return util::DataLossError("corrupt " + std::string(kind) +
+                               " (checksum mismatch): " + path);
   }
   if (in.peek() != std::char_traits<char>::eof()) {
-    return util::InvalidArgumentError("corrupt " + std::string(kind) +
-                                      " (trailing bytes): " + path);
+    return util::DataLossError("corrupt " + std::string(kind) +
+                               " (trailing bytes): " + path);
   }
   return util::OkStatus();
 }
@@ -289,10 +290,13 @@ util::Status LoadSnapshotFileFromMapping(std::shared_ptr<MappedFile> mapping,
                                          const SectionLoader& load_sections) {
   const std::span<const std::byte> bytes = mapping->bytes();
   constexpr size_t kMagicSize = 8;
-  if (bytes.size() < kMagicSize + sizeof(uint32_t) + sizeof(uint64_t) ||
+  if (bytes.size() < kMagicSize ||
       std::memcmp(bytes.data(), magic, kMagicSize) != 0) {
     return util::InvalidArgumentError("not a PARIS " + std::string(kind) +
                                       " (bad magic): " + path);
+  }
+  if (bytes.size() < kMagicSize + sizeof(uint32_t) + sizeof(uint64_t)) {
+    return util::DataLossError("truncated " + std::string(kind) + ": " + path);
   }
 
   // Checksum-before-map policy: verify the trailer over the whole mapping
@@ -304,8 +308,8 @@ util::Status LoadSnapshotFileFromMapping(std::shared_ptr<MappedFile> mapping,
   std::memcpy(&stored, bytes.data() + bytes.size() - sizeof(uint64_t),
               sizeof(uint64_t));
   if (computed != stored) {
-    return util::InvalidArgumentError("corrupt " + std::string(kind) +
-                                      " (checksum mismatch): " + path);
+    return util::DataLossError("corrupt " + std::string(kind) +
+                               " (checksum mismatch): " + path);
   }
 
   SnapshotReader reader(bytes);
@@ -319,8 +323,8 @@ util::Status LoadSnapshotFileFromMapping(std::shared_ptr<MappedFile> mapping,
   util::Status status = load_sections(reader);
   if (!status.ok()) return status;
   if (reader.position() != bytes.size() - sizeof(uint64_t)) {
-    return util::InvalidArgumentError("corrupt " + std::string(kind) +
-                                      " (trailing bytes): " + path);
+    return util::DataLossError("corrupt " + std::string(kind) +
+                               " (trailing bytes): " + path);
   }
   return util::OkStatus();
 }
@@ -331,6 +335,12 @@ util::Status LoadSnapshotFile(
     const std::string& path, SnapshotLoadMode mode, const char (&magic)[8],
     uint32_t version, const char* kind,
     const std::function<util::Status(SnapshotReader&)>& load_sections) {
+  const util::FaultAction fault =
+      util::CheckFaultRetryingTransient("snapshot.read");
+  if (fault.kind == util::FaultKind::kErrno) {
+    return util::InternalError("read failed for '" + path +
+                               "': " + std::strerror(fault.error_number));
+  }
   if (mode == SnapshotLoadMode::kStream) {
     return LoadSnapshotFileFromStream(path, magic, version, kind,
                                       load_sections);
@@ -381,7 +391,7 @@ util::Status LoadTermPool(SnapshotReader& reader, rdf::TermPool* pool) {
     }
   }
   if (!reader.ok()) {
-    return util::InvalidArgumentError("corrupt term pool section");
+    return util::DataLossError("corrupt term pool section");
   }
   return util::OkStatus();
 }

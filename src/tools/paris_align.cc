@@ -21,7 +21,9 @@
 #include <vector>
 
 #include "paris/paris.h"
+#include "util/fault_injection.h"
 #include "util/flags.h"
+#include "util/fs.h"
 #include "util/logging.h"
 
 namespace {
@@ -142,6 +144,14 @@ int main(int argc, char** argv) {
   parser.AddString("--resume-from", &resume_from,
                    "continue a previous run from its result snapshot",
                    "PATH");
+  parser.AddString("--checkpoint-dir", &options.config.checkpoint_dir,
+                   "directory for periodic background checkpoints (with "
+                   "--checkpoint-interval)", "DIR");
+  parser.AddDouble("--checkpoint-interval", &options.config.checkpoint_interval,
+                   "seconds between background checkpoints (0 = off)");
+  parser.AddBool("--auto-resume", &options.auto_resume,
+                 "resume from the newest usable checkpoint in "
+                 "--checkpoint-dir instead of starting cold");
   parser.AddString("--trace-json", &trace_json,
                    "write a Chrome trace-event JSON of the run (open in "
                    "chrome://tracing or ui.perfetto.dev)", "PATH");
@@ -168,27 +178,28 @@ int main(int argc, char** argv) {
   options.trace = !trace_json.empty();
   options.metrics = !metrics_json.empty();
 
+  // Deterministic fault injection for the crash/durability tests
+  // (PARIS_FAULT_INJECT / PARIS_FAULT_SEED); a no-op when the variables
+  // are unset, a hard usage error when they are set but unparsable.
+  status = paris::util::FaultInjector::Global().ArmFromEnv();
+  if (!status.ok()) return Fail(status);
+
   paris::api::Session session(options);
 
   // Flushes --trace-json / --metrics-json (no-ops when the flags are
   // unset). Called on every exit path that has something recorded.
   auto write_observability = [&]() -> paris::util::Status {
     if (!trace_json.empty()) {
-      std::ofstream out(trace_json);
-      if (!out) {
-        return paris::util::InvalidArgumentError("cannot open " + trace_json);
-      }
-      auto s = session.WriteTrace(out);
+      paris::util::AtomicFileWriter out(trace_json);
+      auto s = session.WriteTrace(out.stream());
+      if (s.ok()) s = out.Commit();
       if (!s.ok()) return s;
       std::printf("wrote trace %s\n", trace_json.c_str());
     }
     if (!metrics_json.empty()) {
-      std::ofstream out(metrics_json);
-      if (!out) {
-        return paris::util::InvalidArgumentError("cannot open " +
-                                                 metrics_json);
-      }
-      auto s = session.WriteMetricsJson(out);
+      paris::util::AtomicFileWriter out(metrics_json);
+      auto s = session.WriteMetricsJson(out.stream());
+      if (s.ok()) s = out.Commit();
       if (!s.ok()) return s;
       std::printf("wrote metrics %s\n", metrics_json.c_str());
     }
@@ -247,7 +258,8 @@ int main(int argc, char** argv) {
   if (!status.ok()) return Fail(status);
 
   const paris::api::RunSummary summary = session.summary();
-  if (!resume_from.empty()) {
+  if (!resume_from.empty() ||
+      (options.auto_resume && summary.resumed_iterations > 0)) {
     std::printf("resumed after iteration %zu\n", summary.resumed_iterations);
   }
   std::printf("aligned %zu instances, %zu relation scores, %zu class "

@@ -22,6 +22,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "UNIMPLEMENTED";
     case StatusCode::kCancelled:
       return "CANCELLED";
+    case StatusCode::kDataLoss:
+      return "DATA_LOSS";
   }
   return "UNKNOWN";
 }
@@ -61,6 +63,9 @@ Status UnimplementedError(std::string message) {
 }
 Status CancelledError(std::string message) {
   return Status(StatusCode::kCancelled, std::move(message));
+}
+Status DataLossError(std::string message) {
+  return Status(StatusCode::kDataLoss, std::move(message));
 }
 
 }  // namespace paris::util

@@ -20,6 +20,11 @@ enum class StatusCode {
   kInternal = 6,
   kUnimplemented = 7,
   kCancelled = 8,
+  // On-disk bytes are unrecoverably corrupt (checksum mismatch, truncation,
+  // torn section). Distinct from kInvalidArgument ("wrong kind of file"):
+  // callers may safely fall back to recompute on kDataLoss, never on
+  // config/usage errors.
+  kDataLoss = 9,
 };
 
 // Returns a stable human-readable name for `code` ("OK", "INVALID_ARGUMENT",
@@ -64,6 +69,7 @@ Status FailedPreconditionError(std::string message);
 Status InternalError(std::string message);
 Status UnimplementedError(std::string message);
 Status CancelledError(std::string message);
+Status DataLossError(std::string message);
 
 // Value-or-error, in the spirit of absl::StatusOr. `value()` must only be
 // called when `ok()`.

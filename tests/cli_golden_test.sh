@@ -96,6 +96,16 @@ check run_instances.tsv resumed_instances.tsv
 check run_relations.tsv resumed_relations.tsv
 check run_classes.tsv resumed_classes.tsv
 
+# --- checkpointing riding along must not perturb any output ---------------
+# (no new goldens: the checkpointed run is compared against the same files
+# as the plain run, so the default no-flag behavior stays pinned)
+run ckpt_stdout_raw.txt "$ALIGN" rest_left.nt rest_right.nt --checkpoint-dir ckpts --checkpoint-interval 0.01 --output run
+mask < ckpt_stdout_raw.txt > ckpt_stdout.txt
+check align_stdout.txt ckpt_stdout.txt
+check run_instances.tsv run_instances.tsv
+check run_relations.tsv run_relations.tsv
+check run_classes.tsv run_classes.tsv
+
 if [ "$UPDATE" = "--update" ]; then
   echo "goldens updated in $GOLDEN"
   exit 0

@@ -408,7 +408,7 @@ TEST_F(PassPipelineTest, PartialCheckpointRoundTripsAndRejectsCorruption) {
     auto loaded = core::LoadAlignmentResult(bad_path, left(), right(), base,
                                             "identity", mode);
     ASSERT_FALSE(loaded.ok());
-    EXPECT_EQ(loaded.status().code(), util::StatusCode::kInvalidArgument);
+    EXPECT_EQ(loaded.status().code(), util::StatusCode::kDataLoss);
   }
   std::remove(path.c_str());
   std::remove(bad_path.c_str());

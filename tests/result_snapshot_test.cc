@@ -217,7 +217,15 @@ class ResultSnapshotCorruptionTest : public ResultSnapshotTest {
     return bytes;
   }
 
-  void ExpectLoadFails(const std::string& path, const std::string& label) {
+  // Damage must be classified, not just rejected: kInvalidArgument means
+  // "wrong kind of file" (magic/version region), kDataLoss means "right
+  // file, corrupt bytes" — the code crash recovery is allowed to fall back
+  // to recomputation on. The modes differ inside the 12-byte header: the
+  // mmap path verifies the whole-file checksum before reading anything
+  // past the magic, the streaming path reads magic and version first.
+  void ExpectLoadFails(const std::string& path, const std::string& label,
+                       util::StatusCode want_stream,
+                       util::StatusCode want_mmap) {
     for (const auto mode :
          {SnapshotLoadMode::kStream, SnapshotLoadMode::kMmap}) {
       auto loaded = core::LoadAlignmentResult(path, left(), right(), config_,
@@ -229,7 +237,8 @@ class ResultSnapshotCorruptionTest : public ResultSnapshotTest {
       // Damaged bytes are corruption, never a run-setup verdict — even when
       // the flipped byte lives in the run-key section (the streaming loader
       // verifies the trailer before trusting a key mismatch).
-      EXPECT_EQ(loaded.status().code(), util::StatusCode::kInvalidArgument)
+      EXPECT_EQ(loaded.status().code(),
+                mode == SnapshotLoadMode::kMmap ? want_mmap : want_stream)
           << label << " via " << mode_name << ": "
           << loaded.status().ToString();
     }
@@ -247,8 +256,11 @@ TEST_F(ResultSnapshotCorruptionTest, RejectsByteFlipsEverywhere) {
     std::string mutated = bytes_;
     mutated[offset] = static_cast<char>(mutated[offset] ^ 0x5a);
     WriteFile(bad_path, mutated);
-    ExpectLoadFails(bad_path,
-                    "byte flip at offset " + std::to_string(offset));
+    ExpectLoadFails(bad_path, "byte flip at offset " + std::to_string(offset),
+                    offset < 12 ? util::StatusCode::kInvalidArgument
+                                : util::StatusCode::kDataLoss,
+                    offset < 8 ? util::StatusCode::kInvalidArgument
+                               : util::StatusCode::kDataLoss);
   }
   std::remove(bad_path.c_str());
 }
@@ -258,7 +270,13 @@ TEST_F(ResultSnapshotCorruptionTest, RejectsTruncation) {
   for (size_t keep : {size_t{0}, size_t{4}, size_t{12}, bytes_.size() / 3,
                       bytes_.size() / 2, bytes_.size() - 1}) {
     WriteFile(bad_path, bytes_.substr(0, keep));
-    ExpectLoadFails(bad_path, "truncation to " + std::to_string(keep));
+    // A file cut inside the magic is "not a result snapshot"; cut anywhere
+    // after the header it is a torn write — data loss.
+    const util::StatusCode want = keep < 12
+                                      ? util::StatusCode::kInvalidArgument
+                                      : util::StatusCode::kDataLoss;
+    ExpectLoadFails(bad_path, "truncation to " + std::to_string(keep), want,
+                    want);
   }
   std::remove(bad_path.c_str());
 }
@@ -290,7 +308,8 @@ TEST_F(ResultSnapshotCorruptionTest, RejectsOntologySnapshotFile) {
               sizeof(storage::kSnapshotMagic));
   const std::string bad_path = TempPath("wrong_magic.result");
   WriteFile(bad_path, mutated);
-  ExpectLoadFails(bad_path, "wrong magic");
+  ExpectLoadFails(bad_path, "wrong magic", util::StatusCode::kInvalidArgument,
+                  util::StatusCode::kInvalidArgument);
 
   EXPECT_FALSE(core::LoadAlignmentResult(TempPath("does_not_exist.result"),
                                          left(), right(), config_, "identity")

@@ -17,6 +17,7 @@
 #include "rdf/triple.h"
 #include "storage/columnar_index.h"
 #include "storage/snapshot.h"
+#include "util/status.h"
 #include "util/thread_pool.h"
 
 namespace paris {
@@ -419,6 +420,14 @@ TEST_F(AlignmentSnapshotTest, RejectsCorruptionEverywhere) {
     auto loaded = ontology::LoadAlignmentSnapshot(corrupt_path, &scratch);
     EXPECT_FALSE(loaded.ok()) << "byte flip at offset " << offset
                               << " was not rejected";
+    // Classified, not just rejected: a damaged magic is "wrong kind of
+    // file", anything past it is kDataLoss — the one code crash recovery
+    // may answer with recomputation.
+    EXPECT_EQ(loaded.status().code(),
+              offset < 8 ? util::StatusCode::kInvalidArgument
+                         : util::StatusCode::kDataLoss)
+        << "byte flip at offset " << offset << ": "
+        << loaded.status().ToString();
   }
   std::remove(corrupt_path.c_str());
   std::remove(path.c_str());
@@ -450,6 +459,10 @@ TEST_F(AlignmentSnapshotTest, RejectsTruncation) {
     auto loaded = ontology::LoadAlignmentSnapshot(trunc_path, &scratch);
     EXPECT_FALSE(loaded.ok()) << "truncation to " << keep
                               << " bytes was not rejected";
+    EXPECT_EQ(loaded.status().code(),
+              keep < 8 ? util::StatusCode::kInvalidArgument
+                       : util::StatusCode::kDataLoss)
+        << "truncation to " << keep << ": " << loaded.status().ToString();
   }
   std::remove(trunc_path.c_str());
   std::remove(path.c_str());
