@@ -5,11 +5,11 @@
 #include <cstdio>
 #include <string>
 
-#include "core/aligner.h"
-#include "eval/metrics.h"
-#include "eval/report.h"
-#include "synth/profiles.h"
-#include "util/logging.h"
+#include "paris/core/aligner.h"
+#include "paris/eval/metrics.h"
+#include "paris/eval/report.h"
+#include "paris/synth/profiles.h"
+#include "paris/util/logging.h"
 
 namespace paris::bench {
 

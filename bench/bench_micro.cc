@@ -4,14 +4,14 @@
 // alignment iteration on the restaurant dataset.
 #include <benchmark/benchmark.h>
 
-#include "core/aligner.h"
-#include "core/literal_match.h"
-#include "ontology/functionality.h"
-#include "rdf/ntriples.h"
-#include "rdf/store.h"
-#include "synth/profiles.h"
-#include "util/logging.h"
-#include "util/string_util.h"
+#include "paris/core/aligner.h"
+#include "paris/core/literal_match.h"
+#include "paris/ontology/functionality.h"
+#include "paris/rdf/ntriples.h"
+#include "paris/rdf/store.h"
+#include "paris/synth/profiles.h"
+#include "paris/util/logging.h"
+#include "paris/util/string_util.h"
 
 namespace paris {
 namespace {

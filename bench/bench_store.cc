@@ -14,11 +14,11 @@
 #include <string>
 #include <vector>
 
-#include "ontology/export.h"
-#include "ontology/ontology.h"
-#include "ontology/snapshot.h"
-#include "rdf/store.h"
-#include "synth/profiles.h"
+#include "paris/ontology/export.h"
+#include "paris/ontology/ontology.h"
+#include "paris/ontology/snapshot.h"
+#include "paris/rdf/store.h"
+#include "paris/synth/profiles.h"
 
 static std::atomic<uint64_t> g_heap_allocations{0};
 

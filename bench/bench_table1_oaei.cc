@@ -2,7 +2,7 @@
 // and restaurant benchmarks — PARIS vs our ObjectCoref-style self-training
 // baseline (the paper compares against ObjectCoref's published numbers).
 // The "Gold" columns count the gold equivalences.
-#include "baseline/self_training.h"
+#include "paris/baseline/self_training.h"
 #include "bench/bench_common.h"
 
 namespace paris::bench {

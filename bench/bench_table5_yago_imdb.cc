@@ -1,7 +1,7 @@
 // Table 5: YAGO ↔ IMDb over iterations 1-4, plus the rdfs:label baseline
 // comparison of §6.4 (the baseline reaches high precision but loses recall
 // on the noisy IMDb labels; PARIS recovers through structure).
-#include "baseline/label_match.h"
+#include "paris/baseline/label_match.h"
 #include "bench/bench_common.h"
 
 namespace paris::bench {

@@ -11,9 +11,9 @@
 #include <string>
 #include <unordered_map>
 
-#include "eval/metrics.h"
+#include "paris/eval/metrics.h"
 #include "paris/paris.h"
-#include "synth/profiles.h"
+#include "paris/synth/profiles.h"
 
 namespace {
 

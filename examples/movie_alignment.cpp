@@ -8,10 +8,10 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "baseline/label_match.h"
-#include "eval/metrics.h"
+#include "paris/baseline/label_match.h"
+#include "paris/eval/metrics.h"
 #include "paris/paris.h"
-#include "synth/profiles.h"
+#include "paris/synth/profiles.h"
 
 int main(int argc, char** argv) {
   paris::util::SetLogLevel(paris::util::LogLevel::kInfo);

@@ -9,9 +9,9 @@
 #include <cstdlib>
 #include <vector>
 
-#include "eval/metrics.h"
+#include "paris/eval/metrics.h"
 #include "paris/paris.h"
-#include "synth/profiles.h"
+#include "paris/synth/profiles.h"
 
 int main(int argc, char** argv) {
   paris::util::SetLogLevel(paris::util::LogLevel::kWarning);

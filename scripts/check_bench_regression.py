@@ -38,13 +38,19 @@ def load_baselines(doc):
     return [doc]
 
 
-# "*_overhead_fraction" phases report a ratio, not a wall time, and are
-# roughly hardware-independent — so they are gated against these absolute
-# caps (on every machine shape, baseline or not) instead of the per-shape
-# wall-time comparison. checkpoint_overhead_fraction is the acceptance bar
-# for periodic background checkpointing: under 5% on top of a plain run.
+# "*_fraction" phases report a ratio, not a wall time, and are roughly
+# hardware-independent — so they are gated against these absolute caps (on
+# every machine shape, baseline or not) instead of the per-shape wall-time
+# comparison. checkpoint_overhead_fraction is the acceptance bar for
+# periodic background checkpointing: under 5% on top of a plain run.
+# converged_iteration_fraction is the semi-naive acceptance bar: an
+# iteration past the fixpoint lock costs at most 1/5 of an exhaustive one.
+# delta_realign_fraction is the incremental-update bar: merging a ~1% delta
+# and re-aligning costs at most 1/3 of an equivalent cold run.
 OVERHEAD_CAPS = {
     "checkpoint_overhead_fraction": 0.05,
+    "converged_iteration_fraction": 0.20,
+    "delta_realign_fraction": 1.0 / 3.0,
 }
 
 

@@ -1,0 +1,152 @@
+#include "paris/api/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "paris/ontology/export.h"
+#include "paris/ontology/snapshot.h"
+#include "paris/ontology/vocab.h"
+#include "paris/synth/profiles.h"
+#include "paris/util/fs.h"
+#include "paris/util/thread_pool.h"
+
+namespace paris::api {
+
+namespace {
+
+// Splits the left ontology's N-Triples serialization into a base file and a
+// delta file holding roughly `fraction` of the regular fact statements.
+// Selection is deterministic (every k-th eligible fact, per relation) and the
+// first fact of every relation stays in the base, so each delta relation is
+// already known to the base ontology and `Ontology::ApplyDelta` accepts the
+// delta as-is. Schema statements (rdf:type, rdfs:subClassOf) and the header
+// comment always stay in the base.
+util::Status SplitExportWithDelta(const ontology::Ontology& onto,
+                                  double fraction, const std::string& base_path,
+                                  const std::string& delta_path,
+                                  size_t* delta_triples) {
+  std::ostringstream full;
+  ontology::ExportToNTriples(onto, full);
+  const std::string text = full.str();
+  const size_t stride = std::max<size_t>(
+      2, static_cast<size_t>(std::llround(1.0 / fraction)));
+
+  util::AtomicFileWriter base(base_path);
+  util::AtomicFileWriter delta(delta_path);
+  std::unordered_map<std::string, size_t> facts_seen;  // per relation
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t end = text.find('\n', pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string_view line(text.data() + pos, end - pos);
+    pos = end + 1;
+    if (line.empty()) continue;
+
+    bool to_delta = false;
+    if (line.front() == '<') {
+      // Predicate is the second angle-bracketed token of the statement.
+      const size_t pred_begin = line.find("> <");
+      const size_t pred_end = pred_begin == std::string_view::npos
+                                  ? std::string_view::npos
+                                  : line.find('>', pred_begin + 3);
+      if (pred_end != std::string_view::npos) {
+        const std::string_view pred =
+            line.substr(pred_begin + 3, pred_end - (pred_begin + 3));
+        if (!ontology::IsTypePredicate(pred) &&
+            !ontology::IsSubClassOfPredicate(pred)) {
+          size_t& seen = facts_seen[std::string(pred)];
+          to_delta = (seen % stride) == stride - 1;
+          ++seen;
+        }
+      }
+    }
+    (to_delta ? delta : base).stream() << line << "\n";
+    if (to_delta) ++*delta_triples;
+  }
+  auto status = base.Commit();
+  if (!status.ok()) return status;
+  return delta.Commit();
+}
+
+}  // namespace
+
+util::StatusOr<DatasetSummary> GenerateDataset(const DatasetSpec& spec) {
+  synth::ProfileOptions options;
+  options.scale = spec.scale;
+  std::unique_ptr<util::ThreadPool> workers;
+  if (spec.num_threads > 0) {
+    workers = std::make_unique<util::ThreadPool>(spec.num_threads);
+    options.pool = workers.get();
+  }
+
+  util::StatusOr<synth::OntologyPair> pair =
+      util::InvalidArgumentError("unknown profile: " + spec.profile +
+                                 " (known: person, restaurant, yago-dbpedia, "
+                                 "yago-imdb)");
+  if (spec.profile == "person") {
+    pair = synth::MakeOaeiPersonPair(options);
+  } else if (spec.profile == "restaurant") {
+    pair = synth::MakeOaeiRestaurantPair(options);
+  } else if (spec.profile == "yago-dbpedia") {
+    pair = synth::MakeYagoDbpediaPair(options);
+  } else if (spec.profile == "yago-imdb") {
+    pair = synth::MakeYagoImdbPair(options);
+  }
+  if (!pair.ok()) return pair.status();
+
+  DatasetSummary summary;
+  summary.left_path = spec.output_prefix + "_left.nt";
+  summary.right_path = spec.output_prefix + "_right.nt";
+  summary.gold_path = spec.output_prefix + "_gold.tsv";
+
+  util::Status status;
+  if (spec.delta_fraction > 0.0) {
+    if (spec.delta_fraction >= 0.5) {
+      return util::InvalidArgumentError(
+          "delta_fraction must be in (0, 0.5): the base file has to retain "
+          "the majority of every relation's facts");
+    }
+    summary.delta_path = spec.output_prefix + "_left_delta.nt";
+    status = SplitExportWithDelta(*pair->left, spec.delta_fraction,
+                                  summary.left_path, summary.delta_path,
+                                  &summary.delta_triples);
+  } else {
+    status = ontology::ExportToNTriplesFile(*pair->left, summary.left_path);
+  }
+  if (!status.ok()) return status;
+  status = ontology::ExportToNTriplesFile(*pair->right, summary.right_path);
+  if (!status.ok()) return status;
+
+  if (!spec.save_snapshot.empty()) {
+    status = ontology::SaveAlignmentSnapshot(spec.save_snapshot, *pair->left,
+                                             *pair->right);
+    if (!status.ok()) return status;
+    summary.snapshot_written = true;
+  }
+
+  std::ofstream gold(summary.gold_path);
+  if (!gold) {
+    return util::InvalidArgumentError("cannot open " + summary.gold_path +
+                                      " for writing");
+  }
+  gold << "# gold instance pairs: left\tright\n";
+  std::map<std::string, std::string> sorted;
+  for (const auto& [l, r] : pair->gold.left_to_right()) {
+    sorted.emplace(pair->left->TermName(l), pair->right->TermName(r));
+  }
+  for (const auto& [l, r] : sorted) gold << l << "\t" << r << "\n";
+
+  summary.left_triples = pair->left->num_triples();
+  summary.right_triples = pair->right->num_triples();
+  summary.gold_pairs = pair->gold.num_instance_pairs();
+  return summary;
+}
+
+}  // namespace paris::api

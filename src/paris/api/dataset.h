@@ -1,0 +1,61 @@
+#ifndef PARIS_API_DATASET_H_
+#define PARIS_API_DATASET_H_
+
+#include <cstddef>
+#include <string>
+
+#include "paris/util/status.h"
+
+namespace paris::api {
+
+// Synthetic benchmark-dataset generation behind the same Status-based
+// surface as the Session facade, so the `paris_generate` CLI (and any
+// embedder that wants reproducible test data) is flag parsing plus one
+// call. The generated files feed straight back into
+// `Session::LoadFromFiles` / `Session::LoadFromSnapshot`.
+struct DatasetSpec {
+  // One of the paper's evaluation profiles:
+  // person | restaurant | yago-dbpedia | yago-imdb.
+  std::string profile;
+  // Writes `<prefix>_left.nt`, `<prefix>_right.nt`, `<prefix>_gold.tsv`.
+  std::string output_prefix;
+  // Multiplies every entity count (1.0 = the profile's documented size).
+  double scale = 1.0;
+  // When non-empty, also writes a binary snapshot of the generated pair,
+  // loadable via `Session::LoadFromSnapshot`.
+  std::string save_snapshot;
+  // Worker threads for index finalization of the generated pair; 0 = build
+  // serially. The generated files are byte-identical either way.
+  size_t num_threads = 0;
+  // When > 0, holds back roughly this fraction of the left ontology's fact
+  // triples into `<prefix>_left_delta.nt`, leaving the rest in
+  // `<prefix>_left.nt`. The split is deterministic (every k-th eligible
+  // fact) and only moves facts whose relation keeps at least one statement
+  // in the base file, so the delta feeds straight into
+  // `Session::ApplyDelta` + `Session::Realign`. Schema statements
+  // (rdf:type, rdfs:subClassOf) always stay in the base. Must be < 0.5.
+  double delta_fraction = 0.0;
+};
+
+// What GenerateDataset wrote, for reporting.
+struct DatasetSummary {
+  size_t left_triples = 0;
+  size_t right_triples = 0;
+  size_t gold_pairs = 0;
+  std::string left_path;
+  std::string right_path;
+  std::string gold_path;
+  bool snapshot_written = false;
+  // Populated only when `DatasetSpec::delta_fraction` > 0.
+  std::string delta_path;
+  size_t delta_triples = 0;
+};
+
+// Materializes the profile: InvalidArgument for an unknown profile name,
+// I/O errors carry the failing path. The snapshot (when requested) is
+// written before the gold TSV, matching the historical CLI ordering.
+util::StatusOr<DatasetSummary> GenerateDataset(const DatasetSpec& spec);
+
+}  // namespace paris::api
+
+#endif  // PARIS_API_DATASET_H_

@@ -1,0 +1,54 @@
+#include "paris/api/matcher_registry.h"
+
+#include <memory>
+#include <utility>
+
+namespace paris::api {
+
+MatcherRegistry& MatcherRegistry::Default() {
+  static MatcherRegistry* registry = [] {
+    auto* r = new MatcherRegistry();
+    (void)r->Register("identity", core::IdentityMatcherFactory());
+    (void)r->Register("normalized", core::NormalizingMatcherFactory());
+    (void)r->Register("fuzzy", core::FuzzyMatcherFactory());
+    (void)r->Register("token-jaccard", [] {
+      return std::unique_ptr<core::LiteralMatcher>(
+          new core::TokenJaccardMatcher());
+    });
+    return r;
+  }();
+  return *registry;
+}
+
+util::Status MatcherRegistry::Register(const std::string& name,
+                                       core::LiteralMatcherFactory factory) {
+  if (factories_.contains(name)) {
+    return util::AlreadyExistsError("matcher already registered: " + name);
+  }
+  factories_.emplace(name, std::move(factory));
+  return util::OkStatus();
+}
+
+util::StatusOr<core::LiteralMatcherFactory> MatcherRegistry::Resolve(
+    const std::string& name) const {
+  const auto it = factories_.find(name);
+  if (it == factories_.end()) {
+    std::string known;
+    for (const auto& [registered, unused] : factories_) {
+      if (!known.empty()) known += ", ";
+      known += registered;
+    }
+    return util::NotFoundError("unknown matcher: " + name +
+                               " (known: " + known + ")");
+  }
+  return it->second;
+}
+
+std::vector<std::string> MatcherRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, unused] : factories_) names.push_back(name);
+  return names;
+}
+
+}  // namespace paris::api

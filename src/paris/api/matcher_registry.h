@@ -1,0 +1,55 @@
+#ifndef PARIS_API_MATCHER_REGISTRY_H_
+#define PARIS_API_MATCHER_REGISTRY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "paris/core/literal_match.h"
+#include "paris/util/status.h"
+
+namespace paris::api {
+
+// Resolves literal matchers by name, so callers (the Session facade, the
+// CLI tools, embedders) select a matcher with a string and new matchers
+// plug in without touching any call site. `Default()` comes preloaded with
+// the library's built-ins:
+//
+//   identity       exact lexical equality (the paper's default)
+//   normalized     alphanumeric-lowercase normalization (§6.3)
+//   fuzzy          trigram candidates + edit similarity (§6.4)
+//   token-jaccard  token-set Jaccard similarity
+//
+// The registered name is also what alignment-result snapshots record for
+// the resume-time compatibility check, so names should be stable.
+class MatcherRegistry {
+ public:
+  MatcherRegistry() = default;
+
+  // The process-wide registry with the built-ins preregistered. Embedders
+  // may Register additional matchers on it at startup; it is not
+  // synchronized, so mutation belongs before threads fan out.
+  static MatcherRegistry& Default();
+
+  // Registers a factory under `name`. AlreadyExists if the name is taken.
+  util::Status Register(const std::string& name,
+                        core::LiteralMatcherFactory factory);
+
+  // Looks up a factory. NotFound (listing the known names) otherwise.
+  util::StatusOr<core::LiteralMatcherFactory> Resolve(
+      const std::string& name) const;
+
+  bool Contains(const std::string& name) const {
+    return factories_.contains(name);
+  }
+
+  // Registered names in sorted order.
+  std::vector<std::string> Names() const;
+
+ private:
+  std::map<std::string, core::LiteralMatcherFactory> factories_;
+};
+
+}  // namespace paris::api
+
+#endif  // PARIS_API_MATCHER_REGISTRY_H_

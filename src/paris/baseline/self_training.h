@@ -1,0 +1,44 @@
+#ifndef PARIS_BASELINE_SELF_TRAINING_H_
+#define PARIS_BASELINE_SELF_TRAINING_H_
+
+#include <cstddef>
+
+#include "paris/core/equiv.h"
+#include "paris/ontology/ontology.h"
+
+namespace paris::baseline {
+
+// A self-training instance matcher in the spirit of ObjectCoref (Hu, Chen,
+// Qu, WWW 2011) — the strongest comparison system in the paper's Table 1.
+// ObjectCoref proper bootstraps from owl:sameAs training links; since PARIS
+// is evaluated without training data, this variant bootstraps its kernel
+// unsupervised and then self-trains:
+//
+//   1. Kernel: pairs that share a *discriminating* literal value — one
+//      carried by exactly one instance on each side.
+//   2. Learn: from the kernel, score property pairs (r, r') by how often
+//      their values coincide on matched pairs (the "discriminative
+//      property-value pair" learning of ObjectCoref, simplified).
+//   3. Expand: match further instances that agree with an existing match's
+//      values under a learned property pair, when the agreement is again
+//      unambiguous (exactly one candidate).
+//   4. Repeat (2)-(3) for `rounds` iterations.
+//
+// Unlike PARIS it aligns instances only — no relations, no classes — and
+// has no probabilistic semantics; confidences are 1.0.
+struct SelfTrainingConfig {
+  int rounds = 3;
+  // Minimum fraction of kernel matches on which a property pair's values
+  // must agree for the pair to be considered discriminative.
+  double min_property_agreement = 0.3;
+  // A property pair must be observed on at least this many matched pairs.
+  size_t min_property_support = 3;
+};
+
+core::InstanceEquivalences AlignBySelfTraining(
+    const ontology::Ontology& left, const ontology::Ontology& right,
+    const SelfTrainingConfig& config = {});
+
+}  // namespace paris::baseline
+
+#endif  // PARIS_BASELINE_SELF_TRAINING_H_

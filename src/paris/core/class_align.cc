@@ -1,0 +1,143 @@
+#include "paris/core/class_align.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace paris::core {
+
+// Per-worker scratch, owned by the IterationContext so the containers'
+// capacity survives across shards and iterations. Reuse means the maps'
+// bucket layout (and so their iteration order) depends on which classes the
+// worker saw before — per-class output is therefore sorted by target class
+// below, never emitted in map order, keeping entries byte-identical across
+// thread counts and shard assignments.
+struct ClassShardScratch {
+  std::vector<Candidate> x_eq;
+  std::unordered_map<rdf::TermId, double> per_class_miss;
+  std::unordered_map<rdf::TermId, double> expected_overlap;
+  std::vector<std::pair<rdf::TermId, double>> sorted_overlap;
+};
+
+namespace {
+
+void ScoreOneClass(rdf::TermId c, const DirectionalContext& ctx,
+                   const AlignmentConfig& config, bool sub_is_left,
+                   ClassShardScratch* scratch,
+                   std::vector<ClassAlignmentEntry>* out) {
+  const ontology::Ontology& source = *ctx.source;
+  const ontology::Ontology& target = *ctx.target;
+  const auto members = source.InstancesOf(c);
+  if (members.empty()) return;
+  const size_t sample = std::min(members.size(), config.class_instance_sample);
+  std::vector<Candidate>& x_eq = scratch->x_eq;
+  std::unordered_map<rdf::TermId, double>& per_class_miss =
+      scratch->per_class_miss;
+  std::unordered_map<rdf::TermId, double>& expected_overlap =
+      scratch->expected_overlap;
+  expected_overlap.clear();
+  for (size_t i = 0; i < sample; ++i) {
+    x_eq.clear();
+    ctx.AppendEquivalents(members[i], &x_eq);
+    if (x_eq.empty()) continue;
+    // Per instance x: for each target class d,
+    //   1 - ∏_{y ∈ eq(x), type(y, d)} (1 - Pr(x ≡ y)).
+    per_class_miss.clear();
+    for (const Candidate& cx : x_eq) {
+      for (rdf::TermId d : target.ClassesOf(cx.other)) {
+        auto [it, inserted] = per_class_miss.emplace(d, 1.0);
+        it->second *= (1.0 - cx.prob);
+      }
+    }
+    for (const auto& [d, miss] : per_class_miss) {
+      expected_overlap[d] += 1.0 - miss;
+    }
+  }
+  std::vector<std::pair<rdf::TermId, double>>& sorted = scratch->sorted_overlap;
+  sorted.assign(expected_overlap.begin(), expected_overlap.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [d, overlap] : sorted) {
+    const double score = overlap / static_cast<double>(sample);
+    if (score >= config.class_min_score) {
+      out->push_back(
+          ClassAlignmentEntry{c, d, score > 1.0 ? 1.0 : score, sub_is_left});
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<ClassAlignmentEntry> ClassScores::AboveThreshold(
+    double threshold, bool sub_is_left) const {
+  std::vector<ClassAlignmentEntry> out;
+  for (const auto& e : entries_) {
+    if (e.sub_is_left == sub_is_left && e.score >= threshold) {
+      out.push_back(e);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ClassAlignmentEntry& a, const ClassAlignmentEntry& b) {
+              if (a.score != b.score) return a.score > b.score;
+              if (a.sub != b.sub) return a.sub < b.sub;
+              return a.super < b.super;
+            });
+  return out;
+}
+
+size_t ClassScores::NumAlignedSubClasses(double threshold,
+                                         bool sub_is_left) const {
+  std::unordered_set<rdf::TermId> seen;
+  for (const auto& e : entries_) {
+    if (e.sub_is_left == sub_is_left && e.score >= threshold) {
+      seen.insert(e.sub);
+    }
+  }
+  return seen.size();
+}
+
+size_t ClassPass::Prepare(IterationContext& ctx) {
+  num_left_ = ctx.left->classes().size();
+  const size_t total = num_left_ + ctx.right->classes().size();
+  layout_ = ShardLayout::Make(total, ctx.config->num_shards);
+  l2r_ = ctx.Direction(true, ctx.previous);
+  r2l_ = ctx.Direction(false, ctx.previous);
+  outputs_.resize(layout_.num_shards);
+  for (auto& shard : outputs_) shard.clear();
+  scratch_ = &ctx.ScratchSlots<ClassShardScratch>();  // serial phase
+  if (ctx.obs.metrics != nullptr) {  // serial phase: registration may allocate
+    classes_scored_ = ctx.obs.metrics->Counter("class.classes_scored");
+    entries_emitted_ = ctx.obs.metrics->Counter("class.entries_emitted");
+  }
+  return layout_.num_shards;
+}
+
+void ClassPass::RunShard(size_t shard, size_t worker, IterationContext& ctx) {
+  const std::vector<rdf::TermId>& left_classes = ctx.left->classes();
+  const std::vector<rdf::TermId>& right_classes = ctx.right->classes();
+  ClassShardScratch& scratch = (*scratch_)[worker];
+  // Item i scores left class i for i < num_left, right class i-num_left
+  // otherwise.
+  for (size_t i = layout_.begin(shard); i < layout_.end(shard); ++i) {
+    const bool is_left = i < num_left_;
+    const rdf::TermId c =
+        is_left ? left_classes[i] : right_classes[i - num_left_];
+    ScoreOneClass(c, is_left ? l2r_ : r2l_, *ctx.config, is_left, &scratch,
+                  &outputs_[shard]);
+  }
+  if (ctx.obs.metrics != nullptr) {
+    ctx.obs.metrics->Add(classes_scored_, worker,
+                         layout_.end(shard) - layout_.begin(shard));
+    ctx.obs.metrics->Add(entries_emitted_, worker, outputs_[shard].size());
+  }
+}
+
+void ClassPass::Merge(IterationContext& ctx) {
+  std::vector<ClassAlignmentEntry> entries;
+  for (const std::vector<ClassAlignmentEntry>& shard : outputs_) {
+    entries.insert(entries.end(), shard.begin(), shard.end());
+  }
+  ctx.classes = ClassScores(std::move(entries));
+}
+
+}  // namespace paris::core

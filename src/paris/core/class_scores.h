@@ -1,0 +1,48 @@
+#ifndef PARIS_CORE_CLASS_SCORES_H_
+#define PARIS_CORE_CLASS_SCORES_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "paris/rdf/term.h"
+
+namespace paris::core {
+
+// One reportable sub-class alignment Pr(sub ⊆ super).
+struct ClassAlignmentEntry {
+  rdf::TermId sub = rdf::kNullTerm;
+  rdf::TermId super = rdf::kNullTerm;
+  double score = 0.0;
+  // True if `sub` is a class of the left ontology.
+  bool sub_is_left = true;
+};
+
+// All sub-class scores, both directions, with query helpers for the
+// experiment harness. Produced by `ClassPass` (core/class_align.h); split
+// into its own header so the pipeline types (core/pass.h) can hold one
+// without pulling in the pass implementation.
+class ClassScores {
+ public:
+  explicit ClassScores(std::vector<ClassAlignmentEntry> entries)
+      : entries_(std::move(entries)) {}
+  ClassScores() = default;
+
+  const std::vector<ClassAlignmentEntry>& entries() const { return entries_; }
+
+  // Entries with score ≥ threshold, one direction, sorted by descending
+  // score.
+  std::vector<ClassAlignmentEntry> AboveThreshold(double threshold,
+                                                  bool sub_is_left) const;
+
+  // Number of distinct sub-classes (one direction) with ≥1 assignment of
+  // score ≥ threshold. This is the quantity of the paper's Figure 2.
+  size_t NumAlignedSubClasses(double threshold, bool sub_is_left) const;
+
+ private:
+  std::vector<ClassAlignmentEntry> entries_;
+};
+
+}  // namespace paris::core
+
+#endif  // PARIS_CORE_CLASS_SCORES_H_

@@ -1,0 +1,65 @@
+#ifndef PARIS_CORE_DIRECTION_H_
+#define PARIS_CORE_DIRECTION_H_
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "paris/core/equiv.h"
+#include "paris/core/literal_match.h"
+#include "paris/ontology/ontology.h"
+#include "paris/rdf/triple.h"
+
+namespace paris::core {
+
+// A directional view of the alignment state used by all passes: expands a
+// term of the `source` ontology to its equivalents in the `target` ontology.
+//  * literals go through the literal matcher (§5.3, probabilities clamped),
+//  * instances go through the previous iteration's equivalence store —
+//    either only the maximal assignment (§5.2 default) or the full
+//    distribution (`use_full`, the §6.3 ablation).
+struct DirectionalContext {
+  const ontology::Ontology* source = nullptr;
+  const ontology::Ontology* target = nullptr;
+  const LiteralMatcher* matcher = nullptr;        // source literal → target
+  const InstanceEquivalences* equiv = nullptr;    // may be null (iteration 1)
+  bool source_is_left = true;
+  bool use_full = false;
+
+  // Appends the equivalents of `y` (with positive probability) to `out`.
+  void AppendEquivalents(rdf::TermId y, std::vector<Candidate>* out) const {
+    if (source->pool().IsLiteral(y)) {
+      if (matcher != nullptr) matcher->Match(y, out);
+      return;
+    }
+    if (equiv == nullptr || !equiv->finalized()) return;
+    if (use_full) {
+      const auto span =
+          source_is_left ? equiv->LeftToRight(y) : equiv->RightToLeft(y);
+      out->insert(out->end(), span.begin(), span.end());
+      return;
+    }
+    const Candidate* best =
+        source_is_left ? equiv->MaxOfLeft(y) : equiv->MaxOfRight(y);
+    if (best != nullptr) out->push_back(*best);
+  }
+};
+
+// The facts of `facts` whose relation is exactly `rel`. Adjacency spans are
+// sorted by (rel, other), so this is one binary search per bound; prefer
+// `TripleStore::FactsAbout(t, rel)` unless the span is already in hand.
+inline std::span<const rdf::Fact> FactsWithRelation(
+    std::span<const rdf::Fact> facts, rdf::RelId rel) {
+  auto lo = std::lower_bound(
+      facts.begin(), facts.end(), rel,
+      [](const rdf::Fact& f, rdf::RelId r) { return f.rel < r; });
+  auto hi = std::upper_bound(
+      lo, facts.end(), rel,
+      [](rdf::RelId r, const rdf::Fact& f) { return r < f.rel; });
+  return facts.subspan(static_cast<size_t>(lo - facts.begin()),
+                       static_cast<size_t>(hi - lo));
+}
+
+}  // namespace paris::core
+
+#endif  // PARIS_CORE_DIRECTION_H_

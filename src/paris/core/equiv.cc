@@ -1,0 +1,158 @@
+#include "paris/core/equiv.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+namespace paris::core {
+
+void InstanceEquivalences::Set(rdf::TermId left,
+                               std::vector<Candidate> candidates) {
+  assert(!finalized_);
+  if (candidates.empty()) return;
+  left_to_right_[left] = std::move(candidates);
+}
+
+void InstanceEquivalences::Finalize() {
+  assert(!finalized_);
+  // Transpose.
+  for (const auto& [left, candidates] : left_to_right_) {
+    for (const Candidate& c : candidates) {
+      right_to_left_[c.other].push_back(Candidate{left, c.prob});
+    }
+  }
+  auto better = [](const Candidate& a, const Candidate& b) {
+    return a.prob != b.prob ? a.prob > b.prob : a.other < b.other;
+  };
+  for (auto& [right, candidates] : right_to_left_) {
+    std::sort(candidates.begin(), candidates.end(), better);
+  }
+  // Maximal assignments (first element after sorting = deterministic
+  // arbitrary tie-break, §4.2).
+  for (const auto& [left, candidates] : left_to_right_) {
+    max_left_.emplace(left, candidates.front());
+  }
+  for (const auto& [right, candidates] : right_to_left_) {
+    max_right_.emplace(right, candidates.front());
+  }
+  finalized_ = true;
+}
+
+std::span<const Candidate> InstanceEquivalences::LeftToRight(
+    rdf::TermId left) const {
+  auto it = left_to_right_.find(left);
+  if (it == left_to_right_.end()) return {};
+  return {it->second.data(), it->second.size()};
+}
+
+std::span<const Candidate> InstanceEquivalences::RightToLeft(
+    rdf::TermId right) const {
+  assert(finalized_);
+  auto it = right_to_left_.find(right);
+  if (it == right_to_left_.end()) return {};
+  return {it->second.data(), it->second.size()};
+}
+
+const Candidate* InstanceEquivalences::MaxOfLeft(rdf::TermId left) const {
+  assert(finalized_);
+  auto it = max_left_.find(left);
+  return it == max_left_.end() ? nullptr : &it->second;
+}
+
+const Candidate* InstanceEquivalences::MaxOfRight(rdf::TermId right) const {
+  assert(finalized_);
+  auto it = max_right_.find(right);
+  return it == max_right_.end() ? nullptr : &it->second;
+}
+
+double InstanceEquivalences::MaxAssignmentChangeFraction(
+    const InstanceEquivalences& previous) const {
+  assert(finalized_ && previous.finalized_);
+  size_t universe = 0;
+  size_t changed = 0;
+  for (const auto& [left, candidate] : max_left_) {
+    ++universe;
+    auto it = previous.max_left_.find(left);
+    if (it == previous.max_left_.end() ||
+        it->second.other != candidate.other) {
+      ++changed;
+    }
+  }
+  for (const auto& [left, candidate] : previous.max_left_) {
+    if (!max_left_.contains(left)) {
+      ++universe;
+      ++changed;
+    }
+  }
+  if (universe == 0) return 0.0;
+  return static_cast<double>(changed) / static_cast<double>(universe);
+}
+
+namespace {
+
+// Keys present in exactly one map, or present in both with different
+// candidate vectors (exact element comparison).
+void DiffListMaps(
+    const std::unordered_map<rdf::TermId, std::vector<Candidate>>& a,
+    const std::unordered_map<rdf::TermId, std::vector<Candidate>>& b,
+    std::vector<rdf::TermId>* out) {
+  for (const auto& [term, candidates] : a) {
+    auto it = b.find(term);
+    if (it == b.end() || it->second != candidates) out->push_back(term);
+  }
+  for (const auto& [term, candidates] : b) {
+    if (!a.contains(term)) out->push_back(term);
+  }
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+}
+
+}  // namespace
+
+void InstanceEquivalences::DiffLeftTerms(const InstanceEquivalences& other,
+                                         std::vector<rdf::TermId>* out) const {
+  DiffListMaps(left_to_right_, other.left_to_right_, out);
+}
+
+void InstanceEquivalences::DiffRightTerms(const InstanceEquivalences& other,
+                                          std::vector<rdf::TermId>* out) const {
+  assert(finalized_ && other.finalized_);
+  DiffListMaps(right_to_left_, other.right_to_left_, out);
+}
+
+InstanceEquivalences BlendEquivalences(const InstanceEquivalences& previous,
+                                       const InstanceEquivalences& fresh,
+                                       double lambda, double threshold,
+                                       size_t max_candidates) {
+  assert(previous.finalized_ && fresh.finalized_);
+  InstanceEquivalences out;
+  // Union of left keys.
+  std::unordered_set<rdf::TermId> lefts;
+  for (const auto& [l, cs] : previous.left_to_right_) lefts.insert(l);
+  for (const auto& [l, cs] : fresh.left_to_right_) lefts.insert(l);
+
+  auto better = [](const Candidate& a, const Candidate& b) {
+    return a.prob != b.prob ? a.prob > b.prob : a.other < b.other;
+  };
+  for (rdf::TermId left : lefts) {
+    std::unordered_map<rdf::TermId, double> blended;
+    for (const Candidate& c : previous.LeftToRight(left)) {
+      blended[c.other] += lambda * c.prob;
+    }
+    for (const Candidate& c : fresh.LeftToRight(left)) {
+      blended[c.other] += (1.0 - lambda) * c.prob;
+    }
+    std::vector<Candidate> candidates;
+    for (const auto& [other, prob] : blended) {
+      if (prob >= threshold) candidates.push_back(Candidate{other, prob});
+    }
+    if (candidates.empty()) continue;
+    std::sort(candidates.begin(), candidates.end(), better);
+    if (candidates.size() > max_candidates) candidates.resize(max_candidates);
+    out.Set(left, std::move(candidates));
+  }
+  out.Finalize();
+  return out;
+}
+
+}  // namespace paris::core

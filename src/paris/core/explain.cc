@@ -1,0 +1,97 @@
+#include "paris/core/explain.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "paris/core/aligner.h"
+
+namespace paris::core {
+
+MatchExplanation ExplainMatch(const ontology::Ontology& left,
+                              const ontology::Ontology& right,
+                              const AlignmentResult& result,
+                              const LiteralMatcher& matcher,
+                              const AlignmentConfig& config, rdf::TermId x,
+                              rdf::TermId x_prime) {
+  DirectionalContext l2r;
+  l2r.source = &left;
+  l2r.target = &right;
+  l2r.matcher = &matcher;
+  l2r.equiv = &result.instances;
+  l2r.source_is_left = true;
+  l2r.use_full = config.use_full_equalities;
+  return ExplainMatch(left, right, result.relations, l2r, config, x, x_prime);
+}
+
+MatchExplanation ExplainMatch(const ontology::Ontology& left,
+                              const ontology::Ontology& right,
+                              const RelationScores& rel_scores,
+                              const DirectionalContext& l2r,
+                              const AlignmentConfig& config, rdf::TermId x,
+                              rdf::TermId x_prime) {
+  MatchExplanation out;
+  out.left = x;
+  out.right = x_prime;
+  const auto variant = config.functionality_variant;
+
+  std::vector<Candidate> equivalents;
+  for (const rdf::Fact& f : left.FactsAbout(x)) {
+    equivalents.clear();
+    l2r.AppendEquivalents(f.other, &equivalents);
+    const double fun_inv_r =
+        left.functionality().GlobalInverse(f.rel, variant);
+    for (const Candidate& y_eq : equivalents) {
+      // Statements r'(x', y') are adjacency entries (r', y') of x'.
+      for (const rdf::Fact& cf : right.FactsAbout(x_prime)) {
+        if (cf.other != y_eq.other) continue;
+        const rdf::RelId r_prime = cf.rel;
+        const double p_sub_rl = rel_scores.SubRightLeft(r_prime, f.rel);
+        const double p_sub_lr = rel_scores.SubLeftRight(f.rel, r_prime);
+        if (p_sub_rl <= 0.0 && p_sub_lr <= 0.0) continue;
+        EvidenceItem item;
+        item.left_rel = f.rel;
+        item.right_rel = r_prime;
+        item.left_value = f.other;
+        item.right_value = y_eq.other;
+        item.value_prob = y_eq.prob;
+        item.sub_right_left = p_sub_rl;
+        item.sub_left_right = p_sub_lr;
+        item.fun_inv_left = fun_inv_r;
+        item.fun_inv_right =
+            right.functionality().GlobalInverse(r_prime, variant);
+        item.factor = (1.0 - p_sub_rl * fun_inv_r * y_eq.prob) *
+                      (1.0 - p_sub_lr * item.fun_inv_right * y_eq.prob);
+        if (item.factor < 1.0) out.evidence.push_back(item);
+      }
+    }
+  }
+  std::sort(out.evidence.begin(), out.evidence.end(),
+            [](const EvidenceItem& a, const EvidenceItem& b) {
+              return a.factor < b.factor;
+            });
+  double product = 1.0;
+  for (const EvidenceItem& item : out.evidence) product *= item.factor;
+  out.probability = 1.0 - product;
+  return out;
+}
+
+std::string MatchExplanation::ToString(
+    const ontology::Ontology& left_onto,
+    const ontology::Ontology& right_onto) const {
+  std::ostringstream os;
+  os << "Pr(" << left_onto.TermName(left) << " ≡ "
+     << right_onto.TermName(right) << ") = " << probability << "\n";
+  for (const EvidenceItem& item : evidence) {
+    os << "  " << left_onto.RelationName(item.left_rel) << "("
+       << left_onto.TermName(item.left_value) << ")  ~  "
+       << right_onto.RelationName(item.right_rel) << "("
+       << right_onto.TermName(item.right_value) << ")"
+       << "  Pr(y≡y')=" << item.value_prob
+       << " fun⁻¹=" << item.fun_inv_left << "/" << item.fun_inv_right
+       << " sub=" << item.sub_right_left << "/" << item.sub_left_right
+       << " → factor " << item.factor << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace paris::core

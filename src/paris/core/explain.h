@@ -1,0 +1,72 @@
+#ifndef PARIS_CORE_EXPLAIN_H_
+#define PARIS_CORE_EXPLAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "paris/core/config.h"
+#include "paris/core/direction.h"
+#include "paris/core/relation_scores.h"
+#include "paris/ontology/ontology.h"
+
+namespace paris::core {
+
+// Evidence inspection: decomposes Pr(x ≡ x') (Eq. 13) into the individual
+// statement-pair contributions, so a user can see *why* PARIS believes (or
+// doesn't believe) two entities are the same. Each piece of evidence is one
+// pair of statements r(x, y) / r'(x', y') with Pr(y ≡ y') > 0; its factor
+//
+//   (1 - Pr(r'⊆r)·fun⁻¹(r)·Pr(y≡y')) · (1 - Pr(r⊆r')·fun⁻¹(r')·Pr(y≡y'))
+//
+// multiplies into 1 - Pr(x ≡ x'). Smaller factor = stronger evidence.
+struct EvidenceItem {
+  rdf::RelId left_rel = rdf::kNullRel;    // r  (signed, left ontology)
+  rdf::RelId right_rel = rdf::kNullRel;   // r' (signed, right ontology)
+  rdf::TermId left_value = rdf::kNullTerm;   // y
+  rdf::TermId right_value = rdf::kNullTerm;  // y'
+  double value_prob = 0.0;     // Pr(y ≡ y')
+  double sub_right_left = 0.0; // Pr(r' ⊆ r)
+  double sub_left_right = 0.0; // Pr(r ⊆ r')
+  double fun_inv_left = 0.0;   // fun⁻¹(r)
+  double fun_inv_right = 0.0;  // fun⁻¹(r')
+  double factor = 1.0;         // the multiplied-in factor (≤ 1)
+};
+
+struct MatchExplanation {
+  rdf::TermId left = rdf::kNullTerm;
+  rdf::TermId right = rdf::kNullTerm;
+  // Evidence sorted by increasing factor (strongest first).
+  std::vector<EvidenceItem> evidence;
+  // 1 - ∏ factors: the positive-evidence probability (Eq. 13).
+  double probability = 0.0;
+
+  // Human-readable multi-line rendering.
+  std::string ToString(const ontology::Ontology& left_onto,
+                       const ontology::Ontology& right_onto) const;
+};
+
+// Recomputes the Eq. 13 evidence for the pair (x, x') under the given
+// alignment state. `l2r` must expand left terms exactly as the pass that
+// produced the state did (same equivalence store / matcher / flags);
+// `rel_scores` are the sub-relation probabilities to weight with.
+MatchExplanation ExplainMatch(const ontology::Ontology& left,
+                              const ontology::Ontology& right,
+                              const RelationScores& rel_scores,
+                              const DirectionalContext& l2r,
+                              const AlignmentConfig& config, rdf::TermId x,
+                              rdf::TermId x_prime);
+
+// Convenience: explains against a finished AlignmentResult, using the
+// given literal matcher (must already be indexed on `right`). The
+// explanation uses the *final* equivalence store and sub-relation scores,
+// i.e. the state the last iteration converged to.
+MatchExplanation ExplainMatch(const ontology::Ontology& left,
+                              const ontology::Ontology& right,
+                              const struct AlignmentResult& result,
+                              const LiteralMatcher& matcher,
+                              const AlignmentConfig& config, rdf::TermId x,
+                              rdf::TermId x_prime);
+
+}  // namespace paris::core
+
+#endif  // PARIS_CORE_EXPLAIN_H_

@@ -1,0 +1,183 @@
+#include "paris/core/literal_match.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "paris/util/string_util.h"
+
+namespace paris::core {
+
+// ---------------------------------------------------------------------------
+// IdentityLiteralMatcher
+// ---------------------------------------------------------------------------
+
+void IdentityLiteralMatcher::IndexTarget(const ontology::Ontology& target) {
+  target_store_ = &target.store();
+}
+
+void IdentityLiteralMatcher::Match(rdf::TermId literal,
+                                   std::vector<Candidate>* out) const {
+  if (target_store_ != nullptr && target_store_->ContainsTerm(literal)) {
+    out->push_back(Candidate{literal, 1.0});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// NormalizingLiteralMatcher
+// ---------------------------------------------------------------------------
+
+void NormalizingLiteralMatcher::IndexTarget(const ontology::Ontology& target) {
+  pool_ = &target.pool();
+  for (rdf::TermId t : target.store().terms()) {
+    if (!pool_->IsLiteral(t)) continue;
+    buckets_[util::NormalizeAlnum(pool_->lexical(t))].push_back(t);
+  }
+  for (auto& [norm, ids] : buckets_) {
+    std::sort(ids.begin(), ids.end());
+  }
+}
+
+void NormalizingLiteralMatcher::Match(rdf::TermId literal,
+                                      std::vector<Candidate>* out) const {
+  if (pool_ == nullptr) return;
+  auto it = buckets_.find(util::NormalizeAlnum(pool_->lexical(literal)));
+  if (it == buckets_.end()) return;
+  for (rdf::TermId t : it->second) {
+    out->push_back(Candidate{t, 1.0});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FuzzyLiteralMatcher
+// ---------------------------------------------------------------------------
+
+void FuzzyLiteralMatcher::IndexTarget(const ontology::Ontology& target) {
+  pool_ = &target.pool();
+  for (rdf::TermId t : target.store().terms()) {
+    if (!pool_->IsLiteral(t)) continue;
+    const uint32_t slot = static_cast<uint32_t>(target_literals_.size());
+    target_literals_.push_back(t);
+    normalized_.push_back(util::NormalizeAlnum(pool_->lexical(t)));
+    for (uint32_t key : util::TrigramKeys(normalized_.back())) {
+      trigram_index_[key].push_back(slot);
+    }
+  }
+}
+
+void FuzzyLiteralMatcher::Match(rdf::TermId literal,
+                                std::vector<Candidate>* out) const {
+  if (pool_ == nullptr) return;
+  const std::string norm = util::NormalizeAlnum(pool_->lexical(literal));
+  const std::vector<uint32_t> keys = util::TrigramKeys(norm);
+  // Count shared trigrams per candidate slot.
+  std::unordered_map<uint32_t, uint32_t> shared;
+  for (uint32_t key : keys) {
+    auto it = trigram_index_.find(key);
+    if (it == trigram_index_.end()) continue;
+    for (uint32_t slot : it->second) ++shared[slot];
+  }
+  // A candidate must share at least half of the query's trigrams before we
+  // pay for an edit distance (cheap pre-filter; exact matches always pass).
+  const uint32_t min_shared =
+      static_cast<uint32_t>((keys.size() + 1) / 2);
+  std::vector<Candidate> scored;
+  for (const auto& [slot, count] : shared) {
+    if (count < min_shared) continue;
+    const double sim = util::EditSimilarity(norm, normalized_[slot]);
+    if (sim >= min_similarity_) {
+      scored.push_back(Candidate{target_literals_[slot], sim});
+    }
+  }
+  auto better = [](const Candidate& a, const Candidate& b) {
+    return a.prob != b.prob ? a.prob > b.prob : a.other < b.other;
+  };
+  std::sort(scored.begin(), scored.end(), better);
+  if (scored.size() > max_candidates_) scored.resize(max_candidates_);
+  out->insert(out->end(), scored.begin(), scored.end());
+}
+
+// ---------------------------------------------------------------------------
+// TokenJaccardMatcher
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> TokenJaccardMatcher::Tokens(std::string_view s) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : s) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      current.push_back(static_cast<char>(
+          std::tolower(static_cast<unsigned char>(c))));
+    } else if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  std::sort(tokens.begin(), tokens.end());
+  tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+  return tokens;
+}
+
+void TokenJaccardMatcher::IndexTarget(const ontology::Ontology& target) {
+  pool_ = &target.pool();
+  for (rdf::TermId t : target.store().terms()) {
+    if (!pool_->IsLiteral(t)) continue;
+    const uint32_t slot = static_cast<uint32_t>(target_literals_.size());
+    target_literals_.push_back(t);
+    target_tokens_.push_back(Tokens(pool_->lexical(t)));
+    for (const std::string& token : target_tokens_.back()) {
+      token_index_[token].push_back(slot);
+    }
+  }
+}
+
+void TokenJaccardMatcher::Match(rdf::TermId literal,
+                                std::vector<Candidate>* out) const {
+  if (pool_ == nullptr) return;
+  const std::vector<std::string> tokens = Tokens(pool_->lexical(literal));
+  if (tokens.empty()) return;
+  std::unordered_map<uint32_t, uint32_t> shared;
+  for (const std::string& token : tokens) {
+    auto it = token_index_.find(token);
+    if (it == token_index_.end()) continue;
+    for (uint32_t slot : it->second) ++shared[slot];
+  }
+  std::vector<Candidate> scored;
+  for (const auto& [slot, count] : shared) {
+    const size_t union_size =
+        tokens.size() + target_tokens_[slot].size() - count;
+    const double jaccard =
+        static_cast<double>(count) / static_cast<double>(union_size);
+    if (jaccard >= min_similarity_) {
+      scored.push_back(Candidate{target_literals_[slot], jaccard});
+    }
+  }
+  auto better = [](const Candidate& a, const Candidate& b) {
+    return a.prob != b.prob ? a.prob > b.prob : a.other < b.other;
+  };
+  std::sort(scored.begin(), scored.end(), better);
+  if (scored.size() > max_candidates_) scored.resize(max_candidates_);
+  out->insert(out->end(), scored.begin(), scored.end());
+}
+
+// ---------------------------------------------------------------------------
+// Factories
+// ---------------------------------------------------------------------------
+
+LiteralMatcherFactory IdentityMatcherFactory() {
+  return [] { return std::make_unique<IdentityLiteralMatcher>(); };
+}
+
+LiteralMatcherFactory NormalizingMatcherFactory() {
+  return [] { return std::make_unique<NormalizingLiteralMatcher>(); };
+}
+
+LiteralMatcherFactory FuzzyMatcherFactory(double min_similarity,
+                                          size_t max_candidates) {
+  return [min_similarity, max_candidates] {
+    return std::make_unique<FuzzyLiteralMatcher>(min_similarity,
+                                                 max_candidates);
+  };
+}
+
+}  // namespace paris::core

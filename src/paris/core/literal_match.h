@@ -1,0 +1,122 @@
+#ifndef PARIS_CORE_LITERAL_MATCH_H_
+#define PARIS_CORE_LITERAL_MATCH_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "paris/core/equiv.h"
+#include "paris/ontology/ontology.h"
+#include "paris/rdf/term.h"
+
+namespace paris::core {
+
+// Literal equality functions (§5.3 of the paper). The probability that two
+// literals are equal is known a priori and clamped; a matcher maps a source
+// literal to the target-ontology literals it could be equal to, with
+// probabilities. Matchers are directional: `IndexTarget` is called once with
+// the ontology whose literals are candidate matches.
+class LiteralMatcher {
+ public:
+  virtual ~LiteralMatcher() = default;
+
+  // Builds the candidate index over the target ontology's literals.
+  virtual void IndexTarget(const ontology::Ontology& target) = 0;
+
+  // Appends the target literals equivalent to `literal` (a literal term of
+  // the shared pool) with Pr > 0, sorted best-first.
+  virtual void Match(rdf::TermId literal,
+                     std::vector<Candidate>* out) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+// The paper's default: Pr(x ≡ y) = 1 iff the lexical forms are identical
+// (datatype/dimension already normalized away at parse time), else 0.
+class IdentityLiteralMatcher : public LiteralMatcher {
+ public:
+  void IndexTarget(const ontology::Ontology& target) override;
+  void Match(rdf::TermId literal, std::vector<Candidate>* out) const override;
+  std::string name() const override { return "identity"; }
+
+ private:
+  const rdf::TripleStore* target_store_ = nullptr;
+};
+
+// The §6.3 variant: normalize both strings by removing all non-alphanumeric
+// characters and lowercasing; Pr = 1 iff the normalizations coincide. Makes
+// "213/467-1108" equal to "213-467-1108".
+class NormalizingLiteralMatcher : public LiteralMatcher {
+ public:
+  void IndexTarget(const ontology::Ontology& target) override;
+  void Match(rdf::TermId literal, std::vector<Candidate>* out) const override;
+  std::string name() const override { return "normalized-identity"; }
+
+ private:
+  const rdf::TermPool* pool_ = nullptr;
+  std::unordered_map<std::string, std::vector<rdf::TermId>> buckets_;
+};
+
+// An "improved string comparison technique" (§6.4 suggests one would raise
+// precision/recall further): candidates are generated from a character
+// trigram inverted index over normalized target literals and scored by
+// normalized edit similarity. Pr = similarity if ≥ `min_similarity`.
+class FuzzyLiteralMatcher : public LiteralMatcher {
+ public:
+  explicit FuzzyLiteralMatcher(double min_similarity = 0.85,
+                               size_t max_candidates = 4)
+      : min_similarity_(min_similarity), max_candidates_(max_candidates) {}
+
+  void IndexTarget(const ontology::Ontology& target) override;
+  void Match(rdf::TermId literal, std::vector<Candidate>* out) const override;
+  std::string name() const override { return "fuzzy-trigram"; }
+
+ private:
+  double min_similarity_;
+  size_t max_candidates_;
+  const rdf::TermPool* pool_ = nullptr;
+  std::vector<rdf::TermId> target_literals_;
+  std::vector<std::string> normalized_;  // parallel to target_literals_
+  std::unordered_map<uint32_t, std::vector<uint32_t>> trigram_index_;
+};
+
+// Word-level matcher: two literals are equal with probability equal to the
+// Jaccard similarity of their (normalized) token sets, if it reaches
+// `min_similarity`. Robust to word reordering ("Sugata Sanshiro" vs
+// "Sanshiro Sugata" score 1.0) where edit distance is not.
+class TokenJaccardMatcher : public LiteralMatcher {
+ public:
+  explicit TokenJaccardMatcher(double min_similarity = 0.6,
+                               size_t max_candidates = 4)
+      : min_similarity_(min_similarity), max_candidates_(max_candidates) {}
+
+  void IndexTarget(const ontology::Ontology& target) override;
+  void Match(rdf::TermId literal, std::vector<Candidate>* out) const override;
+  std::string name() const override { return "token-jaccard"; }
+
+ private:
+  static std::vector<std::string> Tokens(std::string_view s);
+
+  double min_similarity_;
+  size_t max_candidates_;
+  const rdf::TermPool* pool_ = nullptr;
+  std::vector<rdf::TermId> target_literals_;
+  std::vector<std::vector<std::string>> target_tokens_;
+  std::unordered_map<std::string, std::vector<uint32_t>> token_index_;
+};
+
+// Factory so the `Aligner` can build one matcher per direction.
+using LiteralMatcherFactory =
+    std::function<std::unique_ptr<LiteralMatcher>()>;
+
+LiteralMatcherFactory IdentityMatcherFactory();
+LiteralMatcherFactory NormalizingMatcherFactory();
+LiteralMatcherFactory FuzzyMatcherFactory(double min_similarity = 0.85,
+                                          size_t max_candidates = 4);
+
+}  // namespace paris::core
+
+#endif  // PARIS_CORE_LITERAL_MATCH_H_

@@ -1,0 +1,122 @@
+#include "paris/core/multi_align.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "paris/util/hash.h"
+
+namespace paris::core {
+
+namespace {
+
+// Union-find over (ontology, term) keys packed into 64 bits.
+class UnionFind {
+ public:
+  uint64_t Find(uint64_t key) {
+    auto it = parent_.find(key);
+    if (it == parent_.end()) {
+      parent_.emplace(key, key);
+      return key;
+    }
+    // Path compression.
+    uint64_t root = it->second;
+    while (true) {
+      auto pit = parent_.find(root);
+      if (pit->second == root) break;
+      root = pit->second;
+    }
+    uint64_t walk = key;
+    while (walk != root) {
+      auto wit = parent_.find(walk);
+      const uint64_t next = wit->second;
+      wit->second = root;
+      walk = next;
+    }
+    return root;
+  }
+
+  void Union(uint64_t a, uint64_t b) {
+    const uint64_t ra = Find(a);
+    const uint64_t rb = Find(b);
+    if (ra != rb) parent_[ra] = rb;
+  }
+
+  const std::unordered_map<uint64_t, uint64_t>& nodes() const {
+    return parent_;
+  }
+
+ private:
+  std::unordered_map<uint64_t, uint64_t> parent_;
+};
+
+constexpr uint64_t PackMember(size_t ontology, rdf::TermId term) {
+  return util::PackPair(static_cast<uint32_t>(ontology), term);
+}
+
+}  // namespace
+
+MultiAlignmentResult MultiAligner::Run() {
+  MultiAlignmentResult result;
+  UnionFind clusters;
+  std::unordered_map<uint64_t, double> edge_prob;  // root-agnostic min probs
+
+  for (size_t i = 0; i < ontologies_.size(); ++i) {
+    for (size_t j = i + 1; j < ontologies_.size(); ++j) {
+      Aligner aligner(*ontologies_[i], *ontologies_[j], config_);
+      if (matcher_factory_) {
+        aligner.set_literal_matcher_factory(matcher_factory_);
+      }
+      AlignmentResult pairwise = aligner.Run();
+
+      // Reciprocal maximal assignments become cluster edges.
+      for (const auto& [left, candidate] : pairwise.instances.max_left()) {
+        const Candidate* back = pairwise.instances.MaxOfRight(candidate.other);
+        if (back == nullptr || back->other != left) continue;
+        const uint64_t a = PackMember(i, left);
+        const uint64_t b = PackMember(j, candidate.other);
+        clusters.Union(a, b);
+        edge_prob[a] = std::min(edge_prob.count(a) ? edge_prob[a] : 1.0,
+                                candidate.prob);
+        edge_prob[b] = std::min(edge_prob.count(b) ? edge_prob[b] : 1.0,
+                                candidate.prob);
+      }
+      result.pairs.emplace_back(i, j);
+      result.pairwise.push_back(std::move(pairwise));
+    }
+  }
+
+  // Materialize clusters with ≥ 2 members.
+  std::unordered_map<uint64_t, EntityCluster> by_root;
+  for (const auto& [key, unused_parent] : clusters.nodes()) {
+    const uint64_t root = clusters.Find(key);
+    EntityCluster& cluster = by_root[root];
+    cluster.members.push_back(ClusterMember{
+        static_cast<size_t>(util::UnpackFirst(key)), util::UnpackSecond(key)});
+    auto it = edge_prob.find(key);
+    if (it != edge_prob.end()) {
+      cluster.min_edge_prob = std::min(cluster.min_edge_prob, it->second);
+    }
+  }
+  for (auto& [root, cluster] : by_root) {
+    if (cluster.members.size() < 2) continue;
+    std::sort(cluster.members.begin(), cluster.members.end(),
+              [](const ClusterMember& a, const ClusterMember& b) {
+                return a.ontology != b.ontology ? a.ontology < b.ontology
+                                                : a.term < b.term;
+              });
+    result.clusters.push_back(std::move(cluster));
+  }
+  std::sort(result.clusters.begin(), result.clusters.end(),
+            [](const EntityCluster& a, const EntityCluster& b) {
+              if (a.members.size() != b.members.size()) {
+                return a.members.size() > b.members.size();
+              }
+              const ClusterMember& ma = a.members.front();
+              const ClusterMember& mb = b.members.front();
+              return ma.ontology != mb.ontology ? ma.ontology < mb.ontology
+                                                : ma.term < mb.term;
+            });
+  return result;
+}
+
+}  // namespace paris::core

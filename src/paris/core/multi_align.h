@@ -1,0 +1,75 @@
+#ifndef PARIS_CORE_MULTI_ALIGN_H_
+#define PARIS_CORE_MULTI_ALIGN_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "paris/core/aligner.h"
+#include "paris/core/config.h"
+#include "paris/core/literal_match.h"
+#include "paris/ontology/ontology.h"
+
+namespace paris::core {
+
+// Alignment of more than two ontologies — the §7 future-work item ("It
+// would also be interesting to apply paris to more than two ontologies").
+//
+// PARIS is run on every ontology pair; entities whose maximal assignments
+// are *reciprocal* (x's best counterpart is x' and x''s best counterpart is
+// x) are merged into cross-ontology equivalence clusters with a union-find.
+// Reciprocity keeps the clusters conservative: a one-sided weak assignment
+// never glues two clusters together.
+
+// One member of a cluster: (ontology index, term).
+struct ClusterMember {
+  size_t ontology = 0;
+  rdf::TermId term = rdf::kNullTerm;
+
+  friend bool operator==(const ClusterMember& a, const ClusterMember& b) {
+    return a.ontology == b.ontology && a.term == b.term;
+  }
+};
+
+// An equivalence cluster across ontologies, members sorted by
+// (ontology, term).
+struct EntityCluster {
+  std::vector<ClusterMember> members;
+  // The smallest reciprocal-match probability along the spanning edges that
+  // formed this cluster (a conservative confidence estimate).
+  double min_edge_prob = 1.0;
+};
+
+struct MultiAlignmentResult {
+  // Clusters with ≥ 2 members, sorted by size (largest first), then by the
+  // first member.
+  std::vector<EntityCluster> clusters;
+  // The pairwise results, indexed by the pair list passed to Run().
+  std::vector<AlignmentResult> pairwise;
+  // The (i, j) ontology-index pairs, i < j, in pairwise order.
+  std::vector<std::pair<size_t, size_t>> pairs;
+};
+
+// Runs PARIS over every pair of the given ontologies (which must share one
+// TermPool) and clusters the reciprocal matches.
+class MultiAligner {
+ public:
+  explicit MultiAligner(std::vector<const ontology::Ontology*> ontologies,
+                        AlignmentConfig config = {})
+      : ontologies_(std::move(ontologies)), config_(config) {}
+
+  void set_literal_matcher_factory(LiteralMatcherFactory factory) {
+    matcher_factory_ = std::move(factory);
+  }
+
+  MultiAlignmentResult Run();
+
+ private:
+  std::vector<const ontology::Ontology*> ontologies_;
+  AlignmentConfig config_;
+  LiteralMatcherFactory matcher_factory_;
+};
+
+}  // namespace paris::core
+
+#endif  // PARIS_CORE_MULTI_ALIGN_H_

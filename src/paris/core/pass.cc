@@ -1,0 +1,68 @@
+#include "paris/core/pass.h"
+
+#include <atomic>
+#include <mutex>
+
+namespace paris::core {
+
+ShardRunOutcome RunPassShards(
+    Pass& pass, size_t num_shards, IterationContext& ctx,
+    util::ThreadPool* pool,
+    const std::function<bool(const ShardProgress&)>& gate,
+    const std::vector<uint8_t>* already_done) {
+  ShardRunOutcome outcome;
+  outcome.completed.assign(num_shards, 0);
+  if (already_done != nullptr && already_done->size() == num_shards) {
+    // Checkpoint-cached shards are marked up front (before any worker
+    // starts), so the parallel loop reads `completed` without races: the
+    // only writes during the loop are each worker's own shard slot.
+    outcome.completed = *already_done;
+    for (uint8_t done : outcome.completed) outcome.num_completed += done;
+  }
+  if (num_shards == 0) return outcome;
+
+  std::atomic<bool> stop{false};
+  std::mutex mutex;
+  size_t num_completed = outcome.num_completed;
+
+  util::ForRangeShards(
+      pool, num_shards, [&](size_t shard, size_t worker) -> bool {
+        if (outcome.completed[shard]) {
+          return !stop.load(std::memory_order_acquire);
+        }
+        if (stop.load(std::memory_order_acquire)) return false;
+        if (ctx.obs.trace != nullptr) {
+          // The only per-shard instrumentation cost when tracing is off is
+          // the branch above; the span (two clock reads + one buffer
+          // append into the worker's own slot) exists only when it is on.
+          obs::Span span(ctx.obs.trace, worker, "shard", pass.name(),
+                         ctx.iteration, static_cast<int64_t>(shard));
+          pass.RunShard(shard, worker, ctx);
+        } else {
+          pass.RunShard(shard, worker, ctx);
+        }
+        bool keep_going = true;
+        {
+          std::lock_guard<std::mutex> lock(mutex);
+          outcome.completed[shard] = 1;
+          ++num_completed;
+          if (gate) {
+            ShardProgress progress;
+            progress.pass = pass.name();
+            progress.iteration = ctx.iteration;
+            progress.shard = shard;
+            progress.num_shards = num_shards;
+            progress.num_completed = num_completed;
+            keep_going = gate(progress);
+          }
+        }
+        if (!keep_going) stop.store(true, std::memory_order_release);
+        return keep_going;
+      });
+
+  outcome.num_completed = num_completed;
+  outcome.stopped = stop.load(std::memory_order_acquire);
+  return outcome;
+}
+
+}  // namespace paris::core

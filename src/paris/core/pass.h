@@ -1,0 +1,332 @@
+#ifndef PARIS_CORE_PASS_H_
+#define PARIS_CORE_PASS_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <typeindex>
+#include <unordered_map>
+#include <vector>
+
+#include "paris/core/class_scores.h"
+#include "paris/core/config.h"
+#include "paris/core/direction.h"
+#include "paris/core/equiv.h"
+#include "paris/core/literal_match.h"
+#include "paris/core/relation_scores.h"
+#include "paris/obs/hooks.h"
+#include "paris/ontology/ontology.h"
+#include "paris/util/thread_pool.h"
+
+namespace paris::core {
+
+struct SemiNaiveWorklist;  // core/worklist.h
+
+// ---------------------------------------------------------------------------
+// Shard layout
+// ---------------------------------------------------------------------------
+
+// Default shard count per pass when `AlignmentConfig::num_shards` is 0.
+// Fixed — never derived from the thread count — so shard boundaries (and
+// therefore mid-iteration checkpoints) are identical across machines.
+inline constexpr size_t kDefaultNumShards = 64;
+
+// Fixed partition of [0, total) items into contiguous shards. Boundaries
+// depend only on `total` and the configured shard count — never on the
+// thread count or on claim order — so a checkpoint's completed-shard
+// payloads remain valid when the run resumes on different hardware.
+struct ShardLayout {
+  size_t total = 0;
+  size_t num_shards = 0;
+  size_t chunk = 0;  // items per shard (last shard may be short)
+
+  static ShardLayout Make(size_t total, size_t configured_shards) {
+    ShardLayout layout;
+    layout.total = total;
+    if (total == 0) return layout;
+    const size_t wanted =
+        configured_shards > 0 ? configured_shards : kDefaultNumShards;
+    const size_t shards = std::min(wanted, total);
+    layout.chunk = (total + shards - 1) / shards;
+    layout.num_shards = (total + layout.chunk - 1) / layout.chunk;
+    return layout;
+  }
+
+  size_t begin(size_t shard) const { return shard * chunk; }
+  size_t end(size_t shard) const {
+    return std::min(begin(shard) + chunk, total);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Iteration context
+// ---------------------------------------------------------------------------
+
+// The mutable state of one fixpoint iteration, threaded through every pass:
+// the run-wide inputs, the iteration's input/output tables, and the
+// per-worker scratch pool. Owning this state here (instead of in locals of
+// the pass free functions, as before the pipeline refactor) is what lets
+// scratch memory be reused across shards and iterations instead of
+// reallocated, and gives every pass one place to read its inputs from.
+//
+// Thread-safety protocol: the Aligner mutates the context only between
+// passes (single-threaded); during a pass, workers touch only their own
+// scratch slot and their pass's shard-local output. `ScratchSlots<T>()`
+// may allocate and must therefore only be called from the serial phases
+// (`Pass::Prepare` / `Pass::Merge`); `RunShard` indexes into the vector it
+// obtained during `Prepare`.
+class IterationContext {
+ public:
+  explicit IterationContext(size_t worker_slots)
+      : worker_slots_(worker_slots == 0 ? 1 : worker_slots) {}
+
+  IterationContext(const IterationContext&) = delete;
+  IterationContext& operator=(const IterationContext&) = delete;
+
+  // --- Run-wide inputs, bound once per run by the Aligner -----------------
+  const ontology::Ontology* left = nullptr;
+  const ontology::Ontology* right = nullptr;
+  const AlignmentConfig* config = nullptr;
+  const LiteralMatcher* matcher_l2r = nullptr;
+  const LiteralMatcher* matcher_r2l = nullptr;
+  // Observability hooks (default: off). Passes may register metrics in
+  // their serial phases and update them per shard with the worker slot;
+  // the scheduler records one "shard" span per computed shard. Both
+  // recorders, when set, are sized for this context's worker slots.
+  obs::Hooks obs;
+
+  // --- Fixpoint state, rebound by the Aligner every iteration -------------
+  int iteration = 0;                               // 1-based
+  const InstanceEquivalences* previous = nullptr;  // last iteration's output
+  const RelationScores* rel_scores = nullptr;      // input scores (Eq. 13)
+  // Semi-naive dirty sets for this iteration (core/worklist.h); null or
+  // inactive = recompute everything. Passes consult it inside RunShard, so
+  // shard scheduling, checkpointing, and merge order are identical whether
+  // or not items are skipped.
+  const SemiNaiveWorklist* worklist = nullptr;
+  InstanceEquivalences current;                    // instance pass output
+  RelationScores fresh_scores;                     // relation pass output
+  ClassScores classes;                             // class pass output
+
+  // The directional view every pass builds its expansions from (§5.2).
+  DirectionalContext Direction(bool left_to_right,
+                               const InstanceEquivalences* equiv) const {
+    DirectionalContext ctx;
+    ctx.source = left_to_right ? left : right;
+    ctx.target = left_to_right ? right : left;
+    ctx.matcher = left_to_right ? matcher_l2r : matcher_r2l;
+    ctx.equiv = equiv;
+    ctx.source_is_left = left_to_right;
+    ctx.use_full = config->use_full_equalities;
+    return ctx;
+  }
+
+  // --- Per-worker scratch --------------------------------------------------
+
+  size_t worker_slots() const { return worker_slots_; }
+
+  // One default-constructed T per worker slot, created on first request and
+  // kept for the lifetime of the context — scratch buffers grown during one
+  // shard keep their capacity for the next shard and the next iteration.
+  // Serial phases only (may allocate); see the class comment.
+  template <typename T>
+  std::vector<T>& ScratchSlots() {
+    auto& holder = scratch_[std::type_index(typeid(T))];
+    if (holder == nullptr) {
+      auto typed = std::make_unique<ScratchHolder<T>>();
+      typed->slots.resize(worker_slots_);
+      holder = std::move(typed);
+    }
+    return static_cast<ScratchHolder<T>*>(holder.get())->slots;
+  }
+
+ private:
+  struct ScratchBase {
+    virtual ~ScratchBase() = default;
+  };
+  template <typename T>
+  struct ScratchHolder final : ScratchBase {
+    std::vector<T> slots;
+  };
+
+  size_t worker_slots_;
+  std::unordered_map<std::type_index, std::unique_ptr<ScratchBase>> scratch_;
+};
+
+// ---------------------------------------------------------------------------
+// Pass interface
+// ---------------------------------------------------------------------------
+
+// One stage of the alignment pipeline (instance equivalences, relation
+// scores, class scores), decomposed into fixed shards so the scheduler can
+// poll cancellation and report progress at shard granularity.
+//
+// Protocol, driven by the Aligner once per iteration:
+//
+//   1. `Prepare(ctx)` (serial): bind inputs from `ctx`, size the shard-local
+//      output slots, return the shard count (a `ShardLayout` over the pass's
+//      item space).
+//   2. `RunShard(shard, worker, ctx)` (parallel): compute one shard into its
+//      own output slot, using only `ctx` inputs and the worker's scratch.
+//      Shards are independent; no locks.
+//   3. `Merge(ctx)` (serial): fold the shard outputs into the context in
+//      ascending shard order — the shared merge discipline that makes every
+//      pass reproduce the exact insertion sequence of a serial run, so
+//      results are byte-identical across shard and thread counts.
+//
+// `SaveShard`/`LoadShard` serialize one computed shard's output as an opaque
+// payload for mid-iteration checkpoints: a cancelled pass records its
+// completed shards in the result snapshot, and a resumed run re-loads them
+// instead of recomputing. A payload that fails `LoadShard` validation is
+// simply discarded (the shard recomputes), so stale or foreign payloads can
+// never corrupt a run. The defaults are for passes that are never
+// checkpointed (the class pass always runs to completion): save nothing,
+// accept nothing.
+class Pass {
+ public:
+  virtual ~Pass() = default;
+
+  virtual const char* name() const = 0;
+  virtual size_t Prepare(IterationContext& ctx) = 0;
+  virtual void RunShard(size_t shard, size_t worker, IterationContext& ctx) = 0;
+  virtual void Merge(IterationContext& ctx) = 0;
+  virtual void SaveShard(size_t shard, std::string* out) const {
+    (void)shard;
+    out->clear();
+  }
+  virtual bool LoadShard(size_t shard, std::string_view bytes,
+                         IterationContext& ctx) {
+    (void)shard;
+    (void)bytes;
+    (void)ctx;
+    return false;
+  }
+};
+
+// Indexes of the pipeline's passes, in execution order; recorded in
+// checkpoints to name the interrupted pass.
+enum PassIndex : int {
+  kInstancePass = 0,
+  kRelationPass = 1,
+  kClassPass = 2,
+};
+
+// ---------------------------------------------------------------------------
+// Shard payload codec
+// ---------------------------------------------------------------------------
+
+// Minimal little-endian byte codec for shard payloads. Payloads are opaque
+// to everything but the pass that wrote them; file-level corruption is
+// caught by the snapshot checksum, and `LoadShard` re-validates structure
+// so any surviving mismatch falls back to recomputation.
+class PayloadWriter {
+ public:
+  void U8(uint8_t v) { bytes_.push_back(static_cast<char>(v)); }
+  void U32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      bytes_.push_back(static_cast<char>(v >> (8 * i)));
+    }
+  }
+  void U64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      bytes_.push_back(static_cast<char>(v >> (8 * i)));
+    }
+  }
+  void F64(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    U64(bits);
+  }
+
+  std::string Take() { return std::move(bytes_); }
+
+ private:
+  std::string bytes_;
+};
+
+class PayloadReader {
+ public:
+  explicit PayloadReader(std::string_view bytes) : bytes_(bytes) {}
+
+  bool U8(uint8_t* v) {
+    if (pos_ + 1 > bytes_.size()) return false;
+    *v = static_cast<uint8_t>(bytes_[pos_++]);
+    return true;
+  }
+  bool U32(uint32_t* v) {
+    if (pos_ + 4 > bytes_.size()) return false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i) {
+      *v |= static_cast<uint32_t>(static_cast<uint8_t>(bytes_[pos_++]))
+            << (8 * i);
+    }
+    return true;
+  }
+  bool U64(uint64_t* v) {
+    if (pos_ + 8 > bytes_.size()) return false;
+    *v = 0;
+    for (int i = 0; i < 8; ++i) {
+      *v |= static_cast<uint64_t>(static_cast<uint8_t>(bytes_[pos_++]))
+            << (8 * i);
+    }
+    return true;
+  }
+  bool F64(double* v) {
+    uint64_t bits;
+    if (!U64(&bits)) return false;
+    std::memcpy(v, &bits, sizeof(*v));
+    return true;
+  }
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+
+ private:
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Shard scheduler
+// ---------------------------------------------------------------------------
+
+// One shard-completion event, reported through the Aligner's shard observer.
+struct ShardProgress {
+  const char* pass = "";     // Pass::name() of the reporting pass
+  int iteration = 0;         // 1-based fixpoint iteration; for the final
+                             // class pass, the last completed iteration
+  size_t shard = 0;          // shard that just completed
+  size_t num_shards = 0;     // total shards of this pass this iteration
+  size_t num_completed = 0;  // completed so far, including cached ones
+};
+
+// What `RunPassShards` did: which shards completed (computed this run or
+// adopted from a checkpoint) and whether the gate stopped the pass early.
+struct ShardRunOutcome {
+  std::vector<uint8_t> completed;  // 1 per completed shard
+  size_t num_completed = 0;
+  bool stopped = false;  // the gate returned false at some shard boundary
+
+  bool all_completed() const { return num_completed == completed.size(); }
+};
+
+// Runs `pass` over `num_shards` shards across `pool` (inline when null or
+// empty), claiming shards one at a time. Shards flagged in `already_done`
+// (from a checkpoint; may be null) are skipped and counted as completed.
+// After each computed shard, `gate` (may be null) is invoked — serialized
+// under an internal mutex, but possibly on a worker thread — and returning
+// false stops further claims: shards already running finish, everything
+// else stays incomplete. The outcome records exactly which shards
+// completed, which is what a mid-iteration checkpoint persists.
+ShardRunOutcome RunPassShards(
+    Pass& pass, size_t num_shards, IterationContext& ctx,
+    util::ThreadPool* pool,
+    const std::function<bool(const ShardProgress&)>& gate,
+    const std::vector<uint8_t>* already_done = nullptr);
+
+}  // namespace paris::core
+
+#endif  // PARIS_CORE_PASS_H_

@@ -1,0 +1,99 @@
+#ifndef PARIS_CORE_RELATION_ALIGN_H_
+#define PARIS_CORE_RELATION_ALIGN_H_
+
+#include <array>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "paris/core/config.h"
+#include "paris/core/direction.h"
+#include "paris/core/pass.h"
+#include "paris/core/relation_scores.h"
+#include "paris/ontology/ontology.h"
+
+namespace paris::core {
+
+// Per-worker scratch of the relation pass (defined in relation_align.cc),
+// owned by the IterationContext and bound to `scratch_` in Prepare — the
+// serial phase, per the ScratchSlots contract.
+struct RelationShardScratch;
+
+// The sub-relation pass (§4.2, Eq. (12)), one pipeline stage per fixpoint
+// iteration: for every relation r of each ontology, estimates Pr(r ⊆ r')
+// against every relation r' of the other ontology as
+//
+//     Σ_{r(x,y)} [1 - ∏_{r'(x',y'), x≈x', y≈y'} (1 - Pr(x≡x')·Pr(y≡y'))]
+//     ------------------------------------------------------------------
+//     Σ_{r(x,y)} [1 - ∏_{x', y'} (1 - Pr(x≡x')·Pr(y≡y'))]
+//
+// Only the pairs of the current maximal assignment feed the estimate
+// (§5.2), at most `config.relation_pair_sample` pairs per relation.
+// Inverse relations are covered by the Pr(r ⊆ r') = Pr(r⁻¹ ⊆ r'⁻¹)
+// canonicalization in `RelationScores`.
+//
+// Input (bound in Prepare): `ctx.current`, the equivalences the instance
+// pass of the same iteration just produced. The item space is the
+// (direction, relation) sequence — left relations first, then right — and
+// shards partition it; every item writes only its own score list, so the
+// pass parallelizes without locks. Merge inserts the item lists into
+// `ctx.fresh_scores` in ascending item order, reproducing the exact
+// insertion sequence of a serial run.
+//
+// Semi-naive reuse (core/worklist.h): a relation's score list depends only
+// on its (static) pair sample and the equivalence views of the pair
+// components, so when `ctx.worklist` has an active relation set, RunShard
+// skips relations none of whose members moved — their retained item lists
+// are merged as-is. Like InstancePass, the lists are retained in two
+// generations alternating per iteration, and reuse draws from the previous
+// *same-parity* iteration (two back) to match the worklist's same-parity
+// diffs (the exact attractor may be a period-2 cycle). Skipping never
+// perturbs shard scheduling or merge order, and a skipped item's shard
+// payload is byte-identical to a recomputed one.
+class RelationPass final : public Pass {
+ public:
+  const char* name() const override { return "relation"; }
+  size_t Prepare(IterationContext& ctx) override;
+  void RunShard(size_t shard, size_t worker, IterationContext& ctx) override;
+  void Merge(IterationContext& ctx) override;
+  void SaveShard(size_t shard, std::string* out) const override;
+  bool LoadShard(size_t shard, std::string_view bytes,
+                 IterationContext& ctx) override;
+
+ private:
+  struct Scored {
+    rdf::RelId sub;
+    rdf::RelId super;
+    double score;
+    bool sub_is_left;
+  };
+
+  ShardLayout layout_;
+  size_t num_left_ = 0;
+  DirectionalContext l2r_;
+  DirectionalContext r2l_;
+  // One score list per item (relation), filled by RunShard (or LoadShard),
+  // read by Merge, and retained across iterations for semi-naive reuse.
+  // Two generations, alternating per iteration; `outputs_[gen_]` is active.
+  std::array<std::vector<std::vector<Scored>>, 2> outputs_;
+  // outputs_[g] holds a complete prior output (set by a semi_naive Merge);
+  // precondition for reusing generation g.
+  std::array<bool, 2> have_results_ = {false, false};
+  // Active generation: alternates per Prepare (same parity = two back).
+  size_t gen_ = 0;
+  size_t prepare_count_ = 0;
+  // This iteration skips relations clean in ctx.worklist (set in Prepare).
+  bool reuse_ = false;
+  // The per-worker scratch slots, bound in Prepare (RunShard must not call
+  // ScratchSlots itself — it may allocate).
+  std::vector<RelationShardScratch>* scratch_ = nullptr;
+  // Registered in Prepare when ctx.obs.metrics is set; bumped per shard
+  // with the worker's slot.
+  obs::MetricId relations_scored_ = 0;
+  obs::MetricId relations_reused_ = 0;
+  obs::MetricId scores_emitted_ = 0;
+};
+
+}  // namespace paris::core
+
+#endif  // PARIS_CORE_RELATION_ALIGN_H_

@@ -1,0 +1,98 @@
+#include "paris/core/relation_scores.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace paris::core {
+
+void RelationScores::SetSubLeftRight(rdf::RelId left, rdf::RelId right,
+                                     double score) {
+  assert(left > 0 && "store canonical positive sub id");
+  assert(!bootstrap_);
+  left_sub_right_[util::PackPair(Encode(left), Encode(right))] = score;
+  entries_cache_valid_ = false;
+}
+
+void RelationScores::SetSubRightLeft(rdf::RelId right, rdf::RelId left,
+                                     double score) {
+  assert(right > 0 && "store canonical positive sub id");
+  assert(!bootstrap_);
+  right_sub_left_[util::PackPair(Encode(right), Encode(left))] = score;
+  entries_cache_valid_ = false;
+}
+
+const std::vector<RelationAlignmentEntry>& RelationScores::Entries() const {
+  if (entries_cache_valid_) return entries_cache_;
+  entries_cache_.clear();
+  entries_cache_.reserve(size());
+  for (const auto& [key, score] : left_sub_right_) {
+    entries_cache_.push_back(RelationAlignmentEntry{
+        Decode(util::UnpackFirst(key)), Decode(util::UnpackSecond(key)), score,
+        /*sub_is_left=*/true});
+  }
+  for (const auto& [key, score] : right_sub_left_) {
+    entries_cache_.push_back(RelationAlignmentEntry{
+        Decode(util::UnpackFirst(key)), Decode(util::UnpackSecond(key)), score,
+        /*sub_is_left=*/false});
+  }
+  // Canonical order (left direction first, then sub, then super): entry
+  // order must be a function of the table *contents*, not of unordered_map
+  // bucket layout, or a run resumed from a result snapshot could tie-break
+  // differently than the cold run it mirrors.
+  std::sort(entries_cache_.begin(), entries_cache_.end(),
+            [](const RelationAlignmentEntry& a,
+               const RelationAlignmentEntry& b) {
+              if (a.sub_is_left != b.sub_is_left) return a.sub_is_left;
+              if (a.sub != b.sub) return a.sub < b.sub;
+              return a.super < b.super;
+            });
+  entries_cache_valid_ = true;
+  return entries_cache_;
+}
+
+void RelationScores::DiffLeftRelations(const RelationScores& other,
+                                       std::vector<rdf::RelId>* out) const {
+  assert(!bootstrap_ && !other.bootstrap_);
+  // In left_sub_right_ the packed sub is the left relation; in
+  // right_sub_left_ it is the super.
+  auto diff_table = [out](const Table& a, const Table& b, bool sub_is_left) {
+    for (const auto& [key, score] : a) {
+      auto it = b.find(key);
+      if (it != b.end() && it->second == score) continue;
+      const rdf::RelId left_rel = Decode(sub_is_left ? util::UnpackFirst(key)
+                                                     : util::UnpackSecond(key));
+      out->push_back(rdf::BaseRel(left_rel));
+    }
+  };
+  diff_table(left_sub_right_, other.left_sub_right_, /*sub_is_left=*/true);
+  diff_table(other.left_sub_right_, left_sub_right_, /*sub_is_left=*/true);
+  diff_table(right_sub_left_, other.right_sub_left_, /*sub_is_left=*/false);
+  diff_table(other.right_sub_left_, right_sub_left_, /*sub_is_left=*/false);
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+}
+
+}  // namespace paris::core
+
+namespace paris::core {
+
+void RelationScores::SetBootstrapPrior(rdf::RelId left, rdf::RelId right,
+                                       double prior) {
+  assert(bootstrap_);
+  // Canonicalize to a positive sub id on each side.
+  if (left < 0) {
+    left = -left;
+    right = -right;
+  }
+  left_sub_right_[util::PackPair(Encode(left), Encode(right))] = prior;
+  rdf::RelId r = right;
+  rdf::RelId l = left;
+  if (r < 0) {
+    r = -r;
+    l = -l;
+  }
+  right_sub_left_[util::PackPair(Encode(r), Encode(l))] = prior;
+  entries_cache_valid_ = false;
+}
+
+}  // namespace paris::core

@@ -1,0 +1,153 @@
+#ifndef PARIS_CORE_RELATION_SCORES_H_
+#define PARIS_CORE_RELATION_SCORES_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "paris/rdf/triple.h"
+#include "paris/util/hash.h"
+#include "paris/util/status.h"
+
+namespace paris::storage {
+class SnapshotReader;
+class SnapshotWriter;
+}  // namespace paris::storage
+
+namespace paris::core {
+
+class RelationScores;
+
+// Result-snapshot section I/O (src/core/result_snapshot.h); friends of
+// RelationScores.
+void SaveRelationScores(const RelationScores& scores,
+                        storage::SnapshotWriter& writer);
+util::StatusOr<RelationScores> LoadRelationScores(
+    storage::SnapshotReader& reader, size_t num_left_relations,
+    size_t num_right_relations);
+
+// One reportable sub-relation alignment.
+struct RelationAlignmentEntry {
+  rdf::RelId sub = rdf::kNullRel;    // relation of the "sub" side
+  rdf::RelId super = rdf::kNullRel;  // relation of the "super" side
+  double score = 0.0;
+  // True if `sub` belongs to the left ontology (sub ⊆ super reads
+  // left-relation ⊆ right-relation), false for the other direction.
+  bool sub_is_left = true;
+};
+
+// Sparse table of sub-relation probabilities Pr(r ⊆ r') between the signed
+// relations of a left and a right ontology.
+//
+// Exploits the identity Pr(r ⊆ r') = Pr(r⁻¹ ⊆ r'⁻¹): entries are stored
+// canonicalized to a positive sub-relation id, so one stored score serves
+// both the relation pair and its inverted twin.
+//
+// In the very first iteration no scores exist yet; a table constructed with
+// `Bootstrap(theta)` reports θ for every pair (§5.1).
+class RelationScores {
+ public:
+  RelationScores() = default;
+
+  static RelationScores Bootstrap(double theta) {
+    RelationScores s;
+    s.bootstrap_ = true;
+    s.theta_ = theta;
+    return s;
+  }
+
+  bool bootstrap() const { return bootstrap_; }
+
+  // In bootstrap mode, lookups for a pair with a stored prior return
+  // max(θ, prior) instead of θ. Used by the relation-name-prior extension;
+  // the stored value must be set through SetBootstrapPrior.
+  void SetBootstrapPrior(rdf::RelId left, rdf::RelId right, double prior);
+
+  // Pr(left ⊆ right) for a left-ontology relation `left` and right-ontology
+  // relation `right` (either may be inverse ids).
+  double SubLeftRight(rdf::RelId left, rdf::RelId right) const {
+    return Lookup(left_sub_right_, left, right);
+  }
+
+  // Pr(right ⊆ left).
+  double SubRightLeft(rdf::RelId right, rdf::RelId left) const {
+    return Lookup(right_sub_left_, right, left);
+  }
+
+  // Setters expect a canonical (positive) sub id; assertion-checked.
+  void SetSubLeftRight(rdf::RelId left, rdf::RelId right, double score);
+  void SetSubRightLeft(rdf::RelId right, rdf::RelId left, double score);
+
+  // Everything stored, for reporting and the negative-evidence pass.
+  // Includes both directions, in canonical (sub_is_left, sub, super) order —
+  // never hash-map iteration order — so consumers that tie-break or
+  // accumulate while scanning behave identically whether the table was
+  // computed in-process or restored from a result snapshot. The vector is
+  // materialized on first call and cached (setters invalidate), so
+  // per-iteration consumers like the negative-evidence counterpart table
+  // built in `InstancePass::Prepare` stop rebuilding it from scratch. Not
+  // synchronized: first call must not race with other accessors.
+  const std::vector<RelationAlignmentEntry>& Entries() const;
+
+  size_t size() const {
+    return left_sub_right_.size() + right_sub_left_.size();
+  }
+
+  // Appends to `out` the positive base id of every left-ontology relation
+  // that participates in an entry (in either table, either argument
+  // position) whose score differs between `*this` and `other` — added,
+  // dropped, or moved, by exact double comparison. An instance pass consults
+  // exactly the entries whose left-side relation is one of the instance's
+  // own fact relations, so these base ids drive the semi-naive instance
+  // worklist. Requires both tables non-bootstrap (a bootstrap table has no
+  // comparable entry set). `out` is sorted ascending and deduplicated on
+  // return.
+  void DiffLeftRelations(const RelationScores& other,
+                         std::vector<rdf::RelId>* out) const;
+
+ private:
+  friend void SaveRelationScores(const RelationScores& scores,
+                                 storage::SnapshotWriter& writer);
+  friend util::StatusOr<RelationScores> LoadRelationScores(
+      storage::SnapshotReader& reader, size_t num_left_relations,
+      size_t num_right_relations);
+
+  using Table = std::unordered_map<uint64_t, double, util::PackedPairHash>;
+
+  // ZigZag so signed relation ids pack into 32 bits.
+  static uint32_t Encode(rdf::RelId r) {
+    return r < 0 ? static_cast<uint32_t>(-r) * 2 - 1
+                 : static_cast<uint32_t>(r) * 2;
+  }
+  static rdf::RelId Decode(uint32_t v) {
+    return (v & 1) != 0 ? -static_cast<rdf::RelId>((v + 1) / 2)
+                        : static_cast<rdf::RelId>(v / 2);
+  }
+
+  double Lookup(const Table& table, rdf::RelId sub, rdf::RelId super) const {
+    // Canonicalize: Pr(r ⊆ r') = Pr(r⁻¹ ⊆ r'⁻¹).
+    if (sub < 0) {
+      sub = -sub;
+      super = -super;
+    }
+    auto it = table.find(util::PackPair(Encode(sub), Encode(super)));
+    if (bootstrap_) {
+      return it == table.end() ? theta_ : std::max(theta_, it->second);
+    }
+    return it == table.end() ? 0.0 : it->second;
+  }
+
+  bool bootstrap_ = false;
+  double theta_ = 0.0;
+  Table left_sub_right_;
+  Table right_sub_left_;
+
+  // Lazily-built Entries() cache; rebuilt after any setter call.
+  mutable std::vector<RelationAlignmentEntry> entries_cache_;
+  mutable bool entries_cache_valid_ = false;
+};
+
+}  // namespace paris::core
+
+#endif  // PARIS_CORE_RELATION_SCORES_H_

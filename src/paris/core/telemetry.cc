@@ -1,0 +1,48 @@
+#include "paris/core/telemetry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iterator>
+
+namespace paris::core {
+
+ConvergenceTelemetry ComputeConvergenceTelemetry(
+    const std::vector<rdf::TermId>& left_instances, const ShardLayout& layout,
+    const InstanceEquivalences& previous,
+    const InstanceEquivalences& current) {
+  ConvergenceTelemetry telemetry;
+  telemetry.score_delta_counts.assign(kScoreDeltaBuckets, 0);
+  telemetry.shard_changed.assign(layout.num_shards, 0);
+  const auto* bounds_begin = std::begin(kScoreDeltaBounds);
+  const auto* bounds_end = std::end(kScoreDeltaBounds);
+  for (size_t i = 0; i < left_instances.size(); ++i) {
+    const rdf::TermId x = left_instances[i];
+    const Candidate* prev = previous.MaxOfLeft(x);
+    const Candidate* cur = current.MaxOfLeft(x);
+    if (prev == nullptr && cur == nullptr) continue;
+    bool moved = true;
+    if (prev == nullptr) {
+      ++telemetry.gained;
+    } else if (cur == nullptr) {
+      ++telemetry.dropped;
+    } else {
+      if (prev->other == cur->other) {
+        ++telemetry.stable;
+        moved = false;
+      } else {
+        ++telemetry.changed;
+      }
+      const double delta = std::fabs(cur->prob - prev->prob);
+      const size_t bucket =
+          std::lower_bound(bounds_begin, bounds_end, delta) - bounds_begin;
+      ++telemetry.score_delta_counts[bucket];
+    }
+    if (moved && layout.chunk > 0) {
+      const size_t shard = std::min(i / layout.chunk, layout.num_shards - 1);
+      ++telemetry.shard_changed[shard];
+    }
+  }
+  return telemetry;
+}
+
+}  // namespace paris::core

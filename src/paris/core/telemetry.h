@@ -1,0 +1,59 @@
+#ifndef PARIS_CORE_TELEMETRY_H_
+#define PARIS_CORE_TELEMETRY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "paris/core/equiv.h"
+#include "paris/core/pass.h"
+#include "paris/rdf/term.h"
+
+namespace paris::core {
+
+// Upper bounds of the score-delta histogram buckets: |Pr_k(x≡x') -
+// Pr_{k-1}(x≡x')| for entities assigned in consecutive iterations. Fixed
+// (never derived from the data) so histograms are comparable across runs
+// and mergeable across workers.
+inline constexpr double kScoreDeltaBounds[] = {
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.05, 0.1, 0.25, 0.5, 1.0};
+inline constexpr size_t kScoreDeltaBuckets =
+    sizeof(kScoreDeltaBounds) / sizeof(kScoreDeltaBounds[0]) + 1;
+
+// What one fixpoint iteration changed about the maximal instance
+// assignment, per entity and per shard — the measurement groundwork for the
+// semi-naive worklist (ROADMAP item 1: a delta-driven iteration needs to
+// know how many entities actually move each round, and in which shards).
+// Cheap to compute (one serial scan over the left instance list) and always
+// recorded; not serialized in result snapshots (like PassTimings).
+struct ConvergenceTelemetry {
+  // Left instances whose maximal assignment, vs the previous iteration:
+  size_t changed = 0;  // points at a different counterpart
+  size_t gained = 0;   // was unassigned, now assigned
+  size_t dropped = 0;  // was assigned, now unassigned
+  size_t stable = 0;   // same counterpart (score may have moved)
+  // |score delta| of every instance assigned in both iterations (stable +
+  // changed), binned by kScoreDeltaBounds; last bucket is overflow.
+  std::vector<uint64_t> score_delta_counts;
+  // changed + gained + dropped per instance-pass shard (the shard layout
+  // over the left instance list) — the per-shard work a semi-naive
+  // iteration would actually have.
+  std::vector<uint32_t> shard_changed;
+
+  size_t num_changed() const { return changed + gained + dropped; }
+
+  friend bool operator==(const ConvergenceTelemetry&,
+                         const ConvergenceTelemetry&) = default;
+};
+
+// Compares `current` against `previous` over `left_instances`; `layout` is
+// the instance-pass shard layout (ShardLayout::Make over the instance list
+// with the run's num_shards), attributing each instance to its shard. Both
+// stores must be finalized.
+ConvergenceTelemetry ComputeConvergenceTelemetry(
+    const std::vector<rdf::TermId>& left_instances, const ShardLayout& layout,
+    const InstanceEquivalences& previous, const InstanceEquivalences& current);
+
+}  // namespace paris::core
+
+#endif  // PARIS_CORE_TELEMETRY_H_

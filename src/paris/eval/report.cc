@@ -1,0 +1,59 @@
+#include "paris/eval/report.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace paris::eval {
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(headers_.size(), 0);
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto append_row = [&](std::string& out,
+                        const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      out += cell;
+      if (c + 1 < widths.size()) {
+        out.append(widths[c] - cell.size() + 2, ' ');
+      }
+    }
+    out += "\n";
+  };
+  std::string out;
+  append_row(out, headers_);
+  size_t total = 0;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  out.append(total, '-');
+  out += "\n";
+  for (const auto& row : rows_) append_row(out, row);
+  return out;
+}
+
+std::string TablePrinter::Pct(double fraction) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%.0f%%", fraction * 100.0);
+  return buf;
+}
+
+std::string TablePrinter::Pct1(double fraction) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", fraction * 100.0);
+  return buf;
+}
+
+std::string TablePrinter::Fixed(double value, int digits) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+}  // namespace paris::eval

@@ -1,0 +1,38 @@
+#ifndef PARIS_OBS_HOOKS_H_
+#define PARIS_OBS_HOOKS_H_
+
+#include <cstddef>
+
+#include "paris/obs/metrics.h"
+#include "paris/obs/trace.h"
+
+namespace paris::obs {
+
+// The observability handle instrumented code carries: two non-owning
+// pointers, both nullable. Default-constructed Hooks are "observability
+// off" — hot paths pay exactly one branch on the pointer they care about
+// (the disabled-cost contract), and cold paths hand the pointers to Span /
+// MetricsRegistry, which accept null.
+//
+// Both recorders must be sized for the worker pool the instrumented code
+// runs on (slots [0, max(1, threads)) plus the main slot); the owner that
+// creates them (api::Session, a bench harness) also owns keeping them alive
+// for the duration of the run.
+struct Hooks {
+  TraceRecorder* trace = nullptr;
+  MetricsRegistry* metrics = nullptr;
+
+  bool enabled() const { return trace != nullptr || metrics != nullptr; }
+
+  // The slot for code running on the thread that drives the run (serial
+  // phases, IO); 0 when tracing is off (unused — Span ignores it).
+  size_t main_slot() const {
+    return trace != nullptr
+               ? trace->main_slot()
+               : (metrics != nullptr ? metrics->main_slot() : 0);
+  }
+};
+
+}  // namespace paris::obs
+
+#endif  // PARIS_OBS_HOOKS_H_

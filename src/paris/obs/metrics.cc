@@ -1,0 +1,187 @@
+#include "paris/obs/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <ostream>
+
+namespace paris::obs {
+
+namespace {
+
+// Histograms carry double bounds; emit them losslessly enough for the
+// schema check while keeping the JSON readable.
+void WriteDouble(std::ostream& out, double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%g", value);
+  out << buffer;
+}
+
+}  // namespace
+
+MetricsRegistry::MetricsRegistry(size_t worker_slots)
+    : num_slots_((worker_slots == 0 ? 1 : worker_slots) + 1),
+      slots_(num_slots_) {}
+
+MetricId MetricsRegistry::Counter(const std::string& name) {
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    assert(metrics_[it->second].kind == Kind::kCounter);
+    return it->second;
+  }
+  Metric metric;
+  metric.name = name;
+  metric.kind = Kind::kCounter;
+  metric.offset = cells_per_slot_;
+  metric.cells = 1;
+  cells_per_slot_ += 1;
+  for (auto& slab : slots_) slab.resize(cells_per_slot_, 0);
+  const MetricId id = static_cast<MetricId>(metrics_.size());
+  metrics_.push_back(std::move(metric));
+  by_name_.emplace(name, id);
+  return id;
+}
+
+MetricId MetricsRegistry::Gauge(const std::string& name) {
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    assert(metrics_[it->second].kind == Kind::kGauge);
+    return it->second;
+  }
+  Metric metric;
+  metric.name = name;
+  metric.kind = Kind::kGauge;
+  metric.offset = gauges_.size();
+  gauges_.push_back(0);
+  const MetricId id = static_cast<MetricId>(metrics_.size());
+  metrics_.push_back(std::move(metric));
+  by_name_.emplace(name, id);
+  return id;
+}
+
+MetricId MetricsRegistry::Histogram(const std::string& name,
+                                    std::vector<double> bounds) {
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    assert(metrics_[it->second].kind == Kind::kHistogram);
+    return it->second;
+  }
+  assert(std::is_sorted(bounds.begin(), bounds.end()));
+  Metric metric;
+  metric.name = name;
+  metric.kind = Kind::kHistogram;
+  metric.offset = cells_per_slot_;
+  metric.cells = bounds.size() + 1;
+  metric.bounds = std::move(bounds);
+  cells_per_slot_ += metric.cells;
+  for (auto& slab : slots_) slab.resize(cells_per_slot_, 0);
+  const MetricId id = static_cast<MetricId>(metrics_.size());
+  metrics_.push_back(std::move(metric));
+  by_name_.emplace(name, id);
+  return id;
+}
+
+void MetricsRegistry::Add(MetricId id, size_t slot, uint64_t delta) {
+  assert(slot < num_slots_);
+  assert(metrics_[id].kind == Kind::kCounter);
+  slots_[slot][metrics_[id].offset] += delta;
+}
+
+void MetricsRegistry::Observe(MetricId id, size_t slot, double value) {
+  assert(slot < num_slots_);
+  const Metric& metric = metrics_[id];
+  assert(metric.kind == Kind::kHistogram);
+  const size_t bucket =
+      std::lower_bound(metric.bounds.begin(), metric.bounds.end(), value) -
+      metric.bounds.begin();
+  slots_[slot][metric.offset + bucket] += 1;
+}
+
+void MetricsRegistry::MergeCounts(MetricId id, size_t slot,
+                                  const std::vector<uint64_t>& counts) {
+  assert(slot < num_slots_);
+  const Metric& metric = metrics_[id];
+  assert(metric.kind == Kind::kHistogram);
+  assert(counts.size() == metric.cells);
+  for (size_t i = 0; i < counts.size() && i < metric.cells; ++i) {
+    slots_[slot][metric.offset + i] += counts[i];
+  }
+}
+
+void MetricsRegistry::SetGauge(MetricId id, int64_t value) {
+  assert(metrics_[id].kind == Kind::kGauge);
+  gauges_[metrics_[id].offset] = value;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  for (const Metric& metric : metrics_) {
+    switch (metric.kind) {
+      case Kind::kCounter: {
+        uint64_t total = 0;
+        for (const auto& slab : slots_) total += slab[metric.offset];
+        snapshot.counters.push_back({metric.name, total});
+        break;
+      }
+      case Kind::kGauge:
+        snapshot.gauges.push_back({metric.name, gauges_[metric.offset]});
+        break;
+      case Kind::kHistogram: {
+        MetricsSnapshot::Histogram histogram;
+        histogram.name = metric.name;
+        histogram.bounds = metric.bounds;
+        histogram.counts.assign(metric.cells, 0);
+        for (const auto& slab : slots_) {
+          for (size_t i = 0; i < metric.cells; ++i) {
+            histogram.counts[i] += slab[metric.offset + i];
+          }
+        }
+        snapshot.histograms.push_back(std::move(histogram));
+        break;
+      }
+    }
+  }
+  const auto by_name = [](const auto& a, const auto& b) {
+    return a.name < b.name;
+  };
+  std::sort(snapshot.counters.begin(), snapshot.counters.end(), by_name);
+  std::sort(snapshot.gauges.begin(), snapshot.gauges.end(), by_name);
+  std::sort(snapshot.histograms.begin(), snapshot.histograms.end(), by_name);
+  return snapshot;
+}
+
+void MetricsRegistry::WriteJson(std::ostream& out) const {
+  Snapshot().WriteJson(out);
+}
+
+void MetricsSnapshot::WriteJson(std::ostream& out) const {
+  out << "{\"counters\":{";
+  for (size_t i = 0; i < counters.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "\"" << counters[i].name << "\":" << counters[i].value;
+  }
+  out << "},\"gauges\":{";
+  for (size_t i = 0; i < gauges.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "\"" << gauges[i].name << "\":" << gauges[i].value;
+  }
+  out << "},\"histograms\":{";
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    if (i > 0) out << ",";
+    const Histogram& h = histograms[i];
+    out << "\"" << h.name << "\":{\"bounds\":[";
+    for (size_t b = 0; b < h.bounds.size(); ++b) {
+      if (b > 0) out << ",";
+      WriteDouble(out, h.bounds[b]);
+    }
+    out << "],\"counts\":[";
+    for (size_t c = 0; c < h.counts.size(); ++c) {
+      if (c > 0) out << ",";
+      out << h.counts[c];
+    }
+    out << "]}";
+  }
+  out << "}}";
+}
+
+}  // namespace paris::obs

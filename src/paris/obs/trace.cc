@@ -1,0 +1,61 @@
+#include "paris/obs/trace.h"
+
+#include <ostream>
+
+namespace paris::obs {
+
+TraceRecorder::TraceRecorder(size_t worker_slots)
+    : epoch_(std::chrono::steady_clock::now()),
+      buffers_((worker_slots == 0 ? 1 : worker_slots) + 1) {}
+
+size_t TraceRecorder::num_events() const {
+  size_t total = 0;
+  for (const auto& buffer : buffers_) total += buffer.size();
+  return total;
+}
+
+void TraceRecorder::WriteJson(std::ostream& out) const {
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  // tid 0 is the driving thread (recorded under main_slot()), tid w+1 is
+  // pool worker slot w — the driver reads most naturally at the top of the
+  // Perfetto track list.
+  for (size_t slot = 0; slot < buffers_.size(); ++slot) {
+    const size_t tid = slot == main_slot() ? 0 : slot + 1;
+    if (!first) out << ",";
+    first = false;
+    out << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+        << ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+    if (slot == main_slot()) {
+      out << "main";
+    } else {
+      out << "worker-" << slot;
+    }
+    out << "\"}}";
+  }
+  for (size_t slot = 0; slot < buffers_.size(); ++slot) {
+    const size_t tid = slot == main_slot() ? 0 : slot + 1;
+    for (const TraceEvent& event : buffers_[slot]) {
+      out << ",{\"ph\":\"X\",\"pid\":1,\"tid\":" << tid << ",\"cat\":\""
+          << event.cat << "\",\"name\":\"" << event.name
+          << "\",\"ts\":" << event.start_us << ",\"dur\":" << event.dur_us;
+      if (event.iteration != 0 || event.shard >= 0) {
+        out << ",\"args\":{";
+        bool first_arg = true;
+        if (event.iteration != 0) {
+          out << "\"iteration\":" << event.iteration;
+          first_arg = false;
+        }
+        if (event.shard >= 0) {
+          if (!first_arg) out << ",";
+          out << "\"shard\":" << event.shard;
+        }
+        out << "}";
+      }
+      out << "}";
+    }
+  }
+  out << "]}\n";
+}
+
+}  // namespace paris::obs

@@ -1,0 +1,55 @@
+#include "paris/ontology/export.h"
+
+#include <ostream>
+
+#include "paris/ontology/vocab.h"
+#include "paris/rdf/ntriples.h"
+#include "paris/util/fs.h"
+
+namespace paris::ontology {
+
+void ExportToNTriples(const Ontology& onto, std::ostream& out) {
+  const rdf::TermPool& pool = onto.pool();
+  out << "# ontology \"" << onto.name() << "\": " << onto.instances().size()
+      << " instances, " << onto.classes().size() << " classes, "
+      << onto.num_relations() << " relations, " << onto.num_triples()
+      << " triples\n";
+
+  // Schema: subclass closure.
+  for (rdf::TermId cls : onto.classes()) {
+    for (rdf::TermId super : onto.SuperClassesOf(cls)) {
+      out << "<" << pool.lexical(cls) << "> <" << kRdfsSubClassOf << "> <"
+          << pool.lexical(super) << "> .\n";
+    }
+  }
+  // Types (closed).
+  for (rdf::TermId instance : onto.instances()) {
+    for (rdf::TermId cls : onto.ClassesOf(instance)) {
+      out << "<" << pool.lexical(instance) << "> <" << kRdfType << "> <"
+          << pool.lexical(cls) << "> .\n";
+    }
+  }
+  // Regular facts (base direction only).
+  for (rdf::TermId term : onto.store().terms()) {
+    for (const rdf::Fact& f : onto.FactsAbout(term)) {
+      if (f.rel < 0) continue;  // emit each statement once
+      out << "<" << pool.lexical(term) << "> <"
+          << pool.lexical(onto.store().relation_name(f.rel)) << "> ";
+      if (pool.IsLiteral(f.other)) {
+        out << "\"" << rdf::EscapeLiteral(pool.lexical(f.other)) << "\"";
+      } else {
+        out << "<" << pool.lexical(f.other) << ">";
+      }
+      out << " .\n";
+    }
+  }
+}
+
+util::Status ExportToNTriplesFile(const Ontology& onto,
+                                  const std::string& path) {
+  util::AtomicFileWriter out(path);
+  ExportToNTriples(onto, out.stream());
+  return out.Commit();
+}
+
+}  // namespace paris::ontology

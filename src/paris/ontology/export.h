@@ -1,0 +1,24 @@
+#ifndef PARIS_ONTOLOGY_EXPORT_H_
+#define PARIS_ONTOLOGY_EXPORT_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "paris/ontology/ontology.h"
+#include "paris/util/status.h"
+
+namespace paris::ontology {
+
+// Serializes an ontology back to N-Triples: rdfs:subClassOf statements (in
+// their deductive closure, as the model assumes), rdf:type statements
+// (closed as well), and every regular fact. The output parses back into an
+// equivalent ontology via `LoadOntologyFromNTriples`.
+void ExportToNTriples(const Ontology& onto, std::ostream& out);
+
+// Writes to a file.
+util::Status ExportToNTriplesFile(const Ontology& onto,
+                                  const std::string& path);
+
+}  // namespace paris::ontology
+
+#endif  // PARIS_ONTOLOGY_EXPORT_H_

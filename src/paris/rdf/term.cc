@@ -1,0 +1,33 @@
+#include "paris/rdf/term.h"
+
+namespace paris::rdf {
+
+TermId TermPool::InternInternal(std::string_view lexical, TermKind kind,
+                                Index& index) {
+  auto it = index.find(lexical);
+  if (it != index.end()) return it->second;
+  const TermId id = static_cast<TermId>(lexical_.size());
+  lexical_.emplace_back(lexical);
+  kind_.push_back(kind);
+  index.emplace(lexical_.back(), id);
+  return id;
+}
+
+TermId TermPool::InternIri(std::string_view lexical) {
+  return InternInternal(lexical, TermKind::kIri, iri_index_);
+}
+
+TermId TermPool::InternLiteral(std::string_view lexical) {
+  return InternInternal(lexical, TermKind::kLiteral, literal_index_);
+}
+
+std::optional<TermId> TermPool::Find(std::string_view lexical,
+                                     TermKind kind) const {
+  const Index& index =
+      kind == TermKind::kIri ? iri_index_ : literal_index_;
+  auto it = index.find(lexical);
+  if (it == index.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace paris::rdf

@@ -1,0 +1,63 @@
+#ifndef PARIS_RDF_TRIPLE_H_
+#define PARIS_RDF_TRIPLE_H_
+
+#include <cstdint>
+#include <cstdlib>
+
+#include "paris/rdf/term.h"
+
+namespace paris::rdf {
+
+// Signed relation identifier. Positive ids 1..R denote the relations
+// registered with a `TripleStore`; the negation `-r` denotes the inverse
+// relation r⁻¹. Id 0 is invalid. This encoding materializes the paper's
+// assumption (§3) that every ontology contains all inverse relations: a
+// statement r(x,y) is visible from x as (r, y) and from y as (-r, x).
+using RelId = int32_t;
+
+inline constexpr RelId kNullRel = 0;
+
+// The inverse of a (possibly already inverted) relation.
+constexpr RelId Inverse(RelId r) { return -r; }
+
+// True if `r` denotes an inverse relation r⁻¹.
+constexpr bool IsInverse(RelId r) { return r < 0; }
+
+// The positive base id of `r`.
+constexpr RelId BaseRel(RelId r) { return r < 0 ? -r : r; }
+
+// One edge of the per-entity adjacency: statement rel(owner, other) where
+// `rel` may be inverted.
+struct Fact {
+  RelId rel;
+  TermId other;
+
+  friend bool operator==(const Fact& a, const Fact& b) {
+    return a.rel == b.rel && a.other == b.other;
+  }
+};
+
+// A fully-specified statement r(subject, object) with positive `rel`.
+struct Triple {
+  TermId subject;
+  RelId rel;
+  TermId object;
+
+  friend bool operator==(const Triple& a, const Triple& b) {
+    return a.subject == b.subject && a.rel == b.rel && a.object == b.object;
+  }
+};
+
+// A (first-argument, second-argument) pair of some relation.
+struct TermPair {
+  TermId first;
+  TermId second;
+
+  friend bool operator==(const TermPair& a, const TermPair& b) {
+    return a.first == b.first && a.second == b.second;
+  }
+};
+
+}  // namespace paris::rdf
+
+#endif  // PARIS_RDF_TRIPLE_H_

@@ -1,0 +1,42 @@
+#ifndef PARIS_RDF_TURTLE_H_
+#define PARIS_RDF_TURTLE_H_
+
+#include <string>
+#include <string_view>
+
+#include "paris/rdf/ntriples.h"
+#include "paris/util/status.h"
+
+namespace paris::rdf {
+
+// A parser for the Turtle subset that real knowledge-base dumps use:
+//
+//   @prefix ex: <http://example.org/> .      # prefix declarations
+//   ex:elvis a ex:Singer ;                   # 'a' = rdf:type, ';' lists
+//       ex:name "Elvis Presley" ,            # ',' repeats the predicate
+//               "The King"@en ;
+//       ex:born "1935"^^xsd:integer .
+//   <http://full.iri/x> ex:knows ex:elvis .
+//
+// Supported: @prefix / PREFIX, prefixed names, full IRIs, the `a` keyword,
+// `;` predicate lists, `,` object lists, plain / typed / language-tagged
+// literals with the usual escapes, long (""" ''' ) strings, numeric and
+// boolean literal abbreviations, and comments. Not supported (rejected
+// with a parse error): blank nodes, collections `( ... )`, and @base with
+// relative IRI resolution — the paper's data model has no anonymous
+// resources, and the synthetic datasets use absolute identifiers.
+//
+// Parsed statements are emitted to the same `TripleSink` interface the
+// N-Triples parser uses, so `OntologyBuilder` consumes either format.
+class TurtleParser {
+ public:
+  // Parses a full document; on error, names the 1-based line of the
+  // offending token.
+  static util::Status ParseDocument(std::string_view text, TripleSink* sink);
+
+  static util::Status ParseFile(const std::string& path, TripleSink* sink);
+};
+
+}  // namespace paris::rdf
+
+#endif  // PARIS_RDF_TURTLE_H_

@@ -1,0 +1,72 @@
+#include "paris/storage/mmap_file.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define PARIS_HAS_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#endif
+
+#include "paris/util/fault_injection.h"
+#include "paris/util/fs.h"
+
+namespace paris::storage {
+
+#if defined(PARIS_HAS_MMAP)
+
+util::StatusOr<std::shared_ptr<MappedFile>> MappedFile::Open(
+    const std::string& path) {
+  const util::FaultAction open_fault =
+      util::CheckFaultRetryingTransient("mmap.open");
+  const int fd = open_fault.kind == util::FaultKind::kErrno
+                     ? (errno = open_fault.error_number, -1)
+                     : ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return util::NotFoundError("cannot open " + path + ": " +
+                               std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    return util::InternalError("cannot stat " + path);
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    return util::InvalidArgumentError("empty file: " + path);
+  }
+  const util::FaultAction map_fault =
+      util::CheckFaultRetryingTransient("mmap.map");
+  void* data = map_fault.kind == util::FaultKind::kErrno
+                   ? (errno = map_fault.error_number, MAP_FAILED)
+                   : ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  // The mapping holds its own reference to the file; the descriptor can go.
+  ::close(fd);
+  if (data == MAP_FAILED) {
+    return util::InternalError("mmap failed for " + path + ": " +
+                               std::strerror(errno));
+  }
+  return std::shared_ptr<MappedFile>(new MappedFile(data, size));
+}
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr) ::munmap(data_, size_);
+}
+
+#else  // !PARIS_HAS_MMAP
+
+util::StatusOr<std::shared_ptr<MappedFile>> MappedFile::Open(
+    const std::string& path) {
+  (void)path;
+  return util::UnimplementedError("mmap is not available on this platform");
+}
+
+MappedFile::~MappedFile() = default;
+
+#endif
+
+}  // namespace paris::storage

@@ -1,0 +1,44 @@
+#ifndef PARIS_STORAGE_MMAP_FILE_H_
+#define PARIS_STORAGE_MMAP_FILE_H_
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "paris/util/status.h"
+
+namespace paris::storage {
+
+// A whole file mapped read-only into memory. Used by the zero-copy snapshot
+// load path: the packed index columns become spans into the mapping instead
+// of heap copies. The mapping lives until the MappedFile is destroyed;
+// structures that alias it keep it alive through a shared_ptr.
+//
+// On platforms without mmap (or on any open/map failure) `Open` returns an
+// error and callers fall back to the streaming reader.
+class MappedFile {
+ public:
+  // Maps `path` read-only. Fails on open/stat/map errors and on empty files
+  // (an empty snapshot is invalid anyway, and mmap of length 0 is UB-ish).
+  static util::StatusOr<std::shared_ptr<MappedFile>> Open(
+      const std::string& path);
+
+  ~MappedFile();
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  std::span<const std::byte> bytes() const {
+    return {static_cast<const std::byte*>(data_), size_};
+  }
+
+ private:
+  MappedFile(void* data, size_t size) : data_(data), size_(size) {}
+
+  void* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace paris::storage
+
+#endif  // PARIS_STORAGE_MMAP_FILE_H_

@@ -1,0 +1,375 @@
+#include "paris/synth/derive.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "paris/synth/noise.h"
+#include "paris/util/hash.h"
+#include "paris/util/random.h"
+
+namespace paris::synth {
+
+namespace {
+
+// Orientation-tagged world key (see DerivedGold::Cover).
+constexpr int MakeCoverKey(int world_key, bool inverted) {
+  return 2 * world_key + (inverted ? 1 : 0);
+}
+
+// The cover of a *signed* relation: inverting a relation flips the
+// orientation bit of every entry.
+DerivedGold::Cover AdjustedCover(const std::vector<DerivedGold::Cover>& covers,
+                                 rdf::RelId rel) {
+  const size_t base = static_cast<size_t>(rdf::BaseRel(rel));
+  if (base == 0 || base > covers.size()) return {};
+  DerivedGold::Cover cover = covers[base - 1];
+  if (rdf::IsInverse(rel)) {
+    for (int& key : cover) key ^= 1;
+    std::sort(cover.begin(), cover.end());
+  }
+  return cover;
+}
+
+// Per-side build artifacts needed to assemble the gold standard.
+struct SideArtifacts {
+  std::unordered_map<int, std::string> entity_iri;  // world index → IRI
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// DerivedGold
+// ---------------------------------------------------------------------------
+
+bool DerivedGold::RelationContained(bool sub_is_left, rdf::RelId sub,
+                                    rdf::RelId super) const {
+  const Side& sub_side = side(sub_is_left);
+  const Side& super_side = side(!sub_is_left);
+  const Cover sub_cover = AdjustedCover(sub_side.covers, sub);
+  if (sub_cover.empty()) return false;
+  const Cover super_cover = AdjustedCover(super_side.covers, super);
+  return std::includes(super_cover.begin(), super_cover.end(),
+                       sub_cover.begin(), sub_cover.end());
+}
+
+std::vector<rdf::RelId> DerivedGold::AlignableRelations(bool left_side) const {
+  const Side& sub_side = side(left_side);
+  const Side& super_side = side(!left_side);
+  std::vector<rdf::RelId> out;
+  for (size_t i = 0; i < sub_side.covers.size(); ++i) {
+    const rdf::RelId sub = static_cast<rdf::RelId>(i + 1);
+    bool alignable = false;
+    for (size_t j = 0; !alignable && j < super_side.covers.size(); ++j) {
+      const rdf::RelId super = static_cast<rdf::RelId>(j + 1);
+      alignable = RelationContained(left_side, sub, super) ||
+                  RelationContained(left_side, sub, rdf::Inverse(super));
+    }
+    if (alignable) out.push_back(sub);
+  }
+  return out;
+}
+
+bool DerivedGold::ClassContained(bool sub_is_left, rdf::TermId sub,
+                                 rdf::TermId super) const {
+  const Side& sub_side = side(sub_is_left);
+  const Side& super_side = side(!sub_is_left);
+  auto sub_it = sub_side.class_world.find(sub);
+  auto super_it = super_side.class_world.find(super);
+  if (sub_it == sub_side.class_world.end() ||
+      super_it == super_side.class_world.end()) {
+    return false;
+  }
+  // sub ⊆ super iff super's world node is an ancestor-or-self of sub's.
+  int node = sub_it->second;
+  while (node >= 0) {
+    if (node == super_it->second) return true;
+    node = class_parent_[static_cast<size_t>(node)];
+  }
+  return false;
+}
+
+std::vector<rdf::TermId> DerivedGold::AlignableClasses(bool left_side) const {
+  const Side& sub_side = side(left_side);
+  const Side& super_side = side(!left_side);
+  std::unordered_set<int> super_nodes;
+  for (const auto& [term, node] : super_side.class_world) {
+    super_nodes.insert(node);
+  }
+  std::vector<rdf::TermId> out;
+  for (const auto& [term, node] : sub_side.class_world) {
+    int walk = node;
+    while (walk >= 0) {
+      if (super_nodes.contains(walk)) {
+        out.push_back(term);
+        break;
+      }
+      walk = class_parent_[static_cast<size_t>(walk)];
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// PairDeriver
+// ---------------------------------------------------------------------------
+
+// Threshold t such that P(cX + (1-c)Y > t) = q for independent X, Y ~ U(0,1):
+// the upper q-quantile of the trapezoidal blend distribution.
+static double BlendUpperQuantile(double c, double q) {
+  const double a = std::min(c, 1.0 - c);
+  const double b = std::max(c, 1.0 - c);
+  if (a <= 1e-12) return 1.0 - q;  // degenerate: plain uniform
+  if (q <= a / (2.0 * b)) return 1.0 - std::sqrt(2.0 * a * b * q);
+  if (q < 1.0 - a / (2.0 * b)) return a / 2.0 + b * (1.0 - q);
+  return std::sqrt(2.0 * a * b * (1.0 - q));
+}
+
+bool PairDeriver::IncludedAt(uint64_t seed, int entity_index,
+                             double coverage) {
+  if (coverage >= 1.0) return true;
+  const uint64_t h = util::Mix64(util::Mix64(seed + 0x5151) ^
+                                 static_cast<uint64_t>(entity_index + 1));
+  const double u =
+      static_cast<double>(h >> 11) / static_cast<double>(1ULL << 53);
+  return u < coverage;
+}
+
+bool PairDeriver::Includes(const DeriveSpec& spec, const World& world,
+                           int entity_index) {
+  double coverage = spec.entity_coverage;
+  if (!spec.class_coverage.empty()) {
+    const int cls =
+        world.entities()[static_cast<size_t>(entity_index)].cls;
+    // Nearest enclosing override wins: walk ancestors from the leaf out.
+    for (int node : world.AncestorsOf(cls)) {
+      bool found = false;
+      for (const auto& [root, cov] : spec.class_coverage) {
+        if (root == node) {
+          coverage = cov;
+          found = true;
+          break;
+        }
+      }
+      if (found) break;
+    }
+  }
+  if (spec.prominence_correlation <= 0.0) {
+    return IncludedAt(spec.seed, entity_index, coverage);
+  }
+  // Blend the side-specific uniform draw with the entity's prominence and
+  // include the top `coverage` probability mass of the blend. The exact
+  // quantile of the trapezoidal blend distribution keeps the nominal
+  // coverage accurate while making both sides prefer the same prominent
+  // entities.
+  if (coverage >= 1.0) return true;
+  const uint64_t h = util::Mix64(util::Mix64(spec.seed + 0x5151) ^
+                                 static_cast<uint64_t>(entity_index + 1));
+  const double u =
+      static_cast<double>(h >> 11) / static_cast<double>(1ULL << 53);
+  const double c = std::min(spec.prominence_correlation, 1.0);
+  const double prom =
+      world.entities()[static_cast<size_t>(entity_index)].prominence;
+  const double score = c * prom + (1.0 - c) * u;
+  return score > BlendUpperQuantile(c, coverage);
+}
+
+namespace {
+
+// Builds one ontology from the world under `spec`, recording the artifacts
+// needed for the gold standard.
+util::StatusOr<ontology::Ontology> BuildSide(const World& world,
+                                             const DeriveSpec& spec,
+                                             rdf::TermPool* pool,
+                                             SideArtifacts* artifacts,
+                                             util::ThreadPool* workers) {
+  ontology::OntologyBuilder builder(pool, spec.onto_name);
+  util::Rng noise_rng(spec.seed ^ 0x6e6f697365ULL);  // "noise"
+
+  // Index the mappings.
+  std::unordered_map<int, std::vector<const RelationMapping*>> rel_mappings;
+  std::unordered_map<int, std::vector<const RelationMapping*>> attr_mappings;
+  for (const RelationMapping& m : spec.relations) {
+    if (m.world_relation >= 0) {
+      rel_mappings[m.world_relation].push_back(&m);
+    } else {
+      assert(m.world_attribute >= 0);
+      assert(!m.inverted && "literal attributes cannot be inverted");
+      attr_mappings[m.world_attribute].push_back(&m);
+    }
+  }
+  std::unordered_map<int, std::vector<const ClassMapping*>> class_by_node;
+  for (const ClassMapping& m : spec.classes) {
+    class_by_node[m.world_class].push_back(&m);
+  }
+
+  // Subclass edges between mapped classes: m1 ⊆ m2 iff m2's world node is a
+  // strict ancestor of m1's.
+  for (const ClassMapping& m : spec.classes) {
+    const std::vector<int> ancestors = world.AncestorsOf(m.world_class);
+    for (size_t a = 1; a < ancestors.size(); ++a) {  // skip self
+      auto it = class_by_node.find(ancestors[a]);
+      if (it == class_by_node.end()) continue;
+      for (const ClassMapping* super : it->second) {
+        builder.AddSubClassOf(m.name, super->name);
+      }
+    }
+  }
+
+  const std::string ns = spec.onto_name + ":";
+  auto iri_of = [&](int entity_index) {
+    return ns + world.entities()[static_cast<size_t>(entity_index)].id;
+  };
+
+  auto corrupt = [&](std::string value) {
+    if (spec.phone_reformat_prob > 0.0 &&
+        noise_rng.Bernoulli(spec.phone_reformat_prob)) {
+      value = ReformatPhone(noise_rng, value);
+    }
+    if (spec.typo_prob > 0.0 && noise_rng.Bernoulli(spec.typo_prob)) {
+      value = ApplyTypo(noise_rng, value);
+    }
+    if (spec.case_jitter_prob > 0.0 &&
+        noise_rng.Bernoulli(spec.case_jitter_prob)) {
+      value = JitterCasePunct(noise_rng, value);
+    }
+    if (spec.token_swap_prob > 0.0 &&
+        noise_rng.Bernoulli(spec.token_swap_prob)) {
+      value = SwapFirstTokens(value);
+    }
+    return value;
+  };
+
+  // Entities: types and literal attributes.
+  for (size_t ei = 0; ei < world.entities().size(); ++ei) {
+    const int entity_index = static_cast<int>(ei);
+    if (!PairDeriver::Includes(spec, world, entity_index)) continue;
+    const WorldEntity& entity = world.entities()[ei];
+    const std::string iri = iri_of(entity_index);
+    artifacts->entity_iri.emplace(entity_index, iri);
+
+    for (int anc : world.AncestorsOf(entity.cls)) {
+      auto it = class_by_node.find(anc);
+      if (it == class_by_node.end()) continue;
+      for (const ClassMapping* m : it->second) {
+        builder.AddType(iri, m->name);
+      }
+    }
+
+    for (const auto& [attr_index, value] : entity.attributes) {
+      auto it = attr_mappings.find(attr_index);
+      if (it == attr_mappings.end()) continue;
+      for (const RelationMapping* m : it->second) {
+        if (spec.fact_dropout > 0.0 && noise_rng.Bernoulli(spec.fact_dropout))
+          continue;
+        builder.AddLiteralFact(iri, m->name, corrupt(value));
+      }
+    }
+  }
+
+  // Entity-entity edges.
+  for (const WorldEdge& edge : world.edges()) {
+    auto it = rel_mappings.find(edge.relation);
+    if (it == rel_mappings.end()) continue;
+    if (!PairDeriver::Includes(spec, world, edge.source) ||
+        !PairDeriver::Includes(spec, world, edge.target)) {
+      continue;
+    }
+    for (const RelationMapping* m : it->second) {
+      if (spec.fact_dropout > 0.0 && noise_rng.Bernoulli(spec.fact_dropout))
+        continue;
+      if (m->inverted) {
+        builder.AddFact(iri_of(edge.target), m->name, iri_of(edge.source));
+      } else {
+        builder.AddFact(iri_of(edge.source), m->name, iri_of(edge.target));
+      }
+    }
+  }
+
+  return builder.Build(workers);
+}
+
+// Resolves the gold cover / class tables of one built side.
+void ResolveGoldSide(const DeriveSpec& spec, const ontology::Ontology& onto,
+                     std::vector<DerivedGold::Cover>* covers,
+                     std::unordered_map<rdf::TermId, int>* class_world) {
+  const rdf::TermPool& pool = onto.pool();
+  covers->assign(onto.num_relations(), {});
+  for (const RelationMapping& m : spec.relations) {
+    const auto name_term = pool.Find(m.name, rdf::TermKind::kIri);
+    if (!name_term.has_value()) continue;
+    const auto rel = onto.store().FindRelation(*name_term);
+    if (!rel.has_value()) continue;
+    const int world_key = m.world_relation >= 0
+                              ? m.world_relation
+                              : DerivedGold::kAttributeBase + m.world_attribute;
+    (*covers)[static_cast<size_t>(*rel) - 1].push_back(
+        MakeCoverKey(world_key, m.inverted));
+  }
+  for (auto& cover : *covers) {
+    std::sort(cover.begin(), cover.end());
+    cover.erase(std::unique(cover.begin(), cover.end()), cover.end());
+  }
+  for (const ClassMapping& m : spec.classes) {
+    const auto term = pool.Find(m.name, rdf::TermKind::kIri);
+    if (!term.has_value() || !onto.IsClassTerm(*term)) continue;
+    class_world->emplace(*term, m.world_class);
+  }
+}
+
+}  // namespace
+
+util::StatusOr<OntologyPair> PairDeriver::Derive(
+    std::string pair_name, util::ThreadPool* pool) const {
+  OntologyPair pair;
+  pair.name = std::move(pair_name);
+  pair.pool = std::make_unique<rdf::TermPool>();
+
+  SideArtifacts left_artifacts;
+  SideArtifacts right_artifacts;
+  auto left =
+      BuildSide(*world_, left_spec_, pair.pool.get(), &left_artifacts, pool);
+  if (!left.ok()) return left.status();
+  auto right = BuildSide(*world_, right_spec_, pair.pool.get(),
+                         &right_artifacts, pool);
+  if (!right.ok()) return right.status();
+  pair.left =
+      std::make_unique<ontology::Ontology>(std::move(left).value());
+  pair.right =
+      std::make_unique<ontology::Ontology>(std::move(right).value());
+
+  // Gold: instances present on both sides.
+  DerivedGold& gold = pair.gold;
+  for (const auto& [entity_index, left_iri] : left_artifacts.entity_iri) {
+    auto right_it = right_artifacts.entity_iri.find(entity_index);
+    if (right_it == right_artifacts.entity_iri.end()) continue;
+    const auto left_term =
+        pair.pool->Find(left_iri, rdf::TermKind::kIri);
+    const auto right_term =
+        pair.pool->Find(right_it->second, rdf::TermKind::kIri);
+    if (!left_term.has_value() || !right_term.has_value()) continue;
+    if (!pair.left->IsInstanceTerm(*left_term) ||
+        !pair.right->IsInstanceTerm(*right_term)) {
+      continue;
+    }
+    gold.left_to_right_.emplace(*left_term, *right_term);
+    gold.right_to_left_.emplace(*right_term, *left_term);
+  }
+
+  // Gold: relation covers and class nodes.
+  ResolveGoldSide(left_spec_, *pair.left, &gold.left_.covers,
+                  &gold.left_.class_world);
+  ResolveGoldSide(right_spec_, *pair.right, &gold.right_.covers,
+                  &gold.right_.class_world);
+
+  // World taxonomy parents for class containment.
+  gold.class_parent_.reserve(world_->num_classes());
+  for (const WorldClass& c : world_->spec().classes) {
+    gold.class_parent_.push_back(c.parent);
+  }
+
+  return pair;
+}
+
+}  // namespace paris::synth

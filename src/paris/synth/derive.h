@@ -1,0 +1,185 @@
+#ifndef PARIS_SYNTH_DERIVE_H_
+#define PARIS_SYNTH_DERIVE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "paris/ontology/ontology.h"
+#include "paris/rdf/term.h"
+#include "paris/rdf/triple.h"
+#include "paris/synth/world.h"
+#include "paris/util/status.h"
+#include "paris/util/thread_pool.h"
+
+namespace paris::synth {
+
+// ---------------------------------------------------------------------------
+// Derivation specification
+// ---------------------------------------------------------------------------
+//
+// A `DeriveSpec` projects the hidden world into one concrete ontology:
+// it picks a subset of entities, renames everything into the ontology's
+// namespace, re-expresses world relations in the ontology's own vocabulary
+// (possibly inverted or merged — the structural heterogeneity of §6.4), maps
+// the world taxonomy at its own granularity, and corrupts literals with the
+// configured noise models. Because two ontologies are derived from the same
+// world, the ground-truth alignment is known exactly (`DerivedGold`).
+
+// Maps one world relation or attribute into this ontology's vocabulary.
+// Exactly one of `world_relation` / `world_attribute` is ≥ 0. Mapping two
+// world relations onto one `name` merges them into a coarser relation.
+struct RelationMapping {
+  int world_relation = -1;
+  int world_attribute = -1;
+  std::string name;        // vocabulary name, already namespaced
+  bool inverted = false;   // emit object→subject (only for world relations)
+};
+
+// Exposes the subtree of `world_class` as ontology class `name`.
+struct ClassMapping {
+  int world_class = 0;
+  std::string name;
+};
+
+struct DeriveSpec {
+  std::string onto_name;  // e.g. "yago"
+  uint64_t seed = 1;
+  // Probability that a world entity exists in this ontology (decided by a
+  // deterministic per-entity hash so the two sides' choices are independent
+  // yet reproducible).
+  double entity_coverage = 1.0;
+  // Per-subtree coverage overrides (nearest enclosing subtree wins). Used
+  // to keep shared hub entities — cities, categories — present on both
+  // sides, as they are in the real datasets.
+  std::vector<std::pair<int, double>> class_coverage;
+  // How strongly inclusion correlates with entity prominence (0 = purely
+  // independent per-side coin flips; 1 = both sides pick exactly the most
+  // prominent entities). With correlation, the *shared* instances are the
+  // fact-rich ones and the one-sided leftovers are sparse — as with real
+  // KB pairs, where both projects cover the famous entities.
+  double prominence_correlation = 0.0;
+  // Per-fact omission probability (complementing data, §1).
+  double fact_dropout = 0.0;
+  // Literal noise pipeline probabilities.
+  double typo_prob = 0.0;
+  double phone_reformat_prob = 0.0;
+  double case_jitter_prob = 0.0;
+  double token_swap_prob = 0.0;
+  std::vector<RelationMapping> relations;
+  std::vector<ClassMapping> classes;
+};
+
+// ---------------------------------------------------------------------------
+// Derived gold standard
+// ---------------------------------------------------------------------------
+
+// The exact alignment between the two derived ontologies, straight from the
+// world: instance pairs, relation containments (at the signed-relation
+// level, so inverted vocabularies are handled), and class containments.
+class DerivedGold {
+ public:
+  // ---- Instances ----
+  const std::unordered_map<rdf::TermId, rdf::TermId>& left_to_right() const {
+    return left_to_right_;
+  }
+  size_t num_instance_pairs() const { return left_to_right_.size(); }
+  bool InstanceMatch(rdf::TermId left, rdf::TermId right) const {
+    auto it = left_to_right_.find(left);
+    return it != left_to_right_.end() && it->second == right;
+  }
+  bool LeftHasMatch(rdf::TermId left) const {
+    return left_to_right_.contains(left);
+  }
+  bool RightHasMatch(rdf::TermId right) const {
+    return right_to_left_.contains(right);
+  }
+
+  // ---- Relations ----
+  // Orientation-tagged world key: 2*k for forward, 2*k+1 for inverted,
+  // where k encodes a world relation (k) or attribute (k + kAttributeBase).
+  static constexpr int kAttributeBase = 1 << 20;
+  using Cover = std::vector<int>;  // sorted orientation-tagged keys
+
+  // True sub-relation containment sub ⊆ super where `sub` is a signed
+  // relation of the (left if sub_is_left else right) ontology and `super`
+  // of the other.
+  bool RelationContained(bool sub_is_left, rdf::RelId sub,
+                         rdf::RelId super) const;
+  // Positive relation ids of one side that have at least one true
+  // containment on the other side (the denominator of relation recall; the
+  // paper's "Gold" column for relations).
+  std::vector<rdf::RelId> AlignableRelations(bool left_side) const;
+
+  // ---- Classes ----
+  // True class containment sub ⊆ super (class term ids).
+  bool ClassContained(bool sub_is_left, rdf::TermId sub,
+                      rdf::TermId super) const;
+  // Classes of one side that have a true superclass on the other side.
+  std::vector<rdf::TermId> AlignableClasses(bool left_side) const;
+
+  struct Side {
+    std::vector<Cover> covers;                        // by positive RelId - 1
+    std::unordered_map<rdf::TermId, int> class_world;  // class term → node
+  };
+
+ private:
+  friend class PairDeriver;
+
+  const Side& side(bool left) const { return left ? left_ : right_; }
+
+  std::unordered_map<rdf::TermId, rdf::TermId> left_to_right_;
+  std::unordered_map<rdf::TermId, rdf::TermId> right_to_left_;
+  Side left_;
+  Side right_;
+  // Parent array of the world taxonomy (for class containment).
+  std::vector<int> class_parent_;
+};
+
+// ---------------------------------------------------------------------------
+// Pair derivation
+// ---------------------------------------------------------------------------
+
+// One fully-derived ontology pair with shared pool and gold standard.
+struct OntologyPair {
+  std::string name;
+  std::unique_ptr<rdf::TermPool> pool;
+  std::unique_ptr<ontology::Ontology> left;
+  std::unique_ptr<ontology::Ontology> right;
+  DerivedGold gold;
+};
+
+// Derives both ontologies of a pair from one world.
+class PairDeriver {
+ public:
+  PairDeriver(const World* world, DeriveSpec left_spec, DeriveSpec right_spec)
+      : world_(world),
+        left_spec_(std::move(left_spec)),
+        right_spec_(std::move(right_spec)) {}
+
+  // With a non-null `pool`, the per-side index finalization (term-slice
+  // and relation-pair sorts, counting-sort scatters) fans across the
+  // workers; the derived pair is byte-identical either way.
+  util::StatusOr<OntologyPair> Derive(std::string pair_name,
+                                      util::ThreadPool* pool = nullptr) const;
+
+  // Deterministic inclusion decision for `entity_index` at the given
+  // coverage probability (exposed for tests).
+  static bool IncludedAt(uint64_t seed, int entity_index, double coverage);
+
+  // Inclusion under `spec`, resolving per-class coverage overrides against
+  // `world`.
+  static bool Includes(const DeriveSpec& spec, const World& world,
+                       int entity_index);
+
+ private:
+  const World* world_;
+  DeriveSpec left_spec_;
+  DeriveSpec right_spec_;
+};
+
+}  // namespace paris::synth
+
+#endif  // PARIS_SYNTH_DERIVE_H_

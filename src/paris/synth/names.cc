@@ -1,0 +1,175 @@
+#include "paris/synth/names.h"
+
+#include <array>
+#include <cstdio>
+
+namespace paris::synth {
+
+namespace {
+
+constexpr std::array<const char*, 24> kFirstNames = {
+    "Alma",   "Boris",  "Clara",  "Dario",  "Elena",  "Farid",
+    "Greta",  "Hugo",   "Irina",  "Jonas",  "Katya",  "Liam",
+    "Marena", "Nils",   "Odette", "Pavel",  "Quinn",  "Rosa",
+    "Stefan", "Talia",  "Ugo",    "Vera",   "Willem", "Yusuf"};
+
+// Surnames are assembled from syllables so the name space is large (tens of
+// thousands) yet occasional homonyms still occur naturally at dataset scale.
+constexpr std::array<const char*, 20> kSurnameStart = {
+    "Kov", "Mad", "Fer", "Lind", "Oka", "Pet", "Quin", "Rad", "So", "Tak",
+    "Ust", "Van", "Whit", "Yam", "Zel", "Mor", "Gal", "Hen", "Bel", "Cas"};
+
+constexpr std::array<const char*, 16> kSurnameMiddle = {
+    "an", "er", "in", "ov", "al", "en", "ar", "os",
+    "ič", "ur", "em", "ol", "ad", "ik", "un", "es"};
+
+constexpr std::array<const char*, 14> kSurnameEnd = {
+    "ich", "dox", "te", "qvist", "for", "rov", "tana", "cliff",
+    "to",  "eda", "son", "ski",  "elli", "eau"};
+
+constexpr std::array<const char*, 14> kPlacePrefixes = {
+    "North", "South", "East", "West",  "Lake",  "Glen",  "Fair",
+    "Oak",   "Elm",   "Stone", "River", "Bright", "Ash",  "Mill"};
+
+constexpr std::array<const char*, 12> kPlaceSuffixes = {
+    "field", "brook", "haven", "wood",  "ton",  "ville",
+    "port",  "ridge", "dale",  "mouth", "ford", "stead"};
+
+constexpr std::array<const char*, 12> kRestaurantFirst = {
+    "Golden", "Silver", "Rustic", "Blue",  "Jade",   "Crimson",
+    "Olive",  "Amber",  "Velvet", "Coral", "Copper", "Ivory"};
+
+constexpr std::array<const char*, 12> kRestaurantSecond = {
+    "Lantern", "Table",  "Garden", "Spoon", "Kettle", "Harvest",
+    "Anchor",  "Orchid", "Tavern", "Grill", "Bistro", "Terrace"};
+
+constexpr std::array<const char*, 28> kTitleNouns = {
+    "Shadow",  "Return",  "Empire",  "Garden",  "Winter",  "Voyage",
+    "Secret",  "Station", "Horizon", "Lantern", "Echo",    "Fortune",
+    "Crown",   "Storm",   "River",   "Kingdom", "Promise", "Harvest",
+    "Journey", "Silence", "Mirror",  "Temple",  "Desert",  "Island",
+    "Letter",  "Covenant", "Orchard", "Reckoning"};
+
+constexpr std::array<const char*, 24> kTitleAdjectives = {
+    "Iron",    "Silent",  "Crimson",  "Lost",    "Golden",   "Hidden",
+    "Final",   "Broken",  "Distant",  "Eternal", "Burning",  "Frozen",
+    "Scarlet", "Quiet",   "Forgotten", "Midnight", "Hollow",  "Restless",
+    "Savage",  "Gilded",  "Wandering", "Last",    "First",    "Pale"};
+
+constexpr std::array<const char*, 10> kPlaceSecondWords = {
+    "Heights", "Springs", "Junction", "Hollow", "Corners",
+    "Landing", "Crossing", "Meadows", "Bluffs", "Terrace"};
+
+constexpr std::array<const char*, 6> kSequelNumerals = {"II",  "III", "IV",
+                                                        "V",   "VI",  "VII"};
+
+constexpr std::array<const char*, 10> kStreets = {
+    "Baker St",   "Hill Rd",     "Main St",    "Elm Ave",   "Harbor Blvd",
+    "Maple Dr",   "Station Rd",  "Park Lane",  "Sunset Ave", "Cedar Ct"};
+
+}  // namespace
+
+template <typename Array>
+const char* PickFrom(util::Rng& rng, const Array& items) {
+  return items[static_cast<size_t>(
+      rng.UniformInt(0, static_cast<int64_t>(items.size()) - 1))];
+}
+
+std::string Surname(util::Rng& rng) {
+  std::string name = PickFrom(rng, kSurnameStart);
+  name += PickFrom(rng, kSurnameMiddle);
+  if (rng.Bernoulli(0.6)) name += PickFrom(rng, kSurnameMiddle);
+  name += PickFrom(rng, kSurnameEnd);
+  return name;
+}
+
+std::string PersonName(util::Rng& rng) {
+  std::string name = PickFrom(rng, kFirstNames);
+  if (rng.Bernoulli(0.25)) {
+    name += " ";
+    name += static_cast<char>('A' + rng.UniformInt(0, 25));
+    name += ".";
+  }
+  name += " ";
+  name += Surname(rng);
+  return name;
+}
+
+std::string PlaceName(util::Rng& rng) {
+  std::string name = PickFrom(rng, kPlacePrefixes);
+  name += PickFrom(rng, kPlaceSuffixes);
+  if (rng.Bernoulli(0.45)) {
+    name += " ";
+    name += PickFrom(rng, kPlaceSecondWords);
+  }
+  return name;
+}
+
+std::string RestaurantName(util::Rng& rng) {
+  std::string name = "The ";
+  name += PickFrom(rng, kRestaurantFirst);
+  name += " ";
+  name += PickFrom(rng, kRestaurantSecond);
+  if (rng.Bernoulli(0.5)) {
+    name += " of ";
+    name += PickFrom(rng, kPlacePrefixes);
+    name += PickFrom(rng, kPlaceSuffixes);
+  }
+  return name;
+}
+
+std::string MovieTitle(util::Rng& rng) {
+  std::string title = "The ";
+  title += PickFrom(rng, kTitleAdjectives);
+  title += " ";
+  title += PickFrom(rng, kTitleNouns);
+  if (rng.Bernoulli(0.8)) {
+    title += " of ";
+    if (rng.Bernoulli(0.5)) title += "the ";
+    title += PickFrom(rng, kTitleNouns);
+  }
+  if (rng.Bernoulli(0.12)) {
+    title += " ";
+    title += PickFrom(rng, kSequelNumerals);
+  }
+  return title;
+}
+
+std::string StreetAddress(util::Rng& rng) {
+  std::string addr = std::to_string(rng.UniformInt(1, 999));
+  addr += " ";
+  addr += kStreets[static_cast<size_t>(
+      rng.UniformInt(0, static_cast<int64_t>(kStreets.size()) - 1))];
+  return addr;
+}
+
+std::string PhoneNumber(util::Rng& rng) {
+  char buffer[16];
+  std::snprintf(buffer, sizeof(buffer), "%03d-%03d-%04d",
+                static_cast<int>(rng.UniformInt(200, 999)),
+                static_cast<int>(rng.UniformInt(200, 999)),
+                static_cast<int>(rng.UniformInt(0, 9999)));
+  return buffer;
+}
+
+std::string DateString(util::Rng& rng) {
+  char buffer[16];
+  std::snprintf(buffer, sizeof(buffer), "%04d-%02d-%02d",
+                static_cast<int>(rng.UniformInt(1900, 2010)),
+                static_cast<int>(rng.UniformInt(1, 12)),
+                static_cast<int>(rng.UniformInt(1, 28)));
+  return buffer;
+}
+
+std::string SsnLike(util::Rng& rng) {
+  char buffer[16];
+  std::snprintf(buffer, sizeof(buffer), "%09lld",
+                static_cast<long long>(rng.UniformInt(0, 999999999)));
+  return buffer;
+}
+
+std::string YearString(util::Rng& rng) {
+  return std::to_string(rng.UniformInt(1900, 2010));
+}
+
+}  // namespace paris::synth

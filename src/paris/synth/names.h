@@ -1,0 +1,45 @@
+#ifndef PARIS_SYNTH_NAMES_H_
+#define PARIS_SYNTH_NAMES_H_
+
+#include <string>
+
+#include "paris/util/random.h"
+
+namespace paris::synth {
+
+// Deterministic generators of realistic-looking literal values for the
+// synthetic worlds. All draw exclusively from the passed `Rng`, so a fixed
+// seed reproduces the exact same dataset.
+
+// "Marena Kovich"-style person names. A small surname pool is reused on
+// purpose so that homonyms occur (the precision challenge of §6.4).
+std::string PersonName(util::Rng& rng);
+
+// "Westbrook", "Northfield" style toponyms.
+std::string PlaceName(util::Rng& rng);
+
+// "The Golden Lantern", "Casa Verde" style restaurant names.
+std::string RestaurantName(util::Rng& rng);
+
+// "The Return of the Iron Shadow" style movie titles.
+std::string MovieTitle(util::Rng& rng);
+
+// "123 Baker St" style street addresses.
+std::string StreetAddress(util::Rng& rng);
+
+// "213-467-1108" style US phone numbers (the canonical format; noise models
+// reformat them).
+std::string PhoneNumber(util::Rng& rng);
+
+// "1942-07-15" ISO dates within [1900, 2010].
+std::string DateString(util::Rng& rng);
+
+// A 9-digit SSN-like identifier, zero-padded.
+std::string SsnLike(util::Rng& rng);
+
+// Year as a string in [1900, 2010].
+std::string YearString(util::Rng& rng);
+
+}  // namespace paris::synth
+
+#endif  // PARIS_SYNTH_NAMES_H_

@@ -1,0 +1,91 @@
+#include "paris/synth/noise.h"
+
+#include <cctype>
+
+#include "paris/util/string_util.h"
+
+namespace paris::synth {
+
+std::string ApplyTypo(util::Rng& rng, std::string_view s) {
+  std::string out(s);
+  if (out.empty()) return out;
+  const int op = static_cast<int>(rng.UniformInt(0, 3));
+  const size_t pos =
+      static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(out.size()) - 1));
+  const char random_char =
+      static_cast<char>('a' + rng.UniformInt(0, 25));
+  switch (op) {
+    case 0:  // substitute
+      out[pos] = random_char;
+      break;
+    case 1:  // delete
+      out.erase(pos, 1);
+      break;
+    case 2:  // insert
+      out.insert(pos, 1, random_char);
+      break;
+    case 3:  // transpose
+      if (pos + 1 < out.size()) {
+        std::swap(out[pos], out[pos + 1]);
+      } else {
+        out[pos] = random_char;
+      }
+      break;
+  }
+  return out;
+}
+
+std::string ReformatPhone(util::Rng& rng, std::string_view s) {
+  // Extract the digits, then re-render in an alternative format.
+  std::string digits;
+  for (char c : s) {
+    if (std::isdigit(static_cast<unsigned char>(c))) digits.push_back(c);
+  }
+  if (digits.size() != 10) return std::string(s);
+  const std::string area = digits.substr(0, 3);
+  const std::string mid = digits.substr(3, 3);
+  const std::string last = digits.substr(6, 4);
+  switch (rng.UniformInt(0, 2)) {
+    case 0:
+      return area + "/" + mid + "-" + last;
+    case 1:
+      return area + " " + mid + " " + last;
+    default:
+      return "(" + area + ") " + mid + "-" + last;
+  }
+}
+
+std::string JitterCasePunct(util::Rng& rng, std::string_view s) {
+  std::string out(s);
+  switch (rng.UniformInt(0, 2)) {
+    case 0:
+      for (char& c : out) {
+        c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+      }
+      return out;
+    case 1:
+      return util::ToLowerAscii(out);
+    default:
+      return out + ".";
+  }
+}
+
+std::string SwapFirstTokens(std::string_view s) {
+  const size_t space = s.find(' ');
+  if (space == std::string_view::npos) return std::string(s);
+  std::string_view first = s.substr(0, space);
+  std::string_view rest = s.substr(space + 1);
+  const size_t space2 = rest.find(' ');
+  std::string_view second =
+      space2 == std::string_view::npos ? rest : rest.substr(0, space2);
+  std::string out(second);
+  out += " ";
+  out += first;
+  if (space2 != std::string_view::npos) {
+    out += " ";
+    out += rest.substr(space2 + 1);
+  }
+  return out;
+}
+
+}  // namespace paris::synth

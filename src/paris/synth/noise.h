@@ -1,0 +1,32 @@
+#ifndef PARIS_SYNTH_NOISE_H_
+#define PARIS_SYNTH_NOISE_H_
+
+#include <string>
+#include <string_view>
+
+#include "paris/util/random.h"
+
+namespace paris::synth {
+
+// Literal corruption models used by the ontology deriver to reproduce the
+// noise the paper's datasets exhibit (§6.3: "213/467-1108" vs
+// "213-467-1108"; §6.4: "Sugata Sanshirô" vs "Sanshiro Sugata").
+
+// One random character-level edit (substitute / delete / insert / transpose).
+std::string ApplyTypo(util::Rng& rng, std::string_view s);
+
+// Rewrites separators of a phone-like string: "213-467-1108" becomes
+// "213/467-1108", "213 467 1108", or "(213) 467-1108".
+std::string ReformatPhone(util::Rng& rng, std::string_view s);
+
+// Random case/punctuation jitter: uppercases the string, lowercases it, or
+// appends a trailing period.
+std::string JitterCasePunct(util::Rng& rng, std::string_view s);
+
+// Swaps the first two whitespace-separated tokens ("Sugata Sanshiro" →
+// "Sanshiro Sugata"); returns the input unchanged if it has fewer than two.
+std::string SwapFirstTokens(std::string_view s);
+
+}  // namespace paris::synth
+
+#endif  // PARIS_SYNTH_NOISE_H_

@@ -1,0 +1,476 @@
+#include "paris/synth/profiles.h"
+
+#include <algorithm>
+#include <string>
+
+namespace paris::synth {
+
+namespace {
+
+int Scaled(double scale, int count) {
+  return std::max(1, static_cast<int>(count * scale));
+}
+
+RelationMapping RelMap(int world_relation, std::string name,
+                       bool inverted = false) {
+  RelationMapping m;
+  m.world_relation = world_relation;
+  m.name = std::move(name);
+  m.inverted = inverted;
+  return m;
+}
+
+RelationMapping AttrMap(int world_attribute, std::string name) {
+  RelationMapping m;
+  m.world_attribute = world_attribute;
+  m.name = std::move(name);
+  return m;
+}
+
+ClassMapping ClsMap(int world_class, std::string name) {
+  return ClassMapping{world_class, std::move(name)};
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// OAEI Person
+// ---------------------------------------------------------------------------
+
+util::StatusOr<OntologyPair> MakeOaeiPersonPair(
+    const ProfileOptions& options) {
+  WorldSpec spec;
+  spec.seed = options.seed;
+  // Taxonomy: 0 Thing, 1 Person, 2 Address, 3 Suburb.
+  spec.classes = {{"thing", -1}, {"person", 0}, {"address", 0}, {"suburb", 0}};
+  spec.groups = {{1, Scaled(options.scale, 500), "person"},
+                 {2, Scaled(options.scale, 500), "address"},
+                 {3, Scaled(options.scale, 50), "suburb"}};
+  // Attributes (the OAEI person records: names, SSN-like id, phone, dates).
+  spec.attributes = {
+      {"name", 1, ValueKind::kPersonName, 1.0, 0.0, 1, false},        // 0
+      {"soc_sec_id", 1, ValueKind::kSsn, 1.0, 0.0, 1, true},          // 1
+      {"phone", 1, ValueKind::kPhone, 0.95, 0.0, 1, true},            // 2
+      {"birthdate", 1, ValueKind::kDate, 0.9, 0.0, 1, false},         // 3
+      {"street", 2, ValueKind::kStreetAddress, 1.0, 0.0, 1, false},   // 4
+      {"suburb_name", 3, ValueKind::kPlaceName, 1.0, 0.0, 1, false},  // 5
+  };
+  // Relations: each person has one address; each address one suburb.
+  spec.relations = {
+      {"has_address", 1, 2, 1.0, 0.0, 1, 0.0, /*one_to_one=*/true},  // 0
+      {"in_suburb", 2, 3, 1.0, 0.0, 1, 0.5},                         // 1
+  };
+  World world = World::Generate(spec);
+
+  DeriveSpec left;
+  left.onto_name = "p1";
+  left.seed = options.seed + 1;
+  left.relations = {
+      AttrMap(0, "p1:has_name"),     AttrMap(1, "p1:soc_sec_id"),
+      AttrMap(2, "p1:phone_number"), AttrMap(3, "p1:date_of_birth"),
+      AttrMap(4, "p1:street"),       AttrMap(5, "p1:suburb_label"),
+      RelMap(0, "p1:has_address"),   RelMap(1, "p1:in_suburb"),
+  };
+  left.classes = {ClsMap(0, "p1:Thing"), ClsMap(1, "p1:Person"),
+                  ClsMap(2, "p1:Address"), ClsMap(3, "p1:Suburb")};
+
+  DeriveSpec right;
+  right.onto_name = "p2";
+  right.seed = options.seed + 2;
+  // Disjoint vocabulary (the paper renames one side artificially) and the
+  // inverse direction for the address relation.
+  right.relations = {
+      AttrMap(0, "p2:fullName"),   AttrMap(1, "p2:socialSecurityNumber"),
+      AttrMap(2, "p2:telephone"),  AttrMap(3, "p2:born"),
+      AttrMap(4, "p2:streetLine"), AttrMap(5, "p2:suburbName"),
+      RelMap(0, "p2:isAddressOf", /*inverted=*/true),
+      RelMap(1, "p2:locatedInSuburb"),
+  };
+  right.classes = {ClsMap(0, "p2:Entity"), ClsMap(1, "p2:Human"),
+                   ClsMap(2, "p2:Location"), ClsMap(3, "p2:District")};
+
+  return PairDeriver(&world, std::move(left), std::move(right))
+      .Derive("oaei-person", options.pool);
+}
+
+// ---------------------------------------------------------------------------
+// OAEI Restaurant
+// ---------------------------------------------------------------------------
+
+util::StatusOr<OntologyPair> MakeOaeiRestaurantPair(
+    const ProfileOptions& options) {
+  WorldSpec spec;
+  spec.seed = options.seed + 100;
+  // 0 Thing, 1 Restaurant, 2 Address, 3 Category.
+  spec.classes = {
+      {"thing", -1}, {"restaurant", 0}, {"address", 0}, {"category", 0}};
+  spec.groups = {{1, Scaled(options.scale, 280), "restaurant"},
+                 {2, Scaled(options.scale, 280), "address"},
+                 {3, Scaled(options.scale, 10), "category"}};
+  spec.attributes = {
+      {"name", 1, ValueKind::kRestaurantName, 1.0, 0.0, 1, false},   // 0
+      {"phone", 1, ValueKind::kPhone, 1.0, 0.0, 1, true},            // 1
+      {"street", 2, ValueKind::kStreetAddress, 1.0, 0.0, 1, false},  // 2
+      // City names come from a small pool: many addresses share one city
+      // (low inverse functionality, like the LA-area restaurant data).
+      {"city", 2, ValueKind::kPlaceName, 1.0, 0.0, 1, false, /*pool=*/12,
+       0.8},  // 3
+      {"cat_name", 3, ValueKind::kPlaceName, 1.0, 0.0, 1, true},  // 4
+  };
+  spec.relations = {
+      {"has_address", 1, 2, 1.0, 0.0, 1, 0.0, /*one_to_one=*/true},  // 0
+      {"has_category", 1, 3, 0.95, 0.2, 2, 0.6},                     // 1
+  };
+  World world = World::Generate(spec);
+  // Shared hub entities exist on both sides regardless of the restaurant
+  // coverage: categories and addresses are part of both datasets' schema.
+  const std::vector<std::pair<int, double>> shared_hubs = {{2, 1.0},
+                                                           {3, 1.0}};
+
+  DeriveSpec left;
+  left.onto_name = "r1";
+  left.seed = options.seed + 101;
+  left.entity_coverage = 0.8;
+  left.class_coverage = shared_hubs;
+  left.relations = {
+      AttrMap(0, "r1:name"),         AttrMap(1, "r1:phone"),
+      AttrMap(2, "r1:street"),       AttrMap(3, "r1:city"),
+      AttrMap(4, "r1:categoryName"), RelMap(0, "r1:hasAddress"),
+      RelMap(1, "r1:category"),
+  };
+  left.classes = {ClsMap(0, "r1:Thing"), ClsMap(1, "r1:Restaurant"),
+                  ClsMap(2, "r1:Address"), ClsMap(3, "r1:Category")};
+
+  DeriveSpec right;
+  right.onto_name = "r2";
+  right.seed = options.seed + 102;
+  right.entity_coverage = 0.5;
+  right.class_coverage = shared_hubs;
+  // The famous noise of §6.3: a large share of phone numbers are formatted
+  // differently ("213/467-1108" vs "213-467-1108"), and names carry typos.
+  right.phone_reformat_prob = 0.45;
+  right.typo_prob = 0.06;
+  right.relations = {
+      AttrMap(0, "r2:title"),     AttrMap(1, "r2:phoneNumber"),
+      AttrMap(2, "r2:streetAddress"), AttrMap(3, "r2:cityName"),
+      AttrMap(4, "r2:categoryLabel"),
+      RelMap(0, "r2:address"),
+      RelMap(1, "r2:inCategory"),
+  };
+  right.classes = {ClsMap(0, "r2:Entity"), ClsMap(1, "r2:Venue"),
+                   ClsMap(2, "r2:Place"), ClsMap(3, "r2:Cuisine")};
+
+  return PairDeriver(&world, std::move(left), std::move(right))
+      .Derive("oaei-restaurant", options.pool);
+}
+
+// ---------------------------------------------------------------------------
+// YAGO ↔ DBpedia
+// ---------------------------------------------------------------------------
+
+util::StatusOr<OntologyPair> MakeYagoDbpediaPair(
+    const ProfileOptions& options) {
+  WorldSpec spec;
+  spec.seed = options.seed + 200;
+
+  // Taxonomy: a root with four domains; persons and works get many
+  // fine-grained leaf classes (the YAGO side maps all of them, the DBpedia
+  // side only the domain level — the granularity mismatch of §4.3).
+  spec.classes.push_back({"entity", -1});  // 0
+  spec.classes.push_back({"person", 0});   // 1
+  spec.classes.push_back({"place", 0});    // 2
+  spec.classes.push_back({"organization", 0});  // 3
+  spec.classes.push_back({"work", 0});     // 4
+  const int kPersonGroups = 120;
+  const int kWorkGroups = 60;
+  const int kPlaceGroups = 12;
+  std::vector<int> person_leaves;
+  std::vector<int> work_leaves;
+  std::vector<int> place_leaves;
+  for (int i = 0; i < kPersonGroups; ++i) {
+    person_leaves.push_back(static_cast<int>(spec.classes.size()));
+    spec.classes.push_back({"person_group_" + std::to_string(i), 1});
+  }
+  for (int i = 0; i < kWorkGroups; ++i) {
+    work_leaves.push_back(static_cast<int>(spec.classes.size()));
+    spec.classes.push_back({"work_group_" + std::to_string(i), 4});
+  }
+  for (int i = 0; i < kPlaceGroups; ++i) {
+    place_leaves.push_back(static_cast<int>(spec.classes.size()));
+    spec.classes.push_back({"place_group_" + std::to_string(i), 2});
+  }
+
+  // Entities spread over the leaf classes.
+  const int persons_per_leaf = Scaled(options.scale, 200);
+  const int works_per_leaf = Scaled(options.scale, 120);
+  // Places do NOT scale with the entity count: as in real KBs the place
+  // vocabulary is small relative to the person population, so sharing a
+  // birthplace stays weak evidence (inverse functionality well below θ).
+  const int places_per_leaf = 8;
+  for (int i = 0; i < kPersonGroups; ++i) {
+    spec.groups.push_back(
+        {person_leaves[static_cast<size_t>(i)], persons_per_leaf,
+         "person" + std::to_string(i)});
+  }
+  for (int i = 0; i < kWorkGroups; ++i) {
+    spec.groups.push_back({work_leaves[static_cast<size_t>(i)],
+                           works_per_leaf, "work" + std::to_string(i)});
+  }
+  for (int i = 0; i < kPlaceGroups; ++i) {
+    spec.groups.push_back({place_leaves[static_cast<size_t>(i)],
+                           places_per_leaf, "place" + std::to_string(i)});
+  }
+  // Few organizations relative to persons (unscaled, like places):
+  // employment / alma-mater relations must have *low* inverse functionality
+  // (sharing an employer is weak evidence), as in the real KBs.
+  spec.groups.push_back({3, 150, "org"});
+
+  spec.attributes = {
+      {"person_name", 1, ValueKind::kPersonName, 0.95, 0.0, 1, false},  // 0
+      {"birthdate", 1, ValueKind::kDate, 0.8, 0.0, 1, false},           // 1
+      {"place_name", 2, ValueKind::kPlaceName, 0.95, 0.0, 1, false},    // 2
+      {"org_name", 3, ValueKind::kPlaceName, 0.9, 0.0, 1, false},       // 3
+      {"work_title", 4, ValueKind::kMovieTitle, 0.95, 0.0, 1, false},   // 4
+      {"work_year", 4, ValueKind::kYear, 0.85, 0.0, 1, false},          // 5
+  };
+  spec.relations = {
+      {"born_in", 1, 2, 0.85, 0.0, 1, 0.8},      // 0
+      {"lives_in", 1, 2, 0.5, 0.25, 3, 0.8},     // 1
+      {"died_in", 1, 2, 0.3, 0.0, 1, 0.8},       // 2
+      {"works_at", 1, 3, 0.5, 0.05, 2, 0.7},     // 3
+      {"married_to", 1, 1, 0.35, 0.0, 1, 0.0},   // 4
+      // Works own their (single) creator — person-side: "y:created" is the
+      // inverse. A Zipf skew makes some authors prolific.
+      {"created_by", 4, 1, 0.6, 0.0, 1, 0.9},    // 5
+      // Movie casts: one work, several cast members (high fan-out → sharing
+      // a cast member is moderate evidence; sharing a movie credit strong).
+      {"has_cast", 4, 1, 0.45, 0.7, 6, 1.0},     // 6
+      {"citizen_of", 1, 2, 0.8, 0.05, 2, 1.2},   // 7
+      {"org_located_in", 3, 2, 0.9, 0.0, 1, 0.8},  // 8
+      {"graduated_from", 1, 3, 0.4, 0.03, 2, 0.9},  // 9
+  };
+  // Long-tail entities are fact-poor; famous ones fact-rich (and both KBs
+  // prefer the famous ones — Wikipedia categories / infoboxes).
+  spec.prominence_richness = 0.85;
+  World world = World::Generate(spec);
+
+  // ---- Left: YAGO-like. Fine classes, forward relation vocabulary. ----
+  DeriveSpec left;
+  left.onto_name = "y";
+  left.seed = options.seed + 201;
+  left.entity_coverage = 0.75;
+  left.prominence_correlation = 0.6;
+  // Places and organizations are hub entities both KBs cover well.
+  left.class_coverage = {{2, 0.97}, {3, 0.9}};
+  left.fact_dropout = 0.2;
+  left.typo_prob = 0.02;
+  left.relations = {
+      AttrMap(0, "rdfs:label"),
+      AttrMap(1, "y:wasBornOnDate"),
+      AttrMap(2, "rdfs:label"),
+      AttrMap(3, "rdfs:label"),
+      AttrMap(4, "rdfs:label"),
+      AttrMap(5, "y:wasCreatedOnYear"),
+      RelMap(0, "y:wasBornIn"),
+      RelMap(1, "y:livesIn"),
+      RelMap(2, "y:diedIn"),
+      RelMap(3, "y:worksAt"),
+      RelMap(4, "y:isMarriedTo"),
+      RelMap(5, "y:created", /*inverted=*/true),   // person → work
+      RelMap(6, "y:actedIn", /*inverted=*/true),   // person → work
+      RelMap(7, "y:isCitizenOf"),
+      RelMap(8, "y:isLocatedIn"),
+      RelMap(9, "y:graduatedFrom"),
+  };
+  left.classes = {ClsMap(0, "y:entity"), ClsMap(1, "y:person"),
+                  ClsMap(2, "y:place"), ClsMap(3, "y:organization"),
+                  ClsMap(4, "y:work")};
+  for (int leaf : person_leaves) {
+    left.classes.push_back(
+        ClsMap(leaf, "y:wikicategory_people_" + std::to_string(leaf)));
+  }
+  for (int leaf : work_leaves) {
+    left.classes.push_back(
+        ClsMap(leaf, "y:wikicategory_works_" + std::to_string(leaf)));
+  }
+  for (int leaf : place_leaves) {
+    left.classes.push_back(
+        ClsMap(leaf, "y:wikicategory_places_" + std::to_string(leaf)));
+  }
+
+  // ---- Right: DBpedia-like. Flat coarse classes; inverted / merged
+  // relation vocabulary with different names. ----
+  DeriveSpec right;
+  right.onto_name = "dbp";
+  right.seed = options.seed + 202;
+  right.entity_coverage = 0.7;
+  right.prominence_correlation = 0.6;
+  right.class_coverage = {{2, 0.97}, {3, 0.9}};
+  right.fact_dropout = 0.25;
+  right.case_jitter_prob = 0.08;
+  right.relations = {
+      AttrMap(0, "dbp:birthName"),
+      AttrMap(1, "dbp:birthDate"),
+      AttrMap(2, "dbp:placeName"),
+      AttrMap(3, "dbp:orgName"),
+      AttrMap(4, "dbp:title"),
+      AttrMap(5, "dbp:releaseYear"),
+      RelMap(0, "dbp:birthPlace"),
+      // lives_in and citizen_of merge into one coarse "residence".
+      RelMap(1, "dbp:residence"),
+      RelMap(7, "dbp:residence"),
+      RelMap(2, "dbp:deathPlace"),
+      RelMap(3, "dbp:employer"),
+      RelMap(4, "dbp:spouse"),
+      // Work-side directions, as in Table 4 (y:created ⊆ dbp:author⁻¹,
+      // y:actedIn ⊆ dbp:starring⁻¹).
+      RelMap(5, "dbp:author"),
+      RelMap(6, "dbp:starring"),
+      RelMap(8, "dbp:headquarter", /*inverted=*/true),
+      RelMap(9, "dbp:almaMater"),
+  };
+  right.classes = {ClsMap(0, "dbp:Thing"), ClsMap(1, "dbp:Person"),
+                   ClsMap(2, "dbp:Place"), ClsMap(3, "dbp:Organisation"),
+                   ClsMap(4, "dbp:Work")};
+  // A handful of mid-level DBpedia classes that coincide with some left
+  // leaves (so exact matches exist too).
+  for (int i = 0; i < 8; ++i) {
+    right.classes.push_back(ClsMap(person_leaves[static_cast<size_t>(i)],
+                                   "dbp:PersonGroup" + std::to_string(i)));
+  }
+  for (int i = 0; i < 4; ++i) {
+    right.classes.push_back(ClsMap(work_leaves[static_cast<size_t>(i)],
+                                   "dbp:WorkGroup" + std::to_string(i)));
+  }
+
+  return PairDeriver(&world, std::move(left), std::move(right))
+      .Derive("yago-dbpedia", options.pool);
+}
+
+// ---------------------------------------------------------------------------
+// YAGO ↔ IMDb
+// ---------------------------------------------------------------------------
+
+util::StatusOr<OntologyPair> MakeYagoImdbPair(const ProfileOptions& options) {
+  WorldSpec spec;
+  spec.seed = options.seed + 300;
+  // 0 entity, 1 person, 2 movie_person, 3 other_person, 4 movie, 5 place,
+  // 6 tv_series (under movie), plus fine-grained person categories under
+  // other_person/movie_person for the left side.
+  spec.classes = {{"entity", -1}, {"person", 0},      {"movie_person", 1},
+                  {"other_person", 1}, {"movie", 0},  {"place", 0},
+                  {"tv_series", 4}};
+  const int kActorGroups = 20;
+  const int kOtherGroups = 15;
+  std::vector<int> actor_leaves;
+  std::vector<int> other_leaves;
+  for (int i = 0; i < kActorGroups; ++i) {
+    actor_leaves.push_back(static_cast<int>(spec.classes.size()));
+    spec.classes.push_back({"actor_group_" + std::to_string(i), 2});
+  }
+  for (int i = 0; i < kOtherGroups; ++i) {
+    other_leaves.push_back(static_cast<int>(spec.classes.size()));
+    spec.classes.push_back({"other_group_" + std::to_string(i), 3});
+  }
+
+  const int actors_per_leaf = Scaled(options.scale, 220);
+  const int others_per_leaf = Scaled(options.scale, 140);
+  for (int i = 0; i < kActorGroups; ++i) {
+    spec.groups.push_back({actor_leaves[static_cast<size_t>(i)],
+                           actors_per_leaf, "mperson" + std::to_string(i)});
+  }
+  for (int i = 0; i < kOtherGroups; ++i) {
+    spec.groups.push_back({other_leaves[static_cast<size_t>(i)],
+                           others_per_leaf, "operson" + std::to_string(i)});
+  }
+  spec.groups.push_back({4, Scaled(options.scale, 2600), "movie"});
+  spec.groups.push_back({6, Scaled(options.scale, 500), "tv"});
+  spec.groups.push_back({5, 120, "place"});  // unscaled hub pool
+
+  spec.attributes = {
+      // Movie-person names (mapped by both sides).
+      {"mp_name", 2, ValueKind::kPersonName, 0.98, 0.0, 1, false},  // 0
+      // Other-person names (left side only — IMDb has no such people).
+      {"op_name", 3, ValueKind::kPersonName, 0.98, 0.0, 1, false},  // 1
+      {"movie_title", 4, ValueKind::kMovieTitle, 0.98, 0.0, 1, false},  // 2
+      {"movie_year", 4, ValueKind::kYear, 0.9, 0.0, 1, false},      // 3
+      // Birth years split by person kind so the IMDb side can cover only
+      // movie people. Drawn from a small pool of years: thousands of people
+      // share each year, so a shared birth year alone is weak evidence.
+      {"mp_birth_year", 2, ValueKind::kYear, 0.85, 0.0, 1, false,
+       /*pool=*/42, 0.3},  // 4
+      {"place_name", 5, ValueKind::kPlaceName, 0.95, 0.0, 1, false},  // 5
+      {"op_birth_year", 3, ValueKind::kYear, 0.85, 0.0, 1, false,
+       /*pool=*/42, 0.3},  // 6
+  };
+  spec.relations = {
+      // Movie-side credits: one movie, several cast members; a Zipf skew
+      // over actors models stars with long filmographies.
+      {"cast", 4, 2, 0.92, 0.85, 14, 1.0},       // 0
+      {"directed_by", 4, 2, 0.5, 0.05, 2, 1.2},  // 1
+      {"born_in", 1, 5, 0.7, 0.0, 1, 0.8},       // 2  (left only)
+      {"married_to", 1, 1, 0.3, 0.0, 1, 0.0},    // 3  (left only)
+  };
+  spec.prominence_richness = 0.5;
+  World world = World::Generate(spec);
+
+  // ---- Left: YAGO-like. ----
+  DeriveSpec left;
+  left.onto_name = "y";
+  left.seed = options.seed + 301;
+  left.entity_coverage = 0.8;
+  left.prominence_correlation = 0.6;
+  left.fact_dropout = 0.15;
+  left.relations = {
+      AttrMap(0, "rdfs:label"),
+      AttrMap(1, "rdfs:label"),
+      AttrMap(2, "rdfs:label"),
+      AttrMap(3, "y:wasCreatedOnYear"),
+      AttrMap(4, "y:wasBornOnYear"),
+      AttrMap(6, "y:wasBornOnYear"),
+      AttrMap(5, "rdfs:label"),
+      RelMap(0, "y:actedIn", /*inverted=*/true),   // person → movie
+      RelMap(1, "y:directed", /*inverted=*/true),  // person → movie
+      RelMap(2, "y:wasBornIn"),
+      RelMap(3, "y:isMarriedTo"),
+  };
+  left.classes = {ClsMap(0, "y:entity"),      ClsMap(1, "y:person"),
+                  ClsMap(4, "y:movie"),       ClsMap(6, "y:tvSeries"),
+                  ClsMap(5, "y:place")};
+  for (int leaf : actor_leaves) {
+    left.classes.push_back(
+        ClsMap(leaf, "y:wikicategory_actors_" + std::to_string(leaf)));
+  }
+  for (int leaf : other_leaves) {
+    left.classes.push_back(
+        ClsMap(leaf, "y:wikicategory_people_" + std::to_string(leaf)));
+  }
+
+  // ---- Right: IMDb-like. Movies only; noisy labels (typos and
+  // transliteration-style token swaps, §6.4). ----
+  DeriveSpec right;
+  right.onto_name = "imdb";
+  right.seed = options.seed + 302;
+  right.entity_coverage = 0.9;
+  right.prominence_correlation = 0.6;
+  // IMDb is nearly complete for its own domain: movies and movie people.
+  right.class_coverage = {{4, 0.98}, {2, 0.97}};
+  right.fact_dropout = 0.08;
+  right.typo_prob = 0.08;
+  right.token_swap_prob = 0.06;
+  right.relations = {
+      AttrMap(0, "imdb:name"),
+      AttrMap(2, "imdb:title"),
+      AttrMap(3, "imdb:productionYear"),
+      AttrMap(4, "imdb:bornOn"),
+      RelMap(0, "imdb:actedIn", /*inverted=*/true),  // person → movie
+      RelMap(1, "imdb:directedBy"),                  // movie → person
+  };
+  right.classes = {ClsMap(2, "imdb:actor"), ClsMap(4, "imdb:movie"),
+                   ClsMap(6, "imdb:tvSeries")};
+
+  return PairDeriver(&world, std::move(left), std::move(right))
+      .Derive("yago-imdb", options.pool);
+}
+
+}  // namespace paris::synth

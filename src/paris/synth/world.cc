@@ -1,0 +1,152 @@
+#include "paris/synth/world.h"
+
+#include <cassert>
+#include <unordered_set>
+
+#include "paris/synth/names.h"
+
+namespace paris::synth {
+
+std::string GenerateValue(ValueKind kind, util::Rng& rng) {
+  switch (kind) {
+    case ValueKind::kPersonName:
+      return PersonName(rng);
+    case ValueKind::kPlaceName:
+      return PlaceName(rng);
+    case ValueKind::kRestaurantName:
+      return RestaurantName(rng);
+    case ValueKind::kMovieTitle:
+      return MovieTitle(rng);
+    case ValueKind::kStreetAddress:
+      return StreetAddress(rng);
+    case ValueKind::kPhone:
+      return PhoneNumber(rng);
+    case ValueKind::kDate:
+      return DateString(rng);
+    case ValueKind::kSsn:
+      return SsnLike(rng);
+    case ValueKind::kYear:
+      return YearString(rng);
+  }
+  return "";
+}
+
+bool World::ClassInSubtree(int cls, int root) const {
+  while (cls >= 0) {
+    if (cls == root) return true;
+    cls = spec_.classes[static_cast<size_t>(cls)].parent;
+  }
+  return false;
+}
+
+std::vector<int> World::AncestorsOf(int cls) const {
+  std::vector<int> out;
+  while (cls >= 0) {
+    out.push_back(cls);
+    cls = spec_.classes[static_cast<size_t>(cls)].parent;
+  }
+  return out;
+}
+
+World World::Generate(const WorldSpec& spec) {
+  World world;
+  world.spec_ = spec;
+  util::Rng rng(spec.seed);
+
+  // 1. Entities.
+  for (const EntityGroup& group : spec.groups) {
+    assert(group.cls >= 0 &&
+           static_cast<size_t>(group.cls) < spec.classes.size());
+    for (int i = 0; i < group.count; ++i) {
+      WorldEntity e;
+      e.cls = group.cls;
+      e.id = group.id_prefix + "_" + std::to_string(i);
+      e.prominence = rng.UniformDouble();
+      world.entities_.push_back(std::move(e));
+    }
+  }
+  // Fact-richness multiplier per entity: 1 for the prominent, down to ~0.25
+  // for the obscure when prominence_richness = 1.
+  auto richness = [&](int entity_index) {
+    const double prom =
+        world.entities_[static_cast<size_t>(entity_index)].prominence;
+    return 1.0 - spec.prominence_richness * 0.75 * (1.0 - prom);
+  };
+
+  // Subtree membership index.
+  world.subtree_entities_.assign(spec.classes.size(), {});
+  for (size_t ei = 0; ei < world.entities_.size(); ++ei) {
+    for (int anc : world.AncestorsOf(world.entities_[ei].cls)) {
+      world.subtree_entities_[static_cast<size_t>(anc)].push_back(
+          static_cast<int>(ei));
+    }
+  }
+
+  // 2. Attributes. A unique-value attribute re-draws until unused (a few
+  //    retries suffice because identifier spaces are huge).
+  for (size_t ai = 0; ai < spec.attributes.size(); ++ai) {
+    const AttributeSpec& attr = spec.attributes[ai];
+    assert(!(attr.unique && attr.pool_size > 0));
+    util::Rng attr_rng = rng.Fork();
+    std::vector<std::string> pool;
+    for (int p = 0; p < attr.pool_size; ++p) {
+      pool.push_back(GenerateValue(attr.kind, attr_rng));
+    }
+    std::unordered_set<std::string> used;
+    for (int ei : world.EntitiesInSubtree(attr.domain_class)) {
+      if (!attr_rng.Bernoulli(attr.coverage * richness(ei))) continue;
+      const int count =
+          attr_rng.CountWithTail(attr.extra_value_prob, attr.max_values);
+      for (int v = 0; v < count; ++v) {
+        std::string value =
+            pool.empty()
+                ? GenerateValue(attr.kind, attr_rng)
+                : pool[attr_rng.ZipfIndex(pool.size(), attr.pool_skew)];
+        if (attr.unique) {
+          int retries = 0;
+          while (used.contains(value) && retries < 64) {
+            value = GenerateValue(attr.kind, attr_rng);
+            ++retries;
+          }
+          used.insert(value);
+        }
+        world.entities_[static_cast<size_t>(ei)].attributes.emplace_back(
+            static_cast<int>(ai), std::move(value));
+      }
+    }
+  }
+
+  // 3. Relations.
+  for (size_t ri = 0; ri < spec.relations.size(); ++ri) {
+    const RelationSpec& rel = spec.relations[ri];
+    util::Rng rel_rng = rng.Fork();
+    const std::vector<int>& domain =
+        world.EntitiesInSubtree(rel.domain_class);
+    const std::vector<int>& range = world.EntitiesInSubtree(rel.range_class);
+    if (range.empty()) continue;
+    for (size_t di = 0; di < domain.size(); ++di) {
+      const int src = domain[di];
+      if (!rel_rng.Bernoulli(rel.coverage * richness(src))) continue;
+      if (rel.one_to_one) {
+        const int dst = range[di % range.size()];
+        if (dst != src) {
+          world.edges_.push_back(WorldEdge{static_cast<int>(ri), src, dst});
+        }
+        continue;
+      }
+      const int degree =
+          rel_rng.CountWithTail(rel.extra_edge_prob, rel.max_degree);
+      std::unordered_set<int> chosen;
+      for (int d = 0; d < degree; ++d) {
+        const int dst = range[rel_rng.ZipfIndex(range.size(), rel.range_skew)];
+        if (dst == src || !chosen.insert(dst).second) continue;
+        world.edges_.push_back(
+            WorldEdge{static_cast<int>(ri), src, dst});
+      }
+    }
+  }
+
+  return world;
+}
+
+}  // namespace paris::synth

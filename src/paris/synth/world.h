@@ -1,0 +1,149 @@
+#ifndef PARIS_SYNTH_WORLD_H_
+#define PARIS_SYNTH_WORLD_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "paris/util/random.h"
+
+namespace paris::synth {
+
+// ---------------------------------------------------------------------------
+// World specification
+// ---------------------------------------------------------------------------
+//
+// A "world" is the hidden ground truth both synthetic ontologies are derived
+// from: a class taxonomy, entities, literal attributes, and entity-entity
+// relations with controlled cardinality (hence controlled functionality,
+// the quantity PARIS's probabilistic model keys on).
+
+// A node of the world class taxonomy (a forest; parent -1 = root).
+struct WorldClass {
+  std::string name;
+  int parent = -1;
+};
+
+// What kind of literal values an attribute generates.
+enum class ValueKind {
+  kPersonName,
+  kPlaceName,
+  kRestaurantName,
+  kMovieTitle,
+  kStreetAddress,
+  kPhone,
+  kDate,
+  kSsn,
+  kYear,
+};
+
+// A literal-valued property attached to every entity of a class subtree.
+struct AttributeSpec {
+  std::string name;       // world-level relation name
+  int domain_class = 0;   // applies to entities whose class is in this subtree
+  ValueKind kind = ValueKind::kPersonName;
+  double coverage = 1.0;  // fraction of domain entities carrying the attribute
+  double extra_value_prob = 0.0;  // continue-prob for additional values
+  int max_values = 1;
+  bool unique = false;  // values drawn to be globally unique (identifiers)
+  // If > 0, values are drawn (Zipf-skewed) from a pre-generated pool of this
+  // size instead of fresh per entity. This models low-inverse-functionality
+  // attributes ("city": many addresses share few city names). Incompatible
+  // with `unique`.
+  int pool_size = 0;
+  double pool_skew = 0.8;
+};
+
+// An entity-entity relation with a cardinality profile. The expected local
+// out-degree is 1 + O(extra_edge_prob); the paper's functionality
+// fun(r) ≈ 1 / E[degree].
+struct RelationSpec {
+  std::string name;
+  int domain_class = 0;
+  int range_class = 0;
+  double coverage = 0.9;         // fraction of domain entities with ≥1 edge
+  double extra_edge_prob = 0.0;  // continue-prob for additional edges
+  int max_degree = 1;
+  double range_skew = 0.8;  // Zipf skew of target popularity (hubs)
+  // If true, the i-th domain entity links to the i-th range entity: a
+  // bijective relation (restaurant ↔ its address). Overrides degree/skew.
+  bool one_to_one = false;
+};
+
+// A block of entities of one class.
+struct EntityGroup {
+  int cls = 0;
+  int count = 0;
+  std::string id_prefix;  // world ids are "<prefix>_<i>"
+};
+
+struct WorldSpec {
+  std::vector<WorldClass> classes;
+  std::vector<EntityGroup> groups;
+  std::vector<AttributeSpec> attributes;
+  std::vector<RelationSpec> relations;
+  uint64_t seed = 42;
+  // How strongly an entity's prominence modulates its fact richness
+  // (0 = not at all; 1 = an obscure entity keeps only ~25 % of its facts).
+  // Real KBs are like this: famous entities are fact-rich, the long tail is
+  // sparse — which is what keeps spurious alignments of tail entities rare.
+  double prominence_richness = 0.0;
+};
+
+// ---------------------------------------------------------------------------
+// Generated world
+// ---------------------------------------------------------------------------
+
+struct WorldEntity {
+  int cls = 0;
+  std::string id;
+  // How "famous" this entity is, in [0, 1]. Drives fact richness (see
+  // WorldSpec::prominence_richness) and, in the deriver, the correlation
+  // between the two ontologies' entity selections.
+  double prominence = 1.0;
+  // (attribute index, value) pairs in generation order.
+  std::vector<std::pair<int, std::string>> attributes;
+};
+
+struct WorldEdge {
+  int relation = 0;
+  int source = 0;
+  int target = 0;
+};
+
+// The generated ground truth. Deterministic in `spec.seed`.
+class World {
+ public:
+  static World Generate(const WorldSpec& spec);
+
+  const WorldSpec& spec() const { return spec_; }
+  const std::vector<WorldEntity>& entities() const { return entities_; }
+  const std::vector<WorldEdge>& edges() const { return edges_; }
+
+  // True if `cls` equals `root` or is a descendant of it.
+  bool ClassInSubtree(int cls, int root) const;
+
+  // `cls` and all its ancestors, nearest first.
+  std::vector<int> AncestorsOf(int cls) const;
+
+  // Entity indexes whose class lies in the subtree of `root`.
+  const std::vector<int>& EntitiesInSubtree(int root) const {
+    return subtree_entities_[static_cast<size_t>(root)];
+  }
+
+  size_t num_classes() const { return spec_.classes.size(); }
+
+ private:
+  WorldSpec spec_;
+  std::vector<WorldEntity> entities_;
+  std::vector<WorldEdge> edges_;
+  std::vector<std::vector<int>> subtree_entities_;
+};
+
+// Value generation for one attribute kind (exposed for tests).
+std::string GenerateValue(ValueKind kind, util::Rng& rng);
+
+}  // namespace paris::synth
+
+#endif  // PARIS_SYNTH_WORLD_H_

@@ -1,0 +1,335 @@
+// paris_align — align two RDF ontologies from the command line.
+//
+//   paris_align LEFT.nt RIGHT.ttl [options]      (see --help)
+//
+// Files ending in .ttl/.turtle are parsed as Turtle, everything else as
+// N-Triples.
+//
+// This tool is a thin adapter over `paris::api::Session`: it parses flags,
+// drives the load → align/resume → export lifecycle through the facade,
+// prints the facade's results, and maps Status to the exit code. All
+// engine behavior lives behind the API.
+//
+// Exit status 0 on success, 1 on usage/load/run errors (the failing path
+// and Status code are reported on stderr).
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "paris/paris.h"
+#include "paris/util/fault_injection.h"
+#include "paris/util/flags.h"
+#include "paris/util/fs.h"
+#include "paris/util/logging.h"
+
+namespace {
+
+int Fail(const paris::util::Status& status) {
+  std::fprintf(stderr, "paris_align: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int UsageError(const paris::util::FlagParser& parser,
+               const paris::util::Status& status) {
+  std::fprintf(stderr, "paris_align: %s\n%s\n", status.ToString().c_str(),
+               parser.Usage().c_str());
+  return 1;
+}
+
+// Throttled per-shard progress: at most ~10 lines per second plus the final
+// shard of every pass, with an ETA extrapolated from the shards completed
+// since the pass started. The shard observer is serialized by the pipeline
+// (api::RunCallbacks), so no locking is needed here.
+class ProgressPrinter {
+ public:
+  void OnShard(const paris::api::ShardProgress& shard) {
+    const auto now = std::chrono::steady_clock::now();
+    if (shard.iteration != iteration_ || pass_ != shard.pass) {
+      iteration_ = shard.iteration;
+      pass_ = shard.pass;
+      pass_start_ = now;
+      // Shards adopted from a checkpoint complete instantly; exclude them
+      // from the extrapolation base.
+      completed_at_start_ = shard.num_completed - 1;
+    }
+    const bool last = shard.num_completed == shard.num_shards;
+    if (!last &&
+        now - last_print_ < std::chrono::milliseconds(100)) {
+      return;
+    }
+    last_print_ = now;
+    std::string eta;
+    const size_t measured = shard.num_completed - completed_at_start_;
+    if (!last && measured > 0) {
+      const double elapsed =
+          std::chrono::duration<double>(now - pass_start_).count();
+      const double remaining = elapsed / static_cast<double>(measured) *
+                               static_cast<double>(shard.num_shards -
+                                                   shard.num_completed);
+      char buffer[32];
+      std::snprintf(buffer, sizeof(buffer), ", eta %.1fs", remaining);
+      eta = buffer;
+    }
+    std::fprintf(stderr,
+                 "progress: iteration %d %s pass %zu/%zu shards%s\n",
+                 shard.iteration, shard.pass, shard.num_completed,
+                 shard.num_shards, eta.c_str());
+  }
+
+ private:
+  int iteration_ = -1;
+  std::string pass_;
+  std::chrono::steady_clock::time_point pass_start_;
+  std::chrono::steady_clock::time_point last_print_;
+  size_t completed_at_start_ = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  paris::api::Session::Options options;
+  std::string output_prefix;
+  std::string save_snapshot;
+  std::string load_snapshot;
+  std::string save_result;
+  std::string resume_from;
+  std::string realign_from;
+  std::string delta_left;
+  std::string delta_right;
+  std::string load_mode = "auto";
+  std::string log_level = "info";
+  std::string trace_json;
+  std::string metrics_json;
+  bool stats_only = false;
+
+  paris::util::FlagParser parser("paris_align", "LEFT.nt RIGHT.nt");
+  parser.AddString("--output", &output_prefix,
+                   "write PREFIX_{instances,relations,classes}.tsv",
+                   "PREFIX");
+  parser.AddInt("--max-iterations", &options.config.max_iterations,
+                "fixpoint cap (default 10)");
+  parser.AddDouble("--theta", &options.config.theta,
+                   "bootstrap sub-relation probability (default 0.1)");
+  parser.AddChoice("--matcher", &options.matcher,
+                   paris::api::MatcherRegistry::Default().Names(),
+                   "literal matcher (default identity)");
+  parser.AddSizeT("--threads", &options.config.num_threads,
+                  "worker threads for the alignment passes and index "
+                  "finalization");
+  parser.AddSizeT("--shards", &options.config.num_shards,
+                  "shards per alignment pass (0 = default 64); results are "
+                  "identical across shard counts");
+  bool progress = false;
+  parser.AddBool("--progress", &progress,
+                 "report per-shard pipeline progress on stderr");
+  parser.AddBool("--negative-evidence", &options.config.use_negative_evidence,
+                 "use Eq. (14) instead of Eq. (13)");
+  parser.AddBool("--name-prior", &options.config.use_relation_name_prior,
+                 "seed iteration 1 with relation-name similarity");
+  parser.AddBool("--stats", &stats_only,
+                 "print ontology statistics and exit");
+  parser.AddString("--save-snapshot", &save_snapshot,
+                   "after loading, write a binary snapshot of both "
+                   "ontologies", "PATH");
+  parser.AddString("--load-snapshot", &load_snapshot,
+                   "load ontologies from a snapshot instead of parsing RDF "
+                   "files", "PATH");
+  parser.AddChoice("--snapshot-load-mode", &load_mode,
+                   {"auto", "mmap", "stream"},
+                   "how snapshots are brought in (default auto)");
+  parser.AddString("--save-result", &save_result,
+                   "after the run, write a binary snapshot of the alignment "
+                   "result", "PATH");
+  parser.AddString("--resume-from", &resume_from,
+                   "continue a previous run from its result snapshot",
+                   "PATH");
+  parser.AddString("--realign-from", &realign_from,
+                   "incrementally re-align from a completed run's result "
+                   "snapshot after applying --delta* files (much cheaper "
+                   "than a cold re-run for small deltas)", "PATH");
+  parser.AddString("--delta", &delta_left,
+                   "RDF delta file merged into the LEFT ontology before "
+                   "re-aligning (shorthand for --delta-left)", "PATH");
+  parser.AddString("--delta-left", &delta_left,
+                   "RDF delta file merged into the LEFT ontology", "PATH");
+  parser.AddString("--delta-right", &delta_right,
+                   "RDF delta file merged into the RIGHT ontology", "PATH");
+  parser.AddString("--checkpoint-dir", &options.config.checkpoint_dir,
+                   "directory for periodic background checkpoints (with "
+                   "--checkpoint-interval)", "DIR");
+  parser.AddDouble("--checkpoint-interval", &options.config.checkpoint_interval,
+                   "seconds between background checkpoints (0 = off)");
+  parser.AddBool("--auto-resume", &options.auto_resume,
+                 "resume from the newest usable checkpoint in "
+                 "--checkpoint-dir instead of starting cold");
+  parser.AddString("--trace-json", &trace_json,
+                   "write a Chrome trace-event JSON of the run (open in "
+                   "chrome://tracing or ui.perfetto.dev)", "PATH");
+  parser.AddString("--metrics-json", &metrics_json,
+                   "write pipeline metrics and per-iteration convergence "
+                   "telemetry as JSON", "PATH");
+  parser.AddChoice("--log-level", &log_level,
+                   {"debug", "info", "warning", "error", "none"},
+                   "minimum log severity on stderr (default info)");
+
+  std::vector<std::string> positional;
+  auto status = parser.Parse(argc, argv, &positional);
+  if (!status.ok()) return UsageError(parser, status);
+  if (parser.help_requested()) {
+    std::printf("%s", parser.Help().c_str());
+    return 0;
+  }
+  if (load_mode == "mmap") {
+    options.snapshot_load_mode = paris::api::SnapshotLoadMode::kMmap;
+  } else if (load_mode == "stream") {
+    options.snapshot_load_mode = paris::api::SnapshotLoadMode::kStream;
+  }
+  paris::util::SetLogLevel(*paris::util::LogLevelFromName(log_level));
+  options.trace = !trace_json.empty();
+  options.metrics = !metrics_json.empty();
+
+  // Deterministic fault injection for the crash/durability tests
+  // (PARIS_FAULT_INJECT / PARIS_FAULT_SEED); a no-op when the variables
+  // are unset, a hard usage error when they are set but unparsable.
+  status = paris::util::FaultInjector::Global().ArmFromEnv();
+  if (!status.ok()) return Fail(status);
+
+  paris::api::Session session(options);
+
+  // Flushes --trace-json / --metrics-json (no-ops when the flags are
+  // unset). Called on every exit path that has something recorded.
+  auto write_observability = [&]() -> paris::util::Status {
+    if (!trace_json.empty()) {
+      paris::util::AtomicFileWriter out(trace_json);
+      auto s = session.WriteTrace(out.stream());
+      if (s.ok()) s = out.Commit();
+      if (!s.ok()) return s;
+      std::printf("wrote trace %s\n", trace_json.c_str());
+    }
+    if (!metrics_json.empty()) {
+      paris::util::AtomicFileWriter out(metrics_json);
+      auto s = session.WriteMetricsJson(out.stream());
+      if (s.ok()) s = out.Commit();
+      if (!s.ok()) return s;
+      std::printf("wrote metrics %s\n", metrics_json.c_str());
+    }
+    return paris::util::OkStatus();
+  };
+
+  // --- Load ---------------------------------------------------------------
+  if (!load_snapshot.empty()) {
+    // The snapshot replaces the RDF inputs entirely.
+    if (!positional.empty()) {
+      return UsageError(parser, paris::util::InvalidArgumentError(
+                                    "positional inputs and --load-snapshot "
+                                    "are mutually exclusive"));
+    }
+    status = session.LoadFromSnapshot(load_snapshot);
+  } else {
+    if (positional.size() != 2) {
+      return UsageError(parser, paris::util::InvalidArgumentError(
+                                    "expected exactly two input files"));
+    }
+    status = session.LoadFromFiles(positional[0], positional[1]);
+  }
+  if (!status.ok()) return Fail(status);
+
+  if (!save_snapshot.empty()) {
+    status = session.SaveSnapshot(save_snapshot);
+    if (!status.ok()) return Fail(status);
+    std::printf("wrote snapshot %s\n", save_snapshot.c_str());
+  }
+
+  if (stats_only) {
+    status = session.PrintStats(std::cout);
+    if (!status.ok()) return Fail(status);
+    status = write_observability();
+    return status.ok() ? 0 : Fail(status);
+  }
+
+  // --- Align / resume -----------------------------------------------------
+  paris::api::RunCallbacks callbacks;
+  if (progress) {
+    // Progress goes to stderr so the goldened stdout stays byte-identical.
+    auto printer = std::make_shared<ProgressPrinter>();
+    callbacks.on_shard = [printer](const paris::api::ShardProgress& shard) {
+      printer->OnShard(shard);
+    };
+    callbacks.on_iteration = [](const paris::api::IterationProgress& it) {
+      std::fprintf(stderr,
+                   "progress: iteration %d/%d done, %zu aligned, "
+                   "change %.4f\n",
+                   it.iteration, it.max_iterations, it.num_aligned,
+                   it.change_fraction);
+    };
+  }
+  const bool have_delta = !delta_left.empty() || !delta_right.empty();
+  if (have_delta != !realign_from.empty()) {
+    return UsageError(parser, paris::util::InvalidArgumentError(
+                                  "--realign-from and --delta/--delta-left/"
+                                  "--delta-right go together"));
+  }
+  if (have_delta && !resume_from.empty()) {
+    return UsageError(parser, paris::util::InvalidArgumentError(
+                                  "--resume-from and --realign-from are "
+                                  "mutually exclusive"));
+  }
+  if (have_delta) {
+    // Incremental update: stage the delta file(s), then re-align from the
+    // saved base result (validated against the pre-delta pair first).
+    using Side = paris::api::Session::DeltaSide;
+    if (!delta_left.empty()) {
+      status = session.ApplyDelta(Side::kLeft, delta_left);
+      if (!status.ok()) return Fail(status);
+    }
+    if (!delta_right.empty()) {
+      status = session.ApplyDelta(Side::kRight, delta_right);
+      if (!status.ok()) return Fail(status);
+    }
+    status = session.Realign(realign_from, callbacks);
+  } else {
+    status = resume_from.empty() ? session.Align(callbacks)
+                                 : session.Resume(resume_from, callbacks);
+  }
+  if (!status.ok()) return Fail(status);
+
+  const paris::api::RunSummary summary = session.summary();
+  if (have_delta) {
+    std::printf("re-aligned from %s\n", realign_from.c_str());
+  }
+  if (!resume_from.empty() ||
+      (options.auto_resume && summary.resumed_iterations > 0)) {
+    std::printf("resumed after iteration %zu\n", summary.resumed_iterations);
+  }
+  std::printf("aligned %zu instances, %zu relation scores, %zu class "
+              "scores in %.2fs (%zu iterations%s)\n",
+              summary.instances_aligned, summary.relation_scores,
+              summary.class_scores, summary.seconds, summary.iterations,
+              summary.converged ? ", converged" : "");
+
+  // --- Persist / export ---------------------------------------------------
+  if (!save_result.empty()) {
+    status = session.SaveResult(save_result);
+    if (!status.ok()) return Fail(status);
+    std::printf("wrote result snapshot %s\n", save_result.c_str());
+  }
+
+  if (!output_prefix.empty()) {
+    status = session.Export(output_prefix);
+    if (!status.ok()) return Fail(status);
+    std::printf("wrote %s_{instances,relations,classes}.tsv\n",
+                output_prefix.c_str());
+  } else {
+    // No output prefix: print the instance alignment to stdout.
+    status = session.WriteInstanceAlignment(std::cout);
+    if (!status.ok()) return Fail(status);
+  }
+
+  status = write_observability();
+  if (!status.ok()) return Fail(status);
+  return 0;
+}

@@ -1,0 +1,189 @@
+#include "paris/util/fault_injection.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <string>
+
+#include "paris/util/logging.h"
+
+namespace paris::util {
+namespace {
+
+// Keep in sync with every CheckFault() call site in the IO layer.
+constexpr std::string_view kRegisteredPoints[] = {
+    "atomic_write.open",      "atomic_write.write",
+    "atomic_write.fsync_file", "atomic_write.rename",
+    "atomic_write.fsync_dir", "mmap.open",
+    "mmap.map",               "snapshot.read",
+    "checkpoint.manifest",
+};
+
+// splitmix64: one deterministic draw per (seed, point) pair.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashPoint(std::string_view point) {
+  uint64_t h = 14695981039346656037ull;
+  for (char c : point) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::atomic<bool> FaultInjector::armed_flag_{false};
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+Status FaultInjector::Arm(std::string_view spec) {
+  // point:nth:kind[:mode]
+  std::vector<std::string_view> parts;
+  size_t start = 0;
+  while (start <= spec.size()) {
+    const size_t colon = spec.find(':', start);
+    if (colon == std::string_view::npos) {
+      parts.push_back(spec.substr(start));
+      break;
+    }
+    parts.push_back(spec.substr(start, colon - start));
+    start = colon + 1;
+  }
+  if (parts.size() < 3 || parts.size() > 4) {
+    return InvalidArgumentError("fault spec must be point:nth:kind[:mode]: '" +
+                                std::string(spec) + "'");
+  }
+
+  ArmedSpec armed;
+  armed.point = std::string(parts[0]);
+  bool known = false;
+  for (std::string_view p : kRegisteredPoints) known |= (p == armed.point);
+  if (!known) {
+    return InvalidArgumentError("unknown fault point '" + armed.point + "'");
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (parts[1] == "rand") {
+    armed.nth = 1 + Mix(seed_ ^ HashPoint(armed.point)) % 16;
+  } else {
+    uint64_t nth = 0;
+    for (char c : parts[1]) {
+      if (c < '0' || c > '9') {
+        return InvalidArgumentError("fault spec nth must be a number or "
+                                    "'rand': '" +
+                                    std::string(spec) + "'");
+      }
+      nth = nth * 10 + static_cast<uint64_t>(c - '0');
+    }
+    if (nth == 0) {
+      return InvalidArgumentError("fault spec nth must be >= 1: '" +
+                                  std::string(spec) + "'");
+    }
+    armed.nth = nth;
+  }
+
+  const std::string_view kind = parts[2];
+  if (kind == "enospc") {
+    armed.kind = FaultKind::kErrno;
+    armed.error_number = ENOSPC;
+    armed.sticky = true;  // a full disk stays full
+  } else if (kind == "eintr") {
+    armed.kind = FaultKind::kErrno;
+    armed.error_number = EINTR;
+  } else if (kind == "eagain") {
+    armed.kind = FaultKind::kErrno;
+    armed.error_number = EAGAIN;
+  } else if (kind == "short") {
+    armed.kind = FaultKind::kShortWrite;
+  } else if (kind == "bitflip") {
+    armed.kind = FaultKind::kBitFlip;
+  } else if (kind == "abort") {
+    armed.kind = FaultKind::kAbort;
+  } else {
+    return InvalidArgumentError("unknown fault kind '" + std::string(kind) +
+                                "' in '" + std::string(spec) + "'");
+  }
+  if (parts.size() == 4) {
+    if (parts[3] == "sticky") {
+      armed.sticky = true;
+    } else if (parts[3] == "once") {
+      armed.sticky = false;
+    } else {
+      return InvalidArgumentError("fault spec mode must be sticky|once: '" +
+                                  std::string(spec) + "'");
+    }
+  }
+
+  specs_.push_back(std::move(armed));
+  armed_flag_.store(true, std::memory_order_relaxed);
+  return OkStatus();
+}
+
+Status FaultInjector::ArmFromEnv() {
+  if (const char* seed_env = std::getenv("PARIS_FAULT_SEED")) {
+    SetSeed(std::strtoull(seed_env, nullptr, 10));
+  }
+  const char* specs = std::getenv("PARIS_FAULT_INJECT");
+  if (specs == nullptr || *specs == '\0') return OkStatus();
+  std::string_view rest(specs);
+  while (!rest.empty()) {
+    const size_t semi = rest.find(';');
+    const std::string_view one =
+        semi == std::string_view::npos ? rest : rest.substr(0, semi);
+    rest = semi == std::string_view::npos ? std::string_view()
+                                          : rest.substr(semi + 1);
+    if (one.empty()) continue;
+    Status status = Arm(one);
+    if (!status.ok()) return status;
+    PARIS_LOG(kWarning) << "fault injection armed: " << one;
+  }
+  return OkStatus();
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  specs_.clear();
+  seed_ = 0;
+  armed_flag_.store(false, std::memory_order_relaxed);
+}
+
+void FaultInjector::SetSeed(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  seed_ = seed;
+}
+
+FaultAction FaultInjector::Check(std::string_view point) {
+  FaultAction action;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (ArmedSpec& spec : specs_) {
+      if (spec.point != point) continue;
+      ++spec.hits;
+      const bool fire =
+          spec.sticky ? spec.hits >= spec.nth : spec.hits == spec.nth;
+      if (!fire) continue;
+      action.kind = spec.kind;
+      action.error_number = spec.error_number;
+      break;
+    }
+  }
+  if (action.kind == FaultKind::kAbort) {
+    PARIS_LOG(kWarning) << "fault injection: aborting at '" << point << "'";
+    std::abort();
+  }
+  return action;
+}
+
+std::span<const std::string_view> RegisteredFaultPoints() {
+  return kRegisteredPoints;
+}
+
+}  // namespace paris::util

@@ -1,0 +1,105 @@
+#ifndef PARIS_UTIL_FAULT_INJECTION_H_
+#define PARIS_UTIL_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "paris/util/status.h"
+
+namespace paris::util {
+
+// Deterministic fault injection for the IO layer. Disarmed (the default) a
+// fault point costs one relaxed atomic load. Armed via Arm() or the
+// PARIS_FAULT_INJECT environment variable (";"-separated
+// "point:nth:kind[:mode]" specs), each named fault point counts its hits and
+// fires the configured fault on the nth one.
+//
+// Kinds: enospc | eintr | eagain | short | bitflip | abort.
+//   - The errno kinds make the guarded IO call fail with that errno. EINTR /
+//     EAGAIN are transient, so a non-sticky spec exercises the fs-layer
+//     retry path; ENOSPC models a full disk.
+//   - "short" truncates the write actually issued and "bitflip" XORs one
+//     byte of the buffer in flight — both only have an effect at
+//     write-style points; read-style points ignore them.
+//   - "abort" calls std::abort() at the fault point (a simulated crash).
+//
+// Mode: "sticky" (every hit >= nth fires) or "once" (exactly the nth hit).
+// Defaults: enospc is sticky (a full disk stays full); everything else once.
+//
+// `nth` is a positive integer, or "rand" for a value in [1, 16] derived
+// deterministically from PARIS_FAULT_SEED (default 0) and the point name —
+// the same seed always selects the same operation.
+
+enum class FaultKind : uint8_t {
+  kNone = 0,
+  kErrno,
+  kShortWrite,
+  kBitFlip,
+  kAbort,
+};
+
+// What a fault point should do for the current operation. kAbort never
+// reaches the caller (Check() aborts the process).
+struct FaultAction {
+  FaultKind kind = FaultKind::kNone;
+  int error_number = 0;  // set for kErrno
+};
+
+class FaultInjector {
+ public:
+  // The process-wide injector; every fault point reports here.
+  static FaultInjector& Global();
+
+  // True when any spec is armed. This is the fast path: fault points bail
+  // out on one relaxed load when disarmed.
+  static bool armed() { return armed_flag_.load(std::memory_order_relaxed); }
+
+  // Arms one "point:nth:kind[:mode]" spec (see file comment).
+  Status Arm(std::string_view spec);
+  // Arms every ";"-separated spec in PARIS_FAULT_INJECT (no-op when unset)
+  // and reads PARIS_FAULT_SEED. Returns the first parse error, if any.
+  Status ArmFromEnv();
+  // Disarms everything and clears hit counters.
+  void Reset();
+  // Seed for "rand" hit counts; call before Arm().
+  void SetSeed(uint64_t seed);
+
+  // Records a hit on `point` and returns the action to apply (kNone almost
+  // always). Prefer the CheckFault() wrapper below.
+  FaultAction Check(std::string_view point);
+
+ private:
+  struct ArmedSpec {
+    std::string point;
+    uint64_t nth = 1;
+    FaultKind kind = FaultKind::kNone;
+    int error_number = 0;
+    bool sticky = false;
+    uint64_t hits = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::vector<ArmedSpec> specs_;
+  uint64_t seed_ = 0;
+  static std::atomic<bool> armed_flag_;
+};
+
+// The canonical list of fault points threaded through the IO layer. The
+// fault-matrix test iterates this so every registered point is exercised;
+// keep it in sync with the CheckFault() call sites.
+std::span<const std::string_view> RegisteredFaultPoints();
+
+// The one call sites use: near-zero cost when the injector is disarmed.
+inline FaultAction CheckFault(std::string_view point) {
+  if (!FaultInjector::armed()) return {};
+  return FaultInjector::Global().Check(point);
+}
+
+}  // namespace paris::util
+
+#endif  // PARIS_UTIL_FAULT_INJECTION_H_

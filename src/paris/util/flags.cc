@@ -1,0 +1,226 @@
+#include "paris/util/flags.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cerrno>
+#include <climits>
+#include <cstdlib>
+
+namespace paris::util {
+
+bool ParseFullInt64(const std::string& s, long long* out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseFullDouble(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+namespace {
+
+std::string JoinChoices(const std::vector<std::string>& choices) {
+  std::string out;
+  for (const auto& c : choices) {
+    if (!out.empty()) out += "|";
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+FlagParser::FlagParser(std::string program, std::string positional_usage)
+    : program_(std::move(program)),
+      positional_usage_(std::move(positional_usage)) {}
+
+void FlagParser::Add(Flag flag) {
+  assert(flag.name.rfind("--", 0) == 0 && "flag names must start with --");
+  assert(Find(flag.name) == nullptr && "duplicate flag registration");
+  flags_.push_back(std::move(flag));
+}
+
+void FlagParser::AddString(const std::string& name, std::string* target,
+                           const std::string& help,
+                           const std::string& value_name) {
+  Add({name, Type::kString, target, help, value_name, {}});
+}
+
+void FlagParser::AddInt(const std::string& name, int* target,
+                        const std::string& help,
+                        const std::string& value_name) {
+  Add({name, Type::kInt, target, help, value_name, {}});
+}
+
+void FlagParser::AddSizeT(const std::string& name, size_t* target,
+                          const std::string& help,
+                          const std::string& value_name) {
+  Add({name, Type::kSizeT, target, help, value_name, {}});
+}
+
+void FlagParser::AddDouble(const std::string& name, double* target,
+                           const std::string& help,
+                           const std::string& value_name) {
+  Add({name, Type::kDouble, target, help, value_name, {}});
+}
+
+void FlagParser::AddBool(const std::string& name, bool* target,
+                         const std::string& help) {
+  Add({name, Type::kBool, target, help, "", {}});
+}
+
+void FlagParser::AddChoice(const std::string& name, std::string* target,
+                           std::vector<std::string> choices,
+                           const std::string& help) {
+  Add({name, Type::kChoice, target, help, JoinChoices(choices),
+       std::move(choices)});
+}
+
+const FlagParser::Flag* FlagParser::Find(const std::string& name) const {
+  for (const auto& flag : flags_) {
+    if (flag.name == name) return &flag;
+  }
+  return nullptr;
+}
+
+Status FlagParser::Assign(const Flag& flag, const std::string& value) const {
+  switch (flag.type) {
+    case Type::kString:
+      *static_cast<std::string*>(flag.target) = value;
+      return OkStatus();
+    case Type::kChoice: {
+      for (const auto& choice : flag.choices) {
+        if (value == choice) {
+          *static_cast<std::string*>(flag.target) = value;
+          return OkStatus();
+        }
+      }
+      return InvalidArgumentError("invalid value for " + flag.name + ": '" +
+                                  value + "' (expected " + flag.value_name +
+                                  ")");
+    }
+    case Type::kInt: {
+      long long v = 0;
+      if (!ParseFullInt64(value, &v) || v < INT_MIN || v > INT_MAX) {
+        return InvalidArgumentError("invalid integer for " + flag.name +
+                                    ": '" + value + "'");
+      }
+      *static_cast<int*>(flag.target) = static_cast<int>(v);
+      return OkStatus();
+    }
+    case Type::kSizeT: {
+      long long v = 0;
+      if (!ParseFullInt64(value, &v) || v < 0) {
+        return InvalidArgumentError("invalid non-negative integer for " +
+                                    flag.name + ": '" + value + "'");
+      }
+      *static_cast<size_t*>(flag.target) = static_cast<size_t>(v);
+      return OkStatus();
+    }
+    case Type::kDouble: {
+      double v = 0.0;
+      if (!ParseFullDouble(value, &v)) {
+        return InvalidArgumentError("invalid number for " + flag.name + ": '" +
+                                    value + "'");
+      }
+      *static_cast<double*>(flag.target) = v;
+      return OkStatus();
+    }
+    case Type::kBool:
+      return InternalError("bool flags take no value");
+  }
+  return InternalError("unhandled flag type");
+}
+
+Status FlagParser::Parse(int argc, char* const* argv,
+                         std::vector<std::string>* positional) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      return OkStatus();
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional->push_back(arg);
+      continue;
+    }
+    // Split "--flag=value" into name and inline value.
+    std::string name = arg;
+    std::string inline_value;
+    bool has_inline_value = false;
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      inline_value = arg.substr(eq + 1);
+      has_inline_value = true;
+    }
+    const Flag* flag = Find(name);
+    if (flag == nullptr) {
+      return InvalidArgumentError("unknown option: " + name +
+                                  " (try --help)");
+    }
+    if (flag->type == Type::kBool) {
+      if (has_inline_value) {
+        return InvalidArgumentError(flag->name + " takes no value");
+      }
+      *static_cast<bool*>(flag->target) = true;
+      continue;
+    }
+    std::string value;
+    if (has_inline_value) {
+      value = inline_value;
+    } else {
+      if (i + 1 >= argc) {
+        return InvalidArgumentError("missing value for " + flag->name);
+      }
+      value = argv[++i];
+    }
+    auto status = Assign(*flag, value);
+    if (!status.ok()) return status;
+  }
+  return OkStatus();
+}
+
+std::string FlagParser::Usage() const {
+  std::string out = "usage: " + program_;
+  if (!positional_usage_.empty()) out += " " + positional_usage_;
+  if (!flags_.empty()) out += " [options]";
+  return out;
+}
+
+std::string FlagParser::Help() const {
+  std::string out = Usage() + "\noptions:\n";
+  // First pass: column width for aligned descriptions.
+  size_t width = 0;
+  auto spelled = [](const Flag& flag) {
+    std::string s = flag.name;
+    if (flag.type != Type::kBool) s += " " + flag.value_name;
+    return s;
+  };
+  for (const auto& flag : flags_) {
+    width = std::max(width, spelled(flag).size());
+  }
+  width = std::max(width, std::string("--help").size());
+  for (const auto& flag : flags_) {
+    std::string row = "  " + spelled(flag);
+    row.append(width + 4 - spelled(flag).size(), ' ');
+    out += row + flag.help + "\n";
+  }
+  out += "  --help";
+  out.append(width - 2, ' ');
+  out += "show this message\n";
+  return out;
+}
+
+}  // namespace paris::util

@@ -1,0 +1,94 @@
+#ifndef PARIS_UTIL_FLAGS_H_
+#define PARIS_UTIL_FLAGS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "paris/util/status.h"
+
+namespace paris::util {
+
+// Strict full-consumption numeric parses ("3abc" and "" are errors, unlike
+// atoi/atof). Shared by the flag parser and by tools parsing positional
+// arguments.
+bool ParseFullInt64(const std::string& s, long long* out);
+bool ParseFullDouble(const std::string& s, double* out);
+
+// Minimal typed command-line flag parser shared by the CLI tools, replacing
+// their hand-rolled argv loops. Flags are registered against caller-owned
+// storage (which also supplies the default), then `Parse` walks argv:
+//
+//   paris::util::FlagParser parser("paris_align", "LEFT.nt RIGHT.nt");
+//   parser.AddString("--output", &output_prefix, "write PREFIX_*.tsv");
+//   parser.AddInt("--max-iterations", &max_iterations, "fixpoint cap");
+//   parser.AddBool("--stats", &stats_only, "print statistics and exit");
+//   std::vector<std::string> positional;
+//   auto status = parser.Parse(argc, argv, &positional);
+//
+// Both `--flag value` and `--flag=value` spellings are accepted; `--help`
+// is always recognized and reported via `help_requested()`. Unknown flags,
+// missing values, and malformed numbers come back as InvalidArgument
+// statuses naming the offending flag. `Help()` renders a usage block from
+// the registered flags, so the tools never hand-maintain usage strings.
+class FlagParser {
+ public:
+  // `program` names the binary in the usage line; `positional_usage`
+  // describes the expected positional arguments ("LEFT.nt RIGHT.nt").
+  FlagParser(std::string program, std::string positional_usage);
+
+  // `name` must include the leading dashes ("--output"). `value_name` is
+  // the placeholder shown in the usage text ("PREFIX"). The current value
+  // of the target is the default.
+  void AddString(const std::string& name, std::string* target,
+                 const std::string& help,
+                 const std::string& value_name = "VALUE");
+  void AddInt(const std::string& name, int* target, const std::string& help,
+              const std::string& value_name = "N");
+  void AddSizeT(const std::string& name, size_t* target,
+                const std::string& help, const std::string& value_name = "N");
+  void AddDouble(const std::string& name, double* target,
+                 const std::string& help, const std::string& value_name = "X");
+  // Presence flag: no value, sets the target to true when seen.
+  void AddBool(const std::string& name, bool* target, const std::string& help);
+  // String flag restricted to the given values; anything else is an
+  // InvalidArgument naming the choices. The usage text shows "a|b|c".
+  void AddChoice(const std::string& name, std::string* target,
+                 std::vector<std::string> choices, const std::string& help);
+
+  // Consumes argv[1..argc); non-flag arguments are appended to
+  // `positional`. Stops early (returning OK) when --help is seen.
+  Status Parse(int argc, char* const* argv, std::vector<std::string>* positional);
+
+  bool help_requested() const { return help_requested_; }
+
+  // One-line usage summary ("usage: paris_align LEFT.nt RIGHT.nt [options]").
+  std::string Usage() const;
+  // Full help block: the usage line plus one aligned row per flag.
+  std::string Help() const;
+
+ private:
+  enum class Type { kString, kInt, kSizeT, kDouble, kBool, kChoice };
+
+  struct Flag {
+    std::string name;
+    Type type;
+    void* target;
+    std::string help;
+    std::string value_name;
+    std::vector<std::string> choices;  // kChoice only
+  };
+
+  void Add(Flag flag);
+  const Flag* Find(const std::string& name) const;
+  Status Assign(const Flag& flag, const std::string& value) const;
+
+  std::string program_;
+  std::string positional_usage_;
+  std::vector<Flag> flags_;
+  bool help_requested_ = false;
+};
+
+}  // namespace paris::util
+
+#endif  // PARIS_UTIL_FLAGS_H_

@@ -1,0 +1,83 @@
+#include "paris/util/logging.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <utility>
+
+namespace paris::util {
+namespace {
+
+std::atomic<LogLevel> g_min_level{LogLevel::kInfo};
+std::mutex g_log_mutex;
+LogSink g_sink;  // guarded by g_log_mutex; empty = stderr
+
+char LevelChar(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return 'D';
+    case LogLevel::kInfo:
+      return 'I';
+    case LogLevel::kWarning:
+      return 'W';
+    case LogLevel::kError:
+      return 'E';
+    case LogLevel::kNone:
+      return '?';
+  }
+  return '?';
+}
+
+// Seconds since the first log call (steady clock — immune to wall-clock
+// adjustments, comparable to obs::Span durations).
+double SecondsSinceStart() {
+  static const std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// Dense per-process thread id (0, 1, 2, ... in first-log order) — stable
+// and readable, unlike std::thread::id.
+int DenseThreadId() {
+  static std::atomic<int> next{0};
+  thread_local const int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_min_level.store(level); }
+
+LogLevel GetLogLevel() { return g_min_level.load(); }
+
+std::optional<LogLevel> LogLevelFromName(std::string_view name) {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warning") return LogLevel::kWarning;
+  if (name == "error") return LogLevel::kError;
+  if (name == "none") return LogLevel::kNone;
+  return std::nullopt;
+}
+
+void SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  g_sink = std::move(sink);
+}
+
+void LogMessage(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(g_min_level.load())) return;
+  char prefix[48];
+  std::snprintf(prefix, sizeof(prefix), "[%c %.3f t%d]", LevelChar(level),
+                SecondsSinceStart(), DenseThreadId());
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  if (g_sink) {
+    g_sink(level, std::string(prefix) + " " + message);
+  } else {
+    std::fprintf(stderr, "%s %s\n", prefix, message.c_str());
+  }
+}
+
+}  // namespace paris::util

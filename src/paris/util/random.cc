@@ -1,0 +1,25 @@
+#include "paris/util/random.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace paris::util {
+
+size_t Rng::ZipfIndex(size_t n, double skew) {
+  assert(n > 0);
+  if (n == 1) return 0;
+  if (skew <= 0.0) {
+    return static_cast<size_t>(UniformInt(0, static_cast<int64_t>(n) - 1));
+  }
+  // Inverse-CDF approximation for a power-law over ranks 1..n: rank ~
+  // u^(-1/(skew)) style transform, clamped. Cheap and adequate for workload
+  // shaping (we do not need an exact Zipf sampler).
+  const double u = UniformDouble();
+  const double exponent = 1.0 / (1.0 + skew);
+  const double r = std::pow(static_cast<double>(n), exponent);
+  double x = std::pow(u * (r - 1.0) + 1.0, 1.0 + skew) - 1.0;
+  size_t index = static_cast<size_t>(x);
+  return std::min(index, n - 1);
+}
+
+}  // namespace paris::util

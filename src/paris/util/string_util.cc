@@ -1,0 +1,147 @@
+#include "paris/util/string_util.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+
+namespace paris::util {
+
+std::string ToLowerAscii(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    out.push_back(static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c))));
+  }
+  return out;
+}
+
+std::string NormalizeAlnum(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    const unsigned char uc = static_cast<unsigned char>(c);
+    if (std::isalnum(uc)) {
+      out.push_back(static_cast<char>(std::tolower(uc)));
+    }
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  size_t begin = 0;
+  while (begin < s.size() &&
+         std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  size_t end = s.size();
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+std::vector<std::string_view> Split(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  size_t start = 0;
+  while (true) {
+    const size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+size_t EditDistance(std::string_view a, std::string_view b) {
+  if (a.size() < b.size()) std::swap(a, b);
+  // b is now the shorter string; row has |b|+1 entries.
+  std::vector<size_t> row(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    size_t diag = row[0];
+    row[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      const size_t up = row[j];
+      const size_t cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+      row[j] = std::min({row[j - 1] + 1, up + 1, diag + cost});
+      diag = up;
+    }
+  }
+  return row[b.size()];
+}
+
+size_t BoundedEditDistance(std::string_view a, std::string_view b,
+                           size_t bound) {
+  if (a.size() < b.size()) std::swap(a, b);
+  if (a.size() - b.size() > bound) return bound + 1;
+  std::vector<size_t> row(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    size_t diag = row[0];
+    row[0] = i;
+    size_t row_min = row[0];
+    for (size_t j = 1; j <= b.size(); ++j) {
+      const size_t up = row[j];
+      const size_t cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+      row[j] = std::min({row[j - 1] + 1, up + 1, diag + cost});
+      diag = up;
+      row_min = std::min(row_min, row[j]);
+    }
+    if (row_min > bound) return bound + 1;
+  }
+  return std::min(row[b.size()], bound + 1);
+}
+
+double EditSimilarity(std::string_view a, std::string_view b) {
+  const size_t max_len = std::max(a.size(), b.size());
+  if (max_len == 0) return 1.0;
+  const size_t dist = EditDistance(a, b);
+  return 1.0 - static_cast<double>(dist) / static_cast<double>(max_len);
+}
+
+std::vector<uint32_t> TrigramKeys(std::string_view s) {
+  std::vector<uint32_t> keys;
+  auto pack = [](unsigned char a, unsigned char b, unsigned char c) {
+    return (static_cast<uint32_t>(a) << 16) | (static_cast<uint32_t>(b) << 8) |
+           static_cast<uint32_t>(c);
+  };
+  if (s.size() < 3) {
+    unsigned char c0 = s.size() > 0 ? static_cast<unsigned char>(s[0]) : 0;
+    unsigned char c1 = s.size() > 1 ? static_cast<unsigned char>(s[1]) : 0;
+    keys.push_back(pack(c0, c1, 0));
+    return keys;
+  }
+  keys.reserve(s.size() - 2);
+  for (size_t i = 0; i + 2 < s.size(); ++i) {
+    keys.push_back(pack(static_cast<unsigned char>(s[i]),
+                        static_cast<unsigned char>(s[i + 1]),
+                        static_cast<unsigned char>(s[i + 2])));
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  return keys;
+}
+
+}  // namespace paris::util

@@ -1,0 +1,123 @@
+#include "paris/util/thread_pool.h"
+
+#include <algorithm>
+
+namespace paris::util {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::Schedule(std::function<void()> task) {
+  if (threads_.empty()) {
+    task();
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    queue_.push(std::move(task));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  if (threads_.empty()) return;
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::ParallelFor(size_t total,
+                             const std::function<void(size_t, size_t)>& fn) {
+  if (total == 0) return;
+  if (threads_.empty()) {
+    fn(0, total);
+    return;
+  }
+  // Over-decompose, then let workers claim chunks off a shared counter:
+  // fixed boundaries keep the fn(begin, end) calls identical across runs and
+  // pool sizes, while dynamic claiming keeps every worker busy until the
+  // whole range is drained, even when per-index cost is heavily skewed.
+  const size_t num_chunks = std::min(total, threads_.size() * 8);
+  const size_t chunk = (total + num_chunks - 1) / num_chunks;
+  std::atomic<size_t> next{0};
+  const size_t num_workers = std::min(threads_.size(), num_chunks);
+  for (size_t w = 0; w < num_workers; ++w) {
+    // Capturing locals by reference is safe: Wait() below blocks until every
+    // claimed chunk has run.
+    Schedule([&next, &fn, chunk, total] {
+      while (true) {
+        const size_t begin = next.fetch_add(chunk, std::memory_order_relaxed);
+        if (begin >= total) return;
+        fn(begin, std::min(begin + chunk, total));
+      }
+    });
+  }
+  Wait();
+}
+
+void ThreadPool::ParallelForShards(
+    size_t total, const std::function<bool(size_t, size_t)>& fn) {
+  if (total == 0) return;
+  if (threads_.empty()) {
+    for (size_t shard = 0; shard < total; ++shard) {
+      if (!fn(shard, 0)) return;
+    }
+    return;
+  }
+  std::atomic<size_t> next{0};
+  std::atomic<bool> stop{false};
+  const size_t num_workers = std::min(threads_.size(), total);
+  for (size_t w = 0; w < num_workers; ++w) {
+    // Capturing locals by reference is safe: Wait() below blocks until every
+    // claimed shard has run. `w` is the worker's stable scratch slot.
+    Schedule([&next, &stop, &fn, total, w] {
+      while (!stop.load(std::memory_order_acquire)) {
+        const size_t shard = next.fetch_add(1, std::memory_order_relaxed);
+        if (shard >= total) return;
+        if (!fn(shard, w)) {
+          stop.store(true, std::memory_order_release);
+          return;
+        }
+      }
+    });
+  }
+  Wait();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(
+          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (shutting_down_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace paris::util

@@ -3,9 +3,9 @@
 #include <cmath>
 #include <optional>
 
-#include "core/aligner.h"
-#include "ontology/ontology.h"
-#include "rdf/term.h"
+#include "paris/core/aligner.h"
+#include "paris/ontology/ontology.h"
+#include "paris/rdf/term.h"
 
 namespace paris::core {
 namespace {

@@ -10,13 +10,13 @@
 #include <thread>
 #include <vector>
 
-#include "api/dataset.h"
-#include "api/matcher_registry.h"
-#include "api/session.h"
-#include "core/literal_match.h"
-#include "core/result_snapshot.h"
-#include "storage/snapshot.h"
-#include "util/status.h"
+#include "paris/api/dataset.h"
+#include "paris/api/matcher_registry.h"
+#include "paris/api/session.h"
+#include "paris/core/literal_match.h"
+#include "paris/core/result_snapshot.h"
+#include "paris/storage/snapshot.h"
+#include "paris/util/status.h"
 
 namespace paris {
 namespace {

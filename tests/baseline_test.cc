@@ -1,9 +1,9 @@
 #include <gtest/gtest.h>
 
-#include "baseline/label_match.h"
-#include "baseline/self_training.h"
-#include "ontology/ontology.h"
-#include "rdf/term.h"
+#include "paris/baseline/label_match.h"
+#include "paris/baseline/self_training.h"
+#include "paris/ontology/ontology.h"
+#include "paris/rdf/term.h"
 
 namespace paris::baseline {
 namespace {

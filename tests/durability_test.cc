@@ -12,18 +12,18 @@
 #include <string_view>
 #include <vector>
 
-#include "api/dataset.h"
-#include "api/session.h"
-#include "core/aligner.h"
-#include "core/checkpoint.h"
-#include "core/result_io.h"
-#include "core/result_snapshot.h"
-#include "ontology/ontology.h"
-#include "storage/snapshot.h"
-#include "synth/profiles.h"
-#include "util/fault_injection.h"
-#include "util/fs.h"
-#include "util/status.h"
+#include "paris/api/dataset.h"
+#include "paris/api/session.h"
+#include "paris/core/aligner.h"
+#include "paris/core/checkpoint.h"
+#include "paris/core/result_io.h"
+#include "paris/core/result_snapshot.h"
+#include "paris/ontology/ontology.h"
+#include "paris/storage/snapshot.h"
+#include "paris/synth/profiles.h"
+#include "paris/util/fault_injection.h"
+#include "paris/util/fs.h"
+#include "paris/util/status.h"
 
 namespace paris {
 namespace {

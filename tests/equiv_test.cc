@@ -1,6 +1,6 @@
 #include <gtest/gtest.h>
 
-#include "core/equiv.h"
+#include "paris/core/equiv.h"
 
 namespace paris::core {
 namespace {

@@ -1,9 +1,9 @@
 #include <gtest/gtest.h>
 
-#include "eval/metrics.h"
-#include "eval/report.h"
-#include "synth/derive.h"
-#include "synth/world.h"
+#include "paris/eval/metrics.h"
+#include "paris/eval/report.h"
+#include "paris/synth/derive.h"
+#include "paris/synth/world.h"
 
 namespace paris::eval {
 namespace {

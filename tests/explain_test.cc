@@ -1,9 +1,9 @@
 #include <gtest/gtest.h>
 
-#include "core/aligner.h"
-#include "core/explain.h"
-#include "ontology/ontology.h"
-#include "util/logging.h"
+#include "paris/core/aligner.h"
+#include "paris/core/explain.h"
+#include "paris/ontology/ontology.h"
+#include "paris/util/logging.h"
 
 namespace paris::core {
 namespace {

@@ -5,12 +5,12 @@
 
 #include <sstream>
 
-#include "core/aligner.h"
-#include "core/multi_align.h"
-#include "core/result_io.h"
-#include "ontology/ontology.h"
-#include "synth/profiles.h"
-#include "util/logging.h"
+#include "paris/core/aligner.h"
+#include "paris/core/multi_align.h"
+#include "paris/core/result_io.h"
+#include "paris/ontology/ontology.h"
+#include "paris/synth/profiles.h"
+#include "paris/util/logging.h"
 
 namespace paris::core {
 namespace {

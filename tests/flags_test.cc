@@ -3,8 +3,8 @@
 #include <string>
 #include <vector>
 
-#include "util/flags.h"
-#include "util/status.h"
+#include "paris/util/flags.h"
+#include "paris/util/status.h"
 
 namespace paris {
 namespace {

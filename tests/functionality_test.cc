@@ -1,8 +1,8 @@
 #include <gtest/gtest.h>
 
-#include "ontology/functionality.h"
-#include "ontology/ontology.h"
-#include "rdf/term.h"
+#include "paris/ontology/functionality.h"
+#include "paris/ontology/ontology.h"
+#include "paris/rdf/term.h"
 
 namespace paris::ontology {
 namespace {

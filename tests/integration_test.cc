@@ -4,11 +4,11 @@
 // how much, not exact figures.
 #include <gtest/gtest.h>
 
-#include "baseline/label_match.h"
-#include "core/aligner.h"
-#include "eval/metrics.h"
-#include "synth/profiles.h"
-#include "util/logging.h"
+#include "paris/baseline/label_match.h"
+#include "paris/core/aligner.h"
+#include "paris/eval/metrics.h"
+#include "paris/synth/profiles.h"
+#include "paris/util/logging.h"
 
 namespace paris {
 namespace {

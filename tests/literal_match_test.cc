@@ -1,8 +1,8 @@
 #include <gtest/gtest.h>
 
-#include "core/literal_match.h"
-#include "ontology/ontology.h"
-#include "rdf/term.h"
+#include "paris/core/literal_match.h"
+#include "paris/ontology/ontology.h"
+#include "paris/rdf/term.h"
 
 namespace paris::core {
 namespace {

@@ -13,19 +13,19 @@
 #include <string>
 #include <vector>
 
-#include "api/session.h"
-#include "core/aligner.h"
-#include "core/pass.h"
-#include "core/result_io.h"
-#include "core/telemetry.h"
-#include "obs/hooks.h"
-#include "obs/metrics.h"
-#include "obs/trace.h"
-#include "ontology/snapshot.h"
-#include "rdf/store.h"
-#include "rdf/term.h"
-#include "synth/profiles.h"
-#include "util/logging.h"
+#include "paris/api/session.h"
+#include "paris/core/aligner.h"
+#include "paris/core/pass.h"
+#include "paris/core/result_io.h"
+#include "paris/core/telemetry.h"
+#include "paris/obs/hooks.h"
+#include "paris/obs/metrics.h"
+#include "paris/obs/trace.h"
+#include "paris/ontology/snapshot.h"
+#include "paris/rdf/store.h"
+#include "paris/rdf/term.h"
+#include "paris/synth/profiles.h"
+#include "paris/util/logging.h"
 
 namespace paris {
 namespace {

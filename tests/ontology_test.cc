@@ -2,10 +2,10 @@
 
 #include <algorithm>
 
-#include "ontology/ontology.h"
-#include "ontology/vocab.h"
-#include "rdf/ntriples.h"
-#include "rdf/term.h"
+#include "paris/ontology/ontology.h"
+#include "paris/ontology/vocab.h"
+#include "paris/rdf/ntriples.h"
+#include "paris/rdf/term.h"
 
 namespace paris::ontology {
 namespace {

@@ -15,16 +15,16 @@
 #include <thread>
 #include <vector>
 
-#include "api/dataset.h"
-#include "api/session.h"
-#include "core/aligner.h"
-#include "core/pass.h"
-#include "core/result_io.h"
-#include "core/result_snapshot.h"
-#include "obs/metrics.h"
-#include "obs/trace.h"
-#include "ontology/ontology.h"
-#include "synth/profiles.h"
+#include "paris/api/dataset.h"
+#include "paris/api/session.h"
+#include "paris/core/aligner.h"
+#include "paris/core/pass.h"
+#include "paris/core/result_io.h"
+#include "paris/core/result_snapshot.h"
+#include "paris/obs/metrics.h"
+#include "paris/obs/trace.h"
+#include "paris/ontology/ontology.h"
+#include "paris/synth/profiles.h"
 
 namespace paris {
 namespace {

@@ -6,12 +6,12 @@
 
 #include <cmath>
 
-#include "core/aligner.h"
-#include "rdf/ntriples.h"
-#include "synth/profiles.h"
-#include "util/logging.h"
-#include "util/random.h"
-#include "util/string_util.h"
+#include "paris/core/aligner.h"
+#include "paris/rdf/ntriples.h"
+#include "paris/synth/profiles.h"
+#include "paris/util/logging.h"
+#include "paris/util/random.h"
+#include "paris/util/string_util.h"
 
 namespace paris {
 namespace {

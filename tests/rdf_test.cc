@@ -2,10 +2,10 @@
 
 #include <sstream>
 
-#include "rdf/ntriples.h"
-#include "rdf/store.h"
-#include "rdf/term.h"
-#include "rdf/triple.h"
+#include "paris/rdf/ntriples.h"
+#include "paris/rdf/store.h"
+#include "paris/rdf/term.h"
+#include "paris/rdf/triple.h"
 
 namespace paris::rdf {
 namespace {

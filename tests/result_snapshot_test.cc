@@ -7,12 +7,12 @@
 #include <string>
 #include <vector>
 
-#include "core/aligner.h"
-#include "core/result_io.h"
-#include "core/result_snapshot.h"
-#include "ontology/ontology.h"
-#include "storage/snapshot.h"
-#include "synth/profiles.h"
+#include "paris/core/aligner.h"
+#include "paris/core/result_io.h"
+#include "paris/core/result_snapshot.h"
+#include "paris/ontology/ontology.h"
+#include "paris/storage/snapshot.h"
+#include "paris/synth/profiles.h"
 
 namespace paris {
 namespace {

@@ -5,14 +5,14 @@
 
 #include <sstream>
 
-#include "core/aligner.h"
-#include "core/literal_match.h"
-#include "ontology/export.h"
-#include "ontology/ontology.h"
-#include "rdf/ntriples.h"
-#include "rdf/turtle.h"
-#include "util/logging.h"
-#include "util/random.h"
+#include "paris/core/aligner.h"
+#include "paris/core/literal_match.h"
+#include "paris/ontology/export.h"
+#include "paris/ontology/ontology.h"
+#include "paris/rdf/ntriples.h"
+#include "paris/rdf/turtle.h"
+#include "paris/util/logging.h"
+#include "paris/util/random.h"
 
 namespace paris {
 namespace {

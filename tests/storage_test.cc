@@ -9,16 +9,16 @@
 #include <string>
 #include <vector>
 
-#include "core/aligner.h"
-#include "ontology/ontology.h"
-#include "ontology/snapshot.h"
-#include "rdf/store.h"
-#include "rdf/term.h"
-#include "rdf/triple.h"
-#include "storage/columnar_index.h"
-#include "storage/snapshot.h"
-#include "util/status.h"
-#include "util/thread_pool.h"
+#include "paris/core/aligner.h"
+#include "paris/ontology/ontology.h"
+#include "paris/ontology/snapshot.h"
+#include "paris/rdf/store.h"
+#include "paris/rdf/term.h"
+#include "paris/rdf/triple.h"
+#include "paris/storage/columnar_index.h"
+#include "paris/storage/snapshot.h"
+#include "paris/util/status.h"
+#include "paris/util/thread_pool.h"
 
 namespace paris {
 namespace {

@@ -2,13 +2,13 @@
 
 #include <unordered_set>
 
-#include "synth/derive.h"
-#include "synth/names.h"
-#include "synth/noise.h"
-#include "synth/profiles.h"
-#include "synth/world.h"
-#include "util/random.h"
-#include "util/string_util.h"
+#include "paris/synth/derive.h"
+#include "paris/synth/names.h"
+#include "paris/synth/noise.h"
+#include "paris/synth/profiles.h"
+#include "paris/synth/world.h"
+#include "paris/util/random.h"
+#include "paris/util/string_util.h"
 
 namespace paris::synth {
 namespace {

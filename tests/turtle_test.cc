@@ -1,7 +1,7 @@
 #include <gtest/gtest.h>
 
-#include "ontology/ontology.h"
-#include "rdf/turtle.h"
+#include "paris/ontology/ontology.h"
+#include "paris/rdf/turtle.h"
 
 namespace paris::rdf {
 namespace {

@@ -8,11 +8,11 @@
 #include <utility>
 #include <vector>
 
-#include "util/hash.h"
-#include "util/random.h"
-#include "util/status.h"
-#include "util/string_util.h"
-#include "util/thread_pool.h"
+#include "paris/util/hash.h"
+#include "paris/util/random.h"
+#include "paris/util/status.h"
+#include "paris/util/string_util.h"
+#include "paris/util/thread_pool.h"
 
 namespace paris::util {
 namespace {
