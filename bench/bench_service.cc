@@ -1,0 +1,267 @@
+// Service traffic generator: p50/p99 LOOKUP latency against an in-process
+// parisd daemon, measured twice — against an idle daemon, and again while
+// an alignment job is running on the worker thread — so the bench answers
+// the question the read path exists for: does serving stay fast while the
+// daemon computes?
+//
+// Emits the same JSON shape as bench_parallel (hardware_threads + phases),
+// so scripts/check_bench_regression.py gates it against BENCH_service.json
+// with no changes. The per-request percentiles (microseconds-scale) sit
+// below the gate's noise floor and ride along as documentation; the gated
+// signal is the total wall time each phase spends answering its fixed
+// request quota.
+//
+//   bench_service [OUTPUT.json]    (default: stdout)
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "paris/api/dataset.h"
+#include "paris/service/daemon.h"
+#include "paris/service/protocol.h"
+#include "paris/util/logging.h"
+#include "paris/util/net.h"
+#include "paris/util/status.h"
+
+namespace paris::bench {
+namespace {
+
+struct PhaseTime {
+  std::string phase;
+  size_t threads;
+  double seconds;
+};
+
+void Emit(std::FILE* out, const std::vector<PhaseTime>& phases,
+          size_t hardware, size_t clients, size_t requests) {
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"bench\": \"bench_service\",\n");
+  std::fprintf(out, "  \"hardware_threads\": %zu,\n", hardware);
+  std::fprintf(out,
+               "  \"workload\": {\"clients\": %zu, "
+               "\"requests_per_client\": %zu},\n",
+               clients, requests);
+  std::fprintf(out, "  \"phases\": [\n");
+  for (size_t i = 0; i < phases.size(); ++i) {
+    std::fprintf(out,
+                 "    {\"phase\": \"%s\", \"threads\": %zu, "
+                 "\"seconds\": %.6f}%s\n",
+                 phases[i].phase.c_str(), phases[i].threads,
+                 phases[i].seconds, i + 1 < phases.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+}
+
+double Percentile(std::vector<double>& sorted_seconds, double p) {
+  if (sorted_seconds.empty()) return 0.0;
+  const size_t index = std::min(
+      sorted_seconds.size() - 1,
+      static_cast<size_t>(p * static_cast<double>(sorted_seconds.size())));
+  return sorted_seconds[index];
+}
+
+// One synchronous request/reply exchange; dies loudly on transport errors
+// so a broken daemon can't produce fake numbers.
+std::string Call(util::SocketConn& conn, const std::string& request) {
+  util::Status status =
+      service::WriteFrame(conn, request, service::kDefaultMaxFrameBytes);
+  if (!status.ok()) {
+    std::fprintf(stderr, "send failed: %s\n", status.ToString().c_str());
+    std::exit(1);
+  }
+  std::string reply;
+  auto more =
+      service::ReadFrame(conn, &reply, service::kDefaultMaxFrameBytes);
+  if (!more.ok() || !*more) {
+    std::fprintf(stderr, "recv failed: %s\n",
+                 more.ok() ? "connection closed" : more.status().ToString().c_str());
+    std::exit(1);
+  }
+  return reply;
+}
+
+std::string SubmitJob(util::SocketConn& conn, const std::string& overrides) {
+  const std::string reply = Call(conn, "SUBMIT " + overrides);
+  if (reply.rfind("OK ", 0) != 0) {
+    std::fprintf(stderr, "SUBMIT failed: %s\n", reply.c_str());
+    std::exit(1);
+  }
+  return reply.substr(3);
+}
+
+void AwaitJobState(util::SocketConn& conn, const std::string& id,
+                   const std::string& state) {
+  for (int i = 0; i < 6000; ++i) {
+    const std::string reply = Call(conn, "STATUS " + id);
+    if (reply.find(" state=" + state + " ") != std::string::npos ||
+        reply.find(" state=" + state + "\n") != std::string::npos) {
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  std::fprintf(stderr, "job %s never reached state %s\n", id.c_str(),
+               state.c_str());
+  std::exit(1);
+}
+
+// The hot-key mix every client cycles through: entities, a relation, and a
+// class — the three LOOKUP kinds, all present in any restaurant pair.
+std::vector<std::string> RequestMix() {
+  std::vector<std::string> requests;
+  for (int i = 0; i < 10; ++i) {
+    requests.push_back("LOOKUP entity left r1:address_" + std::to_string(i));
+  }
+  requests.push_back("LOOKUP relation left r1:category");
+  requests.push_back("LOOKUP class left r1:Restaurant");
+  return requests;
+}
+
+// Runs `clients` threads, each with its own connection, each issuing
+// `requests` lookups; returns every per-request latency (seconds).
+std::vector<double> DriveTraffic(int port, size_t clients, size_t requests) {
+  const std::vector<std::string> mix = RequestMix();
+  std::vector<std::vector<double>> latencies(clients);
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      auto conn =
+          util::SocketConn::Connect("127.0.0.1", static_cast<uint16_t>(port));
+      if (!conn.ok()) {
+        std::fprintf(stderr, "connect failed: %s\n",
+                     conn.status().ToString().c_str());
+        std::exit(1);
+      }
+      latencies[c].reserve(requests);
+      for (size_t i = 0; i < requests; ++i) {
+        const std::string& request = mix[(c + i) % mix.size()];
+        const auto start = std::chrono::steady_clock::now();
+        const std::string reply = Call(*conn, request);
+        latencies[c].push_back(
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start)
+                .count());
+        if (reply.rfind("OK ", 0) != 0) {
+          std::fprintf(stderr, "lookup failed: %s\n", reply.c_str());
+          std::exit(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  std::vector<double> all;
+  for (auto& per_client : latencies) {
+    all.insert(all.end(), per_client.begin(), per_client.end());
+  }
+  return all;
+}
+
+int Main(int argc, char** argv) {
+  util::SetLogLevel(util::LogLevel::kWarning);
+
+  const size_t clients = 4;
+  const size_t requests = 5000;
+
+  const std::string work =
+      (std::filesystem::temp_directory_path() / "bench_service").string();
+  std::filesystem::remove_all(work);
+  std::filesystem::create_directories(work);
+
+  api::DatasetSpec spec;
+  spec.profile = "restaurant";
+  spec.output_prefix = work + "/rest";
+  // Large enough that the concurrent-phase job outlives the measurement
+  // window (an exact-fixpoint stop ends a small pair's run in tens of
+  // milliseconds, before any traffic lands).
+  spec.scale = 16.0;
+  auto dataset = api::GenerateDataset(spec);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "generate failed: %s\n",
+                 dataset.status().ToString().c_str());
+    return 1;
+  }
+
+  service::Daemon::Config config;
+  config.num_handlers = clients;
+  config.queue.data_dir = work + "/data";
+  config.queue.left_path = dataset->left_path;
+  config.queue.right_path = dataset->right_path;
+  config.queue.base_options.config.max_iterations = 3;
+  config.queue.base_options.config.convergence_threshold = 0.0;
+  service::Daemon daemon(config);
+  util::Status status = daemon.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "daemon start failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+
+  auto control =
+      util::SocketConn::Connect("127.0.0.1",
+                                static_cast<uint16_t>(daemon.port()));
+  if (!control.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n",
+                 control.status().ToString().c_str());
+    return 1;
+  }
+
+  // First job: produce the snapshot every lookup will be served from.
+  AwaitJobState(*control, SubmitJob(*control, "max-iterations=3"), "done");
+
+  std::vector<PhaseTime> phases;
+  const auto measure = [&](const std::string& label) {
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<double> latencies = DriveTraffic(daemon.port(), clients,
+                                                 requests);
+    const double total =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    std::sort(latencies.begin(), latencies.end());
+    phases.push_back({label + "_total", clients, total});
+    phases.push_back({label + "_p50", clients, Percentile(latencies, 0.50)});
+    phases.push_back({label + "_p99", clients, Percentile(latencies, 0.99)});
+  };
+
+  // Phase 1: the daemon is idle apart from the traffic.
+  measure("lookup_idle");
+
+  // Phase 2: the same traffic while the worker thread aligns. The iteration
+  // cap keeps the job alive past the measurement window on any machine;
+  // it is cancelled as soon as the traffic is done.
+  const std::string concurrent = SubmitJob(*control, "max-iterations=500");
+  AwaitJobState(*control, concurrent, "running");
+  measure("lookup_during_job");
+  // On a fast machine the fixpoint can lock before the traffic drains, so
+  // the job may already be done; either terminal state is fine.
+  const std::string cancel_reply = Call(*control, "CANCEL " + concurrent);
+  if (cancel_reply.rfind("OK ", 0) == 0) {
+    AwaitJobState(*control, concurrent, "cancelled");
+  }
+
+  daemon.Stop();
+  std::filesystem::remove_all(work);
+
+  std::FILE* out = stdout;
+  if (argc > 1) {
+    out = std::fopen(argv[1], "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+  }
+  Emit(out, phases, std::thread::hardware_concurrency(), clients, requests);
+  if (out != stdout) std::fclose(out);
+  return 0;
+}
+
+}  // namespace
+}  // namespace paris::bench
+
+int main(int argc, char** argv) { return paris::bench::Main(argc, argv); }

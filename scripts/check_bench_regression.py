@@ -91,7 +91,10 @@ def main() -> int:
         kept = [b for b in baselines if b.get("hardware_threads") != cur_threads]
         kept.append(current)
         kept.sort(key=lambda b: b.get("hardware_threads") or 0)
-        merged = {"bench": "bench_parallel", "baselines": kept}
+        bench_name = baseline_doc.get("bench") or current.get(
+            "bench", "bench_parallel"
+        )
+        merged = {"bench": bench_name, "baselines": kept}
         with open(args.baseline, "w") as f:
             json.dump(merged, f, indent=2)
             f.write("\n")

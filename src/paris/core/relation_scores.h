@@ -94,6 +94,18 @@ class RelationScores {
     return left_sub_right_.size() + right_sub_left_.size();
   }
 
+  // ZigZag so signed relation ids pack into 32 bits. Public because the
+  // result-snapshot columns store PackPair(Encode(sub), Encode(super)) keys
+  // and zero-copy readers (core::ResultReader) range-scan them in place.
+  static uint32_t Encode(rdf::RelId r) {
+    return r < 0 ? static_cast<uint32_t>(-r) * 2 - 1
+                 : static_cast<uint32_t>(r) * 2;
+  }
+  static rdf::RelId Decode(uint32_t v) {
+    return (v & 1) != 0 ? -static_cast<rdf::RelId>((v + 1) / 2)
+                        : static_cast<rdf::RelId>(v / 2);
+  }
+
   // Appends to `out` the positive base id of every left-ontology relation
   // that participates in an entry (in either table, either argument
   // position) whose score differs between `*this` and `other` — added,
@@ -114,16 +126,6 @@ class RelationScores {
       size_t num_right_relations);
 
   using Table = std::unordered_map<uint64_t, double, util::PackedPairHash>;
-
-  // ZigZag so signed relation ids pack into 32 bits.
-  static uint32_t Encode(rdf::RelId r) {
-    return r < 0 ? static_cast<uint32_t>(-r) * 2 - 1
-                 : static_cast<uint32_t>(r) * 2;
-  }
-  static rdf::RelId Decode(uint32_t v) {
-    return (v & 1) != 0 ? -static_cast<rdf::RelId>((v + 1) / 2)
-                        : static_cast<rdf::RelId>(v / 2);
-  }
 
   double Lookup(const Table& table, rdf::RelId sub, rdf::RelId super) const {
     // Canonicalize: Pr(r ⊆ r') = Pr(r⁻¹ ⊆ r'⁻¹).

@@ -1,0 +1,149 @@
+#ifndef PARIS_CORE_RESULT_READER_H_
+#define PARIS_CORE_RESULT_READER_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "paris/core/relation_scores.h"
+#include "paris/rdf/term.h"
+#include "paris/rdf/triple.h"
+#include "paris/storage/column.h"
+#include "paris/storage/snapshot.h"
+#include "paris/util/status.h"
+
+namespace paris::core {
+
+// Read-only, query-oriented view of a result snapshot file — the serving
+// counterpart of LoadAlignmentResult. Where the loader materializes an
+// AlignmentResult (hash maps, owned vectors) for resuming the fixpoint,
+// this reader keeps the file's sorted columns as-is and answers point
+// lookups with binary searches over them. In mmap mode (the default via
+// kAuto) the equivalence/score columns alias the mapping — loading costs
+// one checksum pass and O(small) owned indexes, N readers of the same file
+// share one page cache, and no query allocates from the columns.
+//
+// Unlike the loader, opening needs no ontologies or config: the run-key
+// section is carried as opaque metadata (fingerprint + matcher) for the
+// caller to match against its own pair if it wants coherent term ids.
+// Structural validation still happens (checksum, section shapes, sorted
+// keys); a file that fails it is rejected with kDataLoss exactly like the
+// loader would.
+//
+// Thread-safety: const lookups are safe from any number of threads.
+class ResultReader {
+ public:
+  // One candidate counterpart with its equivalence probability / score.
+  struct EntityMatch {
+    rdf::TermId other = rdf::kNullTerm;
+    double prob = 0.0;
+  };
+  struct RelationMatch {
+    rdf::RelId super = rdf::kNullRel;
+    double score = 0.0;
+  };
+  struct ClassMatch {
+    rdf::TermId super = rdf::kNullTerm;
+    double score = 0.0;
+  };
+
+  // Run metadata for STATUS/RESULT-style reporting.
+  struct Stats {
+    uint64_t pair_fingerprint = 0;
+    std::string matcher;
+    size_t num_iterations = 0;
+    int converged_at = -1;
+    double seconds_total = 0.0;
+    uint64_t num_left_aligned = 0;   // of the last completed iteration
+    size_t num_instance_keys = 0;    // left entities with >= 1 candidate
+    size_t num_instance_pairs = 0;   // total stored candidates
+    size_t num_relation_entries = 0;  // both directions
+    size_t num_class_entries = 0;    // both directions
+    bool relation_bootstrap = false;
+    double theta = 0.0;
+    bool has_partial = false;  // mid-iteration checkpoint, not a final result
+  };
+
+  // Opens `path`, verifying checksum and structure. kAuto maps when
+  // possible; kStream copies the columns into owned memory (same queries,
+  // no page-cache sharing).
+  static util::StatusOr<ResultReader> Open(
+      const std::string& path,
+      storage::SnapshotLoadMode mode = storage::SnapshotLoadMode::kAuto);
+
+  ResultReader(ResultReader&&) noexcept = default;
+  ResultReader& operator=(ResultReader&&) noexcept = default;
+
+  const Stats& stats() const { return stats_; }
+
+  // Candidates for a left-ontology entity, sorted by descending prob (ties
+  // ascending id) — the first element is the maximal assignment. Empty when
+  // the entity has no stored candidate. Zero-copy: parallel spans into the
+  // candidate columns.
+  struct EntityCandidates {
+    std::span<const rdf::TermId> others;
+    std::span<const double> probs;
+    size_t size() const { return others.size(); }
+    bool empty() const { return others.empty(); }
+  };
+  EntityCandidates LeftEntity(rdf::TermId left) const;
+
+  // Counterparts of a right-ontology entity, best first. Served from a
+  // small owned transpose index (the file only stores left-to-right).
+  std::vector<EntityMatch> RightEntity(rdf::TermId right) const;
+
+  // Stored super-relations of `sub` (signed ids allowed; canonicalized via
+  // Pr(r subOf r') = Pr(r-1 subOf r'-1)), sorted by descending score. When
+  // the table is in bootstrap state every unstored pair also scores
+  // theta (stats().theta); only stored priors are returned here.
+  std::vector<RelationMatch> RelationSupers(rdf::RelId sub,
+                                            bool sub_is_left) const;
+
+  // Stored super-classes of `sub`, sorted by descending score.
+  std::vector<ClassMatch> ClassSupers(rdf::TermId sub, bool sub_is_left) const;
+
+ private:
+  ResultReader() = default;
+
+  util::Status LoadSections(storage::SnapshotReader& reader);
+  void BuildIndexes();
+
+  // Instance equivalences: CSR over sorted left keys.
+  storage::Column<rdf::TermId> inst_keys_;
+  storage::Column<uint64_t> inst_offsets_;
+  storage::Column<rdf::TermId> inst_others_;
+  storage::Column<double> inst_probs_;
+
+  // Relation scores: sorted PackPair(Encode(sub), Encode(super)) keys.
+  storage::Column<uint64_t> rel_left_keys_;
+  storage::Column<double> rel_left_values_;
+  storage::Column<uint64_t> rel_right_keys_;
+  storage::Column<double> rel_right_values_;
+
+  // Class scores: parallel entry columns (not globally sorted in-file).
+  storage::Column<rdf::TermId> class_subs_;
+  storage::Column<rdf::TermId> class_supers_;
+  storage::Column<double> class_values_;
+  storage::Column<uint8_t> class_sides_;
+
+  // Owned indexes built at open: the right-to-left transpose, sorted by
+  // (right, desc prob, left); and class entry positions sorted by
+  // (side, sub, desc score, super).
+  struct TransposeEntry {
+    rdf::TermId right;
+    rdf::TermId left;
+    double prob;
+  };
+  std::vector<TransposeEntry> right_index_;
+  std::vector<uint32_t> class_index_;
+
+  Stats stats_;
+  // Pins the mmap'ed file for the life of the column views.
+  std::shared_ptr<const void> mapping_;
+};
+
+}  // namespace paris::core
+
+#endif  // PARIS_CORE_RESULT_READER_H_

@@ -1,0 +1,545 @@
+#include "paris/service/job_queue.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "paris/util/flags.h"
+#include "paris/util/fs.h"
+#include "paris/util/logging.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define PARIS_HAS_POSIX_DIRS 1
+#include <dirent.h>
+#include <sys/stat.h>
+#endif
+
+namespace paris::service {
+
+namespace {
+
+// Slow WATCH clients see a seq gap instead of stalling the run.
+constexpr size_t kMaxEventsPerJob = 1024;
+
+util::Status EnsureDir(const std::string& path) {
+#if PARIS_HAS_POSIX_DIRS
+  if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST) {
+    return util::OkStatus();
+  }
+  return util::InternalError("mkdir failed for '" + path +
+                             "': " + std::strerror(errno));
+#else
+  (void)path;
+  return util::UnimplementedError("job directories require POSIX");
+#endif
+}
+
+bool FileExists(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return in.good();
+}
+
+bool ParseBoolValue(const std::string& value, bool* out) {
+  if (value == "1" || value == "true") {
+    *out = true;
+    return true;
+  }
+  if (value == "0" || value == "false") {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+const char* JobQueue::JobStateName(JobState state) {
+  switch (state) {
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kDone:
+      return "done";
+    case JobState::kFailed:
+      return "failed";
+    case JobState::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+JobQueue::JobQueue(Config config) : config_(std::move(config)) {}
+
+JobQueue::~JobQueue() { Stop(); }
+
+std::string JobQueue::RenderSpec(const JobSpec& spec) {
+  std::string out;
+  for (const auto& [key, value] : spec.overrides) {
+    if (!out.empty()) out += " ";
+    out += key + "=" + value;
+  }
+  return out;
+}
+
+util::StatusOr<api::Session::Options> JobQueue::ResolveOptions(
+    const JobSpec& spec) const {
+  api::Session::Options options = config_.base_options;
+  for (const auto& [key, value] : spec.overrides) {
+    const auto bad = [&](const std::string& expected) {
+      return util::InvalidArgumentError("bad value for job option '" + key +
+                                        "': '" + value + "' (expected " +
+                                        expected + ")");
+    };
+    long long n = 0;
+    double d = 0.0;
+    bool b = false;
+    if (key == "threads") {
+      if (!util::ParseFullInt64(value, &n) || n < 0) {
+        return bad("a non-negative integer");
+      }
+      options.set_threads(static_cast<size_t>(n));
+    } else if (key == "max-iterations") {
+      if (!util::ParseFullInt64(value, &n) || n < 1) {
+        return bad("a positive integer");
+      }
+      options.set_max_iterations(static_cast<int>(n));
+    } else if (key == "matcher") {
+      if (value.empty()) return bad("a matcher name");
+      options.set_matcher(value);
+    } else if (key == "theta") {
+      if (!util::ParseFullDouble(value, &d) || d < 0.0 || d > 1.0) {
+        return bad("a number in [0, 1]");
+      }
+      options.set_theta(d);
+    } else if (key == "shards") {
+      if (!util::ParseFullInt64(value, &n) || n < 0) {
+        return bad("a non-negative integer");
+      }
+      options.config.num_shards = static_cast<size_t>(n);
+    } else if (key == "negative-evidence") {
+      if (!ParseBoolValue(value, &b)) return bad("0|1|true|false");
+      options.set_negative_evidence(b);
+    } else if (key == "name-prior") {
+      if (!ParseBoolValue(value, &b)) return bad("0|1|true|false");
+      options.set_name_prior(b);
+    } else {
+      return util::InvalidArgumentError(
+          "unknown job option '" + key +
+          "' (accepted: threads, max-iterations, matcher, theta, shards, "
+          "negative-evidence, name-prior)");
+    }
+  }
+  return options;
+}
+
+void JobQueue::PushEventLocked(Job& job, std::string text) {
+  job.events.push_back(Event{job.next_seq++, std::move(text)});
+  if (job.events.size() > kMaxEventsPerJob) job.events.pop_front();
+  cv_.notify_all();
+}
+
+void JobQueue::PersistLocked(const Job& job) {
+  std::string meta = "state " + std::string(JobStateName(job.state)) + "\n";
+  meta += "spec " + RenderSpec(job.spec) + "\n";
+  if (!job.error.empty()) meta += "error " + job.error + "\n";
+  const util::Status status =
+      util::WriteFileAtomic(job.dir + "/job.meta", meta);
+  if (!status.ok()) {
+    PARIS_LOG(kWarning) << "failed to persist " << job.id << " meta: "
+                        << status.ToString();
+  }
+}
+
+util::StatusOr<std::vector<std::string>> JobQueue::Start(bool auto_resume) {
+  std::vector<std::string> requeued;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (started_) {
+      return util::FailedPreconditionError("job queue already started");
+    }
+    util::Status status = EnsureDir(config_.data_dir);
+    if (status.ok()) status = EnsureDir(config_.data_dir + "/jobs");
+    if (!status.ok()) return status;
+    if (auto_resume) {
+      status = RecoverLocked(&requeued);
+      if (!status.ok()) return status;
+    }
+    started_ = true;
+  }
+  worker_ = std::thread([this] { WorkerLoop(); });
+  return requeued;
+}
+
+util::Status JobQueue::RecoverLocked(std::vector<std::string>* requeued) {
+#if PARIS_HAS_POSIX_DIRS
+  const std::string jobs_dir = config_.data_dir + "/jobs";
+  DIR* dir = ::opendir(jobs_dir.c_str());
+  if (dir == nullptr) return util::OkStatus();  // nothing to recover
+  std::vector<std::string> ids;
+  while (dirent* entry = ::readdir(dir)) {
+    const std::string name = entry->d_name;
+    if (name.rfind("job-", 0) == 0) ids.push_back(name);
+  }
+  ::closedir(dir);
+  std::sort(ids.begin(), ids.end());
+
+  for (const std::string& id : ids) {
+    const std::string job_dir = jobs_dir + "/" + id;
+    std::ifstream meta(job_dir + "/job.meta");
+    if (!meta.good()) {
+      PARIS_LOG(kWarning) << "skipping " << id << ": unreadable job.meta";
+      continue;
+    }
+    auto job = std::make_unique<Job>();
+    job->id = id;
+    job->dir = job_dir;
+    std::string persisted_state;
+    std::string line;
+    while (std::getline(meta, line)) {
+      if (line.rfind("state ", 0) == 0) {
+        persisted_state = line.substr(6);
+      } else if (line.rfind("spec ", 0) == 0) {
+        std::istringstream spec_in(line.substr(5));
+        std::string pair;
+        while (spec_in >> pair) {
+          const size_t eq = pair.find('=');
+          if (eq != std::string::npos) {
+            job->spec.overrides.emplace_back(pair.substr(0, eq),
+                                             pair.substr(eq + 1));
+          }
+        }
+      } else if (line.rfind("error ", 0) == 0) {
+        job->error = line.substr(6);
+      }
+    }
+    // Track the numbering past every recovered id ("job-" + 6 digits).
+    long long number = 0;
+    if (util::ParseFullInt64(id.substr(4), &number) &&
+        static_cast<uint64_t>(number) >= next_job_number_) {
+      next_job_number_ = static_cast<uint64_t>(number) + 1;
+    }
+
+    if (persisted_state == "queued" || persisted_state == "running") {
+      // The daemon died (or was stopped) with this job in flight; its
+      // checkpoints under ckpt/ let the rerun resume mid-iteration.
+      job->state = JobState::kQueued;
+      job->cancellation = std::make_shared<api::CancellationToken>();
+      PersistLocked(*job);
+      pending_.push_back(id);
+      requeued->push_back(id);
+    } else if (persisted_state == "done") {
+      job->state = JobState::kDone;
+      if (!FileExists(job_dir + "/result.snapshot")) {
+        job->state = JobState::kFailed;
+        job->error = "result.snapshot missing after restart";
+      }
+    } else if (persisted_state == "failed") {
+      job->state = JobState::kFailed;
+    } else if (persisted_state == "cancelled") {
+      job->state = JobState::kCancelled;
+    } else {
+      PARIS_LOG(kWarning) << "skipping " << id << ": unknown state '"
+                          << persisted_state << "'";
+      continue;
+    }
+    jobs_[id] = std::move(job);
+  }
+  return util::OkStatus();
+#else
+  (void)requeued;
+  return util::OkStatus();
+#endif
+}
+
+void JobQueue::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      // Already stopping; fall through to the join below.
+    }
+    stopping_ = true;
+    if (!running_id_.empty()) {
+      auto it = jobs_.find(running_id_);
+      if (it != jobs_.end()) {
+        it->second->interrupted_by_stop = true;
+        if (it->second->cancellation) it->second->cancellation->Cancel();
+      }
+    }
+    cv_.notify_all();
+  }
+  if (worker_.joinable()) worker_.join();
+}
+
+util::StatusOr<std::string> JobQueue::Submit(const JobSpec& spec) {
+  auto options = ResolveOptions(spec);
+  if (!options.ok()) return options.status();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopping_ || !started_) {
+    return util::FailedPreconditionError("job queue is not accepting jobs");
+  }
+  char id_buf[32];
+  std::snprintf(id_buf, sizeof(id_buf), "job-%06llu",
+                static_cast<unsigned long long>(next_job_number_++));
+  auto job = std::make_unique<Job>();
+  job->id = id_buf;
+  job->dir = config_.data_dir + "/jobs/" + job->id;
+  job->spec = spec;
+  job->cancellation = std::make_shared<api::CancellationToken>();
+  const util::Status dir_status = EnsureDir(job->dir);
+  if (!dir_status.ok()) return dir_status;
+  PersistLocked(*job);  // durable before the ack: a crash now still knows it
+  PushEventLocked(*job, "EVT " + job->id + " state queued");
+  const std::string id = job->id;
+  jobs_[id] = std::move(job);
+  pending_.push_back(id);
+  ++jobs_submitted_;
+  cv_.notify_all();
+  return id;
+}
+
+JobQueue::JobStatus JobQueue::StatusOfLocked(const Job& job) const {
+  JobStatus out;
+  out.id = job.id;
+  out.state = job.state;
+  out.error = job.error;
+  out.iteration = job.iteration;
+  out.num_aligned = job.num_aligned;
+  out.pass = job.pass;
+  out.shards_completed = job.shards_completed;
+  out.num_shards = job.num_shards;
+  if (job.state == JobState::kDone) {
+    out.result_path = job.dir + "/result.snapshot";
+  }
+  out.spec = RenderSpec(job.spec);
+  return out;
+}
+
+util::StatusOr<JobQueue::JobStatus> JobQueue::Status(
+    const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return util::NotFoundError("no such job: " + id);
+  }
+  return StatusOfLocked(*it->second);
+}
+
+std::vector<JobQueue::JobStatus> JobQueue::List() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<JobStatus> out;
+  out.reserve(jobs_.size());
+  for (const auto& [id, job] : jobs_) out.push_back(StatusOfLocked(*job));
+  return out;
+}
+
+util::Status JobQueue::Cancel(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return util::NotFoundError("no such job: " + id);
+  Job& job = *it->second;
+  switch (job.state) {
+    case JobState::kQueued: {
+      job.state = JobState::kCancelled;
+      pending_.erase(std::remove(pending_.begin(), pending_.end(), id),
+                     pending_.end());
+      PersistLocked(job);
+      PushEventLocked(job, "EVT " + id + " state cancelled");
+      ++jobs_completed_;
+      return util::OkStatus();
+    }
+    case JobState::kRunning:
+      job.cancellation->Cancel();  // honored at the next shard boundary
+      return util::OkStatus();
+    case JobState::kDone:
+    case JobState::kFailed:
+    case JobState::kCancelled:
+      return util::FailedPreconditionError(
+          id + " is already " + JobStateName(job.state));
+  }
+  return util::InternalError("unreachable");
+}
+
+util::StatusOr<std::vector<JobQueue::Event>> JobQueue::WaitEvents(
+    const std::string& id, uint64_t from, bool* terminal, JobState* state,
+    double timeout_seconds) const {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timeout_seconds));
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    auto it = jobs_.find(id);
+    if (it == jobs_.end()) return util::NotFoundError("no such job: " + id);
+    const Job& job = *it->second;
+    std::vector<Event> out;
+    for (const Event& event : job.events) {
+      if (event.seq >= from) out.push_back(event);
+    }
+    const bool is_terminal = job.state == JobState::kDone ||
+                             job.state == JobState::kFailed ||
+                             job.state == JobState::kCancelled;
+    if (!out.empty() || is_terminal) {
+      *terminal = is_terminal;
+      *state = job.state;
+      return out;
+    }
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+      *terminal = false;
+      *state = job.state;
+      return std::vector<Event>();
+    }
+  }
+}
+
+uint64_t JobQueue::jobs_submitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return jobs_submitted_;
+}
+
+uint64_t JobQueue::jobs_completed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return jobs_completed_;
+}
+
+void JobQueue::WorkerLoop() {
+  for (;;) {
+    std::string id;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !pending_.empty(); });
+      if (stopping_) return;
+      id = pending_.front();
+      pending_.pop_front();
+      running_id_ = id;
+    }
+    RunJob(id);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      running_id_.clear();
+    }
+  }
+}
+
+void JobQueue::RunJob(const std::string& id) {
+  std::shared_ptr<api::CancellationToken> cancellation;
+  JobSpec spec;
+  std::string job_dir;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end()) return;
+    Job& job = *it->second;
+    if (job.state != JobState::kQueued) return;  // cancelled while pending
+    job.state = JobState::kRunning;
+    spec = job.spec;
+    job_dir = job.dir;
+    cancellation = job.cancellation;
+    PersistLocked(job);
+    PushEventLocked(job, "EVT " + id + " state running");
+  }
+
+  const auto finish = [&](JobState state, const std::string& error) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end()) return;
+    Job& job = *it->second;
+    if (state == JobState::kCancelled && job.interrupted_by_stop) {
+      // Graceful shutdown, not a user cancel: persist as queued so the
+      // next Start(auto_resume) requeues and resumes it.
+      job.state = JobState::kQueued;
+      PersistLocked(job);
+      return;
+    }
+    job.state = state;
+    job.error = error;
+    PersistLocked(job);
+    PushEventLocked(job, "EVT " + id + " state " +
+                             std::string(JobStateName(state)));
+    ++jobs_completed_;
+  };
+
+  auto options = ResolveOptions(spec);
+  if (!options.ok()) {  // validated at submit; a recovery could still trip
+    finish(JobState::kFailed, options.status().ToString());
+    return;
+  }
+  const util::Status ckpt_dir_status = EnsureDir(job_dir + "/ckpt");
+  if (!ckpt_dir_status.ok()) {
+    finish(JobState::kFailed, ckpt_dir_status.ToString());
+    return;
+  }
+  options->set_checkpointing(job_dir + "/ckpt",
+                             config_.checkpoint_interval_seconds);
+  options->set_auto_resume(true);
+
+  api::Session session(std::move(options).value());
+  util::Status status =
+      config_.snapshot_path.empty()
+          ? session.LoadFromFiles(config_.left_path, config_.right_path)
+          : session.LoadFromSnapshot(config_.snapshot_path);
+  if (!status.ok()) {
+    finish(JobState::kFailed, status.ToString());
+    return;
+  }
+
+  api::RunCallbacks callbacks;
+  callbacks.cancellation = cancellation;
+  callbacks.on_iteration = [&](const api::IterationProgress& progress) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end()) return;
+    Job& job = *it->second;
+    job.iteration = progress.iteration;
+    job.num_aligned = progress.num_aligned;
+    std::ostringstream text;
+    text << "EVT " << id << " iteration " << progress.iteration << "/"
+         << progress.max_iterations << " aligned=" << progress.num_aligned
+         << " change=" << progress.change_fraction;
+    PushEventLocked(job, text.str());
+  };
+  callbacks.on_shard = [&](const api::ShardProgress& progress) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end()) return;
+    Job& job = *it->second;
+    job.pass = progress.pass;
+    job.shards_completed = progress.num_completed;
+    job.num_shards = progress.num_shards;
+    std::ostringstream text;
+    text << "EVT " << id << " shard " << progress.pass << " "
+         << progress.iteration << " " << progress.num_completed << "/"
+         << progress.num_shards;
+    PushEventLocked(job, text.str());
+  };
+
+  status = session.Align(callbacks);
+  if (status.code() == util::StatusCode::kCancelled) {
+    finish(JobState::kCancelled, "");
+    return;
+  }
+  if (!status.ok()) {
+    finish(JobState::kFailed, status.ToString());
+    return;
+  }
+
+  const std::string result_path = job_dir + "/result.snapshot";
+  status = session.SaveResult(result_path);
+  if (status.ok()) status = session.Export(job_dir + "/export");
+  if (!status.ok()) {
+    finish(JobState::kFailed, status.ToString());
+    return;
+  }
+  // Serve before publishing: the read path refreshes first, so a client
+  // that just saw state=done (via STATUS or an END-terminated WATCH) can
+  // immediately LOOKUP against this job's result without racing the swap.
+  if (config_.on_result) config_.on_result(id, result_path);
+  finish(JobState::kDone, "");
+}
+
+}  // namespace paris::service

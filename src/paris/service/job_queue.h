@@ -1,0 +1,179 @@
+#ifndef PARIS_SERVICE_JOB_QUEUE_H_
+#define PARIS_SERVICE_JOB_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "paris/api/session.h"
+#include "paris/util/status.h"
+
+namespace paris::service {
+
+// The daemon's alignment job queue. One daemon serves one ontology pair
+// (fixed at startup, so the read path's term ids stay coherent across
+// jobs); a job is one alignment run over that pair with per-job config
+// overrides, executed on a single worker thread in submission order —
+// inter-job parallelism would just thrash the pair's memory, the
+// intra-run parallelism is the Session's worker pool.
+//
+// Every job owns a directory `<data_dir>/jobs/<id>/`:
+//
+//   job.meta          state + spec, rewritten atomically on each transition
+//   ckpt/             the Session's crash-safe periodic checkpoints
+//   result.snapshot   the completed run's result (serve + resume format)
+//   export_*.tsv      the exported alignment tables
+//
+// Crash safety rides on PR 7's substrate: jobs run with checkpointing and
+// auto-resume on, so a SIGKILL'd daemon restarted with Recover() requeues
+// every job whose meta says queued/running and each resumes from its last
+// checkpoint, byte-identical to an uninterrupted run. A *graceful* Stop()
+// interrupts the running job cooperatively and re-persists it as queued —
+// same recovery path, no checkpoint discarded.
+class JobQueue {
+ public:
+  enum class JobState { kQueued, kRunning, kDone, kFailed, kCancelled };
+  static const char* JobStateName(JobState state);
+
+  // Config overrides in "key=value" form, validated at submit time.
+  // Accepted keys: threads, max-iterations, matcher, theta, shards,
+  // negative-evidence (0/1), name-prior (0/1).
+  struct JobSpec {
+    std::vector<std::pair<std::string, std::string>> overrides;
+  };
+
+  struct JobStatus {
+    std::string id;
+    JobState state = JobState::kQueued;
+    std::string error;             // kFailed only
+    int iteration = 0;             // last completed iteration
+    size_t num_aligned = 0;
+    std::string pass;              // pass of the last shard event
+    size_t shards_completed = 0;   // of the current pass
+    size_t num_shards = 0;
+    std::string result_path;       // set once kDone
+    std::string spec;              // the overrides, re-rendered
+  };
+
+  // One progress event, pre-rendered as a protocol line ("EVT <id> ...").
+  // Events live in a bounded per-job ring, so a slow WATCH client can
+  // observe a sequence gap instead of stalling the run.
+  struct Event {
+    uint64_t seq = 0;
+    std::string text;
+  };
+
+  struct Config {
+    std::string data_dir;  // jobs live in <data_dir>/jobs/
+
+    // How each job loads the pair: an ontology snapshot, or two RDF files.
+    std::string snapshot_path;
+    std::string left_path, right_path;
+
+    // Base Session options every job starts from (threads, matcher, config
+    // knobs); per-job overrides are applied on top. Checkpointing and
+    // auto-resume are forced on by the queue, pointed at the job's dir.
+    api::Session::Options base_options;
+    double checkpoint_interval_seconds = 1.0;
+
+    // Called (from the worker thread) after a job completes with the path
+    // of its result snapshot — the daemon refreshes the read path here.
+    std::function<void(const std::string& job_id,
+                       const std::string& result_path)>
+        on_result;
+  };
+
+  explicit JobQueue(Config config);
+  ~JobQueue();
+
+  JobQueue(const JobQueue&) = delete;
+  JobQueue& operator=(const JobQueue&) = delete;
+
+  // Starts the worker thread. When `auto_resume` is set, first scans the
+  // jobs directory and requeues every job persisted as queued or running
+  // (in id order); their checkpoints make the rerun resume where the dead
+  // daemon left off. Returns the requeued job ids.
+  util::StatusOr<std::vector<std::string>> Start(bool auto_resume);
+
+  // Graceful shutdown: interrupts the running job (re-persisted as queued,
+  // resumable), stops the worker. Idempotent.
+  void Stop();
+
+  util::StatusOr<std::string> Submit(const JobSpec& spec);
+  util::StatusOr<JobStatus> Status(const std::string& id) const;
+  std::vector<JobStatus> List() const;
+  // Queued jobs cancel immediately; the running job is cancelled
+  // cooperatively (shard granularity). Terminal jobs: FailedPrecondition.
+  util::Status Cancel(const std::string& id);
+
+  // WATCH support: blocks until the job has events with seq >= `from`, or
+  // reaches a terminal state (sets `*terminal` + `*state`), or
+  // `timeout_seconds` elapses (returns empty). NotFound for unknown ids.
+  util::StatusOr<std::vector<Event>> WaitEvents(const std::string& id,
+                                                uint64_t from, bool* terminal,
+                                                JobState* state,
+                                                double timeout_seconds) const;
+
+  // Totals for service metrics.
+  uint64_t jobs_submitted() const;
+  uint64_t jobs_completed() const;
+
+ private:
+  struct Job {
+    std::string id;
+    std::string dir;
+    JobSpec spec;
+    JobState state = JobState::kQueued;
+    std::string error;
+    // Progress, updated by run callbacks (worker / pool threads) under mu_.
+    int iteration = 0;
+    size_t num_aligned = 0;
+    std::string pass;
+    size_t shards_completed = 0;
+    size_t num_shards = 0;
+    // Bounded event ring. next_seq - events.size() = seq of events.front().
+    std::deque<Event> events;
+    uint64_t next_seq = 0;
+    std::shared_ptr<api::CancellationToken> cancellation;
+    bool interrupted_by_stop = false;
+  };
+
+  static std::string RenderSpec(const JobSpec& spec);
+  // Applies `spec` onto a copy of the base options; InvalidArgument on an
+  // unknown key or malformed value.
+  util::StatusOr<api::Session::Options> ResolveOptions(
+      const JobSpec& spec) const;
+
+  void WorkerLoop();
+  void RunJob(const std::string& id);            // worker thread
+  void PushEventLocked(Job& job, std::string text);
+  void PersistLocked(const Job& job);            // writes job.meta atomically
+  util::Status RecoverLocked(std::vector<std::string>* requeued);
+  JobStatus StatusOfLocked(const Job& job) const;
+
+  const Config config_;
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  std::map<std::string, std::unique_ptr<Job>> jobs_;  // ordered by id
+  std::deque<std::string> pending_;
+  std::string running_id_;  // job currently inside RunJob, "" when idle
+  uint64_t next_job_number_ = 1;
+  uint64_t jobs_submitted_ = 0;
+  uint64_t jobs_completed_ = 0;
+  bool stopping_ = false;
+  bool started_ = false;
+  std::thread worker_;
+};
+
+}  // namespace paris::service
+
+#endif  // PARIS_SERVICE_JOB_QUEUE_H_

@@ -1,0 +1,119 @@
+#include "paris/service/protocol.h"
+
+#include <cctype>
+#include <cstring>
+
+#include "paris/util/status.h"
+
+namespace paris::service {
+
+namespace {
+
+uint32_t DecodeU32Le(const unsigned char* b) {
+  return static_cast<uint32_t>(b[0]) | (static_cast<uint32_t>(b[1]) << 8) |
+         (static_cast<uint32_t>(b[2]) << 16) |
+         (static_cast<uint32_t>(b[3]) << 24);
+}
+
+void EncodeU32Le(uint32_t v, unsigned char* b) {
+  b[0] = static_cast<unsigned char>(v);
+  b[1] = static_cast<unsigned char>(v >> 8);
+  b[2] = static_cast<unsigned char>(v >> 16);
+  b[3] = static_cast<unsigned char>(v >> 24);
+}
+
+}  // namespace
+
+util::Status WriteFrame(util::SocketConn& conn, std::string_view payload,
+                        size_t max_frame_bytes) {
+  if (payload.size() > max_frame_bytes) {
+    return util::InvalidArgumentError(
+        "frame payload of " + std::to_string(payload.size()) +
+        " bytes exceeds the " + std::to_string(max_frame_bytes) +
+        "-byte cap");
+  }
+  // One buffer, one send: a header-only first segment would otherwise ride
+  // a separate TCP packet per frame (and one extra syscall), and keeping
+  // each frame a single write is what lets TCP_NODELAY deliver it
+  // immediately.
+  std::string frame;
+  frame.reserve(sizeof(uint32_t) + payload.size());
+  unsigned char header[4];
+  EncodeU32Le(static_cast<uint32_t>(payload.size()), header);
+  frame.append(reinterpret_cast<const char*>(header), sizeof(header));
+  frame.append(payload);
+  return conn.SendAll(frame.data(), frame.size());
+}
+
+util::StatusOr<bool> ReadFrame(util::SocketConn& conn, std::string* payload,
+                               size_t max_frame_bytes) {
+  unsigned char header[4];
+  auto got_header = conn.RecvAll(header, sizeof(header));
+  if (!got_header.ok()) return got_header.status();
+  if (!*got_header) return false;  // clean EOF between frames
+  const uint32_t length = DecodeU32Le(header);
+  if (length > max_frame_bytes) {
+    return util::InvalidArgumentError(
+        "frame length prefix " + std::to_string(length) + " exceeds the " +
+        std::to_string(max_frame_bytes) + "-byte cap");
+  }
+  payload->resize(length);
+  if (length == 0) return true;
+  auto got_body = conn.RecvAll(payload->data(), length);
+  if (!got_body.ok()) return got_body.status();
+  if (!*got_body) {
+    return util::DataLossError("connection closed before frame payload");
+  }
+  return true;
+}
+
+std::vector<std::string> SplitTokens(std::string_view line,
+                                     size_t max_tokens) {
+  std::vector<std::string> tokens;
+  size_t i = 0;
+  const auto is_space = [](char c) {
+    return std::isspace(static_cast<unsigned char>(c)) != 0;
+  };
+  while (i < line.size()) {
+    while (i < line.size() && is_space(line[i])) ++i;
+    if (i >= line.size()) break;
+    if (max_tokens > 0 && tokens.size() + 1 == max_tokens) {
+      // Remainder token: everything left, right-trimmed.
+      size_t end = line.size();
+      while (end > i && is_space(line[end - 1])) --end;
+      tokens.emplace_back(line.substr(i, end - i));
+      break;
+    }
+    size_t start = i;
+    while (i < line.size() && !is_space(line[i])) ++i;
+    tokens.emplace_back(line.substr(start, i - start));
+  }
+  return tokens;
+}
+
+std::string ErrorReply(const util::Status& status) {
+  return "ERR " + std::string(util::StatusCodeName(status.code())) + " " +
+         status.message();
+}
+
+util::Status StatusFromReply(std::string_view payload) {
+  if (payload.rfind("ERR ", 0) != 0) return util::OkStatus();
+  std::string_view rest = payload.substr(4);
+  const size_t space = rest.find(' ');
+  const std::string_view code_name =
+      space == std::string_view::npos ? rest : rest.substr(0, space);
+  const std::string message =
+      space == std::string_view::npos ? std::string()
+                                      : std::string(rest.substr(space + 1));
+  for (int c = 0; c <= static_cast<int>(util::StatusCode::kDataLoss); ++c) {
+    const auto code = static_cast<util::StatusCode>(c);
+    if (util::StatusCodeName(code) == code_name &&
+        code != util::StatusCode::kOk) {
+      return util::Status(code, message);
+    }
+  }
+  return util::InternalError("unparseable error reply: " +
+                             std::string(payload));
+}
+
+}  // namespace paris::service

@@ -1,0 +1,55 @@
+#ifndef PARIS_SERVICE_PROTOCOL_H_
+#define PARIS_SERVICE_PROTOCOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "paris/util/net.h"
+#include "paris/util/status.h"
+
+namespace paris::service {
+
+// parisd wire protocol: length-prefixed frames carrying one-line text
+// messages (see src/paris/service/README.md for the full spec).
+//
+//   frame := u32 little-endian payload length | payload bytes
+//
+// A request is one frame; a response is one frame. Streaming responses
+// (WATCH) are a sequence of frames ending in an "END ..." payload. Frames
+// above the size cap are rejected before any allocation — an oversized
+// length prefix means a confused or malicious peer and fails the
+// connection (there is no way to resynchronize a byte stream after a bad
+// length). An EOF in the middle of a frame is kDataLoss; a clean EOF on a
+// frame boundary is the peer hanging up.
+
+inline constexpr size_t kDefaultMaxFrameBytes = 1 << 20;
+
+// Sends one frame.
+util::Status WriteFrame(util::SocketConn& conn, std::string_view payload,
+                        size_t max_frame_bytes = kDefaultMaxFrameBytes);
+
+// Receives one frame into `*payload`. Returns false on clean EOF before a
+// frame starts; kDataLoss when the stream ends mid-frame; kInvalidArgument
+// when the length prefix exceeds `max_frame_bytes`.
+util::StatusOr<bool> ReadFrame(util::SocketConn& conn, std::string* payload,
+                               size_t max_frame_bytes = kDefaultMaxFrameBytes);
+
+// Whitespace-tokenizes a request line. `max_tokens` > 0 stops splitting
+// after that many tokens, leaving the remainder (trimmed) as the last one —
+// how LOOKUP keeps spaces inside term names.
+std::vector<std::string> SplitTokens(std::string_view line,
+                                     size_t max_tokens = 0);
+
+// "ERR <STATUS_CODE> <message>" for a non-OK status.
+std::string ErrorReply(const util::Status& status);
+
+// Parses an "ERR ..." reply back into a Status (client side); returns OK
+// for any non-ERR payload.
+util::Status StatusFromReply(std::string_view payload);
+
+}  // namespace paris::service
+
+#endif  // PARIS_SERVICE_PROTOCOL_H_

@@ -1,0 +1,84 @@
+#include "paris/service/read_path.h"
+
+#include <utility>
+
+namespace paris::service {
+
+bool LookupCache::Get(const std::string& key, std::string* value) {
+  if (max_bytes_ == 0) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  *value = it->second->second;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void LookupCache::Put(const std::string& key, std::string value) {
+  const size_t entry_bytes = key.size() + value.size();
+  if (max_bytes_ == 0 || entry_bytes > max_bytes_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    bytes_ -= it->second->first.size() + it->second->second.size();
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  while (bytes_ + entry_bytes > max_bytes_ && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    bytes_ -= victim.first.size() + victim.second.size();
+    index_.erase(victim.first);
+    lru_.pop_back();
+  }
+  lru_.emplace_front(key, std::move(value));
+  index_[key] = lru_.begin();
+  bytes_ += entry_bytes;
+}
+
+void LookupCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  bytes_ = 0;
+}
+
+size_t LookupCache::bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+util::Status SnapshotServer::Refresh(const std::string& path) {
+  // Open (checksum pass + index build) outside the lock: lookups keep
+  // serving the old snapshot until the new one is ready.
+  auto reader = core::ResultReader::Open(path);
+  if (!reader.ok()) return reader.status();
+  auto shared =
+      std::make_shared<const core::ResultReader>(std::move(reader).value());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    reader_ = std::move(shared);
+    path_ = path;
+  }
+  cache_.Clear();
+  generation_.fetch_add(1, std::memory_order_acq_rel);
+  return util::OkStatus();
+}
+
+std::shared_ptr<const core::ResultReader> SnapshotServer::reader() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reader_;
+}
+
+std::string SnapshotServer::path() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return path_;
+}
+
+}  // namespace paris::service

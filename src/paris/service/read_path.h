@@ -1,0 +1,85 @@
+#ifndef PARIS_SERVICE_READ_PATH_H_
+#define PARIS_SERVICE_READ_PATH_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "paris/core/result_reader.h"
+#include "paris/util/status.h"
+
+namespace paris::service {
+
+// Bounded LRU cache of rendered lookup responses, keyed by the request
+// ("entity:left:42") and capped by total byte footprint (keys + values).
+// Sits in front of the mmap'd ResultReader so hot keys skip the binary
+// searches and the response formatting. Thread-safe; a zero byte budget
+// disables caching entirely.
+class LookupCache {
+ public:
+  explicit LookupCache(size_t max_bytes) : max_bytes_(max_bytes) {}
+
+  bool Get(const std::string& key, std::string* value);
+  void Put(const std::string& key, std::string value);
+  void Clear();
+
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  size_t bytes() const;
+
+ private:
+  using Entry = std::pair<std::string, std::string>;  // key, rendered value
+
+  const size_t max_bytes_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  size_t bytes_ = 0;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+};
+
+// The daemon's current result snapshot: one shared zero-copy ResultReader
+// that N connection handlers read concurrently (all lookups are const; the
+// mmap means they share one page cache), swapped atomically when a job
+// completes. Refresh() opens the new file *before* taking the swap lock, so
+// serving never stalls on snapshot IO; in-flight lookups keep their
+// shared_ptr to the old reader until they finish. Each successful refresh
+// bumps the generation and clears the hot-key cache (its entries described
+// the old snapshot).
+class SnapshotServer {
+ public:
+  explicit SnapshotServer(size_t cache_bytes) : cache_(cache_bytes) {}
+
+  // Opens `path` and makes it the served snapshot.
+  util::Status Refresh(const std::string& path);
+
+  // The current reader; null until the first successful Refresh.
+  std::shared_ptr<const core::ResultReader> reader() const;
+
+  // Source path of the served snapshot (empty before the first Refresh).
+  std::string path() const;
+
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+
+  LookupCache& cache() { return cache_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const core::ResultReader> reader_;
+  std::string path_;
+  std::atomic<uint64_t> generation_{0};
+  LookupCache cache_;
+};
+
+}  // namespace paris::service
+
+#endif  // PARIS_SERVICE_READ_PATH_H_

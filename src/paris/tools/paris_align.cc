@@ -161,8 +161,10 @@ int main(int argc, char** argv) {
   parser.AddString("--checkpoint-dir", &options.config.checkpoint_dir,
                    "directory for periodic background checkpoints (with "
                    "--checkpoint-interval)", "DIR");
-  parser.AddDouble("--checkpoint-interval", &options.config.checkpoint_interval,
-                   "seconds between background checkpoints (0 = off)");
+  parser.AddDuration("--checkpoint-interval",
+                     &options.config.checkpoint_interval,
+                     "time between background checkpoints, e.g. 500ms, 2s; "
+                     "bare numbers mean seconds (0 = off)");
   parser.AddBool("--auto-resume", &options.auto_resume,
                  "resume from the newest usable checkpoint in "
                  "--checkpoint-dir instead of starting cold");

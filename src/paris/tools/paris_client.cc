@@ -1,0 +1,164 @@
+// paris_client — command-line client for parisd.
+//
+//   paris_client --port P <command> [args]                (see --help)
+//
+// Commands:
+//   ping                            liveness check
+//   submit [key=value ...]          queue an alignment job, print its id
+//   status JOB                      one job's state and progress
+//   list                            all jobs
+//   cancel JOB                      cancel a queued or running job
+//   watch JOB [FROM]                stream progress events until the job ends
+//   lookup KIND SIDE KEY            query the served result snapshot
+//                                   (KIND: entity|relation|class,
+//                                    SIDE: left|right, KEY: IRI or #id)
+//   result                          served snapshot's generation and stats
+//   metrics                         service metrics as JSON
+//   trace                           per-request spans as Chrome trace JSON
+//   shutdown                        ask the daemon to exit gracefully
+//
+// Exit status 0 on OK replies, 1 on errors (the daemon's ERR line or the
+// transport failure goes to stderr).
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "paris/service/protocol.h"
+#include "paris/util/flags.h"
+#include "paris/util/net.h"
+
+namespace {
+
+int Fail(const paris::util::Status& status) {
+  std::fprintf(stderr, "paris_client: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+// Prints a reply payload: the "OK ..." head line goes to stdout as-is;
+// follow-on lines (lookup rows, job lists, JSON) are printed verbatim.
+int PrintReply(const std::string& payload) {
+  const paris::util::Status status = paris::service::StatusFromReply(payload);
+  if (!status.ok()) {
+    std::fprintf(stderr, "paris_client: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", payload.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  std::string port_file;
+  size_t max_frame = paris::service::kDefaultMaxFrameBytes;
+
+  paris::util::FlagParser parser("paris_client", "COMMAND [args]");
+  parser.AddString("--host", &host, "daemon address (default 127.0.0.1)",
+                   "ADDR");
+  parser.AddInt("--port", &port, "daemon port");
+  parser.AddString("--port-file", &port_file,
+                   "read the daemon port from PATH (parisd --port-file)",
+                   "PATH");
+  parser.AddSize("--max-frame-bytes", &max_frame,
+                 "largest accepted reply frame (default 1m)");
+
+  std::vector<std::string> args;
+  auto status = parser.Parse(argc, argv, &args);
+  if (!status.ok()) {
+    std::fprintf(stderr, "paris_client: %s\n%s\n", status.ToString().c_str(),
+                 parser.Usage().c_str());
+    return 1;
+  }
+  if (parser.help_requested() || args.empty()) {
+    std::printf("%s", parser.Help().c_str());
+    return parser.help_requested() ? 0 : 1;
+  }
+  if (!port_file.empty()) {
+    std::ifstream in(port_file);
+    long long parsed = 0;
+    std::string line;
+    if (!std::getline(in, line) ||
+        !paris::util::ParseFullInt64(line, &parsed) || parsed <= 0 ||
+        parsed > 65535) {
+      return Fail(paris::util::InvalidArgumentError(
+          "cannot read a port from '" + port_file + "'"));
+    }
+    port = static_cast<int>(parsed);
+  }
+  if (port <= 0 || port > 65535) {
+    return Fail(paris::util::InvalidArgumentError(
+        "--port (or --port-file) is required"));
+  }
+
+  // Map the subcommand onto one protocol request line.
+  const std::string& command = args[0];
+  std::string request;
+  bool streaming = false;
+  if (command == "ping") {
+    request = "PING";
+  } else if (command == "submit") {
+    request = "SUBMIT";
+    for (size_t i = 1; i < args.size(); ++i) request += " " + args[i];
+  } else if (command == "status" && args.size() == 2) {
+    request = "STATUS " + args[1];
+  } else if (command == "list") {
+    request = "LIST";
+  } else if (command == "cancel" && args.size() == 2) {
+    request = "CANCEL " + args[1];
+  } else if (command == "watch" && (args.size() == 2 || args.size() == 3)) {
+    request = "WATCH " + args[1];
+    if (args.size() == 3) request += " " + args[2];
+    streaming = true;
+  } else if (command == "lookup" && args.size() == 4) {
+    request = "LOOKUP " + args[1] + " " + args[2] + " " + args[3];
+  } else if (command == "result") {
+    request = "RESULT";
+  } else if (command == "metrics") {
+    request = "METRICS";
+  } else if (command == "trace") {
+    request = "TRACE";
+  } else if (command == "shutdown") {
+    request = "SHUTDOWN";
+  } else {
+    return Fail(paris::util::InvalidArgumentError(
+        "unknown command or wrong arguments: '" + command + "' (see --help)"));
+  }
+
+  auto conn = paris::util::SocketConn::Connect(
+      host, static_cast<uint16_t>(port));
+  if (!conn.ok()) return Fail(conn.status());
+  status = paris::service::WriteFrame(*conn, request, max_frame);
+  if (!status.ok()) return Fail(status);
+
+  std::string payload;
+  if (!streaming) {
+    auto got = paris::service::ReadFrame(*conn, &payload, max_frame);
+    if (!got.ok()) return Fail(got.status());
+    if (!*got) {
+      return Fail(paris::util::DataLossError(
+          "daemon closed the connection without replying"));
+    }
+    return PrintReply(payload);
+  }
+
+  // watch: one frame per event, then a terminal "END <state>" frame.
+  for (;;) {
+    auto got = paris::service::ReadFrame(*conn, &payload, max_frame);
+    if (!got.ok()) return Fail(got.status());
+    if (!*got) {
+      return Fail(paris::util::DataLossError(
+          "daemon closed the connection mid-stream"));
+    }
+    const paris::util::Status reply_status =
+        paris::service::StatusFromReply(payload);
+    if (!reply_status.ok()) return Fail(reply_status);
+    std::printf("%s\n", payload.c_str());
+    std::fflush(stdout);
+    if (payload.rfind("END ", 0) == 0) {
+      return payload == "END done" ? 0 : 1;
+    }
+  }
+}

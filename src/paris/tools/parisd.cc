@@ -1,0 +1,158 @@
+// parisd — alignment-as-a-service daemon.
+//
+//   parisd LEFT.nt RIGHT.nt --data-dir DIR [options]      (see --help)
+//
+// Serves one ontology pair over a framed TCP protocol (see
+// src/paris/service/README.md): clients submit alignment jobs, watch their
+// shard-granular progress, and run low-latency LOOKUP queries against the
+// latest completed result snapshot while jobs run. Jobs checkpoint
+// periodically; a SIGKILL'd daemon restarted with --auto-resume requeues
+// and resumes in-flight jobs from their last checkpoint.
+//
+// Exit status 0 on a clean shutdown (client SHUTDOWN request or
+// SIGINT/SIGTERM), 1 on startup errors.
+#include <csignal>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "paris/service/daemon.h"
+#include "paris/util/fault_injection.h"
+#include "paris/util/flags.h"
+#include "paris/util/fs.h"
+#include "paris/util/logging.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_signal = 0;
+
+void OnSignal(int) { g_signal = 1; }
+
+int Fail(const paris::util::Status& status) {
+  std::fprintf(stderr, "parisd: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  paris::service::Daemon::Config config;
+  int port = 0;
+  size_t handlers = 4;
+  std::string port_file;
+  std::string load_snapshot;
+  std::string log_level = "info";
+  bool no_auto_resume = false;
+
+  paris::util::FlagParser parser("parisd", "LEFT.nt RIGHT.nt");
+  parser.AddString("--host", &config.host,
+                   "listen address (default 127.0.0.1)", "ADDR");
+  parser.AddInt("--port", &port,
+                "listen port (default 0 = pick an ephemeral port)");
+  parser.AddString("--port-file", &port_file,
+                   "write the bound port to PATH once listening (for "
+                   "scripts using --port 0)", "PATH");
+  parser.AddString("--data-dir", &config.queue.data_dir,
+                   "directory for job state, checkpoints, and results "
+                   "(required)", "DIR");
+  parser.AddString("--load-snapshot", &load_snapshot,
+                   "load the ontology pair from a binary snapshot instead "
+                   "of parsing RDF files", "PATH");
+  parser.AddString("--serve-result", &config.serve_result,
+                   "result snapshot to serve before the first job "
+                   "completes", "PATH");
+  parser.AddDuration("--checkpoint-interval",
+                     &config.queue.checkpoint_interval_seconds,
+                     "time between job checkpoints, e.g. 500ms, 2s "
+                     "(default 1s)");
+  parser.AddSize("--cache-bytes", &config.cache_bytes,
+                 "lookup hot-key cache budget, e.g. 64k, 4m (default 4m; "
+                 "0 disables)");
+  parser.AddSize("--max-frame-bytes", &config.max_frame_bytes,
+                 "largest accepted protocol frame (default 1m)");
+  parser.AddSizeT("--handlers", &handlers,
+                  "connection handler threads (default 4)");
+  bool auto_resume_flag = false;
+  parser.AddBool("--auto-resume", &auto_resume_flag,
+                 "requeue and resume in-flight jobs found in --data-dir "
+                 "(the default; kept for explicit spelling)");
+  parser.AddBool("--no-auto-resume", &no_auto_resume,
+                 "start with a clean queue; jobs persisted as "
+                 "queued/running stay untouched on disk");
+  parser.AddBool("--trace", &config.trace,
+                 "record per-request spans, served by the TRACE verb");
+  parser.AddSizeT("--threads", &config.queue.base_options.config.num_threads,
+                  "worker threads for each alignment job");
+  parser.AddInt("--max-iterations",
+                &config.queue.base_options.config.max_iterations,
+                "fixpoint cap for jobs (default 10)");
+  parser.AddDouble("--theta", &config.queue.base_options.config.theta,
+                   "bootstrap sub-relation probability (default 0.1)");
+  parser.AddSizeT("--shards", &config.queue.base_options.config.num_shards,
+                  "shards per alignment pass (0 = default 64)");
+  parser.AddChoice("--matcher", &config.queue.base_options.matcher,
+                   paris::api::MatcherRegistry::Default().Names(),
+                   "literal matcher for jobs (default identity)");
+  parser.AddBool("--negative-evidence",
+                 &config.queue.base_options.config.use_negative_evidence,
+                 "use Eq. (14) instead of Eq. (13)");
+  parser.AddBool("--name-prior",
+                 &config.queue.base_options.config.use_relation_name_prior,
+                 "seed iteration 1 with relation-name similarity");
+  parser.AddChoice("--log-level", &log_level,
+                   {"debug", "info", "warning", "error", "none"},
+                   "minimum log severity on stderr (default info)");
+
+  std::vector<std::string> positional;
+  auto status = parser.Parse(argc, argv, &positional);
+  if (!status.ok()) {
+    std::fprintf(stderr, "parisd: %s\n%s\n", status.ToString().c_str(),
+                 parser.Usage().c_str());
+    return 1;
+  }
+  if (parser.help_requested()) {
+    std::printf("%s", parser.Help().c_str());
+    return 0;
+  }
+  paris::util::SetLogLevel(*paris::util::LogLevelFromName(log_level));
+  status = paris::util::FaultInjector::Global().ArmFromEnv();
+  if (!status.ok()) return Fail(status);
+
+  if (config.queue.data_dir.empty()) {
+    return Fail(paris::util::InvalidArgumentError("--data-dir is required"));
+  }
+  if (!load_snapshot.empty()) {
+    if (!positional.empty()) {
+      return Fail(paris::util::InvalidArgumentError(
+          "positional inputs and --load-snapshot are mutually exclusive"));
+    }
+    config.queue.snapshot_path = load_snapshot;
+  } else if (positional.size() == 2) {
+    config.queue.left_path = positional[0];
+    config.queue.right_path = positional[1];
+  } else {
+    return Fail(paris::util::InvalidArgumentError(
+        "expected two input files (or --load-snapshot)"));
+  }
+  config.port = port;
+  config.num_handlers = handlers;
+  config.auto_resume = !no_auto_resume;
+
+  paris::service::Daemon daemon(std::move(config));
+  status = daemon.Start();
+  if (!status.ok()) return Fail(status);
+  PARIS_LOG(kInfo) << "parisd listening on port " << daemon.port();
+  if (!port_file.empty()) {
+    status = paris::util::WriteFileAtomic(
+        port_file, std::to_string(daemon.port()) + "\n");
+    if (!status.ok()) return Fail(status);
+  }
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  while (g_signal == 0 && !daemon.WaitFor(0.25)) {
+  }
+  PARIS_LOG(kInfo) << "parisd shutting down";
+  daemon.Stop();
+  return 0;
+}

@@ -15,7 +15,8 @@ constexpr std::string_view kRegisteredPoints[] = {
     "atomic_write.fsync_file", "atomic_write.rename",
     "atomic_write.fsync_dir", "mmap.open",
     "mmap.map",               "snapshot.read",
-    "checkpoint.manifest",
+    "checkpoint.manifest",    "net.accept",
+    "net.recv",               "net.send",
 };
 
 // splitmix64: one deterministic draw per (seed, point) pair.

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cctype>
 #include <cerrno>
 #include <climits>
 #include <cstdlib>
+#include <limits>
 
 namespace paris::util {
 
@@ -26,6 +28,96 @@ bool ParseFullDouble(const std::string& s, double* out) {
   if (errno != 0 || end != s.c_str() + s.size()) return false;
   *out = v;
   return true;
+}
+
+Status ParseDuration(const std::string& s, const std::string& what,
+                     double* out_seconds) {
+  const Status bad = InvalidArgumentError(
+      "invalid duration for " + what + ": '" + s +
+      "' (expected NUMBER[ns|us|ms|s|m|h], e.g. 500ms or 2s)");
+  if (s.empty()) return bad;
+  // Split the trailing unit (letters) from the numeric prefix.
+  size_t unit_start = s.size();
+  while (unit_start > 0 && std::isalpha(static_cast<unsigned char>(
+                               s[unit_start - 1]))) {
+    --unit_start;
+  }
+  const std::string number = s.substr(0, unit_start);
+  const std::string unit = s.substr(unit_start);
+  double value = 0.0;
+  if (!ParseFullDouble(number, &value)) return bad;
+  double scale = 1.0;
+  if (unit.empty() || unit == "s") {
+    scale = 1.0;
+  } else if (unit == "ns") {
+    scale = 1e-9;
+  } else if (unit == "us") {
+    scale = 1e-6;
+  } else if (unit == "ms") {
+    scale = 1e-3;
+  } else if (unit == "m") {
+    scale = 60.0;
+  } else if (unit == "h") {
+    scale = 3600.0;
+  } else {
+    return bad;
+  }
+  const double seconds = value * scale;
+  if (!(seconds >= 0.0)) {  // also rejects NaN
+    return InvalidArgumentError("duration for " + what +
+                                " must be non-negative: '" + s + "'");
+  }
+  *out_seconds = seconds;
+  return OkStatus();
+}
+
+Status ParseSize(const std::string& s, const std::string& what,
+                 size_t* out_bytes) {
+  const Status bad = InvalidArgumentError(
+      "invalid size for " + what + ": '" + s +
+      "' (expected INTEGER[b|k|kb|m|mb|g|gb], e.g. 64k or 1g)");
+  if (s.empty()) return bad;
+  size_t unit_start = s.size();
+  while (unit_start > 0 && std::isalpha(static_cast<unsigned char>(
+                               s[unit_start - 1]))) {
+    --unit_start;
+  }
+  std::string number = s.substr(0, unit_start);
+  std::string unit = s.substr(unit_start);
+  std::transform(unit.begin(), unit.end(), unit.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  long long value = 0;
+  if (!ParseFullInt64(number, &value)) return bad;
+  if (value < 0) {
+    return InvalidArgumentError("size for " + what +
+                                " must be non-negative: '" + s + "'");
+  }
+  unsigned long long scale = 1;
+  if (unit.empty() || unit == "b") {
+    scale = 1;
+  } else if (unit == "k" || unit == "kb") {
+    scale = 1ull << 10;
+  } else if (unit == "m" || unit == "mb") {
+    scale = 1ull << 20;
+  } else if (unit == "g" || unit == "gb") {
+    scale = 1ull << 30;
+  } else {
+    return bad;
+  }
+  const unsigned long long magnitude = static_cast<unsigned long long>(value);
+  if (magnitude != 0 &&
+      magnitude > std::numeric_limits<unsigned long long>::max() / scale) {
+    return InvalidArgumentError("size for " + what + " overflows: '" + s +
+                                "'");
+  }
+  const unsigned long long bytes = magnitude * scale;
+  if (bytes > std::numeric_limits<size_t>::max()) {
+    return InvalidArgumentError("size for " + what + " overflows: '" + s +
+                                "'");
+  }
+  *out_bytes = static_cast<size_t>(bytes);
+  return OkStatus();
 }
 
 namespace {
@@ -73,6 +165,18 @@ void FlagParser::AddDouble(const std::string& name, double* target,
                            const std::string& help,
                            const std::string& value_name) {
   Add({name, Type::kDouble, target, help, value_name, {}});
+}
+
+void FlagParser::AddDuration(const std::string& name, double* target_seconds,
+                             const std::string& help,
+                             const std::string& value_name) {
+  Add({name, Type::kDuration, target_seconds, help, value_name, {}});
+}
+
+void FlagParser::AddSize(const std::string& name, size_t* target_bytes,
+                         const std::string& help,
+                         const std::string& value_name) {
+  Add({name, Type::kSize, target_bytes, help, value_name, {}});
 }
 
 void FlagParser::AddBool(const std::string& name, bool* target,
@@ -137,6 +241,11 @@ Status FlagParser::Assign(const Flag& flag, const std::string& value) const {
       *static_cast<double*>(flag.target) = v;
       return OkStatus();
     }
+    case Type::kDuration:
+      return ParseDuration(value, flag.name,
+                           static_cast<double*>(flag.target));
+    case Type::kSize:
+      return ParseSize(value, flag.name, static_cast<size_t*>(flag.target));
     case Type::kBool:
       return InternalError("bool flags take no value");
   }

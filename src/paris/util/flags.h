@@ -15,6 +15,21 @@ namespace paris::util {
 bool ParseFullInt64(const std::string& s, long long* out);
 bool ParseFullDouble(const std::string& s, double* out);
 
+// Duration parse into seconds: a number plus an optional unit suffix from
+// {ns, us, ms, s, m, h} ("500ms", "2s", "1.5m"). A bare number means
+// seconds. Negative durations are rejected. On failure returns
+// InvalidArgument naming `what` (flag or field name) and the accepted
+// units.
+Status ParseDuration(const std::string& s, const std::string& what,
+                     double* out_seconds);
+
+// Size parse into bytes: an integer plus an optional binary-scale suffix
+// from {b, k, kb, m, mb, g, gb} ("64k" = 65536, "1g" = 1<<30). A bare
+// number means bytes. Rejects negatives, fractions, and values that
+// overflow size_t. On failure returns InvalidArgument naming `what`.
+Status ParseSize(const std::string& s, const std::string& what,
+                 size_t* out_bytes);
+
 // Minimal typed command-line flag parser shared by the CLI tools, replacing
 // their hand-rolled argv loops. Flags are registered against caller-owned
 // storage (which also supplies the default), then `Parse` walks argv:
@@ -49,6 +64,16 @@ class FlagParser {
                 const std::string& help, const std::string& value_name = "N");
   void AddDouble(const std::string& name, double* target,
                  const std::string& help, const std::string& value_name = "X");
+  // Duration flag parsed with ParseDuration into seconds ("500ms", "2s",
+  // bare numbers mean seconds, so plain-seconds spellings keep working).
+  void AddDuration(const std::string& name, double* target_seconds,
+                   const std::string& help,
+                   const std::string& value_name = "DURATION");
+  // Size flag parsed with ParseSize into bytes ("64k", "1g", bare numbers
+  // mean bytes).
+  void AddSize(const std::string& name, size_t* target_bytes,
+               const std::string& help,
+               const std::string& value_name = "SIZE");
   // Presence flag: no value, sets the target to true when seen.
   void AddBool(const std::string& name, bool* target, const std::string& help);
   // String flag restricted to the given values; anything else is an
@@ -68,7 +93,16 @@ class FlagParser {
   std::string Help() const;
 
  private:
-  enum class Type { kString, kInt, kSizeT, kDouble, kBool, kChoice };
+  enum class Type {
+    kString,
+    kInt,
+    kSizeT,
+    kDouble,
+    kBool,
+    kChoice,
+    kDuration,
+    kSize
+  };
 
   struct Flag {
     std::string name;

@@ -53,6 +53,10 @@ long RetryTransient(Op&& op) {
 uint64_t IoRetryCount() { return g_io_retries.load(std::memory_order_relaxed); }
 void ResetIoRetryCount() { g_io_retries.store(0, std::memory_order_relaxed); }
 
+namespace internal {
+void CountIoRetry() { g_io_retries.fetch_add(1, std::memory_order_relaxed); }
+}  // namespace internal
+
 FaultAction CheckFaultRetryingTransient(std::string_view point) {
   constexpr int kMaxRetries = 5;
   FaultAction fault = CheckFault(point);

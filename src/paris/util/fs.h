@@ -66,6 +66,12 @@ Status WriteFileAtomic(const std::string& path, std::string_view contents);
 uint64_t IoRetryCount();
 void ResetIoRetryCount();
 
+namespace internal {
+// Counts one transient-IO retry in IoRetryCount(); for the net layer's
+// retry loops, which live outside this translation unit.
+void CountIoRetry();
+}  // namespace internal
+
 }  // namespace paris::util
 
 #endif  // PARIS_UTIL_FS_H_

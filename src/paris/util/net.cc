@@ -1,0 +1,359 @@
+#include "paris/util/net.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "paris/util/fault_injection.h"
+#include "paris/util/fs.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define PARIS_HAS_POSIX_NET 1
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace paris::util {
+
+#if PARIS_HAS_POSIX_NET
+
+namespace {
+
+bool IsTransientErrno(int err) {
+  return err == EINTR || err == EAGAIN
+#if defined(EWOULDBLOCK)
+         || err == EWOULDBLOCK
+#endif
+      ;  // NOLINT(whitespace/semicolon)
+}
+
+// Same policy as the file IO layer: transient errnos retry with bounded
+// exponential backoff, counted in IoRetryCount().
+template <typename Op>
+long RetryTransient(Op&& op) {
+  constexpr int kMaxRetries = 5;
+  for (int attempt = 0;; ++attempt) {
+    errno = 0;
+    const long result = op();
+    if (result >= 0 || !IsTransientErrno(errno) || attempt >= kMaxRetries) {
+      return result;
+    }
+    internal::CountIoRetry();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1 << attempt));
+  }
+}
+
+Status ErrnoError(const char* op, int err) {
+  return InternalError(std::string(op) + " failed: " + std::strerror(err));
+}
+
+#if !defined(MSG_NOSIGNAL)
+constexpr int MSG_NOSIGNAL = 0;  // macOS: suppressed via SO_NOSIGPIPE instead
+#endif
+
+}  // namespace
+
+SocketConn::~SocketConn() { Close(); }
+
+SocketConn::SocketConn(SocketConn&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)) {}
+
+SocketConn& SocketConn::operator=(SocketConn&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+void SocketConn::Shutdown() {
+  if (fd_ >= 0) (void)::shutdown(fd_, SHUT_RDWR);
+}
+
+void SocketConn::Close() {
+  if (fd_ >= 0) {
+    (void)RetryTransient([&] { return static_cast<long>(::close(fd_)); });
+    fd_ = -1;
+  }
+}
+
+StatusOr<SocketConn> SocketConn::Connect(const std::string& host,
+                                         uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* addrs = nullptr;
+  const std::string port_str = std::to_string(port);
+  const int rc = ::getaddrinfo(host.c_str(), port_str.c_str(), &hints, &addrs);
+  if (rc != 0) {
+    return InvalidArgumentError("cannot resolve '" + host +
+                                "': " + ::gai_strerror(rc));
+  }
+  Status last = InternalError("no addresses for '" + host + "'");
+  for (addrinfo* a = addrs; a != nullptr; a = a->ai_next) {
+    const int fd = static_cast<int>(RetryTransient([&] {
+      return static_cast<long>(
+          ::socket(a->ai_family, a->ai_socktype, a->ai_protocol));
+    }));
+    if (fd < 0) {
+      last = ErrnoError("socket", errno);
+      continue;
+    }
+    const int one = 1;
+#if defined(SO_NOSIGPIPE)
+    ::setsockopt(fd, SOL_SOCKET, SO_NOSIGPIPE, &one, sizeof(one));
+#endif
+    // Request/reply framing sends small writes; without TCP_NODELAY, Nagle
+    // holds the second segment of every frame for the peer's delayed ACK
+    // (~40ms), turning a microsecond lookup into a ~90ms round trip.
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    const long conn = RetryTransient([&] {
+      const long r =
+          static_cast<long>(::connect(fd, a->ai_addr, a->ai_addrlen));
+      // A connect interrupted by EINTR may complete in the background; the
+      // retry then sees EISCONN, which is success.
+      if (r < 0 && errno == EISCONN) return 0L;
+      return r;
+    });
+    if (conn == 0) {
+      ::freeaddrinfo(addrs);
+      return SocketConn(fd);
+    }
+    last = ErrnoError("connect", errno);
+    (void)::close(fd);
+  }
+  ::freeaddrinfo(addrs);
+  return last;
+}
+
+Status SocketConn::SendAll(const void* data, size_t size) {
+  if (fd_ < 0) return InternalError("send on closed socket");
+  const FaultAction fault = CheckFaultRetryingTransient("net.send");
+  if (fault.kind == FaultKind::kErrno) {
+    return ErrnoError("send", fault.error_number);
+  }
+  const char* bytes = static_cast<const char*>(data);
+  std::vector<char> mutated;
+  if (fault.kind == FaultKind::kBitFlip && size > 0) {
+    // In-flight corruption: all bytes land but one is wrong; only the
+    // receiver's framing/validation can catch it.
+    mutated.assign(bytes, bytes + size);
+    mutated[size / 2] = static_cast<char>(mutated[size / 2] ^ 0x20);
+    bytes = mutated.data();
+  }
+  size_t remaining = size;
+  if (fault.kind == FaultKind::kShortWrite) {
+    // Torn send: half the payload reaches the peer, then the connection
+    // errors out.
+    remaining = size / 2;
+  }
+  while (remaining > 0) {
+    const long n = RetryTransient([&] {
+      return static_cast<long>(::send(fd_, bytes, remaining, MSG_NOSIGNAL));
+    });
+    if (n < 0) return ErrnoError("send", errno);
+    bytes += n;
+    remaining -= static_cast<size_t>(n);
+  }
+  if (fault.kind == FaultKind::kShortWrite) {
+    return ErrnoError("send (torn)", EPIPE);
+  }
+  return OkStatus();
+}
+
+StatusOr<size_t> SocketConn::RecvSome(void* data, size_t size) {
+  if (fd_ < 0) return InternalError("recv on closed socket");
+  const FaultAction fault = CheckFaultRetryingTransient("net.recv");
+  if (fault.kind == FaultKind::kErrno) {
+    return ErrnoError("recv", fault.error_number);
+  }
+  // short/bitflip are write-style faults; read points ignore them (same
+  // policy as snapshot.read).
+  const long n = RetryTransient(
+      [&] { return static_cast<long>(::recv(fd_, data, size, 0)); });
+  if (n < 0) return ErrnoError("recv", errno);
+  return static_cast<size_t>(n);
+}
+
+StatusOr<bool> SocketConn::RecvAll(void* data, size_t size) {
+  char* bytes = static_cast<char*>(data);
+  size_t got = 0;
+  while (got < size) {
+    auto n = RecvSome(bytes + got, size - got);
+    if (!n.ok()) return n.status();
+    if (*n == 0) {
+      if (got == 0) return false;  // clean EOF between messages
+      return DataLossError("connection closed mid-message (" +
+                           std::to_string(got) + "/" + std::to_string(size) +
+                           " bytes)");
+    }
+    got += *n;
+  }
+  return true;
+}
+
+SocketListener::~SocketListener() {
+  Close();
+  if (listen_fd_ >= 0) (void)::close(listen_fd_);
+  if (wake_read_fd_ >= 0) (void)::close(wake_read_fd_);
+  if (wake_write_fd_ >= 0) (void)::close(wake_write_fd_);
+}
+
+SocketListener::SocketListener(SocketListener&& other) noexcept
+    : listen_fd_(std::exchange(other.listen_fd_, -1)),
+      wake_read_fd_(std::exchange(other.wake_read_fd_, -1)),
+      wake_write_fd_(std::exchange(other.wake_write_fd_, -1)),
+      port_(std::exchange(other.port_, 0)),
+      closed_(other.closed_.load()) {}
+
+SocketListener& SocketListener::operator=(SocketListener&& other) noexcept {
+  if (this != &other) {
+    this->~SocketListener();
+    new (this) SocketListener(std::move(other));
+  }
+  return *this;
+}
+
+StatusOr<SocketListener> SocketListener::Listen(const std::string& host,
+                                                uint16_t port, int backlog) {
+  SocketListener listener;
+  listener.listen_fd_ = static_cast<int>(RetryTransient(
+      [&] { return static_cast<long>(::socket(AF_INET, SOCK_STREAM, 0)); }));
+  if (listener.listen_fd_ < 0) return ErrnoError("socket", errno);
+  const int one = 1;
+  ::setsockopt(listener.listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one,
+               sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (host.empty() || host == "0.0.0.0") {
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  } else if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return InvalidArgumentError("listen host must be a numeric IPv4 "
+                                "address: '" +
+                                host + "'");
+  }
+  if (RetryTransient([&] {
+        return static_cast<long>(
+            ::bind(listener.listen_fd_,
+                   reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)));
+      }) < 0) {
+    return ErrnoError("bind", errno);
+  }
+  if (RetryTransient([&] {
+        return static_cast<long>(::listen(listener.listen_fd_, backlog));
+      }) < 0) {
+    return ErrnoError("listen", errno);
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listener.listen_fd_,
+                    reinterpret_cast<sockaddr*>(&bound), &bound_len) < 0) {
+    return ErrnoError("getsockname", errno);
+  }
+  listener.port_ = ntohs(bound.sin_port);
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) < 0) return ErrnoError("pipe", errno);
+  listener.wake_read_fd_ = pipe_fds[0];
+  listener.wake_write_fd_ = pipe_fds[1];
+  return listener;
+}
+
+StatusOr<SocketConn> SocketListener::Accept() {
+  for (;;) {
+    if (closed_.load(std::memory_order_acquire)) {
+      return CancelledError("listener closed");
+    }
+    pollfd fds[2];
+    fds[0] = {listen_fd_, POLLIN, 0};
+    fds[1] = {wake_read_fd_, POLLIN, 0};
+    const int ready = ::poll(fds, 2, -1);
+    if (ready < 0) {
+      if (IsTransientErrno(errno)) continue;
+      return ErrnoError("poll", errno);
+    }
+    if (closed_.load(std::memory_order_acquire) ||
+        (fds[1].revents & POLLIN) != 0) {
+      return CancelledError("listener closed");
+    }
+    if ((fds[0].revents & POLLIN) == 0) continue;
+
+    const FaultAction fault = CheckFaultRetryingTransient("net.accept");
+    if (fault.kind == FaultKind::kErrno) {
+      return ErrnoError("accept", fault.error_number);
+    }
+    const int fd = static_cast<int>(RetryTransient([&] {
+      return static_cast<long>(::accept(listen_fd_, nullptr, nullptr));
+    }));
+    if (fd < 0) {
+      // The peer can abandon the connection between poll and accept;
+      // that's its problem, keep serving.
+      if (errno == ECONNABORTED || errno == EPROTO) continue;
+      return ErrnoError("accept", errno);
+    }
+    const int one = 1;
+#if defined(SO_NOSIGPIPE)
+    ::setsockopt(fd, SOL_SOCKET, SO_NOSIGPIPE, &one, sizeof(one));
+#endif
+    // See Connect(): framed request/reply traffic needs Nagle off.
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return SocketConn(fd);
+  }
+}
+
+void SocketListener::Close() {
+  if (closed_.exchange(true, std::memory_order_acq_rel)) return;
+  if (wake_write_fd_ >= 0) {
+    const char byte = 0;
+    (void)RetryTransient([&] {
+      return static_cast<long>(::write(wake_write_fd_, &byte, 1));
+    });
+  }
+}
+
+#else  // !PARIS_HAS_POSIX_NET
+
+SocketConn::~SocketConn() = default;
+SocketConn::SocketConn(SocketConn&&) noexcept {}
+SocketConn& SocketConn::operator=(SocketConn&&) noexcept { return *this; }
+void SocketConn::Shutdown() {}
+void SocketConn::Close() {}
+StatusOr<SocketConn> SocketConn::Connect(const std::string&, uint16_t) {
+  return UnimplementedError("sockets require POSIX");
+}
+Status SocketConn::SendAll(const void*, size_t) {
+  return UnimplementedError("sockets require POSIX");
+}
+StatusOr<size_t> SocketConn::RecvSome(void*, size_t) {
+  return UnimplementedError("sockets require POSIX");
+}
+StatusOr<bool> SocketConn::RecvAll(void*, size_t) {
+  return UnimplementedError("sockets require POSIX");
+}
+SocketListener::~SocketListener() = default;
+SocketListener::SocketListener(SocketListener&&) noexcept {}
+SocketListener& SocketListener::operator=(SocketListener&&) noexcept {
+  return *this;
+}
+StatusOr<SocketListener> SocketListener::Listen(const std::string&, uint16_t,
+                                                int) {
+  return UnimplementedError("sockets require POSIX");
+}
+StatusOr<SocketConn> SocketListener::Accept() {
+  return UnimplementedError("sockets require POSIX");
+}
+void SocketListener::Close() {}
+
+#endif  // PARIS_HAS_POSIX_NET
+
+}  // namespace paris::util

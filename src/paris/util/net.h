@@ -1,0 +1,105 @@
+#ifndef PARIS_UTIL_NET_H_
+#define PARIS_UTIL_NET_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "paris/util/status.h"
+
+namespace paris::util {
+
+// Thin RAII wrappers over POSIX TCP sockets, shared by parisd, the client
+// CLI, and the service bench. All blocking calls route transient errnos
+// (EINTR/EAGAIN) through the same bounded-backoff retry policy as the file
+// IO layer (counted in IoRetryCount()), and every network operation passes
+// a fault point — net.accept / net.recv / net.send — so the fault-injection
+// matrix covers network IO with the exact machinery the durability tests
+// already use. On platforms without POSIX sockets every entry point
+// returns kUnimplemented.
+
+// One connected stream socket. Move-only; the destructor closes the fd.
+class SocketConn {
+ public:
+  SocketConn() = default;
+  // Adopts an already-connected fd (from SocketListener::Accept).
+  explicit SocketConn(int fd) : fd_(fd) {}
+  ~SocketConn();
+
+  SocketConn(SocketConn&& other) noexcept;
+  SocketConn& operator=(SocketConn&& other) noexcept;
+  SocketConn(const SocketConn&) = delete;
+  SocketConn& operator=(const SocketConn&) = delete;
+
+  // Connects to host:port (numeric IPv4 or a resolvable name).
+  static StatusOr<SocketConn> Connect(const std::string& host, uint16_t port);
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  // Writes all `size` bytes. Injected "short" faults drop half the payload
+  // then fail (a torn send); "bitflip" corrupts one byte in flight.
+  Status SendAll(const void* data, size_t size);
+
+  // Reads up to `size` bytes; returns the count, 0 on orderly peer close.
+  StatusOr<size_t> RecvSome(void* data, size_t size);
+
+  // Reads exactly `size` bytes. Returns false on a clean EOF before the
+  // first byte (peer finished); EOF mid-buffer is a kDataLoss error
+  // (truncated stream).
+  StatusOr<bool> RecvAll(void* data, size_t size);
+
+  // Half-close both directions without releasing the fd: a blocked
+  // SendAll/RecvSome/RecvAll on *another thread* returns promptly (EOF or
+  // EPIPE). The one cross-thread operation SocketConn supports — Close()
+  // and the destructor must stay with the owning thread.
+  void Shutdown();
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+// A listening TCP socket with a self-pipe so Close() — from any thread —
+// wakes a blocked Accept(), which then returns kCancelled. Move-only; do
+// not move while another thread is blocked in Accept().
+class SocketListener {
+ public:
+  SocketListener() = default;
+  ~SocketListener();
+
+  SocketListener(SocketListener&& other) noexcept;
+  SocketListener& operator=(SocketListener&& other) noexcept;
+  SocketListener(const SocketListener&) = delete;
+  SocketListener& operator=(const SocketListener&) = delete;
+
+  // Binds and listens on host:port; port 0 picks an ephemeral port,
+  // readable afterwards via port().
+  static StatusOr<SocketListener> Listen(const std::string& host,
+                                         uint16_t port, int backlog = 64);
+
+  bool valid() const { return listen_fd_ >= 0; }
+  // The actual bound port (resolves port 0).
+  uint16_t port() const { return port_; }
+
+  // Blocks until a connection arrives (returns it) or Close() is called
+  // (returns kCancelled).
+  StatusOr<SocketConn> Accept();
+
+  // Stops accepting and wakes any blocked Accept(). Safe to call from a
+  // different thread than the accept loop, and idempotent.
+  void Close();
+
+ private:
+  int listen_fd_ = -1;
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> closed_{false};
+};
+
+}  // namespace paris::util
+
+#endif  // PARIS_UTIL_NET_H_

@@ -176,5 +176,92 @@ TEST(FlagParserTest, StrictNumericHelpers) {
   EXPECT_FALSE(util::ParseFullDouble("0.5s", &d));
 }
 
+TEST(ParseDurationTest, AcceptsEveryUnitAndBareSeconds) {
+  const struct {
+    const char* input;
+    double seconds;
+  } cases[] = {
+      {"500ns", 500e-9}, {"250us", 250e-6}, {"500ms", 0.5}, {"2s", 2.0},
+      {"1.5m", 90.0},    {"2h", 7200.0},    {"0.25", 0.25}, {"0s", 0.0},
+  };
+  for (const auto& c : cases) {
+    double seconds = -1.0;
+    ASSERT_TRUE(util::ParseDuration(c.input, "interval", &seconds).ok())
+        << c.input;
+    EXPECT_DOUBLE_EQ(seconds, c.seconds) << c.input;
+  }
+}
+
+TEST(ParseDurationTest, RejectsMalformedAndNegative) {
+  double seconds = 0.0;
+  for (const char* bad : {"", "ms", "5 ms", "-1s", "-0.5", "2x", "1.5mm",
+                          "1s2", "nan", "s"}) {
+    const util::Status status = util::ParseDuration(bad, "interval", &seconds);
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument) << bad;
+    // The error names the offending flag/field so CLI messages stay usable.
+    EXPECT_NE(status.message().find("interval"), std::string::npos) << bad;
+  }
+}
+
+TEST(ParseSizeTest, AcceptsBinaryScaleSuffixes) {
+  const struct {
+    const char* input;
+    size_t bytes;
+  } cases[] = {
+      {"0", 0},
+      {"123", 123},
+      {"64b", 64},
+      {"64k", 64u << 10},
+      {"64kb", 64u << 10},
+      {"2m", 2u << 20},
+      {"2mb", 2u << 20},
+      {"1g", 1u << 30},
+      {"1gb", 1u << 30},
+  };
+  for (const auto& c : cases) {
+    size_t bytes = 1;
+    ASSERT_TRUE(util::ParseSize(c.input, "cache", &bytes).ok()) << c.input;
+    EXPECT_EQ(bytes, c.bytes) << c.input;
+  }
+}
+
+TEST(ParseSizeTest, RejectsFractionsNegativesAndOverflow) {
+  size_t bytes = 0;
+  for (const char* bad :
+       {"", "-1", "-64k", "1.5k", "0.5", "k", "64q", "1z",
+        "99999999999999999999g", "18446744073709551616"}) {
+    const util::Status status = util::ParseSize(bad, "cache", &bytes);
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument) << bad;
+    EXPECT_NE(status.message().find("cache"), std::string::npos) << bad;
+  }
+}
+
+TEST(FlagParserTest, DurationAndSizeFlags) {
+  double interval = 1.0;
+  size_t cache = 0;
+  FlagParser parser("typed_tool", "");
+  parser.AddDuration("--checkpoint-interval", &interval,
+                     "checkpoint cadence");
+  parser.AddSize("--cache-bytes", &cache, "lookup cache budget");
+
+  {
+    Argv argv({"--checkpoint-interval", "500ms", "--cache-bytes=64k"});
+    std::vector<std::string> positional;
+    ASSERT_TRUE(parser.Parse(argv.argc(), argv.argv(), &positional).ok());
+    EXPECT_DOUBLE_EQ(interval, 0.5);
+    EXPECT_EQ(cache, 64u * 1024u);
+  }
+  {
+    // A malformed value is rejected with the flag's own name in the error.
+    Argv argv({"--checkpoint-interval", "fast"});
+    std::vector<std::string> positional;
+    const util::Status status =
+        parser.Parse(argv.argc(), argv.argv(), &positional);
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(status.message().find("--checkpoint-interval"),
+              std::string::npos);
+  }
+}
+
 }  // namespace
 }  // namespace paris

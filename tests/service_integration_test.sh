@@ -1,0 +1,173 @@
+#!/usr/bin/env bash
+# End-to-end test for parisd + paris_client over a real TCP socket.
+#
+#   service_integration_test.sh PARIS_GENERATE PARIS_ALIGN PARISD PARIS_CLIENT
+#
+# Three phases against a synthetic restaurant pair:
+#
+#   1. Clean service flow: submit a job, stream its WATCH events to
+#      completion, and require the exported TSVs to be byte-identical to a
+#      plain paris_align run of the same config. Lookups against the served
+#      snapshot must answer, and must FAILED_PRECONDITION before any result
+#      exists.
+#   2. Queue semantics: a second submitted job is cancellable while a
+#      LOOKUP keeps answering from the previous generation mid-run.
+#   3. Crash safety: SIGKILL the daemon mid-job (twice), restart it with
+#      auto-resume each time, and require the recovered job's exports to be
+#      byte-identical to the reference run.
+set -u
+
+GENERATE=$(realpath "$1")
+ALIGN=$(realpath "$2")
+PARISD=$(realpath "$3")
+CLIENT=$(realpath "$4")
+
+WORK=$(mktemp -d)
+DAEMON_PID=
+cleanup() {
+  [ -n "$DAEMON_PID" ] && kill -KILL "$DAEMON_PID" 2> /dev/null
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+cd "$WORK"
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+# Scale 16 stretches one alignment run to ~0.5-1s so the SIGKILL schedule
+# in phase 3 lands mid-job instead of after the job already finished.
+"$GENERATE" restaurant rest 16 > /dev/null || fail "generate"
+
+# --- uninterrupted reference: what every service job must reproduce -------
+"$ALIGN" rest_left.nt rest_right.nt --max-iterations 3 --output ref \
+  > /dev/null 2>&1 || fail "reference paris_align run"
+
+# start_daemon DATA_DIR [extra flags...]: launches parisd on an ephemeral
+# port and waits for the port file. Sets DAEMON_PID and CLI.
+start_daemon() {
+  local data_dir=$1
+  shift
+  rm -f port.txt
+  "$PARISD" rest_left.nt rest_right.nt --data-dir "$data_dir" \
+    --port 0 --port-file port.txt --checkpoint-interval 1ms \
+    --max-iterations 3 --log-level error "$@" 2> daemon_stderr.txt &
+  DAEMON_PID=$!
+  for _ in $(seq 1 100); do
+    [ -s port.txt ] && break
+    kill -0 "$DAEMON_PID" 2> /dev/null || fail "daemon died at startup:
+$(cat daemon_stderr.txt)"
+    sleep 0.1
+  done
+  [ -s port.txt ] || fail "daemon never wrote its port file"
+  CLI="$CLIENT --port-file port.txt"
+}
+
+stop_daemon() {
+  $CLI shutdown > /dev/null 2>&1
+  wait "$DAEMON_PID" 2> /dev/null
+  DAEMON_PID=
+}
+
+# wait_for_state JOB STATE [TRIES]: polls STATUS until the job reaches the
+# state (10s default) — WATCH streams can't survive a daemon SIGKILL, so
+# the crash phase polls instead.
+wait_for_state() {
+  local job=$1 state=$2 tries=${3:-100}
+  for _ in $(seq 1 "$tries"); do
+    if $CLI status "$job" 2> /dev/null | head -1 | grep -q " state=$state "; then
+      return 0
+    fi
+    sleep 0.1
+  done
+  return 1
+}
+
+compare_exports() {
+  local job_dir=$1 label=$2
+  for table in instances relations classes; do
+    cmp -s "ref_${table}.tsv" "$job_dir/export_${table}.tsv" \
+      || fail "$label: export_${table}.tsv differs from the reference run"
+  done
+}
+
+# =========================================================================
+# Phase 1: clean service flow
+# =========================================================================
+start_daemon svc_clean
+
+$CLI ping | grep -q '^OK pong' || fail "ping"
+
+# No job has completed and --serve-result wasn't given: lookups must fail
+# with FAILED_PRECONDITION, not crash or hang.
+$CLI lookup entity left 'r1:address_0' 2> lookup_err.txt \
+  && fail "lookup before any result unexpectedly succeeded"
+grep -q 'FAILED_PRECONDITION' lookup_err.txt \
+  || fail "lookup before any result: wrong error: $(cat lookup_err.txt)"
+
+job=$($CLI submit | sed -n 's/^OK //p')
+[ -n "$job" ] || fail "submit returned no job id"
+
+$CLI watch "$job" > watch.txt || fail "watch $job did not end in END done:
+$(tail -3 watch.txt)"
+grep -q "^EVT $job state running" watch.txt || fail "watch missed state event"
+grep -q "^EVT $job iteration " watch.txt || fail "watch missed iteration events"
+grep -q "^EVT $job shard " watch.txt || fail "watch missed shard events"
+grep -q '^END done$' watch.txt || fail "watch missing END done"
+
+$CLI status "$job" | head -1 | grep -q ' state=done ' || fail "status not done"
+compare_exports "svc_clean/jobs/$job" "phase 1"
+
+# The completed job's snapshot is served automatically: lookups answer now.
+$CLI lookup entity left 'r1:address_0' | head -1 | grep -q '^OK ' \
+  || fail "entity lookup after job completed"
+$CLI lookup relation left 'r1:category' | head -1 | grep -q '^OK ' \
+  || fail "relation lookup after job completed"
+$CLI result | grep -q '^OK generation=1 ' || fail "result generation"
+
+# =========================================================================
+# Phase 2: cancel a running job while lookups keep answering
+# =========================================================================
+job2=$($CLI submit max-iterations=8 | sed -n 's/^OK //p')
+[ -n "$job2" ] || fail "second submit"
+wait_for_state "$job2" running || fail "job2 never started running"
+
+# Mid-run lookups still serve generation 1.
+$CLI lookup entity left 'r1:address_0' | head -1 | grep -q '^OK ' \
+  || fail "lookup during running job"
+
+$CLI cancel "$job2" | grep -q '^OK cancelling' || fail "cancel"
+wait_for_state "$job2" cancelled || fail "job2 never reached cancelled"
+$CLI list | grep -q "^$job2 cancelled" || fail "list does not show cancelled"
+
+stop_daemon
+
+# =========================================================================
+# Phase 3: SIGKILL mid-job, restart, auto-resume to byte-identical output
+# =========================================================================
+start_daemon svc_crash
+job3=$($CLI submit | sed -n 's/^OK //p')
+[ -n "$job3" ] || fail "crash-phase submit"
+
+kills=0
+for delay in 0.3 0.15; do
+  sleep "$delay"
+  if kill -KILL "$DAEMON_PID" 2> /dev/null; then kills=$((kills + 1)); fi
+  wait "$DAEMON_PID" 2> /dev/null
+  DAEMON_PID=
+  # Restart over the same data dir: auto-resume (the default) requeues the
+  # interrupted job, which resumes from its last checkpoint.
+  start_daemon svc_crash
+done
+
+wait_for_state "$job3" done 300 || fail "job did not complete after restarts:
+$($CLI status "$job3" 2>&1)"
+compare_exports "svc_crash/jobs/$job3" "phase 3"
+
+# The restarted daemon serves the recovered job's snapshot.
+$CLI result | grep -q ' partial=0$' || fail "recovered result marked partial"
+$CLI lookup entity left 'r1:address_0' | head -1 | grep -q '^OK ' \
+  || fail "lookup after crash recovery"
+
+stop_daemon
+
+[ "$kills" -ge 1 ] || fail "no SIGKILL landed mid-job; raise the dataset scale"
+echo "service integration: clean + cancel + $kills crash-resume cycles OK"
