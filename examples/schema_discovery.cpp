@@ -1,80 +1,152 @@
-// Schema discovery: use PARIS's holistic alignment to discover the schema
-// mapping between two independently designed ontologies — sub-relations
-// (including inverted ones) and sub-classes across class hierarchies of
-// different granularity. This is the YAGO ↔ DBpedia scenario of §6.4.
+// Schema discovery: explore two independently designed ontologies with the
+// triple-pattern query engine, then let PARIS's holistic alignment discover
+// the schema mapping between them — sub-relations (including inverted ones)
+// and sub-classes across class hierarchies of different granularity. This
+// is the YAGO ↔ DBpedia scenario of §6.4, driven entirely through the
+// `paris::api::Session` facade:
 //
-//   ./build/examples/schema_discovery [scale]
+//   generate -> load -> Query (pattern scans, merge-join) -> align -> report
+//
+// Build & run (in-tree):
+//   cmake -B build -DPARIS_BUILD_EXAMPLES=ON && cmake --build build
+//   ./build/example_schema_discovery [scale]
+//
+// Also buildable out-of-tree against an installed paris — see
+// examples/find_package_smoke.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 #include <vector>
 
-#include "paris/eval/metrics.h"
 #include "paris/paris.h"
-#include "paris/synth/profiles.h"
+
+namespace {
+
+bool Check(const paris::util::Status& status, const char* what) {
+  if (status.ok()) return true;
+  std::fprintf(stderr, "%s failed: %s\n", what, status.ToString().c_str());
+  return false;
+}
+
+// Resolves a relation by lexical name; kNullRel when the side lacks it.
+paris::rdf::RelId FindRel(const paris::ontology::Ontology& onto,
+                          const std::string& name) {
+  const auto id = onto.pool().Find(name, paris::rdf::TermKind::kIri);
+  if (!id.has_value()) return paris::rdf::kNullRel;
+  return onto.store().FindRelation(*id).value_or(paris::rdf::kNullRel);
+}
+
+// Prints one side's relation inventory straight off the pattern engine:
+// one DistinctBindings scan for the relation ids, one O(log n) Count per
+// relation for its statement count.
+void PrintSchema(const char* label, const paris::ontology::Ontology& onto) {
+  const paris::storage::TriIndex& tri = onto.store().tri();
+  const std::vector<uint32_t> rels = tri.DistinctBindings(
+      paris::storage::TriplePattern(), paris::storage::TriPos::kRel);
+  std::printf("%s: %zu classes, %zu relations\n", label,
+              onto.classes().size(), rels.size());
+  for (uint32_t rel : rels) {
+    const auto r = static_cast<paris::rdf::RelId>(rel);
+    std::printf("  %-22s %6llu facts\n", onto.RelationName(r).c_str(),
+                static_cast<unsigned long long>(tri.Count(
+                    paris::storage::TriplePattern().BindRel(r))));
+  }
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   paris::util::SetLogLevel(paris::util::LogLevel::kWarning);
 
-  paris::synth::ProfileOptions options;
-  options.scale = argc > 1 ? std::atof(argv[1]) : 0.5;
-  auto pair = paris::synth::MakeYagoDbpediaPair(options);
-  if (!pair.ok()) {
-    std::printf("dataset generation failed: %s\n",
-                pair.status().ToString().c_str());
+  // --- Generate the YAGO ↔ DBpedia benchmark pair -----------------------
+  paris::api::DatasetSpec spec;
+  spec.profile = "yago-dbpedia";
+  spec.output_prefix = "/tmp/paris_schema_discovery";
+  spec.scale = argc > 1 ? std::atof(argv[1]) : 0.5;
+  auto dataset = paris::api::GenerateDataset(spec);
+  if (!Check(dataset.status(), "GenerateDataset")) return 1;
+
+  paris::api::Session session(
+      paris::api::Session::Options().set_threads(2));
+  if (!Check(session.LoadFromFiles(dataset->left_path, dataset->right_path),
+             "LoadFromFiles")) {
     return 1;
   }
-  std::printf(
-      "left schema: %zu classes, %zu relations; right schema: %zu classes, "
-      "%zu relations\n",
-      pair->left->classes().size(), pair->left->num_relations(),
-      pair->right->classes().size(), pair->right->num_relations());
+  const paris::ontology::Ontology& left = session.left();
+  const paris::ontology::Ontology& right = session.right();
 
-  paris::core::Aligner aligner(*pair->left, *pair->right);
-  const paris::core::AlignmentResult result = aligner.Run();
+  // --- Explore the schemas with pattern queries (pre-alignment) ---------
+  PrintSchema("\nleft schema", left);
+  PrintSchema("\nright schema", right);
 
-  // ---- Relations: maximal assignment per left relation ----------------
+  // A bound-relation pattern is one range scan of the POS ordering; sample
+  // a few y:wasBornIn statements through the facade.
+  const paris::rdf::RelId born_in = FindRel(left, "y:wasBornIn");
+  if (born_in != paris::rdf::kNullRel) {
+    auto sample = session.Query(
+        paris::api::Session::DeltaSide::kLeft,
+        paris::storage::TriplePattern().BindRel(born_in), /*limit=*/3);
+    if (!Check(sample.status(), "Query")) return 1;
+    std::printf("\nsample y:wasBornIn statements:\n");
+    for (const paris::rdf::Triple& t : *sample) {
+      std::printf("  %s -> %s\n", left.TermName(t.subject).c_str(),
+                  left.TermName(t.object).c_str());
+    }
+  }
+
+  // Both ontologies intern into one shared term pool, so a merge-join of
+  // two single-relation patterns on their *object* position yields the
+  // literal values present on both sides — the classic candidate-seed
+  // query, answered by two sorted scans and one intersection.
+  const paris::rdf::RelId left_label = FindRel(left, "rdfs:label");
+  const paris::rdf::RelId right_name = FindRel(right, "dbp:birthName");
+  if (left_label != paris::rdf::kNullRel &&
+      right_name != paris::rdf::kNullRel) {
+    const std::vector<uint32_t> shared = paris::storage::MergeJoin(
+        left.store().tri(),
+        paris::storage::TriplePattern().BindRel(left_label),
+        paris::storage::TriPos::kObject, right.store().tri(),
+        paris::storage::TriplePattern().BindRel(right_name),
+        paris::storage::TriPos::kObject);
+    std::printf(
+        "\n%zu literal values appear as both rdfs:label and dbp:birthName\n",
+        shared.size());
+  }
+
+  // --- Align and report the discovered schema mapping -------------------
+  if (!Check(session.Align(), "Align")) return 1;
+  const paris::core::AlignmentResult& result = session.result();
+
   std::printf("\nDiscovered relation mapping (left → right):\n");
   std::vector<paris::core::RelationAlignmentEntry> entries =
       result.relations.Entries();
   std::sort(entries.begin(), entries.end(),
             [](const auto& a, const auto& b) { return a.score > b.score; });
-  std::vector<bool> seen(pair->left->num_relations() + 1, false);
+  std::vector<bool> seen(left.num_relations() + 1, false);
   for (const auto& e : entries) {
     if (!e.sub_is_left) continue;
     const paris::rdf::RelId base = paris::rdf::BaseRel(e.sub);
     if (seen[static_cast<size_t>(base)]) continue;
     seen[static_cast<size_t>(base)] = true;
     // Report with a positive sub id for readability.
-    const auto sub = base;
     const auto super = paris::rdf::IsInverse(e.sub)
                            ? paris::rdf::Inverse(e.super)
                            : e.super;
-    std::printf("  %-22s ⊆ %-24s  (%.2f)\n",
-                pair->left->RelationName(sub).c_str(),
-                pair->right->RelationName(super).c_str(), e.score);
+    std::printf("  %-22s ⊆ %-24s  (%.2f)\n", left.RelationName(base).c_str(),
+                right.RelationName(super).c_str(), e.score);
   }
 
-  // ---- Classes: the most specific confident super-class ---------------
   std::printf("\nSample class mapping (right → left, score ≥ 0.5):\n");
   int shown = 0;
   for (const auto& e : result.classes.AboveThreshold(0.5, false)) {
     if (shown++ >= 12) break;
-    std::printf("  %-22s ⊆ %-28s  (%.2f)\n",
-                pair->right->TermName(e.sub).c_str(),
-                pair->left->TermName(e.super).c_str(), e.score);
+    std::printf("  %-22s ⊆ %-28s  (%.2f)\n", right.TermName(e.sub).c_str(),
+                left.TermName(e.super).c_str(), e.score);
   }
 
-  // ---- Accuracy against the generator's hidden gold -------------------
-  const auto rel_eval = paris::eval::EvaluateRelations(
-      result.relations, pair->gold, /*sub_is_left=*/true, 0.3);
-  const auto cls_eval = paris::eval::EvaluateClassEntries(
-      result.classes, pair->gold, /*sub_is_left=*/true, 0.5);
-  std::printf(
-      "\nrelation mapping: %zu aligned, %.0f%% precision, %.0f%% recall\n",
-      rel_eval.assigned, 100 * rel_eval.precision(),
-      100 * rel_eval.recall());
-  std::printf("class assignments (≥0.5): %zu entries, %.0f%% precision\n",
-              cls_eval.entries, 100 * cls_eval.precision());
+  const paris::api::RunSummary summary = session.summary();
+  std::printf("\naligned %zu instances in %zu iterations (%.1fs)\n",
+              summary.instances_aligned, summary.iterations, summary.seconds);
   return 0;
 }

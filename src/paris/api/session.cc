@@ -428,6 +428,17 @@ util::Status Session::SaveResult(const std::string& path) const {
                                             options_.matcher));
 }
 
+util::StatusOr<std::vector<rdf::Triple>> Session::Query(
+    DeltaSide side, const storage::TriplePattern& pattern,
+    size_t limit) const {
+  if (!loaded()) {
+    return util::FailedPreconditionError("no ontologies loaded to query");
+  }
+  const ontology::Ontology& onto =
+      side == DeltaSide::kLeft ? *left_ : *right_;
+  return onto.store().tri().Collect(pattern, limit);
+}
+
 util::Status Session::Export(const std::string& prefix) const {
   if (!has_result()) {
     return util::FailedPreconditionError("no alignment result to export");

@@ -19,6 +19,7 @@
 #include "paris/ontology/snapshot.h"
 #include "paris/rdf/ntriples.h"
 #include "paris/rdf/term.h"
+#include "paris/storage/tri_index.h"
 #include "paris/util/status.h"
 #include "paris/util/thread_pool.h"
 
@@ -285,6 +286,23 @@ class Session {
                        const RunCallbacks& callbacks = {});
 
   // ---- Inspect / export --------------------------------------------------
+
+  // Evaluates one triple pattern against one side's statements via the
+  // hexastore-style orderings (storage::TriIndex): every combination of
+  // bound / variable / ignored subject, relation, and object positions is
+  // answered by a single range scan of the best-fit ordering — no full
+  // scans except the all-variable pattern. A bound relation may be an
+  // inverse id (the matching statements are returned in their positive
+  // direction). Matches arrive as whole triples, deduplicated when ignored
+  // positions would collapse distinct statements; `limit` = 0 means no
+  // limit. FailedPrecondition when nothing is loaded.
+  //
+  //   auto triples = session.Query(
+  //       Session::DeltaSide::kLeft,
+  //       storage::TriplePattern().BindRel(rel).BindObject(city));
+  util::StatusOr<std::vector<rdf::Triple>> Query(
+      DeltaSide side, const storage::TriplePattern& pattern,
+      size_t limit = 0) const;
 
   // Writes `<prefix>_{instances,relations,classes}.tsv`.
   util::Status Export(const std::string& prefix) const;

@@ -86,13 +86,14 @@ double NegativeEvidenceFactor(
         left_sub_right,
     const AlignmentConfig& config, rdf::TermId x_prime) {
   const auto variant = config.functionality_variant;
-  // One dictionary lookup for x'; each r' range below is a binary search
-  // within this cached slice.
-  const auto candidate_facts = right.FactsAbout(x_prime);
+  // One dictionary lookup for x'; each r' range below is a probe of the
+  // index's per-term relation directory (log of x''s *distinct relation*
+  // count, not of its full degree — the win on hub entities).
+  const auto cursor = right.store().CursorFor(x_prime);
 
   auto inner_product = [&](const ExpandedFact& ef, rdf::RelId r_prime) {
     double inner = 1.0;
-    for (const rdf::Fact& cf : FactsWithRelation(candidate_facts, r_prime)) {
+    for (const rdf::Fact& cf : cursor.FactsWith(r_prime)) {
       // `equivalents` is sorted by term id (see RunShard).
       auto it = std::lower_bound(
           ef.equivalents.begin(), ef.equivalents.end(), cf.other,

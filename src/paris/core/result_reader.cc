@@ -27,7 +27,8 @@ util::StatusOr<ResultReader> ResultReader::Open(
   ResultReader out;
   util::Status status = storage::LoadSnapshotFile(
       path, mode, kResultSnapshotMagic, kResultSnapshotVersion,
-      "result snapshot", [&](storage::SnapshotReader& reader) {
+      kResultSnapshotVersion, "result snapshot",
+      [&](storage::SnapshotReader& reader, uint32_t /*file_version*/) {
         util::Status loaded = out.LoadSections(reader);
         if (loaded.ok()) out.mapping_ = reader.view_owner();
         return loaded;

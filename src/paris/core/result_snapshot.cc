@@ -572,7 +572,8 @@ util::StatusOr<AlignmentResult> LoadAlignmentResult(
   std::optional<AlignmentResult> out;
   util::Status status = storage::LoadSnapshotFile(
       path, mode, kResultSnapshotMagic, kResultSnapshotVersion,
-      "result snapshot", [&](storage::SnapshotReader& reader) {
+      kResultSnapshotVersion, "result snapshot",
+      [&](storage::SnapshotReader& reader, uint32_t /*file_version*/) {
         auto result = LoadResultSections(reader, left, right, config, matcher);
         if (!result.ok()) return result.status();
         out.emplace(std::move(result).value());

@@ -60,16 +60,9 @@ class ReachabilityCloser {
 // Ontology accessors
 // ---------------------------------------------------------------------------
 
-std::span<const rdf::TermId> Ontology::ClassesOf(rdf::TermId instance) const {
-  auto it = classes_of_.find(instance);
-  if (it == classes_of_.end()) return {};
-  return {it->second.data(), it->second.size()};
-}
-
-std::span<const rdf::TermId> Ontology::InstancesOf(rdf::TermId cls) const {
-  auto it = instances_of_.find(cls);
-  if (it == instances_of_.end()) return {};
-  return {it->second.data(), it->second.size()};
+void Ontology::RepackTypeIndexes() {
+  packed_classes_of_.Repack(classes_of_);
+  packed_instances_of_.Repack(instances_of_);
 }
 
 std::span<const rdf::TermId> Ontology::SuperClassesOf(rdf::TermId cls) const {
@@ -232,6 +225,7 @@ util::StatusOr<Ontology> OntologyBuilder::Build(util::ThreadPool* pool,
   }
 
   onto.store_.Finalize(pool, hooks);
+  onto.RepackTypeIndexes();
   {
     obs::Span span(hooks.trace, hooks.main_slot(), "io",
                    "ontology.functionality");
@@ -347,6 +341,7 @@ util::StatusOr<Ontology::DeltaSummary> Ontology::ApplyDelta(
       std::unique(summary.touched_terms.begin(), summary.touched_terms.end()),
       summary.touched_terms.end());
   std::sort(summary.new_instances.begin(), summary.new_instances.end());
+  RepackTypeIndexes();
 
   // Added pairs change the degree statistics of exactly the touched
   // relations, but the table is cheap relative to any alignment pass —

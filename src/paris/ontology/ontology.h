@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "paris/ontology/functionality.h"
+#include "paris/ontology/packed_term_map.h"
 #include "paris/rdf/ntriples.h"
 #include "paris/rdf/store.h"
 #include "paris/rdf/term.h"
@@ -30,10 +31,13 @@ namespace paris::ontology {
 class Ontology;
 
 // Snapshot section I/O (src/ontology/snapshot.h); friends of Ontology.
-void SaveOntologySection(const Ontology& onto,
-                         storage::SnapshotWriter& writer);
+// `version` is the snapshot file's format version, steering how the packed
+// triple store section is written / interpreted.
+void SaveOntologySection(const Ontology& onto, storage::SnapshotWriter& writer,
+                         uint32_t version);
 util::StatusOr<Ontology> LoadOntologySection(storage::SnapshotReader& reader,
-                                             rdf::TermPool* pool);
+                                             rdf::TermPool* pool,
+                                             uint32_t version);
 
 // An RDFS ontology in the paper's sense (§3): a finalized set of statements
 // over a shared term pool, with
@@ -73,9 +77,16 @@ class Ontology {
   // ---- Types (deductively closed) ----
 
   // All classes `instance` belongs to (direct types plus superclasses).
-  std::span<const rdf::TermId> ClassesOf(rdf::TermId instance) const;
+  // Sorted. Served from a packed CSR index (one hash + one probe, no
+  // bucket-pointer chase) — the class pass hits this for every candidate
+  // instance in its inner loop.
+  std::span<const rdf::TermId> ClassesOf(rdf::TermId instance) const {
+    return packed_classes_of_.Get(instance);
+  }
   // All instances of `cls` (including instances of subclasses). Sorted.
-  std::span<const rdf::TermId> InstancesOf(rdf::TermId cls) const;
+  std::span<const rdf::TermId> InstancesOf(rdf::TermId cls) const {
+    return packed_instances_of_.Get(cls);
+  }
 
   // ---- Class hierarchy ----
 
@@ -154,10 +165,15 @@ class Ontology {
  private:
   friend class OntologyBuilder;
   friend void SaveOntologySection(const Ontology& onto,
-                                  storage::SnapshotWriter& writer);
+                                  storage::SnapshotWriter& writer,
+                                  uint32_t version);
   friend util::StatusOr<Ontology> LoadOntologySection(
-      storage::SnapshotReader& reader, rdf::TermPool* pool);
+      storage::SnapshotReader& reader, rdf::TermPool* pool, uint32_t version);
   explicit Ontology(rdf::TermPool* pool) : store_(pool) {}
+
+  // Re-derives the packed type indexes from classes_of_ / instances_of_.
+  // Must run after anything that mutates those maps (build, load, delta).
+  void RepackTypeIndexes();
 
   std::string name_;
   rdf::TripleStore store_;
@@ -167,9 +183,13 @@ class Ontology {
   std::unordered_set<rdf::TermId> instance_set_;
   std::unordered_set<rdf::TermId> class_set_;
 
-  // Closed type indexes.
+  // Closed type indexes (source of truth; mutated by ApplyDelta).
   std::unordered_map<rdf::TermId, std::vector<rdf::TermId>> classes_of_;
   std::unordered_map<rdf::TermId, std::vector<rdf::TermId>> instances_of_;
+  // Read-optimized packed forms of the two maps above; ClassesOf /
+  // InstancesOf serve from these.
+  PackedTermMap packed_classes_of_;
+  PackedTermMap packed_instances_of_;
   // Transitively closed subclass edges (excluding self).
   std::unordered_map<rdf::TermId, std::vector<rdf::TermId>> superclasses_;
 

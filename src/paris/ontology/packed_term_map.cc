@@ -1,0 +1,39 @@
+#include "paris/ontology/packed_term_map.h"
+
+#include <cassert>
+
+namespace paris::ontology {
+
+void PackedTermMap::Repack(
+    const std::unordered_map<rdf::TermId, std::vector<rdf::TermId>>& map) {
+  slots_.clear();
+  offsets_.clear();
+  values_.clear();
+  if (map.empty()) {
+    mask_ = 0;
+    return;
+  }
+
+  size_t capacity = 2;
+  while (capacity < map.size() * 2) capacity <<= 1;
+  slots_.assign(capacity, Slot{});
+  mask_ = capacity - 1;
+
+  size_t total = 0;
+  for (const auto& [key, values] : map) total += values.size();
+  offsets_.reserve(map.size() + 1);
+  values_.reserve(total);
+
+  offsets_.push_back(0);
+  uint32_t row = 0;
+  for (const auto& [key, values] : map) {
+    assert(key != rdf::kNullTerm && "kNullTerm is the empty-slot sentinel");
+    values_.insert(values_.end(), values.begin(), values.end());
+    offsets_.push_back(values_.size());
+    size_t i = Hash(key) & mask_;
+    while (slots_[i].key != rdf::kNullTerm) i = (i + 1) & mask_;
+    slots_[i] = Slot{key, row++};
+  }
+}
+
+}  // namespace paris::ontology

@@ -1,0 +1,70 @@
+#ifndef PARIS_ONTOLOGY_PACKED_TERM_MAP_H_
+#define PARIS_ONTOLOGY_PACKED_TERM_MAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "paris/rdf/term.h"
+
+namespace paris::ontology {
+
+// A read-optimized snapshot of a TermId → sorted-TermId-list map: all value
+// lists packed into one contiguous CSR array, keyed by an open-addressed
+// probe table sized at twice the key count. `Get` is one multiplicative
+// hash plus (usually) a single slot probe touching 8 bytes — no pointer
+// chase through unordered_map buckets and no per-key vector header — which
+// is what the class pass's membership probes (ClassesOf/InstancesOf on
+// every candidate instance) want in their inner loop.
+//
+// The map it was built from stays the source of truth: `Repack` derives the
+// packed form and preserves each key's value order exactly, so spans served
+// from here are element-identical to spans over the original vectors.
+class PackedTermMap {
+ public:
+  PackedTermMap() = default;
+
+  // Rebuilds the packed form from `map`. Any previously returned spans are
+  // invalidated.
+  void Repack(const std::unordered_map<rdf::TermId, std::vector<rdf::TermId>>&
+                  map);
+
+  // The values of `key`, or an empty span. Valid until the next Repack().
+  std::span<const rdf::TermId> Get(rdf::TermId key) const {
+    if (slots_.empty()) return {};
+    size_t i = Hash(key) & mask_;
+    while (true) {
+      const Slot& s = slots_[i];
+      if (s.key == key) {
+        return {values_.data() + offsets_[s.row],
+                offsets_[s.row + 1] - offsets_[s.row]};
+      }
+      if (s.key == rdf::kNullTerm) return {};
+      i = (i + 1) & mask_;
+    }
+  }
+
+  size_t num_keys() const { return offsets_.empty() ? 0 : offsets_.size() - 1; }
+
+ private:
+  struct Slot {
+    rdf::TermId key = rdf::kNullTerm;  // kNullTerm marks an empty slot
+    uint32_t row = 0;
+  };
+
+  static size_t Hash(rdf::TermId key) {
+    // Fibonacci multiplicative hash; the probe table is a power of two.
+    return static_cast<size_t>(key) * 2654435761u;
+  }
+
+  std::vector<Slot> slots_;  // power-of-two open-addressed probe table
+  size_t mask_ = 0;          // slots_.size() - 1
+  std::vector<uint64_t> offsets_;      // row → [begin, end) in values_
+  std::vector<rdf::TermId> values_;    // concatenated value lists
+};
+
+}  // namespace paris::ontology
+
+#endif  // PARIS_ONTOLOGY_PACKED_TERM_MAP_H_

@@ -61,10 +61,10 @@ bool TermsInRange(const std::vector<rdf::TermId>& terms, size_t pool_size) {
 
 }  // namespace
 
-void SaveOntologySection(const Ontology& onto,
-                         storage::SnapshotWriter& writer) {
+void SaveOntologySection(const Ontology& onto, storage::SnapshotWriter& writer,
+                         uint32_t version) {
   writer.WriteString(onto.name_);
-  onto.store_.SaveTo(writer);
+  onto.store_.SaveTo(writer, version);
   writer.WritePodVector(onto.instances_);
   writer.WritePodVector(onto.classes_);
   SaveTermVectorMap(onto.classes_of_, writer);
@@ -72,10 +72,11 @@ void SaveOntologySection(const Ontology& onto,
 }
 
 util::StatusOr<Ontology> LoadOntologySection(storage::SnapshotReader& reader,
-                                             rdf::TermPool* pool) {
+                                             rdf::TermPool* pool,
+                                             uint32_t version) {
   Ontology onto(pool);
   onto.name_ = reader.ReadString();
-  auto store = rdf::TripleStore::LoadFrom(reader, pool);
+  auto store = rdf::TripleStore::LoadFrom(reader, pool, version);
   if (!store.ok()) return store.status();
   onto.store_ = std::move(store).value();
   const size_t pool_size = pool->size();
@@ -113,25 +114,30 @@ util::StatusOr<Ontology> LoadOntologySection(storage::SnapshotReader& reader,
   for (auto& [cls, members] : onto.instances_of_) {
     std::sort(members.begin(), members.end());
   }
+  onto.RepackTypeIndexes();
   onto.functionality_ = std::make_unique<FunctionalityTable>(onto.store_);
   return onto;
 }
 
 util::Status SaveAlignmentSnapshot(const std::string& path,
-                                   const Ontology& left,
-                                   const Ontology& right) {
+                                   const Ontology& left, const Ontology& right,
+                                   uint32_t version) {
   if (&left.pool() != &right.pool()) {
     return util::InvalidArgumentError(
         "snapshot requires both ontologies to share one term pool");
+  }
+  if (version < storage::kMinSnapshotVersion ||
+      version > storage::kSnapshotVersion) {
+    return util::InvalidArgumentError("unsupported snapshot write version");
   }
   // Staged through AtomicFileWriter: a crash (or write error) at any point
   // leaves the previous snapshot at `path` intact.
   util::AtomicFileWriter out(path);
   storage::SnapshotWriter writer(out.stream());
-  storage::WriteSnapshotHeader(writer, out.stream());
+  storage::WriteSnapshotHeader(writer, out.stream(), version);
   storage::SaveTermPool(left.pool(), writer);
-  SaveOntologySection(left, writer);
-  SaveOntologySection(right, writer);
+  SaveOntologySection(left, writer, version);
+  SaveOntologySection(right, writer, version);
   const uint64_t checksum = writer.checksum();
   writer.WriteU64(checksum);
   return out.Commit();
@@ -142,12 +148,13 @@ namespace {
 // The two sections behind the header; shared by the streaming and mmap
 // paths (the reader's mode steers copy vs. zero-copy column loads).
 util::StatusOr<AlignmentSnapshot> LoadSections(storage::SnapshotReader& reader,
-                                               rdf::TermPool* pool) {
+                                               rdf::TermPool* pool,
+                                               uint32_t file_version) {
   util::Status status = storage::LoadTermPool(reader, pool);
   if (!status.ok()) return status;
-  auto left = LoadOntologySection(reader, pool);
+  auto left = LoadOntologySection(reader, pool, file_version);
   if (!left.ok()) return left.status();
-  auto right = LoadOntologySection(reader, pool);
+  auto right = LoadOntologySection(reader, pool, file_version);
   if (!right.ok()) return right.status();
   return AlignmentSnapshot{std::move(left).value(), std::move(right).value()};
 }
@@ -158,9 +165,10 @@ util::StatusOr<AlignmentSnapshot> LoadAlignmentSnapshot(
     const std::string& path, rdf::TermPool* pool, SnapshotLoadMode mode) {
   std::optional<AlignmentSnapshot> out;
   util::Status status = storage::LoadSnapshotFile(
-      path, mode, storage::kSnapshotMagic, storage::kSnapshotVersion,
-      "snapshot", [&](storage::SnapshotReader& reader) {
-        auto sections = LoadSections(reader, pool);
+      path, mode, storage::kSnapshotMagic, storage::kMinSnapshotVersion,
+      storage::kSnapshotVersion, "snapshot",
+      [&](storage::SnapshotReader& reader, uint32_t file_version) {
+        auto sections = LoadSections(reader, pool, file_version);
         if (!sections.ok()) return sections.status();
         out.emplace(std::move(sections).value());
         return util::OkStatus();

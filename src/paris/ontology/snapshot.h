@@ -21,9 +21,12 @@ namespace paris::ontology {
 // friends) write one ontology; the functions below frame a whole file.
 
 // Both ontologies must share one term pool (the normal alignment setup).
+// `version` selects the format version to write (compat tests write a
+// downlevel storage::kMinSnapshotVersion file); it must lie in
+// [storage::kMinSnapshotVersion, storage::kSnapshotVersion].
 util::Status SaveAlignmentSnapshot(const std::string& path,
-                                   const Ontology& left,
-                                   const Ontology& right);
+                                   const Ontology& left, const Ontology& right,
+                                   uint32_t version = storage::kSnapshotVersion);
 
 struct AlignmentSnapshot {
   Ontology left;

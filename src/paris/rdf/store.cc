@@ -46,6 +46,7 @@ void TripleStore::Finalize(util::ThreadPool* pool, obs::Hooks hooks) {
   assert(!finalized_);
   index_ = storage::ColumnarIndex::Build(terms_, rel_names_.size(),
                                          std::move(pending_), pool, hooks);
+  tri_ = storage::TriIndex::Build(index_, pool, hooks);
   pending_ = {};
   finalized_ = true;
 }
@@ -81,6 +82,13 @@ bool TripleStore::Contains(TermId s, RelId rel, TermId o) const {
   return index_.Contains(it->second, rel, o);
 }
 
+TripleStore::FactsCursor TripleStore::CursorFor(TermId t) const {
+  assert(finalized_);
+  auto it = local_index_.find(t);
+  if (it == local_index_.end() || it->second >= index_.num_terms()) return {};
+  return FactsCursor(&index_, it->second);
+}
+
 TripleStore::DeltaMergeResult TripleStore::MergeDelta(util::ThreadPool* pool,
                                                       obs::Hooks hooks) {
   assert(finalized_ && "MergeDelta() requires a finalized store");
@@ -89,11 +97,18 @@ TripleStore::DeltaMergeResult TripleStore::MergeDelta(util::ThreadPool* pool,
   pending_ = {};
 
   DeltaMergeResult result;
+  std::vector<Triple> novel;
   for (const auto& e : kept) {
     result.touched_terms.push_back(terms_[e.owner]);
     result.touched_relations.push_back(BaseRel(e.rel));
-    if (e.rel > 0) ++result.num_new_statements;
+    if (e.rel > 0) {
+      ++result.num_new_statements;
+      // Each novel statement appears once with a positive relation (its
+      // inverse half carries the negated id).
+      novel.push_back(Triple{terms_[e.owner], e.rel, e.other});
+    }
   }
+  tri_.MergeDelta(std::move(novel));
   auto canonicalize = [](auto& v) {
     std::sort(v.begin(), v.end());
     v.erase(std::unique(v.begin(), v.end()), v.end());
@@ -130,28 +145,59 @@ void TripleStore::ForEachPair(
 // ---------------------------------------------------------------------------
 
 void TripleStore::SaveTo(storage::SnapshotWriter& writer) const {
+  SaveTo(writer, storage::kSnapshotVersion);
+}
+
+void TripleStore::SaveTo(storage::SnapshotWriter& writer,
+                         uint32_t version) const {
   assert(finalized_);
+  assert(version >= storage::kMinSnapshotVersion &&
+         version <= storage::kSnapshotVersion);
   writer.WritePodVector(rel_names_);
   writer.WritePodVector(terms_);
   writer.WritePodSpan(index_.offsets());
   writer.WritePodSpan(index_.facts());
   writer.WritePodSpan(index_.pair_offsets());
   writer.WritePodSpan(index_.pairs());
+  if (version >= 3) {
+    writer.WritePodSpan(index_.dir_offsets());
+    writer.WritePodSpan(index_.dir());
+    writer.WritePodSpan(tri_.spo_rows());
+    writer.WritePodSpan(tri_.pos_rows());
+    writer.WritePodSpan(tri_.osp_rows());
+  }
 }
 
 util::StatusOr<TripleStore> TripleStore::LoadFrom(
     storage::SnapshotReader& reader, TermPool* pool) {
+  return LoadFrom(reader, pool, storage::kSnapshotVersion);
+}
+
+util::StatusOr<TripleStore> TripleStore::LoadFrom(
+    storage::SnapshotReader& reader, TermPool* pool, uint32_t version) {
   TripleStore store(pool);
   storage::Column<uint64_t> offsets;
   storage::Column<Fact> facts;
   storage::Column<uint64_t> pair_offsets;
   storage::Column<TermPair> pairs;
+  storage::Column<uint64_t> dir_offsets;
+  storage::Column<storage::ColumnarIndex::DirEntry> dir;
+  storage::Column<storage::TriRow> spo;
+  storage::Column<storage::TriRow> pos;
+  storage::Column<storage::TriRow> osp;
   reader.ReadPodVector(&store.rel_names_);
   reader.ReadPodVector(&store.terms_);
   reader.ReadPodColumn(&offsets);
   reader.ReadPodColumn(&facts);
   reader.ReadPodColumn(&pair_offsets);
   reader.ReadPodColumn(&pairs);
+  if (version >= 3) {
+    reader.ReadPodColumn(&dir_offsets);
+    reader.ReadPodColumn(&dir);
+    reader.ReadPodColumn(&spo);
+    reader.ReadPodColumn(&pos);
+    reader.ReadPodColumn(&osp);
+  }
   if (!reader.ok()) {
     return util::DataLossError("truncated triple store section");
   }
@@ -181,11 +227,30 @@ util::StatusOr<TripleStore> TripleStore::LoadFrom(
     }
   }
   if (offsets.size() != store.terms_.size() + 1 ||
-      pair_offsets.size() != store.rel_names_.size() + 1 ||
-      !storage::ColumnarIndex::FromColumns(
-          std::move(offsets), std::move(facts), std::move(pair_offsets),
-          std::move(pairs), reader.view_owner(), &store.index_)) {
+      pair_offsets.size() != store.rel_names_.size() + 1) {
     return util::DataLossError("inconsistent triple store columns");
+  }
+  if (version >= 3) {
+    if (!storage::ColumnarIndex::FromColumns(
+            std::move(offsets), std::move(facts), std::move(pair_offsets),
+            std::move(pairs), std::move(dir_offsets), std::move(dir),
+            reader.view_owner(), &store.index_)) {
+      return util::DataLossError("inconsistent triple store columns");
+    }
+    if (!storage::TriIndex::FromColumns(store.index_, std::move(spo),
+                                        std::move(pos), std::move(osp),
+                                        reader.view_owner(), &store.tri_)) {
+      return util::DataLossError("inconsistent triple-pattern orderings");
+    }
+  } else {
+    if (!storage::ColumnarIndex::FromColumns(
+            std::move(offsets), std::move(facts), std::move(pair_offsets),
+            std::move(pairs), reader.view_owner(), &store.index_)) {
+      return util::DataLossError("inconsistent triple store columns");
+    }
+    // Downlevel (v2) sections predate the persisted orderings; rebuild them
+    // deterministically from the loaded index.
+    store.tri_ = storage::TriIndex::Build(store.index_);
   }
 
   store.rel_index_.reserve(store.rel_names_.size());

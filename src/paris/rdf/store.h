@@ -14,6 +14,7 @@
 #include "paris/rdf/term.h"
 #include "paris/rdf/triple.h"
 #include "paris/storage/columnar_index.h"
+#include "paris/storage/tri_index.h"
 #include "paris/util/status.h"
 
 namespace paris::storage {
@@ -112,6 +113,44 @@ class TripleStore {
   // True if rel(s, o) is a statement of this store (rel may be inverse).
   bool Contains(TermId s, RelId rel, TermId o) const;
 
+  // A resolved handle over one term's packed adjacency: the global→local
+  // dictionary lookup happens once at `CursorFor`, so the fixpoint's inner
+  // loops can issue many per-relation probes against the same term without
+  // re-hashing its id. All spans stay valid for the store's lifetime.
+  class FactsCursor {
+   public:
+    FactsCursor() = default;
+
+    // False when the term is unknown (every accessor then returns empty).
+    bool valid() const { return index_ != nullptr; }
+
+    std::span<const Fact> all() const {
+      return valid() ? index_->FactsAbout(local_) : std::span<const Fact>{};
+    }
+    std::span<const Fact> FactsWith(RelId rel) const {
+      return valid() ? index_->FactsWith(local_, rel)
+                     : std::span<const Fact>{};
+    }
+    std::span<const TermId> ObjectsOf(RelId rel) const {
+      return valid() ? index_->ObjectsOf(local_, rel)
+                     : std::span<const TermId>{};
+    }
+    bool Contains(RelId rel, TermId other) const {
+      return valid() && index_->Contains(local_, rel, other);
+    }
+
+   private:
+    friend class TripleStore;
+    FactsCursor(const storage::ColumnarIndex* index, uint32_t local)
+        : index_(index), local_(local) {}
+
+    const storage::ColumnarIndex* index_ = nullptr;
+    uint32_t local_ = 0;
+  };
+
+  // Resolves `t` once; invalid cursor if `t` is unknown to this ontology.
+  FactsCursor CursorFor(TermId t) const;
+
   // Number of registered relations; valid positive ids are [1, count].
   size_t num_relations() const { return rel_names_.size(); }
   TermId relation_name(RelId rel) const {
@@ -154,20 +193,36 @@ class TripleStore {
   // The packed storage engine (benchmarks, snapshot deep-equality).
   const storage::ColumnarIndex& index() const { return index_; }
 
+  // The hexastore-style triple-pattern orderings over this store's
+  // distinct statements (query engine; see storage::TriplePattern).
+  // Subject/object components are global term ids.
+  const storage::TriIndex& tri() const { return tri_; }
+
   // ---- Snapshot I/O (see src/storage/README.md) ----
 
   // Serializes the relation registry, term dictionary, and packed index as
   // one section. Requires a finalized store; term ids reference the pool,
-  // which must be saved alongside (storage::SaveTermPool).
+  // which must be saved alongside (storage::SaveTermPool). The no-argument
+  // form writes the current format version; `version` ==
+  // storage::kMinSnapshotVersion writes a downlevel v2 section (CSR/POS
+  // only — no TriIndex orderings or relation directory).
   void SaveTo(storage::SnapshotWriter& writer) const;
+  void SaveTo(storage::SnapshotWriter& writer, uint32_t version) const;
 
   // Restores a finalized store whose term ids reference `pool` (already
   // loaded). Fails on structurally invalid or out-of-range data. With a
-  // memory-backed reader (mmap'ed snapshot) the four packed index columns
+  // memory-backed reader (mmap'ed snapshot) the packed index columns
   // become zero-copy views into the mapping — only the dictionary hash
-  // tables and the derived object column are materialized.
+  // tables and the derived object column are materialized. `version` is
+  // the snapshot file's format version: v3 sections carry the TriIndex
+  // orderings and relation directory (adopted zero-copy), v2 sections get
+  // them rebuilt in memory. The two-argument form loads the current
+  // version.
   static util::StatusOr<TripleStore> LoadFrom(storage::SnapshotReader& reader,
                                               TermPool* pool);
+  static util::StatusOr<TripleStore> LoadFrom(storage::SnapshotReader& reader,
+                                              TermPool* pool,
+                                              uint32_t version);
 
  private:
   uint32_t LocalIndex(TermId t);
@@ -188,6 +243,9 @@ class TripleStore {
 
   // The packed engine (empty until Finalize()).
   storage::ColumnarIndex index_;
+
+  // The SPO/POS/OSP orderings, kept in lockstep with index_.
+  storage::TriIndex tri_;
 };
 
 }  // namespace paris::rdf

@@ -22,6 +22,7 @@ const char* SpanNameForVerb(const std::string& verb) {
   if (verb == "CANCEL") return "cancel";
   if (verb == "WATCH") return "watch";
   if (verb == "LOOKUP") return "lookup";
+  if (verb == "QUERY") return "query";
   if (verb == "RESULT") return "result";
   if (verb == "SHUTDOWN") return "shutdown";
   return "unknown";
@@ -67,6 +68,10 @@ util::Status Daemon::Start() {
   connections_ = metrics_.Counter("service.connections");
   lookup_micros_ = metrics_.Histogram(
       "service.lookup_micros",
+      {10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 50000});
+  queries_ = metrics_.Counter("service.queries");
+  query_micros_ = metrics_.Histogram(
+      "service.query_micros",
       {10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 50000});
   cache_hits_gauge_ = metrics_.Gauge("service.lookup_cache_hits");
   cache_misses_gauge_ = metrics_.Gauge("service.lookup_cache_misses");
@@ -274,6 +279,8 @@ std::string Daemon::HandleRequest(const std::string& payload, size_t slot) {
     reply = HandleCancel(tokens);
   } else if (verb == "LOOKUP") {
     reply = HandleLookup(payload, slot);
+  } else if (verb == "QUERY") {
+    reply = HandleQuery(payload, slot);
   } else if (verb == "RESULT") {
     reply = HandleResult();
   } else if (verb == "SHUTDOWN") {
@@ -531,6 +538,94 @@ std::string Daemon::HandleLookup(const std::string& payload, size_t slot) {
     }
   }
   std::string reply = out.str();
+  snapshots_.cache().Put(cache_key, reply);
+  return finish(std::move(reply));
+}
+
+std::string Daemon::HandleQuery(const std::string& payload, size_t slot) {
+  // QUERY left|right <s> <p> <o> [limit] — each position is `?` (variable),
+  // `_` (ignored; duplicates collapse), `#<raw id>`, or a lexical IRI name;
+  // the relation additionally accepts a `-` prefix for the inverse
+  // direction. Answered from the ontology pair itself (the TriIndex
+  // orderings), so it works before the first result snapshot exists.
+  const std::vector<std::string> tokens = SplitTokens(payload);
+  if (tokens.size() != 5 && tokens.size() != 6) {
+    return ErrorReply(util::InvalidArgumentError(
+        "usage: QUERY left|right <subject> <relation> <object> [limit]"));
+  }
+  const std::string& side = tokens[1];
+  if (side != "left" && side != "right") {
+    return ErrorReply(
+        util::InvalidArgumentError("QUERY side must be left or right"));
+  }
+  const bool side_is_left = side == "left";
+  size_t limit = 100;  // bounded by default; an explicit 0 means no limit
+  if (tokens.size() == 6) {
+    long long parsed = 0;
+    if (!util::ParseFullInt64(tokens[5], &parsed) || parsed < 0) {
+      return ErrorReply(util::InvalidArgumentError(
+          "QUERY limit must be a non-negative integer"));
+    }
+    limit = static_cast<size_t>(parsed);
+  }
+
+  storage::TriplePattern pattern;
+  if (tokens[2] == "_") {
+    pattern.IgnoreSubject();
+  } else if (tokens[2] != "?") {
+    auto id = ResolveTerm(tokens[2]);
+    if (!id.ok()) return ErrorReply(id.status());
+    pattern.BindSubject(*id);
+  }
+  if (tokens[3] == "_") {
+    pattern.IgnoreRel();
+  } else if (tokens[3] != "?") {
+    auto rel = ResolveRelation(tokens[3], side_is_left);
+    if (!rel.ok()) return ErrorReply(rel.status());
+    pattern.BindRel(*rel);
+  }
+  if (tokens[4] == "_") {
+    pattern.IgnoreObject();
+  } else if (tokens[4] != "?") {
+    auto id = ResolveTerm(tokens[4]);
+    if (!id.ok()) return ErrorReply(id.status());
+    pattern.BindObject(*id);
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto finish = [&](std::string reply) {
+    const double micros =
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    metrics_.Add(queries_, slot, 1);
+    metrics_.Observe(query_micros_, slot, micros);
+    return reply;
+  };
+
+  // The pattern resolves against the immutable resolution pair, but keying
+  // the cache by generation keeps the invalidation story uniform with
+  // LOOKUP (and future daemons that re-load the pair per generation).
+  const std::string cache_key = "query:" + side + ":" +
+                                std::to_string(snapshots_.generation()) + ":" +
+                                tokens[2] + " " + tokens[3] + " " + tokens[4] +
+                                " " + std::to_string(limit);
+  std::string cached;
+  if (snapshots_.cache().Get(cache_key, &cached)) return finish(cached);
+
+  const ontology::Ontology& onto =
+      side_is_left ? resolver_->left() : resolver_->right();
+  std::ostringstream body;
+  const size_t matched = onto.store().tri().Scan(
+      pattern, limit, [&](const rdf::Triple& t) {
+        body << "\n"
+             << (t.subject == rdf::kNullTerm ? "_" : onto.TermName(t.subject))
+             << "\t"
+             << (t.rel == rdf::kNullRel ? "_" : onto.RelationName(t.rel))
+             << "\t"
+             << (t.object == rdf::kNullTerm ? "_" : onto.TermName(t.object));
+      });
+  std::string reply = "OK " + std::to_string(matched) + body.str();
   snapshots_.cache().Put(cache_key, reply);
   return finish(std::move(reply));
 }

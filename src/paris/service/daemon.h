@@ -105,6 +105,7 @@ class Daemon {
   std::string HandleList();
   std::string HandleCancel(const std::vector<std::string>& tokens);
   std::string HandleLookup(const std::string& payload, size_t slot);
+  std::string HandleQuery(const std::string& payload, size_t slot);
   std::string HandleResult();
   std::string HandleMetrics(size_t slot);
   std::string HandleTrace(size_t slot);
@@ -144,6 +145,8 @@ class Daemon {
   obs::MetricId errors_ = 0;
   obs::MetricId lookups_ = 0;
   obs::MetricId lookup_micros_ = 0;
+  obs::MetricId queries_ = 0;
+  obs::MetricId query_micros_ = 0;
   obs::MetricId connections_ = 0;
   obs::MetricId cache_hits_gauge_ = 0;
   obs::MetricId cache_misses_gauge_ = 0;

@@ -230,6 +230,7 @@ ColumnarIndex ColumnarIndex::Build(std::span<const rdf::TermId> terms,
   index.objects_ = Column<rdf::TermId>::FromOwned(std::move(objects));
   index.pair_offsets_ = Column<uint64_t>::FromOwned(std::move(pair_offsets));
   index.pairs_ = Column<rdf::TermPair>::FromOwned(std::move(pairs));
+  index.RebuildDirectory(pool);
   return index;
 }
 
@@ -363,6 +364,7 @@ std::vector<ColumnarIndex::Entry> ColumnarIndex::MergeDelta(
   pair_offsets_ = Column<uint64_t>::FromOwned(std::move(new_pair_offsets));
   pairs_ = Column<rdf::TermPair>::FromOwned(std::move(new_pairs));
   keep_alive_.reset();
+  RebuildDirectory(pool);
   return kept;
 }
 
@@ -408,6 +410,75 @@ void ColumnarIndex::RebuildObjectColumn() {
   objects_ = Column<rdf::TermId>::FromOwned(std::move(objects));
 }
 
+void ColumnarIndex::RebuildDirectory(util::ThreadPool* pool) {
+  const size_t terms = num_terms();
+  std::vector<uint64_t> dir_offsets(terms + 1, 0);
+  util::ForRange(pool, terms, [&](size_t begin, size_t end) {
+    for (size_t t = begin; t < end; ++t) {
+      uint64_t runs = 0;
+      rdf::RelId prev = rdf::kNullRel;
+      for (uint64_t i = offsets_[t]; i < offsets_[t + 1]; ++i) {
+        if (runs == 0 || facts_[i].rel != prev) {
+          ++runs;
+          prev = facts_[i].rel;
+        }
+      }
+      dir_offsets[t + 1] = runs;
+    }
+  });
+  for (size_t t = 0; t < terms; ++t) dir_offsets[t + 1] += dir_offsets[t];
+  std::vector<DirEntry> dir(dir_offsets[terms]);
+  util::ForRange(pool, terms, [&](size_t begin, size_t end) {
+    for (size_t t = begin; t < end; ++t) {
+      const uint64_t base = offsets_[t];
+      assert(offsets_[t + 1] - base <=
+             std::numeric_limits<uint32_t>::max());
+      uint64_t dst = dir_offsets[t];
+      rdf::RelId prev = rdf::kNullRel;
+      for (uint64_t i = base; i < offsets_[t + 1]; ++i) {
+        if (dst == dir_offsets[t] || facts_[i].rel != prev) {
+          dir[dst++] = DirEntry{facts_[i].rel, static_cast<uint32_t>(i - base)};
+          prev = facts_[i].rel;
+        }
+      }
+    }
+  });
+  dir_offsets_ = Column<uint64_t>::FromOwned(std::move(dir_offsets));
+  dir_ = Column<DirEntry>::FromOwned(std::move(dir));
+}
+
+bool ColumnarIndex::ValidateDirectory(std::span<const uint64_t> offsets,
+                                      std::span<const rdf::Fact> facts,
+                                      std::span<const uint64_t> dir_offsets,
+                                      std::span<const DirEntry> dir) {
+  if (dir_offsets.size() != offsets.size()) return false;
+  if (dir_offsets.front() != 0 || dir_offsets.back() != dir.size()) {
+    return false;
+  }
+  // Exact check: walking each term's facts must reproduce the directory
+  // rows one-for-one (one row per (rel, other)-run start, relative begin
+  // offsets). O(num_facts), like the other load-time validations.
+  for (size_t t = 0; t + 1 < offsets.size(); ++t) {
+    const uint64_t base = offsets[t];
+    if (offsets[t + 1] - base > std::numeric_limits<uint32_t>::max()) {
+      return false;
+    }
+    uint64_t next = dir_offsets[t];
+    rdf::RelId prev = rdf::kNullRel;
+    for (uint64_t i = base; i < offsets[t + 1]; ++i) {
+      if (next == dir_offsets[t] || facts[i].rel != prev) {
+        if (next >= dir_offsets[t + 1]) return false;
+        const DirEntry want{facts[i].rel, static_cast<uint32_t>(i - base)};
+        if (!(dir[next] == want)) return false;
+        prev = facts[i].rel;
+        ++next;
+      }
+    }
+    if (next != dir_offsets[t + 1]) return false;
+  }
+  return true;
+}
+
 bool ColumnarIndex::FromColumns(std::vector<uint64_t> offsets,
                                 std::vector<rdf::Fact> facts,
                                 std::vector<uint64_t> pair_offsets,
@@ -436,20 +507,52 @@ bool ColumnarIndex::FromColumns(Column<uint64_t> offsets,
   out->pairs_ = std::move(pairs);
   out->keep_alive_ = std::move(keep_alive);
   out->RebuildObjectColumn();
+  out->RebuildDirectory();
+  return true;
+}
+
+bool ColumnarIndex::FromColumns(Column<uint64_t> offsets,
+                                Column<rdf::Fact> facts,
+                                Column<uint64_t> pair_offsets,
+                                Column<rdf::TermPair> pairs,
+                                Column<uint64_t> dir_offsets,
+                                Column<DirEntry> dir,
+                                std::shared_ptr<const void> keep_alive,
+                                ColumnarIndex* out) {
+  if (!Validate(offsets.span(), facts.span(), pair_offsets.span(),
+                pairs.span())) {
+    return false;
+  }
+  if (!ValidateDirectory(offsets.span(), facts.span(), dir_offsets.span(),
+                         dir.span())) {
+    return false;
+  }
+  out->offsets_ = std::move(offsets);
+  out->facts_ = std::move(facts);
+  out->pair_offsets_ = std::move(pair_offsets);
+  out->pairs_ = std::move(pairs);
+  out->dir_offsets_ = std::move(dir_offsets);
+  out->dir_ = std::move(dir);
+  out->keep_alive_ = std::move(keep_alive);
+  out->RebuildObjectColumn();
   return true;
 }
 
 std::span<const rdf::Fact> ColumnarIndex::FactsWith(uint32_t local,
                                                     rdf::RelId rel) const {
-  const auto facts = FactsAbout(local);
-  auto lo = std::lower_bound(
-      facts.begin(), facts.end(), rel,
-      [](const rdf::Fact& f, rdf::RelId r) { return f.rel < r; });
-  auto hi = std::upper_bound(
-      lo, facts.end(), rel,
-      [](rdf::RelId r, const rdf::Fact& f) { return r < f.rel; });
-  return facts.subspan(static_cast<size_t>(lo - facts.begin()),
-                       static_cast<size_t>(hi - lo));
+  // Binary search over the term's compact relation-directory rows instead
+  // of its full fact slice: O(log distinct-relations) 8-byte probes.
+  const uint64_t slice_begin = offsets_[local];
+  const DirEntry* lo = dir_.data() + dir_offsets_[local];
+  const DirEntry* hi = dir_.data() + dir_offsets_[local + 1];
+  const DirEntry* it = std::lower_bound(
+      lo, hi, rel,
+      [](const DirEntry& e, rdf::RelId r) { return e.rel < r; });
+  if (it == hi || it->rel != rel) return {};
+  const uint64_t begin = slice_begin + it->begin;
+  const uint64_t end =
+      it + 1 == hi ? offsets_[local + 1] : slice_begin + (it + 1)->begin;
+  return {facts_.data() + begin, facts_.data() + end};
 }
 
 std::span<const rdf::TermId> ColumnarIndex::ObjectsOf(uint32_t local,

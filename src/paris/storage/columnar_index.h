@@ -51,6 +51,22 @@ class ColumnarIndex {
     friend bool operator==(const Entry& a, const Entry& b) = default;
   };
 
+  // One row of the per-term relation directory: a term's distinct (possibly
+  // inverse) relations in sorted order, each with the offset of its first
+  // fact *within the term's adjacency slice* (u32 — a single term's degree
+  // is bounded well below 2^32). `FactsWith` binary-searches these compact
+  // rows instead of the term's full fact slice: O(log distinct-relations)
+  // probes over 8-byte rows rather than O(log degree) over the fat slice,
+  // which is what makes hub-heavy terms cheap in the fixpoint's inner
+  // loops. Derived from the facts column (Build / MergeDelta / v2 load) or
+  // adopted zero-copy from a v3 snapshot.
+  struct DirEntry {
+    rdf::RelId rel;
+    uint32_t begin;
+
+    friend bool operator==(const DirEntry& a, const DirEntry& b) = default;
+  };
+
   ColumnarIndex() = default;
   ColumnarIndex(ColumnarIndex&&) = default;
   ColumnarIndex& operator=(ColumnarIndex&&) = default;
@@ -111,6 +127,17 @@ class ColumnarIndex {
                           std::shared_ptr<const void> keep_alive,
                           ColumnarIndex* out);
 
+  // Snapshot-v3 variant: the relation directory comes from the file (and
+  // stays zero-copy under an mmap'ed reader) instead of being rebuilt.
+  // The directory is validated exactly against the facts column; a
+  // mismatch fails the load.
+  static bool FromColumns(Column<uint64_t> offsets, Column<rdf::Fact> facts,
+                          Column<uint64_t> pair_offsets,
+                          Column<rdf::TermPair> pairs,
+                          Column<uint64_t> dir_offsets, Column<DirEntry> dir,
+                          std::shared_ptr<const void> keep_alive,
+                          ColumnarIndex* out);
+
   // ---- Read API (all O(1) or O(log degree), zero allocation) ----
 
   // Every statement the term participates in, sorted by (rel, other).
@@ -119,7 +146,9 @@ class ColumnarIndex {
             facts_.data() + offsets_[local + 1]};
   }
 
-  // The facts of `local` whose relation is exactly `rel`.
+  // The facts of `local` whose relation is exactly `rel`: a binary search
+  // over the term's relation-directory rows. Empty (data() == nullptr)
+  // when the term has no `rel` facts.
   std::span<const rdf::Fact> FactsWith(uint32_t local, rdf::RelId rel) const;
 
   // The objects y with rel(term, y), as a contiguous sorted id column.
@@ -159,19 +188,28 @@ class ColumnarIndex {
     return pair_offsets_.span();
   }
   std::span<const rdf::TermPair> pairs() const { return pairs_.span(); }
+  std::span<const uint64_t> dir_offsets() const { return dir_offsets_.span(); }
+  std::span<const DirEntry> dir() const { return dir_.span(); }
 
  private:
   static bool Validate(std::span<const uint64_t> offsets,
                        std::span<const rdf::Fact> facts,
                        std::span<const uint64_t> pair_offsets,
                        std::span<const rdf::TermPair> pairs);
+  static bool ValidateDirectory(std::span<const uint64_t> offsets,
+                                std::span<const rdf::Fact> facts,
+                                std::span<const uint64_t> dir_offsets,
+                                std::span<const DirEntry> dir);
   void RebuildObjectColumn();
+  void RebuildDirectory(util::ThreadPool* pool = nullptr);
 
   Column<uint64_t> offsets_;        // num_terms + 1
   Column<rdf::Fact> facts_;         // CSR adjacency rows
   Column<rdf::TermId> objects_;     // objects_[i] == facts_[i].other
   Column<uint64_t> pair_offsets_;   // num_relations + 1
   Column<rdf::TermPair> pairs_;     // POS rows
+  Column<uint64_t> dir_offsets_;    // num_terms + 1
+  Column<DirEntry> dir_;            // per-term distinct-relation rows
   std::shared_ptr<const void> keep_alive_;  // mapping owner for view columns
 };
 

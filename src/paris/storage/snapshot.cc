@@ -179,18 +179,21 @@ uint64_t SnapshotReader::ReadChecksumTrailer() {
 // Framing
 // ---------------------------------------------------------------------------
 
-void WriteSnapshotHeader(SnapshotWriter& writer, std::ostream& raw) {
+void WriteSnapshotHeader(SnapshotWriter& writer, std::ostream& raw,
+                         uint32_t version) {
   raw.write(kSnapshotMagic, sizeof(kSnapshotMagic));  // excluded from hash
-  writer.WriteU32(kSnapshotVersion);
+  writer.WriteU32(version);
 }
 
 namespace {
 
-using SectionLoader = std::function<util::Status(SnapshotReader&)>;
+using SectionLoader =
+    std::function<util::Status(SnapshotReader&, uint32_t file_version)>;
 
 util::Status LoadSnapshotFileFromStream(const std::string& path,
                                         const char (&magic)[8],
-                                        uint32_t version, const char* kind,
+                                        uint32_t min_version,
+                                        uint32_t max_version, const char* kind,
                                         const SectionLoader& load_sections) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
@@ -209,12 +212,12 @@ util::Status LoadSnapshotFileFromStream(const std::string& path,
   if (!reader.ok()) {
     return util::DataLossError("truncated " + std::string(kind) + " header");
   }
-  if (file_version != version) {
+  if (file_version < min_version || file_version > max_version) {
     return util::InvalidArgumentError(
         "unsupported " + std::string(kind) + " version " +
         std::to_string(file_version) + ": " + path);
   }
-  util::Status status = load_sections(reader);
+  util::Status status = load_sections(reader, file_version);
   if (!status.ok()) {
     // The streaming reader only sees the checksum trailer after the
     // sections, so a flipped byte inside them can surface as a section-level
@@ -286,7 +289,8 @@ util::Status LoadSnapshotFileFromStream(const std::string& path,
 util::Status LoadSnapshotFileFromMapping(std::shared_ptr<MappedFile> mapping,
                                          const std::string& path,
                                          const char (&magic)[8],
-                                         uint32_t version, const char* kind,
+                                         uint32_t min_version,
+                                         uint32_t max_version, const char* kind,
                                          const SectionLoader& load_sections) {
   const std::span<const std::byte> bytes = mapping->bytes();
   constexpr size_t kMagicSize = 8;
@@ -315,12 +319,13 @@ util::Status LoadSnapshotFileFromMapping(std::shared_ptr<MappedFile> mapping,
   SnapshotReader reader(bytes);
   reader.set_view_owner(std::move(mapping));
   const uint32_t file_version = reader.ReadU32();
-  if (!reader.ok() || file_version != version) {
+  if (!reader.ok() || file_version < min_version ||
+      file_version > max_version) {
     return util::InvalidArgumentError(
         "unsupported " + std::string(kind) + " version " +
         std::to_string(file_version) + ": " + path);
   }
-  util::Status status = load_sections(reader);
+  util::Status status = load_sections(reader, file_version);
   if (!status.ok()) return status;
   if (reader.position() != bytes.size() - sizeof(uint64_t)) {
     return util::DataLossError("corrupt " + std::string(kind) +
@@ -333,8 +338,9 @@ util::Status LoadSnapshotFileFromMapping(std::shared_ptr<MappedFile> mapping,
 
 util::Status LoadSnapshotFile(
     const std::string& path, SnapshotLoadMode mode, const char (&magic)[8],
-    uint32_t version, const char* kind,
-    const std::function<util::Status(SnapshotReader&)>& load_sections) {
+    uint32_t min_version, uint32_t max_version, const char* kind,
+    const std::function<util::Status(SnapshotReader&, uint32_t file_version)>&
+        load_sections) {
   const util::FaultAction fault =
       util::CheckFaultRetryingTransient("snapshot.read");
   if (fault.kind == util::FaultKind::kErrno) {
@@ -342,18 +348,19 @@ util::Status LoadSnapshotFile(
                                "': " + std::strerror(fault.error_number));
   }
   if (mode == SnapshotLoadMode::kStream) {
-    return LoadSnapshotFileFromStream(path, magic, version, kind,
-                                      load_sections);
+    return LoadSnapshotFileFromStream(path, magic, min_version, max_version,
+                                      kind, load_sections);
   }
   auto mapping = MappedFile::Open(path);
   if (!mapping.ok()) {
     // Only a map failure falls back; content errors never do.
     if (mode == SnapshotLoadMode::kMmap) return mapping.status();
-    return LoadSnapshotFileFromStream(path, magic, version, kind,
-                                      load_sections);
+    return LoadSnapshotFileFromStream(path, magic, min_version, max_version,
+                                      kind, load_sections);
   }
   return LoadSnapshotFileFromMapping(std::move(mapping).value(), path, magic,
-                                     version, kind, load_sections);
+                                     min_version, max_version, kind,
+                                     load_sections);
 }
 
 // ---------------------------------------------------------------------------

@@ -36,7 +36,13 @@ namespace paris::storage {
 
 inline constexpr char kSnapshotMagic[8] = {'P', 'A', 'R', 'I',
                                            'S', 'N', 'P', '\n'};
-inline constexpr uint32_t kSnapshotVersion = 2;
+// Current write version. v3 appends the TriIndex orderings (SPO/POS/OSP)
+// and the per-term relation directory as additional zero-copy column
+// families; v2 files (CSR/POS only) still load, with those families
+// rebuilt in memory.
+inline constexpr uint32_t kSnapshotVersion = 3;
+// Oldest ontology-snapshot version the loaders accept.
+inline constexpr uint32_t kMinSnapshotVersion = 2;
 
 // How a snapshot loader brings a file in. Shared by the ontology snapshots
 // (src/ontology/snapshot.h) and the alignment-result snapshots
@@ -228,7 +234,10 @@ class SnapshotReader {
 
 // Writes the magic + format version framing (the ontology snapshot family;
 // other families write their own magic + version through the writer).
-void WriteSnapshotHeader(SnapshotWriter& writer, std::ostream& raw);
+// `version` defaults to the current write version; passing
+// `kMinSnapshotVersion` writes a downlevel file (compatibility tests).
+void WriteSnapshotHeader(SnapshotWriter& writer, std::ostream& raw,
+                         uint32_t version = kSnapshotVersion);
 
 // Shared whole-file load framing for every snapshot family (ontology
 // snapshots, alignment-result snapshots): magic and version checks, section
@@ -245,12 +254,15 @@ void WriteSnapshotHeader(SnapshotWriter& writer, std::ostream& raw);
 //    mapped. Content errors never fall back.
 //
 // `kind` names the family in error messages ("snapshot", "result
-// snapshot"). `load_sections` must consume everything between the version
-// field and the trailer, returning a non-OK status on structural errors.
+// snapshot"). Files whose version falls outside [min_version, max_version]
+// are rejected; the accepted file version is handed to `load_sections`,
+// which must consume everything between the version field and the trailer,
+// returning a non-OK status on structural errors.
 util::Status LoadSnapshotFile(
     const std::string& path, SnapshotLoadMode mode, const char (&magic)[8],
-    uint32_t version, const char* kind,
-    const std::function<util::Status(SnapshotReader&)>& load_sections);
+    uint32_t min_version, uint32_t max_version, const char* kind,
+    const std::function<util::Status(SnapshotReader&, uint32_t file_version)>&
+        load_sections);
 
 // FNV-1a 64 over one contiguous byte range, seeded with the offset basis —
 // the same hash the writer and the streaming reader maintain incrementally.

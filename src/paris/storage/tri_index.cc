@@ -1,0 +1,423 @@
+#include "paris/storage/tri_index.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <unordered_set>
+#include <utility>
+
+#include "paris/storage/columnar_index.h"
+#include "paris/util/thread_pool.h"
+
+namespace paris::storage {
+
+namespace {
+
+using Slot = TriplePattern::Slot;
+
+// kComponentPos[f][i] = which triple position family f stores in row
+// component i. Must stay consistent with RowFor / TripleFor below.
+constexpr TriPos kComponentPos[3][3] = {
+    {TriPos::kSubject, TriPos::kRel, TriPos::kObject},  // SPO: (s, p, o)
+    {TriPos::kRel, TriPos::kObject, TriPos::kSubject},  // POS: (p, o, s)
+    {TriPos::kObject, TriPos::kSubject, TriPos::kRel},  // OSP: (o, s, p)
+};
+
+constexpr size_t Idx(TriPos p) { return static_cast<size_t>(p); }
+constexpr size_t Idx(TriOrdering o) { return static_cast<size_t>(o); }
+
+constexpr TriRow RowFor(TriOrdering f, uint32_t s, uint32_t p, uint32_t o) {
+  switch (f) {
+    case TriOrdering::kSpo:
+      return {s, p, o};
+    case TriOrdering::kPos:
+      return {p, o, s};
+    case TriOrdering::kOsp:
+      return {o, s, p};
+  }
+  return {};
+}
+
+constexpr rdf::Triple TripleFor(TriOrdering f, const TriRow& r) {
+  switch (f) {
+    case TriOrdering::kSpo:
+      return {r.a, static_cast<rdf::RelId>(r.b), r.c};
+    case TriOrdering::kPos:
+      return {r.c, static_cast<rdf::RelId>(r.a), r.b};
+    case TriOrdering::kOsp:
+      return {r.b, static_cast<rdf::RelId>(r.c), r.a};
+  }
+  return {};
+}
+
+// Normalizes an inverse-relation pattern (`rel` bound to -r) into the
+// equivalent positive-relation pattern: r⁻¹(s, o) matches exactly the
+// statements r(o, s), so the subject and object slots swap.
+TriplePattern Normalize(const TriplePattern& p) {
+  if (p.bound(TriPos::kRel) && p.rel() < 0) {
+    TriplePattern q = p;
+    std::swap(q.slots[0], q.slots[2]);
+    std::swap(q.values[0], q.values[2]);
+    q.values[1] = static_cast<uint32_t>(-p.rel());
+    return q;
+  }
+  return p;
+}
+
+// True when, past the bound prefix, no ignored position precedes a
+// variable position in family order — the condition under which matches
+// equal on every non-ignored position are adjacent in the range (so
+// duplicate collapse is a compare-with-last) and variable bindings come
+// out in sorted order.
+bool VariablesBeforeIgnored(const TriplePattern& p, TriOrdering f,
+                            int prefix) {
+  bool seen_ignored = false;
+  for (int i = prefix; i < 3; ++i) {
+    const Slot s = p.slot(kComponentPos[Idx(f)][i]);
+    if (s == Slot::kIgnored) {
+      seen_ignored = true;
+    } else if (s == Slot::kVariable && seen_ignored) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// The rows whose first `k` components equal `prefix`, by binary search.
+std::pair<const TriRow*, const TriRow*> PrefixRange(
+    std::span<const TriRow> rows, const uint32_t* prefix, int k) {
+  const auto row_below = [k](const TriRow& r, const uint32_t* pfx) {
+    const uint32_t rc[3] = {r.a, r.b, r.c};
+    for (int i = 0; i < k; ++i) {
+      if (rc[i] != pfx[i]) return rc[i] < pfx[i];
+    }
+    return false;
+  };
+  const auto row_above = [k](const uint32_t* pfx, const TriRow& r) {
+    const uint32_t rc[3] = {r.a, r.b, r.c};
+    for (int i = 0; i < k; ++i) {
+      if (rc[i] != pfx[i]) return pfx[i] < rc[i];
+    }
+    return false;
+  };
+  const TriRow* begin = rows.data();
+  const TriRow* end = rows.data() + rows.size();
+  const TriRow* lo = std::lower_bound(begin, end, prefix, row_below);
+  const TriRow* hi = std::upper_bound(lo, end, prefix, row_above);
+  return {lo, hi};
+}
+
+// Order-independent content hash of one triple; summed over a whole family
+// it must match the sum over the ground-truth POS pairs, so a snapshot
+// whose families disagree with the CSR/POS columns is rejected.
+uint64_t TripleHash(uint32_t s, uint32_t p, uint32_t o) {
+  uint64_t h = 14695981039346656037ull;
+  const uint32_t comps[3] = {s, p, o};
+  const unsigned char* bytes = reinterpret_cast<const unsigned char*>(comps);
+  for (size_t i = 0; i < sizeof(comps); ++i) {
+    h ^= bytes[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::span<const TriRow> TriIndex::rows(TriOrdering o) const {
+  switch (o) {
+    case TriOrdering::kSpo:
+      return spo_.span();
+    case TriOrdering::kPos:
+      return pos_.span();
+    case TriOrdering::kOsp:
+      return osp_.span();
+  }
+  return {};
+}
+
+TriIndex TriIndex::Build(const ColumnarIndex& index, util::ThreadPool* pool,
+                         obs::Hooks hooks) {
+  obs::Span build_span(hooks.trace, hooks.main_slot(), "io", "tri.build");
+  const size_t n = index.num_triples();
+  const size_t num_relations = index.num_relations();
+  std::vector<TriRow> spo(n), pos(n), osp(n);
+  const std::span<const uint64_t> pair_offsets = index.pair_offsets();
+  const std::span<const rdf::TermPair> pairs = index.pairs();
+
+  // The concatenated POS pairs enumerate every distinct statement once, in
+  // (p, s, o) order; emit each family's permuted row.
+  util::ForRange(pool, num_relations, [&](size_t rel_begin, size_t rel_end) {
+    for (size_t r = rel_begin; r < rel_end; ++r) {
+      const uint32_t p = static_cast<uint32_t>(r + 1);
+      for (uint64_t i = pair_offsets[r]; i < pair_offsets[r + 1]; ++i) {
+        const uint32_t s = pairs[i].first;
+        const uint32_t o = pairs[i].second;
+        spo[i] = {s, p, o};
+        pos[i] = {p, o, s};
+        osp[i] = {o, s, p};
+      }
+    }
+  });
+
+  // The POS family is already grouped by ascending p; only each relation's
+  // range needs re-sorting from (s, o) to (o, s). SPO and OSP sort whole.
+  // All rows are distinct, so every sort has a unique result and the build
+  // is identical for any thread count.
+  const auto sort_pos_ranges = [&](size_t rel_begin, size_t rel_end) {
+    for (size_t r = rel_begin; r < rel_end; ++r) {
+      std::sort(pos.begin() + static_cast<ptrdiff_t>(pair_offsets[r]),
+                pos.begin() + static_cast<ptrdiff_t>(pair_offsets[r + 1]));
+    }
+  };
+  if (pool != nullptr && pool->num_threads() > 0) {
+    pool->Schedule([&] { std::sort(spo.begin(), spo.end()); });
+    pool->Schedule([&] { std::sort(osp.begin(), osp.end()); });
+    // ParallelFor blocks until every scheduled task has drained, including
+    // the two whole-family sorts above.
+    pool->ParallelFor(num_relations, sort_pos_ranges);
+  } else {
+    std::sort(spo.begin(), spo.end());
+    std::sort(osp.begin(), osp.end());
+    sort_pos_ranges(0, num_relations);
+  }
+
+  TriIndex out;
+  out.spo_ = Column<TriRow>::FromOwned(std::move(spo));
+  out.pos_ = Column<TriRow>::FromOwned(std::move(pos));
+  out.osp_ = Column<TriRow>::FromOwned(std::move(osp));
+  return out;
+}
+
+bool TriIndex::FromColumns(const ColumnarIndex& index, Column<TriRow> spo,
+                           Column<TriRow> pos, Column<TriRow> osp,
+                           std::shared_ptr<const void> keep_alive,
+                           TriIndex* out) {
+  const size_t n = index.num_triples();
+  const size_t num_relations = index.num_relations();
+  if (spo.size() != n || pos.size() != n || osp.size() != n) return false;
+
+  // Ground truth: the order-independent hash of the POS pairs.
+  uint64_t want = 0;
+  const std::span<const uint64_t> pair_offsets = index.pair_offsets();
+  const std::span<const rdf::TermPair> pairs = index.pairs();
+  for (size_t r = 0; r < num_relations; ++r) {
+    for (uint64_t i = pair_offsets[r]; i < pair_offsets[r + 1]; ++i) {
+      want += TripleHash(pairs[i].first, static_cast<uint32_t>(r + 1),
+                         pairs[i].second);
+    }
+  }
+
+  const Column<TriRow>* families[3] = {&spo, &pos, &osp};
+  for (size_t f = 0; f < 3; ++f) {
+    const std::span<const TriRow> rows = families[f]->span();
+    uint64_t got = 0;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      if (i > 0 && !(rows[i - 1] < rows[i])) return false;  // strict order
+      const rdf::Triple t = TripleFor(static_cast<TriOrdering>(f), rows[i]);
+      if (t.rel < 1 || static_cast<size_t>(t.rel) > num_relations) {
+        return false;
+      }
+      got += TripleHash(t.subject, static_cast<uint32_t>(t.rel), t.object);
+    }
+    if (got != want) return false;
+  }
+
+  out->spo_ = std::move(spo);
+  out->pos_ = std::move(pos);
+  out->osp_ = std::move(osp);
+  out->keep_alive_ = std::move(keep_alive);
+  return true;
+}
+
+void TriIndex::MergeDelta(std::vector<rdf::Triple> novel) {
+  if (novel.empty()) return;
+  Column<TriRow>* families[3] = {&spo_, &pos_, &osp_};
+  std::vector<TriRow> delta(novel.size());
+  for (size_t f = 0; f < 3; ++f) {
+    const TriOrdering ordering = static_cast<TriOrdering>(f);
+    for (size_t i = 0; i < novel.size(); ++i) {
+      assert(novel[i].rel > 0);
+      delta[i] = RowFor(ordering, novel[i].subject,
+                        static_cast<uint32_t>(novel[i].rel), novel[i].object);
+    }
+    std::sort(delta.begin(), delta.end());
+    const std::span<const TriRow> old = families[f]->span();
+    std::vector<TriRow> merged(old.size() + delta.size());
+    std::merge(old.begin(), old.end(), delta.begin(), delta.end(),
+               merged.begin());
+    *families[f] = Column<TriRow>::FromOwned(std::move(merged));
+  }
+  keep_alive_.reset();
+}
+
+TriDispatch TriIndex::DispatchFor(const TriplePattern& raw) {
+  const TriplePattern p = Normalize(raw);
+  const int mask = (p.bound(TriPos::kSubject) ? 4 : 0) |
+                   (p.bound(TriPos::kRel) ? 2 : 0) |
+                   (p.bound(TriPos::kObject) ? 1 : 0);
+  switch (mask) {
+    case 0b111:
+      return {TriOrdering::kSpo, 3};
+    case 0b110:
+      return {TriOrdering::kSpo, 2};
+    case 0b100:
+      return {TriOrdering::kSpo, 1};
+    case 0b011:
+      return {TriOrdering::kPos, 2};
+    case 0b010:
+      return {TriOrdering::kPos, 1};
+    case 0b101:
+      return {TriOrdering::kOsp, 2};
+    case 0b001:
+      return {TriOrdering::kOsp, 1};
+    default:
+      break;
+  }
+  // No bound position: any family answers; prefer the one that lists every
+  // variable before every ignored position, so duplicate collapse stays an
+  // adjacency check and bindings come out sorted.
+  for (TriOrdering f :
+       {TriOrdering::kSpo, TriOrdering::kPos, TriOrdering::kOsp}) {
+    if (VariablesBeforeIgnored(p, f, 0)) return {f, 0};
+  }
+  return {TriOrdering::kSpo, 0};
+}
+
+size_t TriIndex::Scan(const TriplePattern& raw, size_t limit,
+                      const std::function<void(const rdf::Triple&)>& fn) const {
+  const TriplePattern p = Normalize(raw);
+  const TriDispatch d = DispatchFor(raw);
+  const TriPos* order = kComponentPos[Idx(d.ordering)];
+
+  uint32_t prefix[3] = {0, 0, 0};
+  for (int i = 0; i < d.bound_prefix; ++i) {
+    prefix[i] = p.values[Idx(order[i])];
+  }
+  const auto [lo, hi] = PrefixRange(rows(d.ordering), prefix, d.bound_prefix);
+
+  const bool ignore_s = p.slot(TriPos::kSubject) == Slot::kIgnored;
+  const bool ignore_p = p.slot(TriPos::kRel) == Slot::kIgnored;
+  const bool ignore_o = p.slot(TriPos::kObject) == Slot::kIgnored;
+  const bool any_ignored = ignore_s || ignore_p || ignore_o;
+  const bool adjacent_dedup =
+      VariablesBeforeIgnored(p, d.ordering, d.bound_prefix);
+  // When adjacency does not hold, the pattern has exactly one variable
+  // position (one bound, one ignored, one variable — the only shape where
+  // an ignored component precedes a variable in its family's order), so
+  // collapsing on that single component is exact.
+  int var_pos = -1;
+  if (any_ignored && !adjacent_dedup) {
+    for (int i = 0; i < 3; ++i) {
+      if (p.slots[i] == Slot::kVariable) var_pos = i;
+    }
+  }
+  std::unordered_set<uint32_t> seen;
+
+  size_t emitted = 0;
+  rdf::Triple last{};
+  bool have_last = false;
+  for (const TriRow* r = lo; r != hi && (limit == 0 || emitted < limit); ++r) {
+    rdf::Triple t = TripleFor(d.ordering, *r);
+    if (ignore_s) t.subject = rdf::kNullTerm;
+    if (ignore_p) t.rel = rdf::kNullRel;
+    if (ignore_o) t.object = rdf::kNullTerm;
+    if (any_ignored) {
+      if (adjacent_dedup) {
+        if (have_last && t == last) continue;
+      } else {
+        const uint32_t comps[3] = {t.subject, static_cast<uint32_t>(t.rel),
+                                   t.object};
+        if (!seen.insert(comps[var_pos]).second) continue;
+      }
+    }
+    fn(t);
+    ++emitted;
+    last = t;
+    have_last = true;
+  }
+  return emitted;
+}
+
+std::vector<rdf::Triple> TriIndex::Collect(const TriplePattern& pattern,
+                                           size_t limit) const {
+  std::vector<rdf::Triple> out;
+  Scan(pattern, limit, [&out](const rdf::Triple& t) { out.push_back(t); });
+  return out;
+}
+
+uint64_t TriIndex::Count(const TriplePattern& raw) const {
+  const TriplePattern p = Normalize(raw);
+  const bool any_ignored = p.slots[0] == Slot::kIgnored ||
+                           p.slots[1] == Slot::kIgnored ||
+                           p.slots[2] == Slot::kIgnored;
+  if (any_ignored) {
+    return Scan(raw, 0, [](const rdf::Triple&) {});
+  }
+  const TriDispatch d = DispatchFor(raw);
+  const TriPos* order = kComponentPos[Idx(d.ordering)];
+  uint32_t prefix[3] = {0, 0, 0};
+  for (int i = 0; i < d.bound_prefix; ++i) {
+    prefix[i] = p.values[Idx(order[i])];
+  }
+  const auto [lo, hi] = PrefixRange(rows(d.ordering), prefix, d.bound_prefix);
+  return static_cast<uint64_t>(hi - lo);
+}
+
+std::vector<uint32_t> TriIndex::DistinctBindings(const TriplePattern& pattern,
+                                                 TriPos pos,
+                                                 size_t limit) const {
+  if (pattern.bound(pos)) return {};
+  TriplePattern q = pattern;
+  for (int i = 0; i < 3; ++i) {
+    if (q.slots[i] != Slot::kBound) q.slots[i] = Slot::kIgnored;
+  }
+  q.slots[Idx(pos)] = Slot::kVariable;
+
+  const TriplePattern n = Normalize(q);
+  const TriDispatch d = DispatchFor(q);
+  // The normalized pattern's variable may have moved to the opposite slot.
+  TriPos n_pos = pos;
+  for (int i = 0; i < 3; ++i) {
+    if (n.slots[i] == Slot::kVariable) n_pos = static_cast<TriPos>(i);
+  }
+  const bool sorted = VariablesBeforeIgnored(n, d.ordering, d.bound_prefix);
+
+  std::vector<uint32_t> out;
+  Scan(q, sorted ? limit : 0, [&out, n_pos](const rdf::Triple& t) {
+    const uint32_t comps[3] = {t.subject, static_cast<uint32_t>(t.rel),
+                               t.object};
+    out.push_back(comps[Idx(n_pos)]);
+  });
+  if (!sorted) {
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    if (limit != 0 && out.size() > limit) out.resize(limit);
+  }
+  return out;
+}
+
+std::vector<uint32_t> MergeJoin(const TriIndex& a_index, const TriplePattern& a,
+                                TriPos a_pos, const TriIndex& b_index,
+                                const TriplePattern& b, TriPos b_pos,
+                                size_t limit) {
+  const std::vector<uint32_t> av = a_index.DistinctBindings(a, a_pos);
+  const std::vector<uint32_t> bv = b_index.DistinctBindings(b, b_pos);
+  std::vector<uint32_t> out;
+  auto ai = av.begin();
+  auto bi = bv.begin();
+  while (ai != av.end() && bi != bv.end() &&
+         (limit == 0 || out.size() < limit)) {
+    if (*ai < *bi) {
+      ++ai;
+    } else if (*bi < *ai) {
+      ++bi;
+    } else {
+      out.push_back(*ai);
+      ++ai;
+      ++bi;
+    }
+  }
+  return out;
+}
+
+}  // namespace paris::storage

@@ -12,6 +12,10 @@
 //   lookup KIND SIDE KEY            query the served result snapshot
 //                                   (KIND: entity|relation|class,
 //                                    SIDE: left|right, KEY: IRI or #id)
+//   query SIDE S P O [LIMIT]        triple-pattern scan of one ontology
+//                                   (positions: ? variable, _ ignored,
+//                                    #id raw, or an IRI; P may be -rel for
+//                                    the inverse direction)
 //   result                          served snapshot's generation and stats
 //   metrics                         service metrics as JSON
 //   trace                           per-request spans as Chrome trace JSON
@@ -114,6 +118,9 @@ int main(int argc, char** argv) {
     streaming = true;
   } else if (command == "lookup" && args.size() == 4) {
     request = "LOOKUP " + args[1] + " " + args[2] + " " + args[3];
+  } else if (command == "query" && (args.size() == 5 || args.size() == 6)) {
+    request = "QUERY";
+    for (size_t i = 1; i < args.size(); ++i) request += " " + args[i];
   } else if (command == "result") {
     request = "RESULT";
   } else if (command == "metrics") {

@@ -18,6 +18,7 @@
 #include "paris/service/protocol.h"
 #include "paris/service/read_path.h"
 #include "paris/util/fault_injection.h"
+#include "paris/util/flags.h"
 #include "paris/util/fs.h"
 #include "paris/util/net.h"
 #include "paris/util/status.h"
@@ -657,6 +658,88 @@ TEST_F(ServiceDaemonTest, PingMalformedVerbsAndShutdown) {
 
   EXPECT_EQ(Call(conn, "SHUTDOWN"), "OK shutting down");
   daemon.Wait();  // returns because SHUTDOWN requested it
+  daemon.Stop();
+}
+
+TEST_F(ServiceDaemonTest, QueryPatternsAndMalformedFrames) {
+  service::Daemon daemon(BaseConfig("svc_query"));
+  ASSERT_TRUE(daemon.Start().ok());
+  SocketConn conn = Dial(daemon);
+
+  // "OK <n>" followed by n tab-separated rows; returns n.
+  const auto match_count = [](const std::string& reply) -> long long {
+    EXPECT_EQ(reply.rfind("OK ", 0), 0u) << reply;
+    const size_t eol = reply.find('\n');
+    long long n = 0;
+    EXPECT_TRUE(util::ParseFullInt64(
+        reply.substr(3, eol == std::string::npos ? std::string::npos : eol - 3),
+        &n))
+        << reply;
+    long long lines = 0;
+    for (char c : reply) lines += c == '\n';
+    EXPECT_EQ(lines, n) << reply;
+    return n;
+  };
+
+  // QUERY answers before any job has produced a result snapshot: it scans
+  // the ontology pair itself. Default limit is 100.
+  const std::string all = Call(conn, "QUERY left ? ? ?");
+  EXPECT_EQ(match_count(all), 100);
+
+  // An explicit 0 lifts the limit; an explicit cap truncates.
+  const long long total = match_count(Call(conn, "QUERY left ? ? ? 0"));
+  EXPECT_GT(total, 100);
+  EXPECT_EQ(match_count(Call(conn, "QUERY left ? ? ? 5")), 5);
+
+  // A bound relation, its inverse spelling, and the ignored-position form
+  // all agree on the underlying statement set.
+  const long long bound =
+      match_count(Call(conn, "QUERY left ? r1:category ? 0"));
+  EXPECT_GT(bound, 0);
+  EXPECT_EQ(match_count(Call(conn, "QUERY left ? -r1:category ? 0")), bound);
+  const long long collapsed =
+      match_count(Call(conn, "QUERY left _ r1:category ? 0"));
+  EXPECT_GT(collapsed, 0);
+  EXPECT_LE(collapsed, bound);
+
+  // A fully-bound subject probe returns that entity's statements only.
+  const std::string about = Call(conn, "QUERY left r1:address_0 ? ? 0");
+  const long long about_n = match_count(about);
+  EXPECT_GT(about_n, 0);
+  EXPECT_NE(about.find("r1:address_0\t"), std::string::npos) << about;
+
+  // Replays are served from the generation-keyed cache byte-identically.
+  EXPECT_EQ(Call(conn, "QUERY left r1:address_0 ? ? 0"), about);
+
+  // The right side resolves its own relation namespace.
+  EXPECT_GT(match_count(Call(conn, "QUERY right ? ? ?")), 0);
+
+  // Malformed frames: each gets an ERR reply and the connection survives.
+  EXPECT_EQ(StatusFromReply(Call(conn, "QUERY")).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(StatusFromReply(Call(conn, "QUERY left ? ?")).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(StatusFromReply(Call(conn, "QUERY left ? ? ? 7 extra")).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(StatusFromReply(Call(conn, "QUERY middle ? ? ?")).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(StatusFromReply(Call(conn, "QUERY left ? ? ? -3")).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(StatusFromReply(Call(conn, "QUERY left ? ? ? many")).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(StatusFromReply(Call(conn, "QUERY left no:such_term ? ?")).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(StatusFromReply(Call(conn, "QUERY left ? no:such_rel ?")).code(),
+            StatusCode::kNotFound);
+  // r1:category names a *left* relation; the right side must not see it.
+  EXPECT_EQ(StatusFromReply(Call(conn, "QUERY right ? r1:category ?")).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(StatusFromReply(Call(conn, "QUERY left #999999999 ? ?")).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(StatusFromReply(Call(conn, "QUERY left ? #0 ?")).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Call(conn, "PING"), "OK pong");
+
   daemon.Stop();
 }
 
